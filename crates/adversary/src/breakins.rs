@@ -1,0 +1,177 @@
+//! Mobile break-in schedules and memory-corruption modes (§2.1–2.2: the
+//! adversary "may break into nodes and leave nodes at will" and "may also
+//! modify the internal state").
+
+use proauth_core::authenticator::AlProtocol;
+use proauth_core::uls::UlsNode;
+use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId};
+use std::any::Any;
+
+/// What the adversary does to a broken node's memory each round.
+pub enum CorruptMode {
+    /// Read-only espionage (key exposure without modification).
+    Spy,
+    /// Erase all volatile secrets.
+    Wipe,
+    /// Silently overwrite the PDS share with garbage.
+    GarbleShare(u64),
+    /// Arbitrary custom corruption.
+    Custom(Box<dyn FnMut(NodeId, &mut dyn Any, &TimeView)>),
+}
+
+impl std::fmt::Debug for CorruptMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptMode::Spy => write!(f, "Spy"),
+            CorruptMode::Wipe => write!(f, "Wipe"),
+            CorruptMode::GarbleShare(g) => write!(f, "GarbleShare({g})"),
+            CorruptMode::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+/// One scheduled visit: break into `node` at `break_at`, leave at `leave_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visit {
+    /// Target node.
+    pub node: NodeId,
+    /// Round the break-in starts.
+    pub break_at: u64,
+    /// Round the adversary leaves.
+    pub leave_at: u64,
+}
+
+/// A mobile break-in adversary following a fixed visit schedule, with
+/// faithful delivery (isolating the effect of break-ins).
+pub struct MobileBreakins<A: AlProtocol> {
+    /// The visit schedule.
+    pub visits: Vec<Visit>,
+    /// Memory corruption applied while inside.
+    pub mode: CorruptMode,
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: AlProtocol> std::fmt::Debug for MobileBreakins<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MobileBreakins({} visits, {:?})", self.visits.len(), self.mode)
+    }
+}
+
+impl<A: AlProtocol> MobileBreakins<A> {
+    /// Creates the adversary.
+    pub fn new(visits: Vec<Visit>, mode: CorruptMode) -> Self {
+        MobileBreakins {
+            visits,
+            mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A rotation schedule: visit `k` nodes per time unit (round-robin over
+    /// all `n`), breaking in at `offset` rounds into each unit for `dwell`
+    /// rounds.
+    pub fn rotating(
+        n: usize,
+        k: usize,
+        units: u64,
+        unit_rounds: u64,
+        offset: u64,
+        dwell: u64,
+        mode: CorruptMode,
+    ) -> Self {
+        let mut visits = Vec::new();
+        let mut next = 0usize;
+        for u in 0..units {
+            for _ in 0..k {
+                let node = NodeId::from_idx(next % n);
+                next += 1;
+                visits.push(Visit {
+                    node,
+                    break_at: u * unit_rounds + offset,
+                    leave_at: u * unit_rounds + offset + dwell,
+                });
+            }
+        }
+        Self::new(visits, mode)
+    }
+}
+
+impl<A: AlProtocol> UlAdversary for MobileBreakins<A> {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let round = view.time.round;
+        let mut plan = BreakPlan::none();
+        for v in &self.visits {
+            if v.break_at == round {
+                plan.break_into.push(v.node);
+            }
+            if v.leave_at == round {
+                plan.leave.push(v.node);
+            }
+        }
+        plan
+    }
+
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn Any, time: &TimeView) {
+        match &mut self.mode {
+            CorruptMode::Spy => {}
+            CorruptMode::Wipe => {
+                if let Some(n) = state.downcast_mut::<UlsNode<A>>() {
+                    n.corrupt_wipe();
+                }
+            }
+            CorruptMode::GarbleShare(g) => {
+                if let Some(n) = state.downcast_mut::<UlsNode<A>>() {
+                    n.corrupt_garble_share(*g);
+                }
+            }
+            CorruptMode::Custom(f) => f(node, state, time),
+        }
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], _view: &NetView<'_>) -> Vec<Envelope> {
+        sent.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_core::authenticator::NullApp;
+
+    #[test]
+    fn rotating_schedule_covers_nodes_round_robin() {
+        let adv = MobileBreakins::<NullApp>::rotating(5, 2, 3, 100, 10, 5, CorruptMode::Spy);
+        assert_eq!(adv.visits.len(), 6);
+        assert_eq!(adv.visits[0].node, NodeId(1));
+        assert_eq!(adv.visits[1].node, NodeId(2));
+        assert_eq!(adv.visits[2].node, NodeId(3)); // unit 1 continues rotation
+        assert_eq!(adv.visits[2].break_at, 110);
+        assert_eq!(adv.visits[2].leave_at, 115);
+    }
+
+    #[test]
+    fn plan_fires_on_schedule() {
+        let mut adv = MobileBreakins::<NullApp>::new(
+            vec![Visit {
+                node: NodeId(2),
+                break_at: 4,
+                leave_at: 7,
+            }],
+            CorruptMode::Spy,
+        );
+        let sched = proauth_sim::clock::Schedule::new(10, 2, 2);
+        let mk = |round| NetView {
+            time: proauth_sim::clock::TimeView::at(&sched, round),
+            n: 3,
+            broken: &[false; 3],
+            operational: &[true; 3],
+            last_delivered: &[],
+            broken_inboxes: &[],
+        };
+        assert_eq!(adv.plan(&mk(4)).break_into, vec![NodeId(2)]);
+        assert!(adv.plan(&mk(5)).break_into.is_empty());
+        assert_eq!(adv.plan(&mk(7)).leave, vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Impersonation attacks — the adversaries of §1.1/§1.3 that the scheme's
+//! awareness property (Proposition 31) is designed to expose.
+//!
+//! * [`KeyThief`]: breaks into a node, steals its current local keys, leaves,
+//!   and keeps impersonating with the stolen keys — within the same unit
+//!   (possible: the node counts as compromised) and across the next refresh
+//!   (must fail: the certificate is unit-bound).
+//! * [`Hijacker`]: never breaks in at all. During a refresh it cuts the
+//!   victim off, announces an adversary-generated key in the victim's name,
+//!   lets the honest majority *certify the fake key*, harvests the
+//!   certificate from the wire, and impersonates the victim for the rest of
+//!   the unit. The paper's claim: the victim cannot prevent this while
+//!   disconnected, but it **alerts** in that same unit (it obtains no
+//!   certificate for the key it actually announced).
+
+use proauth_core::authenticator::AlProtocol;
+use proauth_core::certify::{certify, LocalKeys};
+use proauth_core::uls::UlsNode;
+use proauth_core::wire::{Blob, DisperseMsg, Inner, UlsWire};
+use proauth_crypto::group::Group;
+use proauth_crypto::schnorr::Signature;
+use proauth_primitives::wire::{Decode, Encode};
+use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::clock::{Phase, TimeView};
+use proauth_sim::message::{Envelope, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// Builds a forged certified application message and wraps it as a
+/// ready-to-deliver `Forwarding` envelope.
+///
+/// `arrival_round` is the round the envelope will be *processed* by the
+/// receiver (injections made during round `r` arrive at `r+1`), so the
+/// message is certified for `w = arrival_round − 2` to pass VER-CERT.
+pub fn forge_app_message<R: rand::RngCore>(
+    keys: &LocalKeys,
+    victim: NodeId,
+    to: NodeId,
+    payload: Vec<u8>,
+    arrival_round: u64,
+    rng: &mut R,
+) -> Option<Envelope> {
+    let inner = Inner::App(payload);
+    let w = arrival_round.checked_sub(2)?;
+    let cmsg = certify(keys, &inner.to_bytes(), victim, to, w, rng)?;
+    let wire = UlsWire::Disperse(DisperseMsg::Forwarding {
+        origin: victim.0,
+        blob: Blob::Certified(cmsg).to_bytes(),
+    });
+    // The physical carrier claims to be some other node (it does not matter
+    // which — authenticity rides the certificate, not the envelope).
+    Some(Envelope::new(victim, to, wire.to_bytes()))
+}
+
+/// §1.1: steal-and-impersonate.
+pub struct KeyThief<A: AlProtocol> {
+    /// The victim.
+    pub victim: NodeId,
+    /// Round to break in (keys are stolen on this round).
+    pub break_at: u64,
+    /// Round to leave.
+    pub leave_at: u64,
+    /// Rounds at which to inject a forged message to every other node.
+    pub forge_at: Vec<u64>,
+    /// The stolen keys, once captured.
+    pub stolen: Option<LocalKeys>,
+    /// Forged messages injected (for experiment accounting).
+    pub forgeries_sent: u64,
+    rng: StdRng,
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: AlProtocol> KeyThief<A> {
+    /// Creates the attack.
+    pub fn new(victim: NodeId, break_at: u64, leave_at: u64, forge_at: Vec<u64>) -> Self {
+        KeyThief {
+            victim,
+            break_at,
+            leave_at,
+            forge_at,
+            stolen: None,
+            forgeries_sent: 0,
+            rng: StdRng::seed_from_u64(0xBAD),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: AlProtocol> UlAdversary for KeyThief<A> {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        if view.time.round == self.break_at {
+            BreakPlan::break_into([self.victim])
+        } else if view.time.round == self.leave_at {
+            BreakPlan::leave([self.victim])
+        } else {
+            BreakPlan::none()
+        }
+    }
+
+    fn corrupt(&mut self, _node: NodeId, state: &mut dyn Any, _time: &TimeView) {
+        if self.stolen.is_none() {
+            if let Some(node) = state.downcast_mut::<UlsNode<A>>() {
+                self.stolen = node.steal_local_keys();
+            }
+        }
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        let mut out = sent.to_vec();
+        if let Some(keys) = &self.stolen {
+            if self.forge_at.contains(&view.time.round) {
+                for to in NodeId::all(view.n) {
+                    if to == self.victim {
+                        continue;
+                    }
+                    if let Some(env) = forge_app_message(
+                        keys,
+                        self.victim,
+                        to,
+                        b"FORGED-BY-KEYTHIEF".to_vec(),
+                        view.time.round + 1,
+                        &mut self.rng,
+                    ) {
+                        out.push(env);
+                        self.forgeries_sent += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn output(&mut self) -> Vec<String> {
+        vec![format!("keythief: {} forgeries injected", self.forgeries_sent)]
+    }
+}
+
+/// §1.3: hijack a victim's key certification while it is cut off —
+/// impersonating a *never-broken* node. Exercises the awareness guarantee.
+pub struct Hijacker {
+    /// The victim.
+    pub victim: NodeId,
+    /// The time unit whose refresh is hijacked.
+    pub unit: u64,
+    /// Rounds per unit (to locate the refresh window).
+    pub unit_rounds: u64,
+    /// Adversary-generated keys announced in the victim's name.
+    pub fake_keys: Option<LocalKeys>,
+    /// The harvested certificate for the fake key.
+    pub harvested_cert: Option<Signature>,
+    /// Number of forged app messages delivered.
+    pub forgeries_sent: u64,
+    group: Group,
+    rng: StdRng,
+}
+
+impl Hijacker {
+    /// Creates the attack against `victim`'s refresh in `unit`.
+    pub fn new(group: Group, victim: NodeId, unit: u64, unit_rounds: u64) -> Self {
+        Hijacker {
+            victim,
+            unit,
+            unit_rounds,
+            fake_keys: None,
+            harvested_cert: None,
+            forgeries_sent: 0,
+            group,
+            rng: StdRng::seed_from_u64(0x417AC), // attack seed
+        }
+    }
+
+    fn in_attack_unit(&self, view: &NetView<'_>) -> bool {
+        view.time.unit == self.unit
+    }
+
+    /// Whether to keep the victim isolated this round.
+    fn isolating(&self, view: &NetView<'_>) -> bool {
+        self.in_attack_unit(view)
+    }
+}
+
+impl UlAdversary for Hijacker {
+    fn deliver(&mut self, sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        let round = view.time.round;
+        let unit_start = self.unit * self.unit_rounds;
+
+        // Harvest certificates for the fake key from the wire.
+        if let Some(fake) = &self.fake_keys {
+            if self.harvested_cert.is_none() {
+                let fake_vk = fake.vk_bytes();
+                for env in sent {
+                    let Ok(UlsWire::Disperse(d)) = UlsWire::from_bytes(&env.payload) else {
+                        continue;
+                    };
+                    let blob = match d {
+                        DisperseMsg::Forward { blob, .. } => blob,
+                        DisperseMsg::Forwarding { blob, .. } => blob,
+                    };
+                    if let Ok(Blob::CertDeliver {
+                        subject,
+                        unit,
+                        vk,
+                        cert,
+                    }) = Blob::from_bytes(&blob)
+                    {
+                        if subject == self.victim.0 && unit == self.unit && vk == fake_vk {
+                            self.harvested_cert = Some(cert);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Base delivery: cut the victim off for the whole attack unit.
+        let mut out: Vec<Envelope> = sent
+            .iter()
+            .filter(|e| {
+                !self.isolating(view) || (e.from != self.victim && e.to != self.victim)
+            })
+            .cloned()
+            .collect();
+
+        // Round `unit_start`: the honest victim broadcasts its true key
+        // announcement (dropped above); inject the fake one instead. The
+        // injection is delivered at `unit_start + 1`, the announce window.
+        if round == unit_start && matches!(view.time.phase, Phase::RefreshPart1 { .. }) {
+            let fake = LocalKeys::generate(&self.group, self.unit, &mut self.rng);
+            let announce = UlsWire::KeyAnnounce {
+                unit: self.unit,
+                vk: fake.vk_bytes(),
+            };
+            for to in NodeId::all(view.n) {
+                if to != self.victim {
+                    out.push(Envelope::new(self.victim, to, announce.to_bytes()));
+                }
+            }
+            self.fake_keys = Some(fake);
+        }
+
+        // Normal phase of the attack unit: impersonate with the certified
+        // fake key.
+        if self.in_attack_unit(view) && matches!(view.time.phase, Phase::Normal) {
+            if let (Some(fake), Some(cert)) = (&mut self.fake_keys, &self.harvested_cert) {
+                if fake.cert.is_none() {
+                    fake.cert = Some(cert.clone());
+                }
+                if round.is_multiple_of(2) {
+                    for to in NodeId::all(view.n) {
+                        if to == self.victim {
+                            continue;
+                        }
+                        if let Some(env) = forge_app_message(
+                            fake,
+                            self.victim,
+                            to,
+                            b"FORGED-BY-HIJACKER".to_vec(),
+                            round + 1,
+                            &mut self.rng,
+                        ) {
+                            out.push(env);
+                            self.forgeries_sent += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn output(&mut self) -> Vec<String> {
+        vec![format!(
+            "hijacker: cert harvested = {}, {} forgeries injected",
+            self.harvested_cert.is_some(),
+            self.forgeries_sent
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_crypto::group::GroupId;
+    use proauth_pds::msg::signing_payload;
+    use proauth_pds::statement::key_statement;
+    use proauth_crypto::schnorr::SigningKey;
+
+    #[test]
+    fn forged_message_is_wellformed_wire() {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Mint a certificate with a throwaway "PDS" key.
+        let ca = SigningKey::generate(&group, &mut rng);
+        let mut keys = LocalKeys::generate(&group, 1, &mut rng);
+        let st = key_statement(NodeId(3), 1, &keys.vk_bytes());
+        keys.cert = Some(ca.sign(&signing_payload(&st, 1), &mut rng));
+
+        let env = forge_app_message(&keys, NodeId(3), NodeId(1), b"x".to_vec(), 50, &mut rng)
+            .expect("forgery built");
+        let wire = UlsWire::from_bytes(&env.payload).unwrap();
+        match wire {
+            UlsWire::Disperse(DisperseMsg::Forwarding { origin, blob }) => {
+                assert_eq!(origin, 3);
+                let Blob::Certified(cmsg) = Blob::from_bytes(&blob).unwrap() else {
+                    panic!("expected certified blob");
+                };
+                assert_eq!(cmsg.w, 48);
+                assert_eq!(cmsg.i, 3);
+                assert_eq!(cmsg.j, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forge_requires_certificate() {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = LocalKeys::generate(&group, 1, &mut rng); // no cert
+        assert!(forge_app_message(&keys, NodeId(1), NodeId(2), vec![], 10, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! `(s,t)`-limit accounting (Definition 7): a transparent wrapper that
+//! measures, per time unit, how many nodes an adversary impairs (broken or
+//! not `s`-operational), so experiments can *verify* an attack stayed within
+//! the bound its security claim assumes.
+
+use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Wraps an adversary and records the impaired-node sets per unit.
+pub struct LimitObserver<A> {
+    /// The wrapped adversary.
+    pub inner: A,
+    per_unit: BTreeMap<u64, BTreeSet<u32>>,
+}
+
+impl<A> LimitObserver<A> {
+    /// Wraps `inner`.
+    pub fn new(inner: A) -> Self {
+        LimitObserver {
+            inner,
+            per_unit: BTreeMap::new(),
+        }
+    }
+
+    /// Nodes impaired at any point during `unit`.
+    pub fn impaired_in_unit(&self, unit: u64) -> usize {
+        self.per_unit.get(&unit).map_or(0, BTreeSet::len)
+    }
+
+    /// The maximum per-unit impairment over the run — the adversary is
+    /// `(s,t)`-limited iff this is ≤ `t` (for the runner's `s`).
+    pub fn max_impaired(&self) -> usize {
+        self.per_unit.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Per-unit impairment counts.
+    pub fn per_unit_counts(&self) -> Vec<(u64, usize)> {
+        self.per_unit
+            .iter()
+            .map(|(u, s)| (*u, s.len()))
+            .collect()
+    }
+
+    fn record(&mut self, view: &NetView<'_>) {
+        let entry = self.per_unit.entry(view.time.unit).or_default();
+        for id in NodeId::all(view.n) {
+            if view.broken[id.idx()] || !view.operational[id.idx()] {
+                entry.insert(id.0);
+            }
+        }
+    }
+}
+
+impl<A: UlAdversary> UlAdversary for LimitObserver<A> {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        self.record(view);
+        self.inner.plan(view)
+    }
+
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn std::any::Any, time: &TimeView) {
+        self.inner.corrupt(node, state, time);
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        self.record(view);
+        self.inner.deliver(sent, view)
+    }
+
+    fn output(&mut self) -> Vec<String> {
+        let mut out = self.inner.output();
+        out.push(format!(
+            "limit-observer: max impaired per unit = {}",
+            self.max_impaired()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_sim::adversary::FaithfulUl;
+    use proauth_sim::clock::Schedule;
+
+    #[test]
+    fn records_broken_and_disconnected() {
+        let mut obs = LimitObserver::new(FaithfulUl);
+        let sched = Schedule::new(10, 2, 2);
+        let broken = [true, false, false];
+        let ops = [false, false, true]; // node 2 disconnected, node 1 broken
+        let view = NetView {
+            time: proauth_sim::clock::TimeView::at(&sched, 3),
+            n: 3,
+            broken: &broken,
+            operational: &ops,
+            last_delivered: &[],
+            broken_inboxes: &[],
+        };
+        let _ = obs.deliver(&[], &view);
+        assert_eq!(obs.impaired_in_unit(0), 2);
+        assert_eq!(obs.max_impaired(), 2);
+        // Unit 1: nothing impaired.
+        let ops_ok = [true, true, true];
+        let none = [false, false, false];
+        let view2 = NetView {
+            time: proauth_sim::clock::TimeView::at(&sched, 12),
+            n: 3,
+            broken: &none,
+            operational: &ops_ok,
+            last_delivered: &[],
+            broken_inboxes: &[],
+        };
+        let _ = obs.deliver(&[], &view2);
+        assert_eq!(obs.impaired_in_unit(1), 0);
+        assert_eq!(obs.per_unit_counts(), vec![(0, 2), (1, 0)]);
+    }
+}

@@ -1,0 +1,193 @@
+//! E3 — Theorem 14: ULS is `(t,t)`-secure in the UL model.
+//!
+//! Runs the attack suite against full ULS networks and reports, per attack,
+//! whether any forgery was accepted *outside the ideal model's allowance*:
+//!
+//! * replay of recorded traffic (must fail — round binding);
+//! * stolen-key impersonation across a refresh (must fail — unit binding);
+//! * stolen-key impersonation within the break-in unit (succeeds, and is
+//!   *allowed*: the victim counts as compromised that unit);
+//! * certification hijack of a cut-off node (succeeds against the
+//!   disconnected victim — allowed — but must trigger the same-unit alert);
+//! * the control: a `t+1`-node break-in in one unit (beyond the limit)
+//!   demonstrably hands the adversary the whole PDS.
+
+use proauth_adversary::{Hijacker, KeyThief, LimitObserver, Replayer};
+use proauth_bench::{print_table, uls_cfg, uls_node};
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::awareness;
+use proauth_core::uls::uls_schedule;
+use proauth_crypto::group::{Group, GroupId};
+use proauth_crypto::shamir;
+use proauth_pds::als::AlsPds;
+use proauth_pds::msg::signing_payload;
+use proauth_primitives::bigint::BigUint;
+use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId, OutputEvent};
+use proauth_sim::runner::run_ul;
+
+const N: usize = 5;
+const T: usize = 2;
+const NORMAL: u64 = 12;
+
+fn forged_accepts(result: &proauth_sim::runner::SimResult, marker: &[u8]) -> usize {
+    result
+        .outputs
+        .iter()
+        .flat_map(|log| log.iter())
+        .filter(|(_, ev)| matches!(ev, OutputEvent::Accepted { msg, .. } if msg == marker))
+        .count()
+}
+
+/// Breaks into t+1 nodes in one unit and reads their PDS shares — the
+/// beyond-the-limit control demonstrating the threshold is tight.
+struct ShareHarvester {
+    shares: Vec<(u32, BigUint)>,
+    public_key: Option<BigUint>,
+    targets: Vec<NodeId>,
+}
+
+impl UlAdversary for ShareHarvester {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        if view.time.round == 4 {
+            BreakPlan::break_into(self.targets.clone())
+        } else if view.time.round == 6 {
+            BreakPlan::leave(self.targets.clone())
+        } else {
+            BreakPlan::none()
+        }
+    }
+
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn std::any::Any, _time: &TimeView) {
+        if self.shares.iter().any(|(i, _)| *i == node.0) {
+            return;
+        }
+        if let Some(n) = state.downcast_mut::<proauth_core::uls::UlsNode<HeartbeatApp>>() {
+            if let Some(key) = n.pds.key_share() {
+                self.shares.push((node.0, key.share.clone()));
+                self.public_key = Some(key.public_key.clone());
+            }
+        }
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], _view: &NetView<'_>) -> Vec<Envelope> {
+        sent.to_vec()
+    }
+}
+
+fn main() {
+    let sched = uls_schedule(NORMAL);
+    let unit_rounds = sched.unit_rounds;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // 1. Replay attack.
+    {
+        let mut adv = Replayer::new(6);
+        let result = run_ul(uls_cfg(N, T, NORMAL, 2, 31), uls_node(N, T), &mut adv);
+        let imps = awareness::find_impersonations(&result.outputs, &sched, |_, _| false);
+        rows.push(vec![
+            "replay (6-round delay)".into(),
+            "reject".into(),
+            if imps.is_empty() { "rejected" } else { "ACCEPTED" }.into(),
+            format!("{} impersonations", imps.len()),
+        ]);
+    }
+
+    // 2. Stolen keys, forged across the refresh.
+    {
+        let forge: Vec<u64> = (0..6)
+            .map(|k| unit_rounds + sched.refresh_rounds() + 2 * k)
+            .collect();
+        let mut adv = KeyThief::<HeartbeatApp>::new(NodeId(3), 4, 6, forge);
+        let result = run_ul(uls_cfg(N, T, NORMAL, 2, 32), uls_node(N, T), &mut adv);
+        let accepted = forged_accepts(&result, b"FORGED-BY-KEYTHIEF");
+        rows.push(vec![
+            "stolen key, next unit".into(),
+            "reject".into(),
+            if accepted == 0 { "rejected" } else { "ACCEPTED" }.into(),
+            format!("{} accept-events from {} injected", accepted, adv.forgeries_sent),
+        ]);
+    }
+
+    // 3. Stolen keys, forged within the break-in unit (allowed).
+    {
+        let forge: Vec<u64> = (5..10).map(|k| 2 * k).collect();
+        let mut adv = KeyThief::<HeartbeatApp>::new(NodeId(3), 4, 6, forge);
+        let result = run_ul(uls_cfg(N, T, NORMAL, 1, 33), uls_node(N, T), &mut adv);
+        let accepted = forged_accepts(&result, b"FORGED-BY-KEYTHIEF");
+        rows.push(vec![
+            "stolen key, same unit".into(),
+            "accept (victim compromised)".into(),
+            if accepted > 0 { "accepted" } else { "rejected" }.into(),
+            format!("{} accept-events from {} injected", accepted, adv.forgeries_sent),
+        ]);
+    }
+
+    // 4. Certification hijack (allowed vs the disconnected victim; alert due).
+    {
+        let group = Group::new(GroupId::Toy64);
+        let mut adv = LimitObserver::new(Hijacker::new(group, NodeId(4), 1, unit_rounds));
+        let result = run_ul(uls_cfg(N, T, NORMAL, 2, 34), uls_node(N, T), &mut adv);
+        let accepted = forged_accepts(&result, b"FORGED-BY-HIJACKER");
+        let alerted = result.alerted_in_unit(NodeId(4), 1, &sched);
+        rows.push(vec![
+            "certification hijack".into(),
+            "accept (victim disconnected) + ALERT".into(),
+            format!(
+                "{}, alert={}",
+                if accepted > 0 { "accepted" } else { "rejected" },
+                alerted
+            ),
+            format!(
+                "{} accepted; impaired/unit = {} ≤ t",
+                accepted,
+                adv.max_impaired()
+            ),
+        ]);
+    }
+
+    // 5. Control: t+1 shares in one unit reconstruct the signing key.
+    {
+        let targets: Vec<NodeId> = (1..=(T + 1) as u32).map(NodeId).collect();
+        let mut adv = ShareHarvester {
+            shares: Vec::new(),
+            public_key: None,
+            targets,
+        };
+        let _result = run_ul(uls_cfg(N, T, NORMAL, 1, 35), uls_node(N, T), &mut adv);
+        let group = Group::new(GroupId::Toy64);
+        let forged = match (&adv.public_key, adv.shares.len() > T) {
+            (Some(pk), true) => {
+                let secret = shamir::interpolate_at_zero(&group, &adv.shares[..T + 1]);
+                // The reconstructed secret must match the NETWORK's public
+                // key (the one burned into every ROM), and signatures under
+                // it must verify against that key.
+                let sk = proauth_crypto::schnorr::SigningKey::from_scalar(&group, secret);
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+                let sig = sk.sign(&signing_payload(b"total forgery", 0), &mut rng);
+                sk.verify_key().element() == pk
+                    && AlsPds::verify(&group, pk, b"total forgery", 0, &sig)
+            }
+            _ => false,
+        };
+        rows.push(vec![
+            format!("break t+1 = {} nodes in one unit", T + 1),
+            "adversary wins (beyond limit)".into(),
+            if forged { "key reconstructed" } else { "failed" }.into(),
+            format!("{} shares harvested", adv.shares.len()),
+        ]);
+    }
+
+    print_table(
+        "E3 / Theorem 14 — attack suite vs ULS (n = 5, t = 2)",
+        &["attack", "theory predicts", "observed", "detail"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: every attack within the (t,t)-limit either fails outright or\n\
+         falls inside the ideal model's allowance (compromised/disconnected victims),\n\
+         and the one attack beyond the limit hands the adversary the signing key —\n\
+         the threshold is exactly t."
+    );
+}

@@ -1,0 +1,71 @@
+//! E6 — §6 "Relaxations for small t": message complexity `O(n²)` vs `O(nt)`.
+//!
+//! Measures the actual number of physical messages per node per refresh
+//! cycle under the full DISPERSE fan-out and the relaxed `2t+1` fan-out, as
+//! `n` grows with `t` fixed. The paper's claim: per-node complexity drops
+//! from `O(n²)` to `O(nt)` — so the *ratio* full/relaxed should grow
+//! linearly in `n/t`.
+
+use proauth_bench::print_table;
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::disperse::DisperseMode;
+use proauth_core::uls::{uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_sim::adversary::FaithfulUl;
+use proauth_sim::runner::{run_ul, SimConfig};
+
+const NORMAL: u64 = 4;
+
+fn run_one(n: usize, t: usize, mode: DisperseMode, seed: u64) -> f64 {
+    let sched = uls_schedule(NORMAL);
+    let mut cfg = SimConfig::new(n, t, sched);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = sched.unit_rounds * 2; // one full refresh cycle inside
+    cfg.seed = seed;
+    let group = Group::new(GroupId::Toy64);
+    let result = run_ul(
+        cfg,
+        |id| {
+            let mut c = UlsConfig::new(group.clone(), n, t);
+            c.disperse = mode;
+            UlsNode::new(c, id, HeartbeatApp::default())
+        },
+        &mut FaithfulUl,
+    );
+    result.stats.messages_sent as f64 / n as f64
+}
+
+fn main() {
+    let t = 2usize;
+    let mut rows = Vec::new();
+    for n in [5usize, 9, 13, 17, 25] {
+        let full = run_one(n, t, DisperseMode::Full, 61);
+        let relaxed = run_one(n, t, DisperseMode::Relaxed { fanout: 2 * t + 1 }, 61);
+        rows.push(vec![
+            n.to_string(),
+            t.to_string(),
+            format!("{full:.0}"),
+            format!("{relaxed:.0}"),
+            format!("{:.2}", full / relaxed),
+            format!("{:.2}", n as f64 / (2 * t + 2) as f64),
+        ]);
+    }
+    print_table(
+        "E6 / §6 — messages per node per run: full vs relaxed (2t+1) DISPERSE, t = 2",
+        &[
+            "n",
+            "t",
+            "full (O(n²))",
+            "relaxed (O(nt))",
+            "measured ratio",
+            "n/(2t+2) (predicted ratio)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the relaxed fan-out's per-node cost grows linearly in n while the\n\
+         full fan-out grows quadratically, so the ratio tracks ≈ n/(2t+2) — the paper's\n\
+         O(n²) → O(nt) claim. (Deliveries still succeed: the 2t+1 lowest-indexed relays\n\
+         preserve Lemma 15's common-neighbor argument.)"
+    );
+}

@@ -1,0 +1,232 @@
+//! E9 — substrate cost (Criterion): the "practically appealing" claim of §1.
+//!
+//! Micro-benchmarks for every cryptographic building block across group
+//! sizes, the threshold-signing pipeline as `(n, t)` scales, the proactive
+//! refresh, and the AUTH-SEND overhead factor versus a bare send.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proauth_core::certify::{
+    certify, mac_certify, session_key, ver_cert, ver_mac, DestCheck, LocalKeys,
+};
+use proauth_crypto::dkg::{self, KeyShare, ReceivedDealing};
+use proauth_crypto::feldman::Dealing;
+use proauth_crypto::group::{Group, GroupId};
+use proauth_crypto::refresh;
+use proauth_crypto::schnorr::SigningKey;
+use proauth_crypto::thresh;
+use proauth_pds::msg::signing_payload;
+use proauth_pds::statement::key_statement;
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::sha256::Sha256;
+use proauth_sim::message::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dkg_keys(group: &Group, n: usize, t: usize, rng: &mut StdRng) -> Vec<KeyShare> {
+    let dealings: Vec<(u32, Dealing)> = (1..=n as u32)
+        .map(|i| (i, dkg::deal(group, t, n, rng)))
+        .collect();
+    (1..=n as u32)
+        .map(|me| {
+            let inputs: Vec<ReceivedDealing> = dealings
+                .iter()
+                .map(|(dealer, d)| ReceivedDealing {
+                    dealer: *dealer,
+                    commitments: d.commitments.clone(),
+                    share: d.share_for(me).clone(),
+                })
+                .collect();
+            dkg::aggregate(group, t, n, me, &inputs).unwrap()
+        })
+        .collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xABu8; 1024];
+    c.bench_function("sha256/1KiB", |b| b.iter(|| Sha256::digest(&data)));
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schnorr");
+    for id in [GroupId::Toy64, GroupId::S256, GroupId::S512, GroupId::S1024] {
+        let group = Group::new(id);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = SigningKey::generate(&group, &mut rng);
+        let sig = sk.sign(b"bench message", &mut rng);
+        g.bench_with_input(BenchmarkId::new("sign", id), &id, |b, _| {
+            b.iter(|| sk.sign(b"bench message", &mut rng))
+        });
+        g.bench_with_input(BenchmarkId::new("verify", id), &id, |b, _| {
+            b.iter(|| sk.verify_key().verify(b"bench message", &sig))
+        });
+    }
+    g.finish();
+}
+
+fn bench_threshold_sign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_sign");
+    let group = Group::new(GroupId::S256);
+    for (n, t) in [(5usize, 2usize), (9, 4), (13, 6)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = dkg_keys(&group, n, t, &mut rng);
+        let signer_set: Vec<u32> = (1..=(t + 1) as u32).collect();
+        g.bench_with_input(
+            BenchmarkId::new("full_round", format!("n{n}_t{t}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let nonces: Vec<(u32, thresh::Nonce)> = signer_set
+                        .iter()
+                        .map(|&i| (i, thresh::generate_nonce(&group, &mut rng)))
+                        .collect();
+                    let commitments: Vec<BigUint> =
+                        nonces.iter().map(|(_, n)| n.commitment.clone()).collect();
+                    let r = thresh::combine_nonces(&group, &commitments);
+                    let e =
+                        thresh::challenge(&group, &r, &keys[0].public_key, b"threshold bench");
+                    let partials: Vec<BigUint> = nonces
+                        .iter()
+                        .map(|(i, nonce)| {
+                            thresh::partial_sign(
+                                &group,
+                                &keys[(*i - 1) as usize],
+                                &signer_set,
+                                nonce,
+                                &e,
+                            )
+                        })
+                        .collect();
+                    thresh::combine_partials(&group, &e, &partials)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proactive_refresh");
+    let group = Group::new(GroupId::S256);
+    for (n, t) in [(5usize, 2usize), (9, 4)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys = dkg_keys(&group, n, t, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("deal_and_apply", format!("n{n}_t{t}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let dealings: Vec<(u32, Dealing)> = (1..=n as u32)
+                        .map(|i| (i, refresh::deal_update(&group, t, n, &mut rng)))
+                        .collect();
+                    let updates: Vec<refresh::ReceivedUpdate> = dealings
+                        .iter()
+                        .map(|(dealer, d)| refresh::ReceivedUpdate {
+                            dealer: *dealer,
+                            commitments: d.commitments.clone(),
+                            share: d.share_for(1).clone(),
+                        })
+                        .collect();
+                    refresh::apply_updates(&group, t, &keys[0], &updates).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_auth_send_overhead(c: &mut Criterion) {
+    // CERTIFY + VER-CERT cost per message vs a plain SHA-256 "checksum send".
+    let mut g = c.benchmark_group("auth_send_overhead");
+    let group = Group::new(GroupId::S256);
+    let mut rng = StdRng::seed_from_u64(4);
+    let ca = SigningKey::generate(&group, &mut rng);
+    let mut keys = LocalKeys::generate(&group, 1, &mut rng);
+    let st = key_statement(NodeId(1), 1, &keys.vk_bytes());
+    keys.cert = Some(ca.sign(&signing_payload(&st, 1), &mut rng));
+    let payload = vec![0x55u8; 256];
+
+    g.bench_function("certify", |b| {
+        b.iter(|| certify(&keys, &payload, NodeId(1), NodeId(2), 40, &mut rng).unwrap())
+    });
+    let msg = certify(&keys, &payload, NodeId(1), NodeId(2), 40, &mut rng).unwrap();
+    let v_cert = ca.verify_key().element().clone();
+    g.bench_function("ver_cert", |b| {
+        b.iter(|| {
+            ver_cert(
+                &group,
+                DestCheck::Me(NodeId(2)),
+                NodeId(1),
+                1,
+                40,
+                &msg,
+                &v_cert,
+            )
+        })
+    });
+    g.bench_function("baseline_sha256_only", |b| b.iter(|| Sha256::digest(&payload)));
+
+    // The §1.3 shared-key mode: session-MAC authenticate/verify. Key
+    // derivation happens once per (peer, unit); the per-message cost is two
+    // hashes each way.
+    let peer = LocalKeys::generate(&group, 1, &mut rng);
+    let key = session_key(&group, &keys.signing, peer.signing.verify_key().element(), 1)
+        .expect("valid peer key");
+    g.bench_function("mac_certify", |b| {
+        b.iter(|| mac_certify(&keys, &key, &payload, NodeId(1), NodeId(2), 40).unwrap())
+    });
+    let mmsg = mac_certify(&keys, &key, &payload, NodeId(1), NodeId(2), 40).unwrap();
+    g.bench_function("ver_mac", |b| {
+        b.iter(|| ver_mac(NodeId(2), NodeId(1), 1, 40, &mmsg, &key))
+    });
+    g.bench_function("session_key_derive_once", |b| {
+        b.iter(|| {
+            session_key(&group, &keys.signing, peer.signing.verify_key().element(), 1).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigint");
+    for bits in [256usize, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound = BigUint::one().shl(bits);
+        let a = BigUint::random_below(&mut rng, &bound);
+        let b_val = BigUint::random_below(&mut rng, &bound);
+        let m = {
+            let mut m = BigUint::random_below(&mut rng, &bound);
+            if m.is_even() {
+                m = m.add(&BigUint::one());
+            }
+            m
+        };
+        g.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bch, _| {
+            bch.iter(|| a.mul(&b_val))
+        });
+        g.bench_with_input(BenchmarkId::new("modpow", bits), &bits, |bch, _| {
+            bch.iter(|| a.modpow(&b_val, &m))
+        });
+        // Ablation: the generic (Knuth-division) reference path vs the
+        // Montgomery path modpow dispatches to for odd moduli.
+        g.bench_with_input(
+            BenchmarkId::new("modpow_generic", bits),
+            &bits,
+            |bch, _| bch.iter(|| a.modpow_generic(&b_val, &m)),
+        );
+        let ctx = proauth_primitives::montgomery::Montgomery::new(&m).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("modpow_montgomery_cached", bits),
+            &bits,
+            |bch, _| bch.iter(|| ctx.modpow(&a, &b_val)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hash, bench_bigint, bench_schnorr, bench_threshold_sign,
+              bench_refresh, bench_auth_send_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,296 @@
+//! Protocol DISPERSE (Fig. 2): a two-phase echo guaranteeing delivery
+//! between any two nodes connected by a length-≤2 path of reliable links
+//! (Lemma 15).
+//!
+//! A blob sent at physical round `w` is delivered to its destination at
+//! round `w+2`: the `Forward` fans out at `w` (arriving `w+1`), each
+//! recipient emits a `Forwarding` to the destination at `w+1` (arriving
+//! `w+2`). A `Forward` that reaches the destination directly is buffered one
+//! round so both paths deliver at the same round — keeping the `w`-binding
+//! of VER-CERT unambiguous.
+//!
+//! The §6 relaxation ("Relaxations for small t") is [`DisperseMode::Relaxed`]:
+//! fan out to only `2t+1` nodes instead of all `n`, cutting the per-node
+//! message complexity from `O(n²)` to `O(nt)` while preserving the
+//! common-neighbor argument.
+
+use crate::wire::{DisperseMsg, UlsWire};
+use proauth_primitives::sha256;
+use proauth_primitives::wire::Encode;
+use proauth_sim::message::{Envelope, NodeId};
+use std::collections::HashSet;
+
+/// Fan-out policy (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisperseMode {
+    /// Fig. 2 as written: fan out to all `n−1` other nodes.
+    Full,
+    /// §6 relaxation: fan out to the lowest-indexed `fanout` nodes
+    /// (`fanout = 2t+1` preserves Lemma 15's guarantee).
+    Relaxed {
+        /// Number of nodes to fan out to.
+        fanout: usize,
+    },
+}
+
+/// Per-node DISPERSE machinery.
+#[derive(Debug)]
+pub struct DisperseLayer {
+    me: NodeId,
+    n: usize,
+    mode: DisperseMode,
+    /// Blobs delivered to me this round, deduplicated.
+    seen_this_round: HashSet<[u8; 32]>,
+    /// Direct `Forward`s addressed to me, buffered one round so their
+    /// delivery round matches the relayed copies.
+    self_buffer: Vec<(u32, Vec<u8>)>,
+    /// Messages queued for sending at the end of this round.
+    outgoing: Vec<Envelope>,
+}
+
+impl DisperseLayer {
+    /// Creates the layer for node `me` in an `n`-node network.
+    pub fn new(me: NodeId, n: usize, mode: DisperseMode) -> Self {
+        DisperseLayer {
+            me,
+            n,
+            mode,
+            seen_this_round: HashSet::new(),
+            self_buffer: Vec::new(),
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// The set of nodes this layer fans out through.
+    fn relays(&self) -> Vec<NodeId> {
+        match self.mode {
+            DisperseMode::Full => NodeId::all(self.n).filter(|&x| x != self.me).collect(),
+            DisperseMode::Relaxed { fanout } => NodeId::all(self.n)
+                .filter(|&x| x != self.me)
+                .take(fanout)
+                .collect(),
+        }
+    }
+
+    /// Queues a blob for DISPERSE to `dst` (delivered at `now + 2`).
+    pub fn send(&mut self, dst: NodeId, blob: Vec<u8>) {
+        let mut targets = self.relays();
+        if !targets.contains(&dst) && dst != self.me {
+            targets.push(dst);
+        }
+        for relay in targets {
+            let wire = UlsWire::Disperse(DisperseMsg::Forward {
+                origin: self.me.0,
+                dst: dst.0,
+                blob: blob.clone(),
+            });
+            self.outgoing
+                .push(Envelope::new(self.me, relay, wire.to_bytes()));
+        }
+    }
+
+    /// Processes one incoming DISPERSE message; returns a blob delivered to
+    /// me, if any.
+    ///
+    /// `carrier` is the node the physical envelope claims to come from (used
+    /// only for routing `Forwarding`s; authenticity is the upper layers'
+    /// business).
+    pub fn on_message(&mut self, carrier: NodeId, msg: DisperseMsg) -> Option<(u32, Vec<u8>)> {
+        let _ = carrier;
+        match msg {
+            DisperseMsg::Forward { origin, dst, blob } => {
+                if dst == self.me.0 {
+                    // Direct copy: buffer a round (self-forwarding).
+                    self.self_buffer.push((origin, blob));
+                } else if NodeId(dst) != self.me && dst >= 1 && dst <= self.n as u32 {
+                    // Relay duty.
+                    let wire = UlsWire::Disperse(DisperseMsg::Forwarding {
+                        origin,
+                        blob,
+                    });
+                    self.outgoing
+                        .push(Envelope::new(self.me, NodeId(dst), wire.to_bytes()));
+                }
+                None
+            }
+            DisperseMsg::Forwarding { origin, blob } => self.deliver(origin, blob),
+        }
+    }
+
+    fn deliver(&mut self, origin: u32, blob: Vec<u8>) -> Option<(u32, Vec<u8>)> {
+        let digest = sha256::hash_parts("disperse/dedup", &[&origin.to_be_bytes(), &blob]);
+        if self.seen_this_round.insert(digest) {
+            Some((origin, blob))
+        } else {
+            None
+        }
+    }
+
+    /// Called once at the start of each round, *before* processing the
+    /// round's inbox: clears the per-round dedup set and releases buffered
+    /// self-forwards. Returns the blobs delivered via the direct path.
+    pub fn begin_round(&mut self) -> Vec<(u32, Vec<u8>)> {
+        self.seen_this_round.clear();
+        let buffered = std::mem::take(&mut self.self_buffer);
+        buffered
+            .into_iter()
+            .filter_map(|(origin, blob)| self.deliver(origin, blob))
+            .collect()
+    }
+
+    /// Drains the messages queued this round (to go into the node's outbox).
+    pub fn drain_outgoing(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.outgoing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_primitives::wire::Decode;
+
+    fn decode(env: &Envelope) -> DisperseMsg {
+        match UlsWire::from_bytes(&env.payload).unwrap() {
+            UlsWire::Disperse(d) => d,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_fans_out_to_everyone() {
+        let mut layer = DisperseLayer::new(NodeId(1), 5, DisperseMode::Full);
+        layer.send(NodeId(3), vec![42]);
+        let out = layer.drain_outgoing();
+        assert_eq!(out.len(), 4); // everyone but me
+        for env in &out {
+            assert!(matches!(
+                decode(env),
+                DisperseMsg::Forward {
+                    origin: 1,
+                    dst: 3,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn relaxed_mode_limits_fanout() {
+        let mut layer = DisperseLayer::new(NodeId(5), 10, DisperseMode::Relaxed { fanout: 3 });
+        layer.send(NodeId(9), vec![1]);
+        let out = layer.drain_outgoing();
+        // 3 relays + the destination itself.
+        assert_eq!(out.len(), 4);
+        let tos: Vec<u32> = out.iter().map(|e| e.to.0).collect();
+        assert!(tos.contains(&9));
+    }
+
+    #[test]
+    fn relay_produces_forwarding() {
+        let mut layer = DisperseLayer::new(NodeId(2), 5, DisperseMode::Full);
+        let delivered = layer.on_message(
+            NodeId(1),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 3,
+                blob: vec![7],
+            },
+        );
+        assert!(delivered.is_none());
+        let out = layer.drain_outgoing();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(3));
+        assert!(matches!(
+            decode(&out[0]),
+            DisperseMsg::Forwarding { origin: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn forwarding_delivers_once_per_round() {
+        let mut layer = DisperseLayer::new(NodeId(3), 5, DisperseMode::Full);
+        layer.begin_round();
+        let d1 = layer.on_message(
+            NodeId(2),
+            DisperseMsg::Forwarding {
+                origin: 1,
+                blob: vec![7],
+            },
+        );
+        let d2 = layer.on_message(
+            NodeId(4),
+            DisperseMsg::Forwarding {
+                origin: 1,
+                blob: vec![7],
+            },
+        );
+        assert_eq!(d1, Some((1, vec![7])));
+        assert_eq!(d2, None, "duplicate suppressed");
+        // A different origin claim is a distinct delivery.
+        let d3 = layer.on_message(
+            NodeId(4),
+            DisperseMsg::Forwarding {
+                origin: 2,
+                blob: vec![7],
+            },
+        );
+        assert_eq!(d3, Some((2, vec![7])));
+    }
+
+    #[test]
+    fn direct_forward_buffered_one_round() {
+        let mut layer = DisperseLayer::new(NodeId(3), 5, DisperseMode::Full);
+        layer.begin_round();
+        let direct = layer.on_message(
+            NodeId(1),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 3,
+                blob: vec![9],
+            },
+        );
+        assert!(direct.is_none(), "not delivered in the arrival round");
+        let released = layer.begin_round();
+        assert_eq!(released, vec![(1, vec![9])]);
+    }
+
+    #[test]
+    fn direct_and_relayed_copies_dedup() {
+        let mut layer = DisperseLayer::new(NodeId(3), 5, DisperseMode::Full);
+        layer.begin_round();
+        layer.on_message(
+            NodeId(1),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 3,
+                blob: vec![9],
+            },
+        );
+        // Next round: buffered direct copy delivers first...
+        let released = layer.begin_round();
+        assert_eq!(released.len(), 1);
+        // ...and the relayed copy of the same blob is suppressed.
+        let relayed = layer.on_message(
+            NodeId(2),
+            DisperseMsg::Forwarding {
+                origin: 1,
+                blob: vec![9],
+            },
+        );
+        assert!(relayed.is_none());
+    }
+
+    #[test]
+    fn out_of_range_dst_ignored() {
+        let mut layer = DisperseLayer::new(NodeId(2), 5, DisperseMode::Full);
+        layer.on_message(
+            NodeId(1),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 77,
+                blob: vec![1],
+            },
+        );
+        assert!(layer.drain_outgoing().is_empty());
+    }
+}

@@ -1,0 +1,870 @@
+//! ULS — the UL-model PDS and proactive authenticator node (§4.2 + §5).
+//!
+//! [`UlsNode`] assembles the whole construction:
+//!
+//! * an embedded AL-model PDS ([`AlsPds`]) whose every message rides
+//!   AUTH-SEND (one logical PDS round = two physical rounds);
+//! * per-unit local keys certified through the refresh Part I machinery
+//!   (key announcement in the clear → n parallel PARTIAL-AGREEMENTs →
+//!   threshold-signed certificates → delivery → adoption or **alert**);
+//! * refresh Part II: the PDS share refresh (`ARfr`) over AUTH-SEND with the
+//!   *new* keys, including share recovery for wiped nodes;
+//! * an optional top-layer protocol `π` ([`AlProtocol`]) — making the node
+//!   the compiled `Λ(π)` of §5.
+//!
+//! ## Physical schedule
+//!
+//! A time unit `u ≥ 1` opens with a refresh phase of
+//! [`PART1_ROUNDS`]` + `[`PART2_ROUNDS`] physical rounds:
+//!
+//! ```text
+//! Part I (old keys):                      Part II (new keys):
+//!   0      KeyAnnounce (clear)              20+2k   ARfr step k (k = 0..=6)
+//!   1      PA step 1 (AUTH-SEND)            34..35  slack
+//!   3      PA step 2+3 (evidence DISPERSE)
+//!   5      PA decide; request certificates
+//!   5..15  PDS signing ticks (odd offsets)
+//!   16     certificate delivery (DISPERSE)
+//!   19     adopt new keys / ALERT
+//! ```
+//!
+//! Unit 0's keys and certificates come from the adversary-free setup phase
+//! (`UGen`, §4.2.1), which also burns the PDS verification key into ROM.
+
+use crate::authenticator::{AlProtocol, AppCtx};
+use crate::certify::{
+    certify, mac_certify, session_key, ver_cert, ver_mac, ver_mac_certificate, DestCheck,
+    LocalKeys,
+};
+use crate::disperse::{DisperseLayer, DisperseMode};
+use crate::pa::PaInstance;
+use crate::wire::{Blob, CertifiedMsg, Inner, UlsWire};
+use proauth_crypto::group::Group;
+use proauth_crypto::schnorr::Signature;
+use proauth_pds::api::{AlPds, PdsPhase, PdsTime};
+use proauth_pds::als::{AlsConfig, AlsPds};
+use proauth_pds::statement::{key_statement, parse_key_statement};
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode};
+use proauth_sim::clock::Phase;
+use proauth_sim::message::{NodeId, OutputEvent};
+use proauth_sim::process::{Process, RoundCtx, SetupCtx};
+use std::collections::BTreeMap;
+
+/// Physical rounds of refresh Part I.
+pub const PART1_ROUNDS: u64 = 20;
+/// Physical rounds of refresh Part II.
+pub const PART2_ROUNDS: u64 = 16;
+/// Setup rounds a ULS network needs (DKG + unit-0 certificates).
+pub const SETUP_ROUNDS: u64 = 8;
+
+const OFF_ANNOUNCE: u64 = 0;
+const OFF_PA_SEND: u64 = 1;
+const OFF_PA_MAJ: u64 = 3;
+const OFF_PA_DECIDE: u64 = 5;
+const OFF_CERT_DELIVER: u64 = 16;
+const OFF_ADOPT: u64 = PART1_ROUNDS - 1;
+
+/// Builds the simulator schedule for a ULS network with `normal_rounds`
+/// rounds of ordinary operation per unit (must be even).
+///
+/// # Panics
+///
+/// Panics if `normal_rounds` is odd.
+pub fn uls_schedule(normal_rounds: u64) -> proauth_sim::clock::Schedule {
+    assert!(normal_rounds.is_multiple_of(2), "normal rounds must be even");
+    proauth_sim::clock::Schedule::new(
+        PART1_ROUNDS + PART2_ROUNDS + normal_rounds,
+        PART1_ROUNDS,
+        PART2_ROUNDS,
+    )
+}
+
+/// Tags a runner input as a USign request ("sign these bytes").
+pub fn sign_input(msg: &[u8]) -> Vec<u8> {
+    let mut v = vec![1u8];
+    v.extend_from_slice(msg);
+    v
+}
+
+/// Tags a runner input as top-layer (π) input.
+pub fn app_input(bytes: &[u8]) -> Vec<u8> {
+    let mut v = vec![2u8];
+    v.extend_from_slice(bytes);
+    v
+}
+
+/// How steady-state messages are authenticated (§1.3 offers both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuthMode {
+    /// Sign every message with the per-unit local key (Fig. 3 as written).
+    #[default]
+    Sign,
+    /// Derive pairwise session keys from the certified per-unit keys
+    /// (static DH) and authenticate with HMAC — two hashes instead of three
+    /// exponentiations per message. PARTIAL-AGREEMENT inputs always stay
+    /// signed (their step-3 evidence must be *publicly* verifiable), and any
+    /// message to a peer whose key is not yet pinned falls back to signing.
+    SessionMac,
+}
+
+/// Static ULS parameters.
+#[derive(Debug, Clone)]
+pub struct UlsConfig {
+    /// The Schnorr group.
+    pub group: Group,
+    /// Network size.
+    pub n: usize,
+    /// Threshold (`n ≥ 2t+1`).
+    pub t: usize,
+    /// DISPERSE fan-out policy.
+    pub disperse: DisperseMode,
+    /// Steady-state authentication mode.
+    pub auth_mode: AuthMode,
+}
+
+impl UlsConfig {
+    /// Standard configuration.
+    pub fn new(group: Group, n: usize, t: usize) -> Self {
+        assert!(n > 2 * t, "ULS requires n >= 2t+1");
+        UlsConfig {
+            group,
+            n,
+            t,
+            disperse: DisperseMode::Full,
+            auth_mode: AuthMode::default(),
+        }
+    }
+}
+
+/// The ULS node: UL-model PDS + proactive authenticator.
+pub struct UlsNode<A: AlProtocol> {
+    cfg: UlsConfig,
+    me: NodeId,
+    /// The embedded AL-model PDS.
+    pub pds: AlsPds,
+    /// Current local keys (`None` ⇒ certless, cannot authenticate).
+    local: Option<LocalKeys>,
+    /// Keys generated this refresh, awaiting certification.
+    pending_new: Option<LocalKeys>,
+    disperse: DisperseLayer,
+    /// Key announcements received this refresh (first value per sender).
+    announces: BTreeMap<u32, Vec<u8>>,
+    /// PARTIAL-AGREEMENT instances, per subject.
+    pa: BTreeMap<u32, PaInstance>,
+    /// Raw certified PA messages, for evidence relay.
+    pa_raw: BTreeMap<(u32, u32), CertifiedMsg>,
+    /// Certificates obtained from completed PDS sessions this refresh:
+    /// subject → (vk bytes, certificate).
+    certs_out: BTreeMap<u32, (Vec<u8>, Signature)>,
+    /// Buffered PDS messages since the last PDS tick.
+    pds_inbox: Vec<(NodeId, Vec<u8>)>,
+    /// Buffered app messages since the last app tick.
+    app_inbox: Vec<(NodeId, Vec<u8>)>,
+    /// Queued app inputs (one consumed per app tick, so inputs arriving
+    /// during refresh phases or bursts are never silently overwritten).
+    app_inputs: std::collections::VecDeque<Vec<u8>>,
+    /// The top layer (π).
+    pub app: A,
+    app_logical_round: u64,
+    /// Setup-phase storage: announced unit-0 keys of all nodes.
+    setup_vks: BTreeMap<u32, Vec<u8>>,
+    /// Pinned certified peer keys: (peer, unit) → vk element.
+    peer_vks: BTreeMap<(u32, u64), BigUint>,
+    /// Derived pairwise session keys: (peer, unit) → key.
+    session_keys: BTreeMap<(u32, u64), [u8; 32]>,
+    /// Count of alerts raised (mirrors the output log; handy for tests).
+    pub alerts_raised: u64,
+    /// Messages sent on the session-MAC fast path (instrumentation).
+    pub mac_sent: u64,
+    /// Messages sent on the signature path (instrumentation).
+    pub sig_sent: u64,
+}
+
+impl<A: AlProtocol> UlsNode<A> {
+    /// Creates a node.
+    pub fn new(cfg: UlsConfig, me: NodeId, app: A) -> Self {
+        let pds = AlsPds::new(AlsConfig::new(cfg.group.clone(), cfg.n, cfg.t), me);
+        let disperse = DisperseLayer::new(me, cfg.n, cfg.disperse);
+        UlsNode {
+            me,
+            pds,
+            local: None,
+            pending_new: None,
+            disperse,
+            announces: BTreeMap::new(),
+            pa: BTreeMap::new(),
+            pa_raw: BTreeMap::new(),
+            certs_out: BTreeMap::new(),
+            pds_inbox: Vec::new(),
+            app_inbox: Vec::new(),
+            app_inputs: std::collections::VecDeque::new(),
+            app,
+            app_logical_round: 0,
+            setup_vks: BTreeMap::new(),
+            peer_vks: BTreeMap::new(),
+            session_keys: BTreeMap::new(),
+            alerts_raised: 0,
+            mac_sent: 0,
+            sig_sent: 0,
+            cfg,
+        }
+    }
+
+    /// The node's current local keys (for tests and break-in semantics).
+    pub fn local_keys(&self) -> Option<&LocalKeys> {
+        self.local.as_ref()
+    }
+
+    /// Whether the node currently holds a certified key.
+    pub fn is_certified(&self) -> bool {
+        self.local.as_ref().is_some_and(LocalKeys::is_certified)
+    }
+
+    /// Break-in: wipe all volatile secrets (local keys, PDS state).
+    pub fn corrupt_wipe(&mut self) {
+        self.local = None;
+        self.pending_new = None;
+        self.pds.corrupt_wipe();
+        self.announces.clear();
+        self.pa.clear();
+        self.pa_raw.clear();
+        self.certs_out.clear();
+        self.pds_inbox.clear();
+        self.app_inbox.clear();
+        self.app_inputs.clear();
+        self.peer_vks.clear();
+        self.session_keys.clear();
+    }
+
+    /// Break-in: silently garble the PDS share.
+    pub fn corrupt_garble_share(&mut self, garbage: u64) {
+        self.pds.corrupt_share(BigUint::from_u64(garbage));
+    }
+
+    /// Break-in: steal (clone) the node's current local keys.
+    pub fn steal_local_keys(&self) -> Option<LocalKeys> {
+        self.local.clone()
+    }
+
+    /// The ROM copy of the PDS verification key.
+    fn v_cert(rom: &proauth_sim::process::Rom) -> Option<BigUint> {
+        rom.read("v_cert").map(BigUint::from_bytes_be)
+    }
+
+    /// Pins a certified peer key.
+    fn pin_peer_vk(&mut self, peer: u32, unit: u64, vk: BigUint) {
+        self.peer_vks.entry((peer, unit)).or_insert(vk);
+    }
+
+    /// The pairwise session key with `peer` for `unit`, derived lazily from
+    /// my local keys and the pinned peer key.
+    fn session_key_for(&mut self, peer: u32, unit: u64) -> Option<[u8; 32]> {
+        if let Some(k) = self.session_keys.get(&(peer, unit)) {
+            return Some(*k);
+        }
+        let local = self.local.as_ref()?;
+        if local.unit != unit || !local.is_certified() {
+            return None;
+        }
+        let peer_vk = self.peer_vks.get(&(peer, unit))?;
+        let key = session_key(&self.cfg.group, &local.signing, peer_vk, unit)?;
+        self.session_keys.insert((peer, unit), key);
+        Some(key)
+    }
+
+    /// AUTH-SEND: certify `inner` for `to` and hand it to DISPERSE.
+    fn auth_send<R: rand::RngCore>(
+        &mut self,
+        to: NodeId,
+        inner: &Inner,
+        round: u64,
+        rng: &mut R,
+    ) {
+        if self.local.is_none() {
+            return; // certless: cannot authenticate (the alert already fired)
+        }
+        // PA inputs must stay publicly verifiable (their relays serve as
+        // evidence); everything else may use the session-MAC fast path.
+        let use_mac = self.cfg.auth_mode == AuthMode::SessionMac
+            && !matches!(inner, Inner::PaValue { .. });
+        if use_mac {
+            let unit = self.local.as_ref().map(|k| k.unit).unwrap_or(0);
+            if let Some(key) = self.session_key_for(to.0, unit) {
+                let keys = self.local.as_ref().expect("checked above");
+                if let Some(mmsg) = mac_certify(keys, &key, &inner.to_bytes(), self.me, to, round)
+                {
+                    let blob = Blob::MacCertified(mmsg).to_bytes();
+                    self.disperse.send(to, blob);
+                    self.mac_sent += 1;
+                    return;
+                }
+            }
+            // No pinned peer key yet: fall back to signing below.
+        }
+        let keys = self.local.as_ref().expect("checked above");
+        let Some(cmsg) = certify(keys, &inner.to_bytes(), self.me, to, round, rng) else {
+            return;
+        };
+        let blob = Blob::Certified(cmsg).to_bytes();
+        self.disperse.send(to, blob);
+        self.sig_sent += 1;
+    }
+
+    /// Routes one verified certified message.
+    fn dispatch_inner(&mut self, from: u32, inner: Inner, in_pa_window: bool) {
+        match inner {
+            Inner::Pds(bytes) => self.pds_inbox.push((NodeId(from), bytes)),
+            Inner::App(bytes) => self.app_inbox.push((NodeId(from), bytes)),
+            Inner::PaValue { subject, value } => {
+                if in_pa_window {
+                    self.pa
+                        .entry(subject)
+                        .or_insert_with(|| PaInstance::new(self.cfg.n))
+                        .on_accepted_value(from, value);
+                }
+            }
+        }
+    }
+
+    /// Processes the full physical inbox of a round.
+    fn process_inbox(&mut self, ctx: &RoundCtx<'_>) {
+        let Some(v_cert) = Self::v_cert(ctx.rom) else {
+            return;
+        };
+        let round = ctx.time.round;
+        let auth_unit = ctx.time.auth_unit;
+        let unit_start = round - ctx.time.round_in_unit;
+        let in_part1 = matches!(ctx.time.phase, Phase::RefreshPart1 { .. });
+        // PA step-1 values land exactly two rounds after OFF_PA_SEND.
+        let in_pa_window = in_part1 && ctx.time.round_in_unit == OFF_PA_SEND + 2;
+        // Evidence lands two rounds after OFF_PA_MAJ.
+        let in_evidence_window = in_part1 && ctx.time.round_in_unit == OFF_PA_MAJ + 2;
+        let pa_send_round = unit_start + OFF_PA_SEND;
+
+        // Release DISPERSE self-buffered blobs, then drain the inbox.
+        let mut delivered: Vec<(u32, Vec<u8>)> = self.disperse.begin_round();
+        for env in ctx.inbox {
+            match UlsWire::from_bytes(&env.payload) {
+                Ok(UlsWire::KeyAnnounce { unit, vk }) => {
+                    // Only meaningful in the announce window of this unit.
+                    if in_part1
+                        && ctx.time.round_in_unit == OFF_ANNOUNCE + 1
+                        && unit == ctx.time.unit
+                        && !vk.is_empty()
+                    {
+                        self.announces.entry(env.from.0).or_insert(vk);
+                    }
+                }
+                Ok(UlsWire::Disperse(d)) => {
+                    if let Some(item) = self.disperse.on_message(env.from, d) {
+                        delivered.push(item);
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+
+        for (_claimed_origin, blob) in delivered {
+            match Blob::from_bytes(&blob) {
+                Ok(Blob::Certified(cmsg)) => {
+                    let from = NodeId(cmsg.i);
+                    if from == self.me {
+                        continue;
+                    }
+                    let ok = ver_cert(
+                        &self.cfg.group,
+                        DestCheck::Me(self.me),
+                        from,
+                        auth_unit,
+                        round.saturating_sub(2),
+                        &cmsg,
+                        &v_cert,
+                    );
+                    if !ok {
+                        continue;
+                    }
+                    let Ok(inner) = Inner::from_bytes(&cmsg.m) else {
+                        continue;
+                    };
+                    if let Inner::PaValue { subject, .. } = &inner {
+                        self.pa_raw
+                            .entry((*subject, cmsg.i))
+                            .or_insert_with(|| cmsg.clone());
+                    }
+                    self.dispatch_inner(cmsg.i, inner, in_pa_window);
+                }
+                Ok(Blob::Evidence { subject, msg }) => {
+                    if !in_evidence_window {
+                        continue;
+                    }
+                    let ok = ver_cert(
+                        &self.cfg.group,
+                        DestCheck::AnyDestination,
+                        NodeId(msg.i),
+                        auth_unit,
+                        pa_send_round,
+                        &msg,
+                        &v_cert,
+                    );
+                    if !ok {
+                        continue;
+                    }
+                    if let Ok(Inner::PaValue {
+                        subject: s2,
+                        value,
+                    }) = Inner::from_bytes(&msg.m)
+                    {
+                        if s2 == subject {
+                            self.pa
+                                .entry(subject)
+                                .or_insert_with(|| PaInstance::new(self.cfg.n))
+                                .on_evidence(msg.i, value);
+                        }
+                    }
+                }
+                Ok(Blob::MacCertified(mmsg)) => {
+                    let from = mmsg.i;
+                    if from == self.me.0 || from == 0 || from > self.cfg.n as u32 {
+                        continue;
+                    }
+                    // Pin the sender's key: from cache, or by verifying the
+                    // attached certificate once.
+                    let pinned = self.peer_vks.get(&(from, auth_unit)).cloned();
+                    let peer_vk = match pinned {
+                        Some(vk) => {
+                            // Pinned: the message must use exactly that key.
+                            if vk.to_bytes_be() != mmsg.vk {
+                                continue;
+                            }
+                            vk
+                        }
+                        None => {
+                            let Some(vk) = ver_mac_certificate(
+                                &self.cfg.group,
+                                NodeId(from),
+                                &mmsg,
+                                &v_cert,
+                            ) else {
+                                continue;
+                            };
+                            if mmsg.u != auth_unit {
+                                continue;
+                            }
+                            self.pin_peer_vk(from, auth_unit, vk.clone());
+                            vk
+                        }
+                    };
+                    let _ = peer_vk;
+                    let Some(key) = self.session_key_for(from, auth_unit) else {
+                        continue;
+                    };
+                    if !ver_mac(
+                        self.me,
+                        NodeId(from),
+                        auth_unit,
+                        round.saturating_sub(2),
+                        &mmsg,
+                        &key,
+                    ) {
+                        continue;
+                    }
+                    let Ok(inner) = Inner::from_bytes(&mmsg.m) else {
+                        continue;
+                    };
+                    // PA values never arrive via MAC (not publicly
+                    // verifiable); drop them defensively.
+                    if matches!(inner, Inner::PaValue { .. }) {
+                        continue;
+                    }
+                    self.dispatch_inner(from, inner, false);
+                }
+                Ok(Blob::CertDeliver {
+                    subject,
+                    unit,
+                    vk,
+                    cert,
+                }) => {
+                    if subject != self.me.0 || unit != ctx.time.unit {
+                        continue;
+                    }
+                    let Some(pending) = &mut self.pending_new else {
+                        continue;
+                    };
+                    if pending.cert.is_some() || pending.vk_bytes() != vk {
+                        continue;
+                    }
+                    let statement = key_statement(self.me, unit, &vk);
+                    if AlsPds::verify(&self.cfg.group, &v_cert, &statement, unit, &cert) {
+                        pending.cert = Some(cert);
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Runs one PDS logical tick, wrapping its output in AUTH-SEND.
+    fn pds_tick(&mut self, ctx: &mut RoundCtx<'_>, time: PdsTime) {
+        if let Some(v_cert) = Self::v_cert(ctx.rom) {
+            self.pds.set_public_key(v_cert);
+        }
+        let inbox = std::mem::take(&mut self.pds_inbox);
+        let outs = self.pds.on_logical_round(time, &inbox, ctx.rng);
+        for env in outs {
+            self.auth_send(env.to, &Inner::Pds(env.payload), ctx.time.round, ctx.rng);
+        }
+        // Harvest completed signatures: certificates and USign results.
+        for rec in self.pds.take_completed() {
+            if let Some((subject, cert_unit, vk)) = parse_key_statement(&rec.msg) {
+                if cert_unit == rec.unit {
+                    self.certs_out.insert(subject.0, (vk.clone(), rec.sig.clone()));
+                    if subject != self.me {
+                        let elem = BigUint::from_bytes_be(&vk);
+                        if self.cfg.group.contains(&elem) {
+                            self.pin_peer_vk(subject.0, cert_unit, elem);
+                        }
+                    }
+                    if subject == self.me {
+                        if let Some(pending) = &mut self.pending_new {
+                            if pending.cert.is_none() && pending.vk_bytes() == vk {
+                                pending.cert = Some(rec.sig.clone());
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            ctx.emit(OutputEvent::Signed {
+                msg: rec.msg,
+                unit: rec.unit,
+            });
+        }
+    }
+
+    /// Runs one app (π) logical tick.
+    fn app_tick(&mut self, ctx: &mut RoundCtx<'_>) {
+        let accepted = std::mem::take(&mut self.app_inbox);
+        let input = self.app_inputs.pop_front();
+        let mut app_ctx = AppCtx {
+            unit: ctx.time.unit,
+            logical_round: self.app_logical_round,
+            me: self.me,
+            n: self.cfg.n,
+            accepted: &accepted,
+            input: input.as_deref(),
+            sends: Vec::new(),
+            outputs: Vec::new(),
+        };
+        self.app.on_logical_round(&mut app_ctx);
+        self.app_logical_round += 1;
+        let sends = std::mem::take(&mut app_ctx.sends);
+        let outputs = std::mem::take(&mut app_ctx.outputs);
+        for ev in outputs {
+            ctx.emit(ev);
+        }
+        for (to, msg) in sends {
+            ctx.emit(OutputEvent::Sent {
+                to,
+                msg: msg.clone(),
+            });
+            self.auth_send(to, &Inner::App(msg), ctx.time.round, ctx.rng);
+        }
+        // Surface accepted messages in the output log (external view).
+        for (from, msg) in &accepted {
+            ctx.emit(OutputEvent::Accepted {
+                from: *from,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    fn alert(&mut self, ctx: &mut RoundCtx<'_>) {
+        self.alerts_raised += 1;
+        ctx.emit(OutputEvent::Alert);
+    }
+
+    /// Refresh Part I actions, per offset.
+    fn part1_actions(&mut self, ctx: &mut RoundCtx<'_>, off: u64) {
+        let unit = ctx.time.unit;
+        match off {
+            OFF_ANNOUNCE => {
+                // Fresh keys, announced in the clear.
+                self.announces.clear();
+                self.pa.clear();
+                self.pa_raw.clear();
+                self.certs_out.clear();
+                let keys = LocalKeys::generate(&self.cfg.group, unit, ctx.rng);
+                let announce = UlsWire::KeyAnnounce {
+                    unit,
+                    vk: keys.vk_bytes(),
+                };
+                self.announces.insert(self.me.0, keys.vk_bytes());
+                self.pending_new = Some(keys);
+                for to in NodeId::all(self.cfg.n) {
+                    if to != self.me {
+                        ctx.send(to, announce.to_bytes());
+                    }
+                }
+            }
+            OFF_PA_SEND => {
+                // PA step 1: AUTH-SEND each received value to everyone.
+                let announces = self.announces.clone();
+                for (subject, value) in announces {
+                    let inner = Inner::PaValue {
+                        subject,
+                        value: value.clone(),
+                    };
+                    // Seed my own instance with my own certified view.
+                    self.pa
+                        .entry(subject)
+                        .or_insert_with(|| PaInstance::new(self.cfg.n))
+                        .on_accepted_value(self.me.0, value);
+                    for to in NodeId::all(self.cfg.n) {
+                        if to != self.me {
+                            self.auth_send(to, &inner, ctx.time.round, ctx.rng);
+                        }
+                    }
+                }
+            }
+            OFF_PA_MAJ => {
+                // PA steps 2–3: fix majorities; relay majority members'
+                // certified messages as evidence.
+                let subjects: Vec<u32> = self.pa.keys().copied().collect();
+                for subject in subjects {
+                    let members = {
+                        let inst = self.pa.get_mut(&subject).expect("instance");
+                        inst.fix_majority();
+                        inst.majority_members()
+                    };
+                    for member in members {
+                        if member == self.me.0 {
+                            continue; // others received my step-1 send directly
+                        }
+                        if let Some(raw) = self.pa_raw.get(&(subject, member)) {
+                            let blob = Blob::Evidence {
+                                subject,
+                                msg: raw.clone(),
+                            }
+                            .to_bytes();
+                            for to in NodeId::all(self.cfg.n) {
+                                if to != self.me {
+                                    self.disperse.send(to, blob.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            OFF_PA_DECIDE => {
+                // PA step 5 + certificate requests.
+                let subjects: Vec<u32> = self.pa.keys().copied().collect();
+                for subject in subjects {
+                    let decided = self.pa.get(&subject).and_then(PaInstance::decide);
+                    if let Some(value) = decided {
+                        let statement = key_statement(NodeId(subject), unit, &value);
+                        self.pds.request_sign(statement, unit);
+                    }
+                }
+            }
+            OFF_CERT_DELIVER => {
+                // Deliver certificates to their subjects.
+                let certs = self.certs_out.clone();
+                for (subject, (vk, cert)) in certs {
+                    if subject == self.me.0 {
+                        continue;
+                    }
+                    let blob = Blob::CertDeliver {
+                        subject,
+                        unit,
+                        vk,
+                        cert,
+                    }
+                    .to_bytes();
+                    self.disperse.send(NodeId(subject), blob);
+                }
+            }
+            OFF_ADOPT => {
+                // Adopt the certified keys — or alert (URfr I.5).
+                let adopted = match self.pending_new.take() {
+                    Some(keys) if keys.is_certified() => {
+                        self.local = Some(keys);
+                        true
+                    }
+                    _ => {
+                        self.local = None;
+                        false
+                    }
+                };
+                if !adopted {
+                    // A certless node cannot take part in the share refresh;
+                    // its share will be stale, so route it to recovery.
+                    self.pds.mark_share_lost();
+                    self.alert(ctx);
+                }
+            }
+            _ => {}
+        }
+        // PDS signing ticks during Part I (odd offsets from OFF_PA_DECIDE).
+        if (OFF_PA_DECIDE..OFF_CERT_DELIVER).contains(&off) && (off - OFF_PA_DECIDE).is_multiple_of(2) {
+            self.pds_tick(
+                ctx,
+                PdsTime {
+                    unit,
+                    phase: PdsPhase::Normal,
+                },
+            );
+        }
+    }
+}
+
+impl<A: AlProtocol> Process for UlsNode<A> {
+    fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>) {
+        // Rounds 0–1: DKG over faithful links.
+        if ctx.setup_round <= 1 {
+            let inbox: Vec<_> = ctx
+                .inbox
+                .iter()
+                .map(|e| (e.from, e.payload.clone()))
+                .collect();
+            for env in self.pds.on_setup_round(ctx.setup_round, &inbox, ctx.rng) {
+                ctx.send(env.to, env.payload);
+            }
+            if ctx.setup_round == 1 {
+                // Burn the global verification key into ROM (§4.2.1) and
+                // generate + announce unit-0 local keys.
+                let pk = self.pds.public_key().expect("DKG done");
+                ctx.rom.write("v_cert", pk);
+                let keys = LocalKeys::generate(&self.cfg.group, 0, ctx.rng);
+                self.setup_vks.insert(self.me.0, keys.vk_bytes());
+                for to in NodeId::all(self.cfg.n) {
+                    if to != self.me {
+                        ctx.send(to, keys.vk_bytes());
+                    }
+                }
+                self.pending_new = Some(keys);
+            }
+            return;
+        }
+        // Round 2: collect announced keys, request certificates for all.
+        if ctx.setup_round == 2 {
+            for env in ctx.inbox {
+                self.setup_vks
+                    .entry(env.from.0)
+                    .or_insert_with(|| env.payload.clone());
+            }
+            let vks = self.setup_vks.clone();
+            for (subject, vk) in vks {
+                self.pds
+                    .request_sign(key_statement(NodeId(subject), 0, &vk), 0);
+            }
+        }
+        // Rounds 2..: drive the PDS over faithful links (messages travel
+        // bare — the setup phase is adversary-free), one tick per round.
+        let inbox: Vec<_> = ctx
+            .inbox
+            .iter()
+            .map(|e| (e.from, e.payload.clone()))
+            .collect();
+        let outs = self.pds.on_logical_round(
+            PdsTime {
+                unit: 0,
+                phase: PdsPhase::Normal,
+            },
+            &inbox,
+            ctx.rng,
+        );
+        for env in outs {
+            ctx.send(env.to, env.payload);
+        }
+        for rec in self.pds.take_completed() {
+            if let Some((subject, 0, vk)) = parse_key_statement(&rec.msg) {
+                if subject == self.me {
+                    if let Some(pending) = &mut self.pending_new {
+                        if pending.cert.is_none() && pending.vk_bytes() == vk {
+                            pending.cert = Some(rec.sig.clone());
+                        }
+                    }
+                } else {
+                    let elem = BigUint::from_bytes_be(&vk);
+                    if self.cfg.group.contains(&elem) {
+                        self.pin_peer_vk(subject.0, 0, elem);
+                    }
+                }
+            }
+        }
+        // Final setup round: adopt unit-0 keys.
+        if ctx.setup_round + 1 == SETUP_ROUNDS {
+            if let Some(keys) = self.pending_new.take() {
+                if keys.is_certified() {
+                    self.local = Some(keys);
+                }
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        // External inputs.
+        if let Some(input) = ctx.input {
+            match input.split_first() {
+                Some((&1, msg)) => {
+                    let msg = msg.to_vec();
+                    ctx.emit(OutputEvent::SignRequested {
+                        msg: msg.clone(),
+                        unit: ctx.time.unit,
+                    });
+                    self.pds.request_sign(msg, ctx.time.unit);
+                }
+                Some((&2, bytes)) => self.app_inputs.push_back(bytes.to_vec()),
+                _ => {}
+            }
+        }
+
+        self.process_inbox(ctx);
+
+        match ctx.time.phase {
+            Phase::RefreshPart1 { step } => self.part1_actions(ctx, step),
+            Phase::RefreshPart2 { step } => {
+                if step % 2 == 0 && step / 2 <= 6 {
+                    let was_failed_before = self.pds.refresh_failed();
+                    self.pds_tick(
+                        ctx,
+                        PdsTime {
+                            unit: ctx.time.unit,
+                            phase: PdsPhase::Refresh { step: step / 2 },
+                        },
+                    );
+                    // Alert on refresh failure (URfr Part II, §4.2.3).
+                    if step / 2 == 6 && self.pds.refresh_failed() && !was_failed_before {
+                        self.alert(ctx);
+                    }
+                }
+            }
+            Phase::Normal => {
+                let tick_parity = if ctx.time.unit == 0 {
+                    ctx.time.round_in_unit.is_multiple_of(2)
+                } else {
+                    (ctx.time.round_in_unit - (PART1_ROUNDS + PART2_ROUNDS)).is_multiple_of(2)
+                };
+                if tick_parity {
+                    self.pds_tick(
+                        ctx,
+                        PdsTime {
+                            unit: ctx.time.unit,
+                            phase: PdsPhase::Normal,
+                        },
+                    );
+                    self.app_tick(ctx);
+                }
+            }
+        }
+
+        for env in self.disperse.drain_outgoing() {
+            ctx.send(env.to, env.payload);
+        }
+    }
+
+    fn state_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,455 @@
+//! Wire formats of the UL-model protocol stack (§4.1–4.2).
+//!
+//! Layering, outermost first:
+//!
+//! 1. [`UlsWire`] — what actually travels in a physical envelope: either a
+//!    *clear* key announcement (refresh Part I, step 2 — the one message the
+//!    paper deliberately leaves unauthenticated) or a [`DisperseMsg`].
+//! 2. [`DisperseMsg`] — the two-phase echo of Fig. 2 carrying an opaque blob.
+//! 3. [`Blob`] — what DISPERSE carries: a [`CertifiedMsg`] (AUTH-SEND),
+//!    relayed equivocation [`Blob::Evidence`] (PARTIAL-AGREEMENT step 3), or
+//!    a self-authenticating certificate delivery (URfr Part I step 4).
+//! 4. [`Inner`] — the payload of a certified message: PDS traffic, top-layer
+//!    (π) application traffic, or a PARTIAL-AGREEMENT input value.
+
+use proauth_crypto::schnorr::Signature;
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Outermost physical payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UlsWire {
+    /// Refresh Part I step 2: "the public key of N_i in time unit u is v",
+    /// sent in the clear (the sender may have nothing to authenticate with).
+    KeyAnnounce {
+        /// The unit the key is for.
+        unit: u64,
+        /// The announced verification key bytes.
+        vk: Vec<u8>,
+    },
+    /// Everything else rides the DISPERSE echo.
+    Disperse(DisperseMsg),
+}
+
+/// The two-phase echo of Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisperseMsg {
+    /// Round 1: "forward `blob` to `dst`" (from the claimed `origin`).
+    Forward {
+        /// Claimed originator.
+        origin: u32,
+        /// Final destination.
+        dst: u32,
+        /// Opaque cargo.
+        blob: Vec<u8>,
+    },
+    /// Round 2: "forwarding `blob` from `origin`".
+    Forwarding {
+        /// Claimed originator.
+        origin: u32,
+        /// Opaque cargo.
+        blob: Vec<u8>,
+    },
+}
+
+/// Cargo carried by DISPERSE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Blob {
+    /// An AUTH-SEND message.
+    Certified(CertifiedMsg),
+    /// PARTIAL-AGREEMENT step 3: a relayed certified message serving as
+    /// (majority or equivocation) evidence about `subject`'s announced key.
+    Evidence {
+        /// The PA subject the evidence concerns.
+        subject: u32,
+        /// The original certified message (addressed to the relayer).
+        msg: CertifiedMsg,
+    },
+    /// A session-MAC authenticated message (the §1.3 shared-key mode).
+    MacCertified(MacMsg),
+    /// URfr Part I step 4: a certificate delivered to its subject. The
+    /// certificate is a PDS signature verifiable straight from ROM, so the
+    /// carrier needs no authentication of its own.
+    CertDeliver {
+        /// The node the certificate is for.
+        subject: u32,
+        /// The time unit of the certificate.
+        unit: u64,
+        /// The certified verification key bytes.
+        vk: Vec<u8>,
+        /// The PDS signature over the key statement.
+        cert: Signature,
+    },
+}
+
+/// A message authenticated with a per-unit *session MAC* instead of a
+/// signature — the paper's shared-key alternative (§1.3): nodes derive a
+/// pairwise key from their certified per-unit keys (Diffie–Hellman in the
+/// same group) and authenticate with HMAC. The certificate still rides
+/// along so a receiver that has not yet cached the sender's key can verify
+/// it once, then authenticate every later message with two hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacMsg {
+    /// The inner payload bytes (an encoded [`Inner`]).
+    pub m: Vec<u8>,
+    /// Claimed source node.
+    pub i: u32,
+    /// Destination node.
+    pub j: u32,
+    /// Time unit whose keys authenticate the message.
+    pub u: u64,
+    /// Physical round the message was authenticated at.
+    pub w: u64,
+    /// `HMAC-SHA256(session_key, ⟨m, i, j, u, w⟩)`.
+    pub tag: [u8; 32],
+    /// The sender's local verification key bytes.
+    pub vk: Vec<u8>,
+    /// The PDS certificate for `vk` in unit `u`.
+    pub cert: Signature,
+}
+
+impl Encode for MacMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.m.encode(w);
+        w.put_u32(self.i);
+        w.put_u32(self.j);
+        w.put_u64(self.u);
+        w.put_u64(self.w);
+        self.tag.encode(w);
+        self.vk.encode(w);
+        self.cert.encode(w);
+    }
+}
+
+impl Decode for MacMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MacMsg {
+            m: Vec::<u8>::decode(r)?,
+            i: r.get_u32()?,
+            j: r.get_u32()?,
+            u: r.get_u64()?,
+            w: r.get_u64()?,
+            tag: <[u8; 32]>::decode(r)?,
+            vk: Vec::<u8>::decode(r)?,
+            cert: Signature::decode(r)?,
+        })
+    }
+}
+
+/// A message in the Fig. 3 format: `⟨m, i, j, u, w, σ, v, cert⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifiedMsg {
+    /// The inner payload bytes (`m`), an encoded [`Inner`].
+    pub m: Vec<u8>,
+    /// Claimed source node.
+    pub i: u32,
+    /// Destination node.
+    pub j: u32,
+    /// Time unit (`u`) whose local keys certify the message.
+    pub u: u64,
+    /// Physical communication round when the message was certified (`w`).
+    pub w: u64,
+    /// The sender's local signature over `⟨m, i, j, u, w⟩`.
+    pub sig: Signature,
+    /// The sender's local verification key bytes (`v`).
+    pub vk: Vec<u8>,
+    /// The PDS certificate for `v` in unit `u`.
+    pub cert: Signature,
+}
+
+/// Payloads inside certified messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inner {
+    /// PDS protocol traffic (encoded `AlsMsg`).
+    Pds(Vec<u8>),
+    /// Top-layer protocol (π) traffic — the authenticator of §5.
+    App(Vec<u8>),
+    /// PARTIAL-AGREEMENT step 1 input: "I received `value` as `subject`'s
+    /// announced key".
+    PaValue {
+        /// Whose key is being agreed on.
+        subject: u32,
+        /// The value I received (announced verification key bytes).
+        value: Vec<u8>,
+    },
+}
+
+impl Encode for UlsWire {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            UlsWire::KeyAnnounce { unit, vk } => {
+                w.put_u8(1);
+                w.put_u64(*unit);
+                vk.encode(w);
+            }
+            UlsWire::Disperse(d) => {
+                w.put_u8(2);
+                d.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for UlsWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            1 => Ok(UlsWire::KeyAnnounce {
+                unit: r.get_u64()?,
+                vk: Vec::<u8>::decode(r)?,
+            }),
+            2 => Ok(UlsWire::Disperse(DisperseMsg::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for DisperseMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            DisperseMsg::Forward { origin, dst, blob } => {
+                w.put_u8(1);
+                w.put_u32(*origin);
+                w.put_u32(*dst);
+                blob.encode(w);
+            }
+            DisperseMsg::Forwarding { origin, blob } => {
+                w.put_u8(2);
+                w.put_u32(*origin);
+                blob.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for DisperseMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            1 => Ok(DisperseMsg::Forward {
+                origin: r.get_u32()?,
+                dst: r.get_u32()?,
+                blob: Vec::<u8>::decode(r)?,
+            }),
+            2 => Ok(DisperseMsg::Forwarding {
+                origin: r.get_u32()?,
+                blob: Vec::<u8>::decode(r)?,
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for Blob {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Blob::Certified(msg) => {
+                w.put_u8(1);
+                msg.encode(w);
+            }
+            Blob::Evidence { subject, msg } => {
+                w.put_u8(2);
+                w.put_u32(*subject);
+                msg.encode(w);
+            }
+            Blob::MacCertified(msg) => {
+                w.put_u8(4);
+                msg.encode(w);
+            }
+            Blob::CertDeliver {
+                subject,
+                unit,
+                vk,
+                cert,
+            } => {
+                w.put_u8(3);
+                w.put_u32(*subject);
+                w.put_u64(*unit);
+                vk.encode(w);
+                cert.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Blob {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            1 => Ok(Blob::Certified(CertifiedMsg::decode(r)?)),
+            2 => Ok(Blob::Evidence {
+                subject: r.get_u32()?,
+                msg: CertifiedMsg::decode(r)?,
+            }),
+            3 => Ok(Blob::CertDeliver {
+                subject: r.get_u32()?,
+                unit: r.get_u64()?,
+                vk: Vec::<u8>::decode(r)?,
+                cert: Signature::decode(r)?,
+            }),
+            4 => Ok(Blob::MacCertified(MacMsg::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for CertifiedMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.m.encode(w);
+        w.put_u32(self.i);
+        w.put_u32(self.j);
+        w.put_u64(self.u);
+        w.put_u64(self.w);
+        self.sig.encode(w);
+        self.vk.encode(w);
+        self.cert.encode(w);
+    }
+}
+
+impl Decode for CertifiedMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CertifiedMsg {
+            m: Vec::<u8>::decode(r)?,
+            i: r.get_u32()?,
+            j: r.get_u32()?,
+            u: r.get_u64()?,
+            w: r.get_u64()?,
+            sig: Signature::decode(r)?,
+            vk: Vec::<u8>::decode(r)?,
+            cert: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Inner {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Inner::Pds(b) => {
+                w.put_u8(1);
+                b.encode(w);
+            }
+            Inner::App(b) => {
+                w.put_u8(2);
+                b.encode(w);
+            }
+            Inner::PaValue { subject, value } => {
+                w.put_u8(3);
+                w.put_u32(*subject);
+                value.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Inner {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            1 => Ok(Inner::Pds(Vec::<u8>::decode(r)?)),
+            2 => Ok(Inner::App(Vec::<u8>::decode(r)?)),
+            3 => Ok(Inner::PaValue {
+                subject: r.get_u32()?,
+                value: Vec::<u8>::decode(r)?,
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_primitives::bigint::BigUint;
+
+    fn sig(n: u64) -> Signature {
+        Signature {
+            e: BigUint::from_u64(n),
+            s: BigUint::from_u64(n + 1),
+        }
+    }
+
+    fn certified() -> CertifiedMsg {
+        CertifiedMsg {
+            m: Inner::App(b"payload".to_vec()).to_bytes(),
+            i: 1,
+            j: 2,
+            u: 3,
+            w: 44,
+            sig: sig(5),
+            vk: vec![7, 8],
+            cert: sig(9),
+        }
+    }
+
+    #[test]
+    fn uls_wire_roundtrip() {
+        let msgs = vec![
+            UlsWire::KeyAnnounce {
+                unit: 2,
+                vk: vec![1, 2, 3],
+            },
+            UlsWire::Disperse(DisperseMsg::Forward {
+                origin: 1,
+                dst: 2,
+                blob: vec![9],
+            }),
+            UlsWire::Disperse(DisperseMsg::Forwarding {
+                origin: 1,
+                blob: vec![9],
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(UlsWire::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    fn mac_msg() -> MacMsg {
+        MacMsg {
+            m: Inner::App(b"p".to_vec()).to_bytes(),
+            i: 1,
+            j: 2,
+            u: 3,
+            w: 44,
+            tag: [9; 32],
+            vk: vec![7, 8],
+            cert: sig(9),
+        }
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let blobs = vec![
+            Blob::Certified(certified()),
+            Blob::MacCertified(mac_msg()),
+            Blob::Evidence {
+                subject: 4,
+                msg: certified(),
+            },
+            Blob::CertDeliver {
+                subject: 4,
+                unit: 2,
+                vk: vec![1],
+                cert: sig(3),
+            },
+        ];
+        for b in blobs {
+            assert_eq!(Blob::from_bytes(&b.to_bytes()).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn inner_roundtrip() {
+        for inner in [
+            Inner::Pds(vec![1, 2]),
+            Inner::App(vec![]),
+            Inner::PaValue {
+                subject: 3,
+                value: vec![4],
+            },
+        ] {
+            assert_eq!(Inner::from_bytes(&inner.to_bytes()).unwrap(), inner);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(UlsWire::from_bytes(&[99]).is_err());
+        assert!(Blob::from_bytes(&[]).is_err());
+        assert!(Inner::from_bytes(&[7, 7]).is_err());
+    }
+}

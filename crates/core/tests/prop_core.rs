@@ -1,0 +1,194 @@
+//! Property tests for the core protocol components: wire-format fuzzing
+//! (decoders must never panic and must roundtrip), DISPERSE delivery
+//! invariants, PARTIAL-AGREEMENT's Lemma-16 property under arbitrary
+//! cheater behaviour, and CERTIFY/VER-CERT binding.
+
+use proauth_core::certify::{certify, ver_cert, DestCheck, LocalKeys};
+use proauth_core::disperse::{DisperseLayer, DisperseMode};
+use proauth_core::pa::PaInstance;
+use proauth_core::wire::{Blob, CertifiedMsg, DisperseMsg, Inner, UlsWire};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_crypto::schnorr::{Signature, SigningKey};
+use proauth_pds::msg::signing_payload;
+use proauth_pds::statement::key_statement;
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode};
+use proauth_sim::message::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn sig_strategy() -> impl Strategy<Value = Signature> {
+    (any::<u64>(), any::<u64>()).prop_map(|(e, s)| Signature {
+        e: BigUint::from_u64(e),
+        s: BigUint::from_u64(s),
+    })
+}
+
+fn certified_strategy() -> impl Strategy<Value = CertifiedMsg> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..40),
+        1u32..10,
+        1u32..10,
+        any::<u64>(),
+        any::<u64>(),
+        sig_strategy(),
+        proptest::collection::vec(any::<u8>(), 0..20),
+        sig_strategy(),
+    )
+        .prop_map(|(m, i, j, u, w, sig, vk, cert)| CertifiedMsg {
+            m,
+            i,
+            j,
+            u,
+            w,
+            sig,
+            vk,
+            cert,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = UlsWire::from_bytes(&bytes);
+        let _ = Blob::from_bytes(&bytes);
+        let _ = Inner::from_bytes(&bytes);
+        let _ = CertifiedMsg::from_bytes(&bytes);
+        let _ = DisperseMsg::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn certified_msg_roundtrips(msg in certified_strategy()) {
+        prop_assert_eq!(CertifiedMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn blob_roundtrips(msg in certified_strategy(), subject in 1u32..10) {
+        for blob in [
+            Blob::Certified(msg.clone()),
+            Blob::Evidence { subject, msg: msg.clone() },
+        ] {
+            prop_assert_eq!(Blob::from_bytes(&blob.to_bytes()).unwrap(), blob);
+        }
+    }
+
+    #[test]
+    fn disperse_send_reaches_destination_via_any_honest_relay(
+        n in 3usize..10,
+        dst_raw in 2u32..10,
+        relay_raw in 2u32..10,
+        payload in proptest::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let dst = NodeId((dst_raw % (n as u32 - 1)) + 2);
+        let relay = NodeId((relay_raw % (n as u32 - 1)) + 2);
+        prop_assume!(relay != dst);
+        // 1 sends to dst; route the Forward through `relay` by hand.
+        let mut sender = DisperseLayer::new(NodeId(1), n, DisperseMode::Full);
+        sender.send(dst, payload.clone());
+        let out = sender.drain_outgoing();
+        // Find the copy addressed to the relay.
+        let to_relay = out.iter().find(|e| e.to == relay).expect("fanout covers relay");
+        let UlsWire::Disperse(fwd) = UlsWire::from_bytes(&to_relay.payload).unwrap() else {
+            panic!("disperse expected")
+        };
+        let mut relay_layer = DisperseLayer::new(relay, n, DisperseMode::Full);
+        relay_layer.begin_round();
+        prop_assert!(relay_layer.on_message(NodeId(1), fwd).is_none());
+        let fwds = relay_layer.drain_outgoing();
+        prop_assert_eq!(fwds.len(), 1);
+        // Destination receives it on the next round.
+        let UlsWire::Disperse(fw) = UlsWire::from_bytes(&fwds[0].payload).unwrap() else {
+            panic!()
+        };
+        let mut dst_layer = DisperseLayer::new(dst, n, DisperseMode::Full);
+        dst_layer.begin_round();
+        let delivered = dst_layer.on_message(relay, fw);
+        prop_assert_eq!(delivered, Some((1u32, payload)));
+    }
+
+    #[test]
+    fn pa_never_splits_under_arbitrary_cheater_values(
+        n in 3usize..8,
+        cheater_values in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..3), 1..8),
+        seed in any::<u64>(),
+    ) {
+        // One cheater (node 1) sends arbitrary per-recipient values; honest
+        // nodes share input "h". Lemma 16 property 2 must hold among honest.
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut instances: Vec<PaInstance> = (0..n).map(|_| PaInstance::new(n)).collect();
+        let mut sent: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); n]; n];
+        for sender in 1..=n as u32 {
+            for recv in 1..=n as u32 {
+                let value = if sender == 1 {
+                    cheater_values[rng.gen_range(0..cheater_values.len())].clone()
+                } else {
+                    b"h".to_vec()
+                };
+                sent[(sender - 1) as usize][(recv - 1) as usize] = value.clone();
+                instances[(recv - 1) as usize].on_accepted_value(sender, value);
+            }
+        }
+        for inst in &mut instances {
+            inst.fix_majority();
+        }
+        // Honest relays.
+        let mut evidence: Vec<(u32, Vec<u8>)> = Vec::new();
+        for recv in 2..=n as u32 {
+            for sender in 1..=n as u32 {
+                evidence.push((sender, sent[(sender - 1) as usize][(recv - 1) as usize].clone()));
+            }
+        }
+        for inst in &mut instances {
+            for (s, v) in &evidence {
+                inst.on_evidence(*s, v.clone());
+            }
+        }
+        let honest_outputs: BTreeSet<Vec<u8>> = (2..=n as u32)
+            .filter_map(|i| instances[(i - 1) as usize].decide())
+            .collect();
+        prop_assert!(honest_outputs.len() <= 1, "split: {honest_outputs:?}");
+        // With n−1 ≥ ⌈(n+1)/2⌉ honest nodes, the honest value always wins.
+        if n > (n + 1).div_ceil(2) {
+            prop_assert!(honest_outputs.is_empty()
+                || honest_outputs.iter().any(|v| v == b"h"));
+        }
+    }
+
+    #[test]
+    fn ver_cert_binds_every_field(
+        m in proptest::collection::vec(any::<u8>(), 1..30),
+        w in 2u64..1_000,
+        unit in 1u64..100,
+        flip in 0usize..5,
+    ) {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(w ^ unit);
+        let ca = SigningKey::generate(&group, &mut rng);
+        let mut keys = LocalKeys::generate(&group, unit, &mut rng);
+        let st = key_statement(NodeId(1), unit, &keys.vk_bytes());
+        keys.cert = Some(ca.sign(&signing_payload(&st, unit), &mut rng));
+        let msg = certify(&keys, &m, NodeId(1), NodeId(2), w, &mut rng).unwrap();
+        let v_cert = ca.verify_key().element().clone();
+        // Correct parameters verify.
+        prop_assert!(ver_cert(&group, DestCheck::Me(NodeId(2)), NodeId(1), unit, w, &msg, &v_cert));
+        // Flip one binding: must fail.
+        let ok = match flip {
+            0 => ver_cert(&group, DestCheck::Me(NodeId(2)), NodeId(3), unit, w, &msg, &v_cert),
+            1 => ver_cert(&group, DestCheck::Me(NodeId(3)), NodeId(1), unit, w, &msg, &v_cert),
+            2 => ver_cert(&group, DestCheck::Me(NodeId(2)), NodeId(1), unit + 1, w, &msg, &v_cert),
+            3 => ver_cert(&group, DestCheck::Me(NodeId(2)), NodeId(1), unit, w + 1, &msg, &v_cert),
+            _ => {
+                let mut tampered = msg.clone();
+                tampered.m.push(0);
+                ver_cert(&group, DestCheck::Me(NodeId(2)), NodeId(1), unit, w, &tampered, &v_cert)
+            }
+        };
+        prop_assert!(!ok, "flip {flip} must invalidate");
+    }
+}

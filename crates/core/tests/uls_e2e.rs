@@ -1,0 +1,249 @@
+//! End-to-end tests of the full ULS construction over unauthenticated links:
+//! the executable content of Theorem 14 (security) and Proposition 31
+//! (awareness), on the happy path and under break-ins.
+
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::awareness;
+use proauth_core::uls::{sign_input, uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::ideal::IdealChecker;
+use proauth_sim::adversary::{BreakPlan, FaithfulUl, NetView, UlAdversary};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId, OutputEvent};
+use proauth_sim::runner::{run_ul, run_ul_with_inputs, SimConfig, SimResult};
+
+const N: usize = 5;
+const T: usize = 2;
+const NORMAL: u64 = 12;
+
+fn unit_rounds() -> u64 {
+    uls_schedule(NORMAL).unit_rounds
+}
+
+fn cfg(total_units: u64) -> SimConfig {
+    let mut c = SimConfig::new(N, T, uls_schedule(NORMAL));
+    c.setup_rounds = SETUP_ROUNDS;
+    c.total_rounds = unit_rounds() * total_units;
+    c.seed = 42;
+    c
+}
+
+fn make_node(id: NodeId) -> UlsNode<HeartbeatApp> {
+    let group = Group::new(GroupId::Toy64);
+    UlsNode::new(UlsConfig::new(group, N, T), id, HeartbeatApp::default())
+}
+
+fn count_events(result: &SimResult, pred: impl Fn(&OutputEvent) -> bool) -> usize {
+    result
+        .outputs
+        .iter()
+        .flat_map(|log| log.iter())
+        .filter(|(_, ev)| pred(ev))
+        .count()
+}
+
+#[test]
+fn faithful_run_stays_authenticated_across_refreshes() {
+    let result = run_ul(cfg(3), make_node, &mut FaithfulUl);
+    // No alerts on the happy path.
+    assert_eq!(result.stats.alerts.iter().sum::<u64>(), 0, "no alerts");
+    // Heartbeats flow: every node accepted plenty of app messages.
+    let accepted = count_events(&result, |e| matches!(e, OutputEvent::Accepted { .. }));
+    assert!(accepted > 4 * N, "heartbeats accepted: {accepted}");
+    // All nodes remain operational.
+    assert!(result.final_operational.iter().all(|&b| b));
+    // No impersonations (Definition 10).
+    let imps = awareness::find_impersonations(&result.outputs, &uls_schedule(NORMAL), |_, _| false);
+    assert!(imps.is_empty(), "{imps:?}");
+}
+
+#[test]
+fn usign_works_over_unauthenticated_links() {
+    let sign_round = unit_rounds() + proauth_core::PART1_ROUNDS + proauth_core::PART2_ROUNDS + 2;
+    let result = run_ul_with_inputs(cfg(2), make_node, &mut FaithfulUl, |_, round| {
+        (round == sign_round).then(|| sign_input(b"ul payment order"))
+    });
+    let signed = count_events(
+        &result,
+        |e| matches!(e, OutputEvent::Signed { msg, .. } if msg == b"ul payment order"),
+    );
+    assert_eq!(signed, N, "every node obtains the threshold signature");
+    // Ideal-model conformance (Definition 12's hard invariants).
+    let checker = IdealChecker::new(T);
+    let all: Vec<NodeId> = NodeId::all(N).collect();
+    let violations = checker.check(&result.outputs, &all, &[], &uls_schedule(NORMAL));
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// Breaks one node during unit 0, wipes its entire volatile state, and
+/// leaves. The node must be re-certified and share-recovered by the unit-1
+/// refresh, and fully participating in unit 1's normal phase.
+struct WipeOne {
+    target: NodeId,
+    break_at: u64,
+    leave_at: u64,
+}
+
+impl UlAdversary for WipeOne {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        if view.time.round == self.break_at {
+            BreakPlan::break_into([self.target])
+        } else if view.time.round == self.leave_at {
+            BreakPlan::leave([self.target])
+        } else {
+            BreakPlan::none()
+        }
+    }
+
+    fn corrupt(&mut self, _node: NodeId, state: &mut dyn std::any::Any, _time: &TimeView) {
+        if let Some(node) = state.downcast_mut::<UlsNode<HeartbeatApp>>() {
+            node.corrupt_wipe();
+        }
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], _view: &NetView<'_>) -> Vec<Envelope> {
+        sent.to_vec()
+    }
+}
+
+#[test]
+fn wiped_node_regains_certified_communication() {
+    let result = run_ul(
+        cfg(3),
+        make_node,
+        &mut WipeOne {
+            target: NodeId(3),
+            break_at: 4,
+            leave_at: 8,
+        },
+    );
+    // Node 3's heartbeats are accepted again during unit 1's normal phase
+    // (after the unit-1 refresh re-certified it).
+    let unit1_normal_start = unit_rounds() + proauth_core::PART1_ROUNDS + proauth_core::PART2_ROUNDS;
+    let accepted_from_3_after = result
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != NodeId(3).idx())
+        .flat_map(|(_, log)| log.iter())
+        .filter(|(round, ev)| {
+            *round > unit1_normal_start
+                && matches!(ev, OutputEvent::Accepted { from, .. } if *from == NodeId(3))
+        })
+        .count();
+    assert!(
+        accepted_from_3_after > 0,
+        "node 3 re-authenticated after recovery"
+    );
+    // It is operational again at the end.
+    assert!(result.final_operational[NodeId(3).idx()]);
+    // And it can sign again: no alert in unit 2 from node 3.
+    assert!(!result.alerted_in_unit(NodeId(3), 2, &uls_schedule(NORMAL)));
+}
+
+#[test]
+fn usign_after_recovery_includes_recovered_node() {
+    // Sign in unit 2 after node 2 was wiped in unit 0.
+    let sign_round = 2 * unit_rounds() + proauth_core::PART1_ROUNDS + proauth_core::PART2_ROUNDS + 2;
+    let result = run_ul_with_inputs(
+        cfg(3),
+        make_node,
+        &mut WipeOne {
+            target: NodeId(2),
+            break_at: 4,
+            leave_at: 8,
+        },
+        |_, round| (round == sign_round).then(|| sign_input(b"post-recovery")),
+    );
+    // Node 2 itself reports the signature (it has a working share again).
+    let node2_signed = result.outputs[NodeId(2).idx()]
+        .iter()
+        .any(|(_, ev)| matches!(ev, OutputEvent::Signed { msg, .. } if msg == b"post-recovery"));
+    assert!(node2_signed, "recovered node participates in signing");
+}
+
+#[test]
+fn deterministic_runs() {
+    let a = run_ul(cfg(2), make_node, &mut FaithfulUl);
+    let b = run_ul(cfg(2), make_node, &mut FaithfulUl);
+    assert_eq!(a.outputs, b.outputs);
+}
+
+#[test]
+fn broken_node_emits_compromised_and_recovered_lines() {
+    let result = run_ul(
+        cfg(2),
+        make_node,
+        &mut WipeOne {
+            target: NodeId(4),
+            break_at: 4,
+            leave_at: 6,
+        },
+    );
+    let evs: Vec<&OutputEvent> = result.outputs[NodeId(4).idx()]
+        .iter()
+        .map(|(_, e)| e)
+        .collect();
+    assert!(evs.contains(&&OutputEvent::Compromised));
+    assert!(evs.contains(&&OutputEvent::Recovered));
+}
+
+#[test]
+fn app_inputs_during_refresh_are_queued_not_lost() {
+    // Two inputs land at node 1 while π is suspended (mid-refresh). With the
+    // grow-only-set app, both must appear in node 1's replica afterwards —
+    // one consumed per app tick once normal operation resumes.
+    use proauth_core::authenticator::GrowSetApp;
+    use std::sync::{Arc, Mutex};
+
+    struct Reader {
+        replica: Arc<Mutex<std::collections::BTreeSet<(u32, Vec<u8>)>>>,
+        read_at: u64,
+    }
+    impl UlAdversary for Reader {
+        fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+            if view.time.round == self.read_at {
+                BreakPlan::break_into([NodeId(1)])
+            } else {
+                BreakPlan::none()
+            }
+        }
+        fn corrupt(&mut self, _n: NodeId, state: &mut dyn std::any::Any, _t: &TimeView) {
+            if let Some(node) = state.downcast_mut::<UlsNode<GrowSetApp>>() {
+                *self.replica.lock().unwrap() = node.app.set.clone();
+            }
+        }
+        fn deliver(&mut self, sent: &[Envelope], _v: &NetView<'_>) -> Vec<Envelope> {
+            sent.to_vec()
+        }
+    }
+
+    let refresh_mid = unit_rounds() + 5; // inside Part I of unit 1
+    let c = cfg(2);
+    let replica = Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+    let mut adv = Reader {
+        replica: replica.clone(),
+        read_at: c.total_rounds - 1,
+    };
+    let group = Group::new(GroupId::Toy64);
+    let _result = run_ul_with_inputs(
+        c,
+        |id| UlsNode::new(UlsConfig::new(group.clone(), N, T), id, GrowSetApp::default()),
+        &mut adv,
+        move |id, round| {
+            if id != NodeId(1) {
+                return None;
+            }
+            if round == refresh_mid {
+                Some(proauth_core::uls::app_input(b"queued-one"))
+            } else if round == refresh_mid + 1 {
+                Some(proauth_core::uls::app_input(b"queued-two"))
+            } else {
+                None
+            }
+        },
+    );
+    let set = replica.lock().unwrap().clone();
+    assert!(set.contains(&(1, b"queued-one".to_vec())), "{set:?}");
+    assert!(set.contains(&(1, b"queued-two".to_vec())), "{set:?}");
+}

@@ -1,0 +1,65 @@
+//! Constructor/configuration validation: bad parameters fail loudly at
+//! construction, not silently at refresh time.
+
+use proauth_core::disperse::{DisperseLayer, DisperseMode};
+use proauth_core::uls::{uls_schedule, UlsConfig};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::als::AlsConfig;
+use proauth_sim::message::NodeId;
+
+#[test]
+#[should_panic(expected = "n >= 2t+1")]
+fn uls_config_rejects_undersized_network() {
+    let group = Group::new(GroupId::Toy64);
+    let _ = UlsConfig::new(group, 4, 2); // needs n >= 5
+}
+
+#[test]
+#[should_panic(expected = "n >= 2t+1")]
+fn als_config_rejects_undersized_network() {
+    let group = Group::new(GroupId::Toy64);
+    let _ = AlsConfig::new(group, 2, 1);
+}
+
+#[test]
+#[should_panic(expected = "must be even")]
+fn uls_schedule_rejects_odd_normal_rounds() {
+    let _ = uls_schedule(13);
+}
+
+#[test]
+fn uls_schedule_shape() {
+    let s = uls_schedule(12);
+    assert_eq!(s.unit_rounds, proauth_core::PART1_ROUNDS + proauth_core::PART2_ROUNDS + 12);
+    assert_eq!(s.part1_rounds, proauth_core::PART1_ROUNDS);
+    assert_eq!(s.part2_rounds, proauth_core::PART2_ROUNDS);
+}
+
+#[test]
+fn boundary_network_sizes_accepted() {
+    let group = Group::new(GroupId::Toy64);
+    // Smallest legal network: n = 3, t = 1.
+    let c = UlsConfig::new(group.clone(), 3, 1);
+    assert_eq!(c.n, 3);
+    // t = 0 (no fault tolerance, still a valid PDS with threshold 1).
+    let c = UlsConfig::new(group, 1, 0);
+    assert_eq!(c.t, 0);
+}
+
+#[test]
+fn relaxed_fanout_larger_than_network_is_harmless() {
+    // Fanout caps at n−1 naturally.
+    let mut layer = DisperseLayer::new(NodeId(1), 4, DisperseMode::Relaxed { fanout: 99 });
+    layer.send(NodeId(2), vec![1]);
+    assert_eq!(layer.drain_outgoing().len(), 3);
+}
+
+#[test]
+fn input_tag_helpers_roundtrip() {
+    let s = proauth_core::uls::sign_input(b"doc");
+    assert_eq!(s[0], 1);
+    assert_eq!(&s[1..], b"doc");
+    let a = proauth_core::uls::app_input(b"chat");
+    assert_eq!(a[0], 2);
+    assert_eq!(&a[1..], b"chat");
+}

@@ -1,0 +1,279 @@
+//! Joint-Feldman distributed key generation.
+//!
+//! Every node deals a random Feldman sharing; the group secret key is the sum
+//! of the dealt secrets, each node's share is the sum of the shares it
+//! received, and the public key is the product of the secret commitments.
+//! Nobody ever holds the full secret — exactly the property the paper's PDS
+//! needs (§1.3: "the secret key … is not kept by any single node").
+//!
+//! This module is *pure*: it computes dealings and aggregates them. Deciding
+//! **which** dealings count (the qualified set) is a protocol concern handled
+//! by the AL-model PDS driver in `proauth-pds`, which runs the dealings over
+//! an echo-broadcast so all honest nodes aggregate the same set.
+//!
+//! # Examples
+//!
+//! ```
+//! use proauth_crypto::group::{Group, GroupId};
+//! use proauth_crypto::dkg;
+//!
+//! let group = Group::new(GroupId::Toy64);
+//! let mut rng = rand::thread_rng();
+//! let (n, t) = (5usize, 2usize);
+//! let dealings: Vec<_> = (1..=n as u32)
+//!     .map(|i| (i, dkg::deal(&group, t, n, &mut rng)))
+//!     .collect();
+//! // Node 1 aggregates everything addressed to it.
+//! let inputs: Vec<_> = dealings
+//!     .iter()
+//!     .map(|(dealer, d)| dkg::ReceivedDealing {
+//!         dealer: *dealer,
+//!         commitments: d.commitments.clone(),
+//!         share: d.share_for(1).clone(),
+//!     })
+//!     .collect();
+//! let key = dkg::aggregate(&group, t, n, 1, &inputs).unwrap();
+//! assert!(group.contains(&key.public_key));
+//! ```
+
+use crate::feldman::{Commitments, Dealing};
+use crate::group::Group;
+use proauth_primitives::bigint::BigUint;
+
+/// Deals one node's random contribution to the joint key.
+pub fn deal<R: rand::RngCore>(group: &Group, threshold: usize, n: usize, rng: &mut R) -> Dealing {
+    let secret = group.random_scalar(rng);
+    Dealing::deal(group, threshold, n, secret, rng)
+}
+
+/// One dealing as received by a specific node.
+#[derive(Debug, Clone)]
+pub struct ReceivedDealing {
+    /// Index of the dealer (1-based).
+    pub dealer: u32,
+    /// The dealer's public coefficient commitments.
+    pub commitments: Commitments,
+    /// The private share addressed to the receiving node.
+    pub share: BigUint,
+}
+
+impl ReceivedDealing {
+    /// Checks this dealing is consistent for receiver `me`.
+    pub fn verify(&self, group: &Group, threshold: usize, me: u32) -> bool {
+        self.commitments.degree() == threshold
+            && self.commitments.verify_share_in(group, me, &self.share)
+    }
+}
+
+/// A node's slice of the distributed key after DKG (or after a refresh).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyShare {
+    /// This node's index (1-based).
+    pub index: u32,
+    /// The secret share `f(index)` of the joint polynomial.
+    pub share: BigUint,
+    /// The joint public key `y = g^{f(0)}`.
+    pub public_key: BigUint,
+    /// Per-node share verification keys `X_i = g^{f(i)}`, 1-based
+    /// (`share_keys[i-1]`). Used to verify partial signatures and recovery
+    /// values without interaction.
+    pub share_keys: Vec<BigUint>,
+    /// The dealers whose contributions were aggregated.
+    pub qualified: Vec<u32>,
+}
+
+impl KeyShare {
+    /// Share verification key of node `i` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn share_key(&self, i: u32) -> &BigUint {
+        &self.share_keys[(i - 1) as usize]
+    }
+
+    /// Number of nodes in the sharing.
+    pub fn n(&self) -> usize {
+        self.share_keys.len()
+    }
+
+    /// Consistency check: this node's own share matches its share key.
+    pub fn self_consistent(&self, group: &Group) -> bool {
+        group.exp_g(&self.share) == *self.share_key(self.index)
+    }
+}
+
+/// Aggregates verified dealings into this node's [`KeyShare`].
+///
+/// All dealings must already be verified (see [`ReceivedDealing::verify`]);
+/// invalid ones are rejected here as well, returning `None`. `None` is also
+/// returned if the dealing set is empty.
+///
+/// **Consistency requirement**: all honest nodes must call this with dealings
+/// from the *same* dealer set, otherwise their shares lie on different
+/// polynomials. The protocol layer guarantees this via echo-broadcast.
+pub fn aggregate(
+    group: &Group,
+    threshold: usize,
+    n: usize,
+    me: u32,
+    dealings: &[ReceivedDealing],
+) -> Option<KeyShare> {
+    if dealings.is_empty() {
+        return None;
+    }
+    let mut share = BigUint::zero();
+    let mut public_key = group.identity();
+    let mut share_keys = vec![group.identity(); n];
+    let mut qualified = Vec::with_capacity(dealings.len());
+    for d in dealings {
+        if !d.verify(group, threshold, me) {
+            return None;
+        }
+        share = group.scalar_add(&share, &d.share);
+        public_key = group.mul(&public_key, d.commitments.secret_commitment());
+        for (slot, sk) in share_keys.iter_mut().enumerate() {
+            let i = (slot + 1) as u32;
+            *sk = group.mul(sk, &d.commitments.eval_in_exponent(group, i));
+        }
+        qualified.push(d.dealer);
+    }
+    qualified.sort_unstable();
+    Some(KeyShare {
+        index: me,
+        share,
+        public_key,
+        share_keys,
+        qualified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use crate::shamir;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_dkg(n: usize, t: usize, seed: u64) -> (Group, Vec<KeyShare>) {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dealings: Vec<(u32, Dealing)> = (1..=n as u32)
+            .map(|i| (i, deal(&group, t, n, &mut rng)))
+            .collect();
+        let shares: Vec<KeyShare> = (1..=n as u32)
+            .map(|me| {
+                let inputs: Vec<ReceivedDealing> = dealings
+                    .iter()
+                    .map(|(dealer, d)| ReceivedDealing {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.share_for(me).clone(),
+                    })
+                    .collect();
+                aggregate(&group, t, n, me, &inputs).unwrap()
+            })
+            .collect();
+        (group, shares)
+    }
+
+    #[test]
+    fn all_nodes_agree_on_public_key() {
+        let (_, shares) = run_dkg(5, 2, 31);
+        let pk = &shares[0].public_key;
+        assert!(shares.iter().all(|s| &s.public_key == pk));
+        assert!(shares.iter().all(|s| s.qualified == vec![1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn shares_interpolate_to_secret_key() {
+        let (group, shares) = run_dkg(5, 2, 32);
+        let points: Vec<(u32, BigUint)> = shares[0..3]
+            .iter()
+            .map(|s| (s.index, s.share.clone()))
+            .collect();
+        let secret = shamir::interpolate_at_zero(&group, &points);
+        assert_eq!(group.exp_g(&secret), shares[0].public_key);
+        // A different subset reconstructs the same secret.
+        let points2: Vec<(u32, BigUint)> = shares[2..5]
+            .iter()
+            .map(|s| (s.index, s.share.clone()))
+            .collect();
+        assert_eq!(shamir::interpolate_at_zero(&group, &points2), secret);
+    }
+
+    #[test]
+    fn share_keys_are_consistent() {
+        let (group, shares) = run_dkg(4, 1, 33);
+        for s in &shares {
+            assert!(s.self_consistent(&group));
+        }
+        // All nodes computed the same share-key vector.
+        assert!(shares
+            .iter()
+            .all(|s| s.share_keys == shares[0].share_keys));
+    }
+
+    #[test]
+    fn bad_dealing_rejected() {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(34);
+        let d = deal(&group, 2, 3, &mut rng);
+        let mut bad = ReceivedDealing {
+            dealer: 1,
+            commitments: d.commitments.clone(),
+            share: d.share_for(1).clone(),
+        };
+        assert!(bad.verify(&group, 2, 1));
+        bad.share = group.scalar_add(&bad.share, &BigUint::one());
+        assert!(!bad.verify(&group, 2, 1));
+        assert!(aggregate(&group, 2, 3, 1, &[bad]).is_none());
+        assert!(aggregate(&group, 2, 3, 1, &[]).is_none());
+    }
+
+    #[test]
+    fn wrong_degree_dealing_rejected() {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(35);
+        let d = deal(&group, 3, 5, &mut rng); // degree 3, expected 2
+        let rd = ReceivedDealing {
+            dealer: 2,
+            commitments: d.commitments.clone(),
+            share: d.share_for(1).clone(),
+        };
+        assert!(!rd.verify(&group, 2, 1));
+    }
+
+    #[test]
+    fn subset_of_dealers_still_works() {
+        // Aggregating only dealings 1..3 (consistently) still yields a valid key.
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(36);
+        let n = 5;
+        let t = 2;
+        let dealings: Vec<(u32, Dealing)> = (1..=3u32)
+            .map(|i| (i, deal(&group, t, n, &mut rng)))
+            .collect();
+        let shares: Vec<KeyShare> = (1..=n as u32)
+            .map(|me| {
+                let inputs: Vec<ReceivedDealing> = dealings
+                    .iter()
+                    .map(|(dealer, d)| ReceivedDealing {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.share_for(me).clone(),
+                    })
+                    .collect();
+                aggregate(&group, t, n, me, &inputs).unwrap()
+            })
+            .collect();
+        let points: Vec<(u32, BigUint)> = shares[1..4]
+            .iter()
+            .map(|s| (s.index, s.share.clone()))
+            .collect();
+        let secret = shamir::interpolate_at_zero(&group, &points);
+        assert_eq!(group.exp_g(&secret), shares[0].public_key);
+        assert_eq!(shares[0].qualified, vec![1, 2, 3]);
+    }
+}

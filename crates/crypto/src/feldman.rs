@@ -1,0 +1,281 @@
+//! Feldman verifiable secret sharing.
+//!
+//! A dealer publishing commitments `C_k = g^{a_k}` to the coefficients of its
+//! Shamir polynomial lets every receiver check its share non-interactively:
+//! `g^{f(i)} = Π_k C_k^{i^k}`. This is the verifiability layer used by the
+//! joint-Feldman DKG ([`crate::dkg`]), by partial-signature verification in
+//! [`crate::thresh`], and by the proactive update/recovery dealings in
+//! [`crate::refresh`].
+//!
+//! # Examples
+//!
+//! ```
+//! use proauth_crypto::group::{Group, GroupId};
+//! use proauth_crypto::shamir::Polynomial;
+//! use proauth_crypto::feldman::Commitments;
+//!
+//! let group = Group::new(GroupId::Toy64);
+//! let mut rng = rand::thread_rng();
+//! let poly = Polynomial::random(&group, 2, &mut rng);
+//! let comms = Commitments::from_polynomial(&group, &poly);
+//! assert!(comms.verify_share_in(&group, 3, &poly.eval_at(3)));
+//! ```
+
+use crate::group::Group;
+use crate::shamir::Polynomial;
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Feldman coefficient commitments `C_k = g^{a_k}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commitments {
+    c: Vec<BigUint>,
+}
+
+impl Commitments {
+    /// Commits to every coefficient of `poly`.
+    pub fn from_polynomial(group: &Group, poly: &Polynomial) -> Self {
+        Commitments {
+            c: poly.coeffs().iter().map(|a| group.exp_g(a)).collect(),
+        }
+    }
+
+    /// Constructs from raw commitment elements, validating group membership.
+    ///
+    /// Returns `None` if any element is not in the group or the list is empty.
+    pub fn from_elements(group: &Group, c: Vec<BigUint>) -> Option<Self> {
+        if c.is_empty() || !c.iter().all(|e| group.contains(e)) {
+            return None;
+        }
+        Some(Commitments { c })
+    }
+
+    /// The committed polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.c.len() - 1
+    }
+
+    /// Commitment to the secret: `C_0 = g^{f(0)}`.
+    pub fn secret_commitment(&self) -> &BigUint {
+        &self.c[0]
+    }
+
+    /// The raw commitment elements.
+    pub fn elements(&self) -> &[BigUint] {
+        &self.c
+    }
+
+    /// Computes `g^{f(i)}` "in the exponent": `Π_k C_k^{i^k} mod p`.
+    pub fn eval_in_exponent(&self, group: &Group, i: u32) -> BigUint {
+        let q = group.q();
+        let i_scalar = BigUint::from_u64(i as u64).rem(q);
+        let mut acc = group.identity();
+        let mut i_pow = BigUint::one();
+        for ck in &self.c {
+            acc = group.mul(&acc, &group.exp(ck, &i_pow));
+            i_pow = i_pow.mul_mod(&i_scalar, q);
+        }
+        acc
+    }
+
+    /// Verifies that `share` equals `f(i)` for the committed polynomial.
+    pub fn verify_share_in(&self, group: &Group, i: u32, share: &BigUint) -> bool {
+        if share >= group.q() {
+            return false;
+        }
+        group.exp_g(share) == self.eval_in_exponent(group, i)
+    }
+
+    /// Pointwise product of commitments: commits to the *sum* polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees differ.
+    pub fn combine(&self, group: &Group, other: &Commitments) -> Commitments {
+        assert_eq!(self.c.len(), other.c.len(), "degree mismatch");
+        Commitments {
+            c: self
+                .c
+                .iter()
+                .zip(&other.c)
+                .map(|(a, b)| group.mul(a, b))
+                .collect(),
+        }
+    }
+}
+
+impl Encode for Commitments {
+    fn encode(&self, w: &mut Writer) {
+        self.c.encode(w);
+    }
+}
+
+impl Decode for Commitments {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let c = Vec::<BigUint>::decode(r)?;
+        if c.is_empty() {
+            return Err(WireError::BadLength);
+        }
+        Ok(Commitments { c })
+    }
+}
+
+/// A full Feldman dealing: public commitments plus the per-node shares
+/// (`shares[i-1]` is node `i`'s share). The dealer sends each node its share
+/// privately and the commitments to everyone.
+#[derive(Debug, Clone)]
+pub struct Dealing {
+    /// Public part.
+    pub commitments: Commitments,
+    /// Private shares, indexed by node (1-based node `i` ↦ `shares[i-1]`).
+    pub shares: Vec<BigUint>,
+}
+
+impl Dealing {
+    /// Deals a random degree-`threshold` sharing of `secret` to `n` nodes.
+    pub fn deal<R: rand::RngCore>(
+        group: &Group,
+        threshold: usize,
+        n: usize,
+        secret: BigUint,
+        rng: &mut R,
+    ) -> Self {
+        let poly = Polynomial::random_with_secret(group, threshold, secret, rng);
+        Self::from_polynomial(group, &poly, n)
+    }
+
+    /// Deals a sharing of zero (used by proactive refresh).
+    pub fn deal_zero<R: rand::RngCore>(
+        group: &Group,
+        threshold: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::deal(group, threshold, n, BigUint::zero(), rng)
+    }
+
+    /// Builds the dealing for an explicit polynomial.
+    pub fn from_polynomial(group: &Group, poly: &Polynomial, n: usize) -> Self {
+        Dealing {
+            commitments: Commitments::from_polynomial(group, poly),
+            shares: (1..=n as u32).map(|i| poly.eval_at(i)).collect(),
+        }
+    }
+
+    /// Node `i`'s share (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn share_for(&self, i: u32) -> &BigUint {
+        &self.shares[(i - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Group, StdRng) {
+        (Group::new(GroupId::Toy64), StdRng::seed_from_u64(21))
+    }
+
+    #[test]
+    fn honest_shares_verify() {
+        let (group, mut rng) = setup();
+        let secret = group.random_scalar(&mut rng);
+        let dealing = Dealing::deal(&group, 2, 5, secret.clone(), &mut rng);
+        for i in 1..=5u32 {
+            assert!(dealing
+                .commitments
+                .verify_share_in(&group, i, dealing.share_for(i)));
+        }
+        assert_eq!(
+            dealing.commitments.secret_commitment(),
+            &group.exp_g(&secret)
+        );
+    }
+
+    #[test]
+    fn tampered_share_rejected() {
+        let (group, mut rng) = setup();
+        let dealing = Dealing::deal(&group, 2, 5, BigUint::from_u64(7), &mut rng);
+        let bad = group.scalar_add(dealing.share_for(3), &BigUint::one());
+        assert!(!dealing.commitments.verify_share_in(&group, 3, &bad));
+        // Share valid for node 3 is not valid for node 4 (w.h.p.).
+        assert!(!dealing
+            .commitments
+            .verify_share_in(&group, 4, dealing.share_for(3)));
+    }
+
+    #[test]
+    fn out_of_range_share_rejected() {
+        let (group, mut rng) = setup();
+        let dealing = Dealing::deal(&group, 1, 3, BigUint::zero(), &mut rng);
+        let oversized = dealing.share_for(1).add(group.q());
+        assert!(!dealing.commitments.verify_share_in(&group, 1, &oversized));
+    }
+
+    #[test]
+    fn zero_dealing_has_identity_secret_commitment() {
+        let (group, mut rng) = setup();
+        let dealing = Dealing::deal_zero(&group, 2, 5, &mut rng);
+        assert!(dealing.commitments.secret_commitment().is_one());
+        for i in 1..=5u32 {
+            assert!(dealing
+                .commitments
+                .verify_share_in(&group, i, dealing.share_for(i)));
+        }
+    }
+
+    #[test]
+    fn combine_commits_to_sum() {
+        let (group, mut rng) = setup();
+        let d1 = Dealing::deal(&group, 2, 4, BigUint::from_u64(3), &mut rng);
+        let d2 = Dealing::deal(&group, 2, 4, BigUint::from_u64(9), &mut rng);
+        let combined = d1.commitments.combine(&group, &d2.commitments);
+        for i in 1..=4u32 {
+            let sum_share = group.scalar_add(d1.share_for(i), d2.share_for(i));
+            assert!(combined.verify_share_in(&group, i, &sum_share));
+        }
+        assert_eq!(
+            combined.secret_commitment(),
+            &group.exp_g(&BigUint::from_u64(12))
+        );
+    }
+
+    #[test]
+    fn eval_in_exponent_matches_direct() {
+        let (group, mut rng) = setup();
+        let poly = Polynomial::random(&group, 3, &mut rng);
+        let comms = Commitments::from_polynomial(&group, &poly);
+        for i in [1u32, 2, 9, 20] {
+            assert_eq!(
+                comms.eval_in_exponent(&group, i),
+                group.exp_g(&poly.eval_at(i))
+            );
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let (group, mut rng) = setup();
+        let dealing = Dealing::deal(&group, 2, 3, BigUint::from_u64(5), &mut rng);
+        let bytes = dealing.commitments.to_bytes();
+        let decoded = Commitments::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, dealing.commitments);
+    }
+
+    #[test]
+    fn from_elements_validates() {
+        let (group, mut rng) = setup();
+        let dealing = Dealing::deal(&group, 1, 3, BigUint::one(), &mut rng);
+        let elems = dealing.commitments.elements().to_vec();
+        assert!(Commitments::from_elements(&group, elems).is_some());
+        assert!(Commitments::from_elements(&group, vec![]).is_none());
+        assert!(Commitments::from_elements(&group, vec![BigUint::zero()]).is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! Pedersen commitments and Pedersen VSS.
+//!
+//! The paper's recommended efficient PDS instantiations (its refs \[20\],
+//! \[23\] — Gennaro–Jarecki–Krawczyk–Rabin and Herzberg et al.) use
+//! *Pedersen* verifiable secret sharing in the key-generation and refresh
+//! dealings: commitments `C_k = g^{a_k}·h^{b_k}` are information-
+//! theoretically hiding, so a dealing reveals nothing about the dealt
+//! polynomial — unlike Feldman commitments, which expose `g^{a_k}`.
+//!
+//! The bundled PDS uses Feldman ([`crate::feldman`]) because the only value
+//! Feldman leaks about the *joint* key is `g^{secret}` — the public key,
+//! which lives in ROM anyway — but this module provides the Pedersen
+//! substrate for instantiations that need dealing-secrecy (e.g. when the
+//! dealt secrets are themselves sensitive), matching the paper's cited
+//! constructions. The second generator `h` is derived by hashing into the
+//! group so that nobody knows `log_g h`.
+
+use crate::group::Group;
+use crate::shamir::Polynomial;
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Derives the auxiliary generator `h` with unknown discrete log:
+/// hash-to-scalar `u = H(domain ‖ g)` and set `h = g^u`... that would have a
+/// *known* log; instead hash into `Z_p^*` and cook the result into the
+/// order-`q` subgroup by raising to the cofactor.
+pub fn derive_h(group: &Group) -> BigUint {
+    let cofactor = group.p().sub(&BigUint::one()).divrem(group.q()).0;
+    let mut counter = 0u64;
+    loop {
+        let digest = proauth_primitives::sha256::hash_parts(
+            "proauth/pedersen/h",
+            &[&group.g().to_bytes_be(), &counter.to_be_bytes()],
+        );
+        let candidate = BigUint::from_bytes_be(&digest).rem(group.p());
+        let h = group.exp(&candidate, &cofactor);
+        if !h.is_one() && !h.is_zero() && group.contains(&h) {
+            return h;
+        }
+        counter += 1;
+    }
+}
+
+/// A Pedersen commitment `g^v · h^r`.
+pub fn commit(group: &Group, h: &BigUint, value: &BigUint, blinding: &BigUint) -> BigUint {
+    group.mul(&group.exp_g(value), &group.exp(h, blinding))
+}
+
+/// Pedersen coefficient commitments for a pair of polynomials
+/// `(f, f̂)`: `C_k = g^{a_k} · h^{b_k}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PedersenCommitments {
+    c: Vec<BigUint>,
+}
+
+impl PedersenCommitments {
+    /// Commits to the coefficient pairs of `(f, blind)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials have different degrees.
+    pub fn from_polynomials(
+        group: &Group,
+        h: &BigUint,
+        f: &Polynomial,
+        blind: &Polynomial,
+    ) -> Self {
+        assert_eq!(f.degree(), blind.degree(), "degree mismatch");
+        PedersenCommitments {
+            c: f.coeffs()
+                .iter()
+                .zip(blind.coeffs())
+                .map(|(a, b)| commit(group, h, a, b))
+                .collect(),
+        }
+    }
+
+    /// The committed polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.c.len() - 1
+    }
+
+    /// The raw commitment elements.
+    pub fn elements(&self) -> &[BigUint] {
+        &self.c
+    }
+
+    /// Evaluates the commitment polynomial at `i`: `Π C_k^{i^k}`.
+    pub fn eval_in_exponent(&self, group: &Group, i: u32) -> BigUint {
+        let q = group.q();
+        let i_scalar = BigUint::from_u64(u64::from(i)).rem(q);
+        let mut acc = group.identity();
+        let mut pow = BigUint::one();
+        for ck in &self.c {
+            acc = group.mul(&acc, &group.exp(ck, &pow));
+            pow = pow.mul_mod(&i_scalar, q);
+        }
+        acc
+    }
+
+    /// Verifies a share pair: `g^{share} · h^{blind_share} = Π C_k^{i^k}`.
+    pub fn verify_share(
+        &self,
+        group: &Group,
+        h: &BigUint,
+        i: u32,
+        share: &BigUint,
+        blind_share: &BigUint,
+    ) -> bool {
+        if share >= group.q() || blind_share >= group.q() {
+            return false;
+        }
+        commit(group, h, share, blind_share) == self.eval_in_exponent(group, i)
+    }
+}
+
+impl Encode for PedersenCommitments {
+    fn encode(&self, w: &mut Writer) {
+        self.c.encode(w);
+    }
+}
+
+impl Decode for PedersenCommitments {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let c = Vec::<BigUint>::decode(r)?;
+        if c.is_empty() {
+            return Err(WireError::BadLength);
+        }
+        Ok(PedersenCommitments { c })
+    }
+}
+
+/// A full Pedersen dealing: commitments plus per-node share pairs.
+#[derive(Debug, Clone)]
+pub struct PedersenDealing {
+    /// Public commitments.
+    pub commitments: PedersenCommitments,
+    /// Per-node `(share, blinding-share)` pairs, 1-based via index−1.
+    pub shares: Vec<(BigUint, BigUint)>,
+}
+
+impl PedersenDealing {
+    /// Deals a degree-`threshold` Pedersen sharing of `secret` to `n` nodes.
+    pub fn deal<R: rand::RngCore>(
+        group: &Group,
+        h: &BigUint,
+        threshold: usize,
+        n: usize,
+        secret: BigUint,
+        rng: &mut R,
+    ) -> Self {
+        let f = Polynomial::random_with_secret(group, threshold, secret, rng);
+        let blind = Polynomial::random(group, threshold, rng);
+        PedersenDealing {
+            commitments: PedersenCommitments::from_polynomials(group, h, &f, &blind),
+            shares: (1..=n as u32)
+                .map(|i| (f.eval_at(i), blind.eval_at(i)))
+                .collect(),
+        }
+    }
+
+    /// Node `i`'s share pair (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn share_for(&self, i: u32) -> &(BigUint, BigUint) {
+        &self.shares[(i - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use crate::shamir;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Group, BigUint, StdRng) {
+        let group = Group::new(GroupId::Toy64);
+        let h = derive_h(&group);
+        (group, h, StdRng::seed_from_u64(303))
+    }
+
+    #[test]
+    fn h_is_a_valid_independent_generator() {
+        let (group, h, _) = setup();
+        assert!(group.contains(&h));
+        assert!(!h.is_one());
+        assert_ne!(&h, group.g());
+        // Deterministic.
+        assert_eq!(h, derive_h(&group));
+    }
+
+    #[test]
+    fn commitment_is_binding_on_both_components() {
+        let (group, h, mut rng) = setup();
+        let v = group.random_scalar(&mut rng);
+        let r = group.random_scalar(&mut rng);
+        let c = commit(&group, &h, &v, &r);
+        assert_eq!(c, commit(&group, &h, &v, &r));
+        let v2 = group.scalar_add(&v, &BigUint::one());
+        assert_ne!(c, commit(&group, &h, &v2, &r));
+        let r2 = group.scalar_add(&r, &BigUint::one());
+        assert_ne!(c, commit(&group, &h, &v, &r2));
+    }
+
+    #[test]
+    fn honest_dealing_verifies_everywhere() {
+        let (group, h, mut rng) = setup();
+        let secret = group.random_scalar(&mut rng);
+        let d = PedersenDealing::deal(&group, &h, 2, 5, secret.clone(), &mut rng);
+        for i in 1..=5u32 {
+            let (s, b) = d.share_for(i);
+            assert!(d.commitments.verify_share(&group, &h, i, s, b));
+        }
+        // Shares interpolate back to the secret.
+        let pts: Vec<(u32, BigUint)> = (1..=3u32)
+            .map(|i| (i, d.share_for(i).0.clone()))
+            .collect();
+        assert_eq!(shamir::interpolate_at_zero(&group, &pts), secret);
+    }
+
+    #[test]
+    fn tampered_share_or_blinding_rejected() {
+        let (group, h, mut rng) = setup();
+        let d = PedersenDealing::deal(&group, &h, 2, 4, BigUint::from_u64(9), &mut rng);
+        let (s, b) = d.share_for(2).clone();
+        let bad_s = group.scalar_add(&s, &BigUint::one());
+        assert!(!d.commitments.verify_share(&group, &h, 2, &bad_s, &b));
+        let bad_b = group.scalar_add(&b, &BigUint::one());
+        assert!(!d.commitments.verify_share(&group, &h, 2, &s, &bad_b));
+        // Out-of-range values rejected.
+        assert!(!d
+            .commitments
+            .verify_share(&group, &h, 2, &s.add(group.q()), &b));
+    }
+
+    #[test]
+    fn dealings_hide_the_secret_commitment() {
+        // Unlike Feldman, the constant-term commitment is NOT g^secret: the
+        // blinding term masks it.
+        let (group, h, mut rng) = setup();
+        let secret = BigUint::from_u64(5);
+        let d = PedersenDealing::deal(&group, &h, 2, 4, secret.clone(), &mut rng);
+        assert_ne!(
+            d.commitments.elements()[0],
+            group.exp_g(&secret),
+            "C_0 does not expose g^secret"
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let (group, h, mut rng) = setup();
+        let d = PedersenDealing::deal(&group, &h, 2, 3, BigUint::from_u64(1), &mut rng);
+        let bytes = d.commitments.to_bytes();
+        assert_eq!(
+            PedersenCommitments::from_bytes(&bytes).unwrap(),
+            d.commitments
+        );
+        assert!(PedersenCommitments::from_bytes(&[0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        // Pedersen commitments multiply to commit to the sums — the property
+        // refresh protocols exploit.
+        let (group, h, mut rng) = setup();
+        let (v1, r1) = (group.random_scalar(&mut rng), group.random_scalar(&mut rng));
+        let (v2, r2) = (group.random_scalar(&mut rng), group.random_scalar(&mut rng));
+        let lhs = group.mul(&commit(&group, &h, &v1, &r1), &commit(&group, &h, &v2, &r2));
+        let rhs = commit(
+            &group,
+            &h,
+            &group.scalar_add(&v1, &v2),
+            &group.scalar_add(&r1, &r2),
+        );
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,463 @@
+//! Proactive share refresh and share recovery (Herzberg et al. style, the
+//! `ARfr` component of the paper's AL-model PDS).
+//!
+//! **Refresh**: each node deals a Feldman sharing of *zero*; new shares are
+//! `x_i' = x_i + Σ_j δ_j(i)`. The joint secret (and thus the ROM-resident
+//! public key) is unchanged, but any `t` shares from *different* time units
+//! are useless to the adversary — the property that makes the mobile
+//! adversary of §2 harmless. A dealing is acceptable only if its secret
+//! commitment is the identity (`g^0`), which receivers check.
+//!
+//! **Recovery**: a node that was broken into may have lost (or had corrupted)
+//! its share. Helpers jointly blind the share polynomial with random
+//! polynomials that vanish at the recovering node's point `i`
+//! ([`crate::shamir::Polynomial::random_with_root`]), then each helper `j`
+//! sends `v_j = x_j + Σ_h d_h(j)`. Interpolating `t+1` verified points at `i`
+//! yields `f(i) + 0 = x_i` while revealing nothing else about `f` to the
+//! recovering node, and nothing about `x_i` to any helper.
+//!
+//! This module is pure computation; sequencing/consistency is the PDS
+//! driver's job.
+
+use crate::dkg::KeyShare;
+use crate::feldman::{Commitments, Dealing};
+use crate::group::Group;
+use crate::shamir::{self, Polynomial};
+use proauth_primitives::bigint::BigUint;
+
+/// Deals a refresh (zero-sharing) contribution.
+pub fn deal_update<R: rand::RngCore>(
+    group: &Group,
+    threshold: usize,
+    n: usize,
+    rng: &mut R,
+) -> Dealing {
+    Dealing::deal_zero(group, threshold, n, rng)
+}
+
+/// A refresh dealing as received by one node.
+#[derive(Debug, Clone)]
+pub struct ReceivedUpdate {
+    /// Dealer index (1-based).
+    pub dealer: u32,
+    /// Public commitments (must commit to zero).
+    pub commitments: Commitments,
+    /// The private update share addressed to the receiver.
+    pub share: BigUint,
+}
+
+impl ReceivedUpdate {
+    /// Verifies the dealing: correct degree, zero secret, valid share.
+    pub fn verify(&self, group: &Group, threshold: usize, me: u32) -> bool {
+        self.commitments.degree() == threshold
+            && self.commitments.secret_commitment().is_one()
+            && self.commitments.verify_share_in(group, me, &self.share)
+    }
+}
+
+/// Applies verified refresh dealings, producing the next unit's [`KeyShare`].
+///
+/// Returns `None` if any dealing fails verification or the set is empty.
+/// The old share should be **erased** by the caller immediately after (the
+/// erasure requirement of §6).
+///
+/// **Consistency requirement**: as with DKG, all honest nodes must apply the
+/// same dealer set (guaranteed by the protocol layer's echo-broadcast).
+pub fn apply_updates(
+    group: &Group,
+    threshold: usize,
+    key: &KeyShare,
+    updates: &[ReceivedUpdate],
+) -> Option<KeyShare> {
+    if updates.is_empty() {
+        return None;
+    }
+    let mut share = key.share.clone();
+    let mut share_keys = key.share_keys.clone();
+    let mut qualified = Vec::with_capacity(updates.len());
+    for u in updates {
+        if !u.verify(group, threshold, key.index) {
+            return None;
+        }
+        share = group.scalar_add(&share, &u.share);
+        for (slot, sk) in share_keys.iter_mut().enumerate() {
+            let i = (slot + 1) as u32;
+            *sk = group.mul(sk, &u.commitments.eval_in_exponent(group, i));
+        }
+        qualified.push(u.dealer);
+    }
+    qualified.sort_unstable();
+    Some(KeyShare {
+        index: key.index,
+        share,
+        public_key: key.public_key.clone(),
+        share_keys,
+        qualified,
+    })
+}
+
+/// Updates only the public data (share verification keys) for a node that
+/// has no share of its own to update — e.g. a node in recovery that still
+/// must track the sharing's public evolution.
+pub fn apply_updates_public(
+    group: &Group,
+    threshold: usize,
+    n: usize,
+    public_key: &BigUint,
+    share_keys: &[BigUint],
+    updates: &[ReceivedUpdate],
+    me: u32,
+) -> Option<(Vec<BigUint>, Vec<u32>)> {
+    if updates.is_empty() || share_keys.len() != n {
+        return None;
+    }
+    let _ = public_key;
+    let mut keys = share_keys.to_vec();
+    let mut qualified = Vec::with_capacity(updates.len());
+    for u in updates {
+        if !u.verify(group, threshold, me) {
+            return None;
+        }
+        for (slot, sk) in keys.iter_mut().enumerate() {
+            let i = (slot + 1) as u32;
+            *sk = group.mul(sk, &u.commitments.eval_in_exponent(group, i));
+        }
+        qualified.push(u.dealer);
+    }
+    qualified.sort_unstable();
+    Some((keys, qualified))
+}
+
+/// A helper's blinding dealing for recovering node `target`.
+#[derive(Debug, Clone)]
+pub struct BlindingDealing {
+    /// The node being helped.
+    pub target: u32,
+    /// Commitments to the blinding polynomial (root at `target`).
+    pub commitments: Commitments,
+    /// Per-node blinding shares (`shares[j-1]` for helper `j`).
+    pub shares: Vec<BigUint>,
+}
+
+/// Deals a blinding polynomial with a root at `target`.
+pub fn deal_blinding<R: rand::RngCore>(
+    group: &Group,
+    threshold: usize,
+    n: usize,
+    target: u32,
+    rng: &mut R,
+) -> BlindingDealing {
+    let poly = Polynomial::random_with_root(group, threshold, target, rng);
+    BlindingDealing {
+        target,
+        commitments: Commitments::from_polynomial(group, &poly),
+        shares: (1..=n as u32).map(|i| poly.eval_at(i)).collect(),
+    }
+}
+
+/// A blinding dealing as received by one helper.
+#[derive(Debug, Clone)]
+pub struct ReceivedBlinding {
+    /// Dealer index (1-based).
+    pub dealer: u32,
+    /// Public commitments.
+    pub commitments: Commitments,
+    /// The blinding share addressed to the receiving helper.
+    pub share: BigUint,
+}
+
+impl ReceivedBlinding {
+    /// Verifies the dealing: correct degree, vanishes at `target`, valid share.
+    pub fn verify(&self, group: &Group, threshold: usize, target: u32, me: u32) -> bool {
+        self.commitments.degree() == threshold
+            && self.commitments.eval_in_exponent(group, target).is_one()
+            && self.commitments.verify_share_in(group, me, &self.share)
+    }
+}
+
+/// A helper's contribution to a recovery: `v_j = x_j + Σ_h d_h(j)`.
+#[derive(Debug, Clone)]
+pub struct RecoveryValue {
+    /// Helper index (1-based).
+    pub helper: u32,
+    /// The blinded share evaluation.
+    pub value: BigUint,
+}
+
+/// Computes helper `key.index`'s recovery value from verified blindings.
+pub fn recovery_value(group: &Group, key: &KeyShare, blindings: &[ReceivedBlinding]) -> RecoveryValue {
+    let mut v = key.share.clone();
+    for b in blindings {
+        v = group.scalar_add(&v, &b.share);
+    }
+    RecoveryValue {
+        helper: key.index,
+        value: v,
+    }
+}
+
+/// The public data the recovering node needs to check recovery values:
+/// for helper `j`, `g^{v_j}` must equal `X_j · Π_h eval_h(j)`.
+pub fn expected_recovery_commitment(
+    group: &Group,
+    share_keys: &[BigUint],
+    blinding_commitments: &[Commitments],
+    helper: u32,
+) -> BigUint {
+    let mut acc = share_keys[(helper - 1) as usize].clone();
+    for c in blinding_commitments {
+        acc = group.mul(&acc, &c.eval_in_exponent(group, helper));
+    }
+    acc
+}
+
+/// Recovers the target node's share from `t+1` verified recovery values.
+///
+/// `values` must come from distinct helpers; each must already have been
+/// checked against [`expected_recovery_commitment`]. Interpolates the blinded
+/// polynomial `f + Σ d_h` at `target`, where the blinding vanishes.
+///
+/// Returns `None` if fewer than `threshold + 1` values are supplied.
+pub fn recover_share(
+    group: &Group,
+    threshold: usize,
+    target: u32,
+    values: &[RecoveryValue],
+) -> Option<BigUint> {
+    if values.len() < threshold + 1 {
+        return None;
+    }
+    let points: Vec<(u32, BigUint)> = values
+        .iter()
+        .take(threshold + 1)
+        .map(|v| (v.helper, v.value.clone()))
+        .collect();
+    Some(shamir::interpolate_at(group, &points, target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dkg::{self, ReceivedDealing};
+    use crate::group::GroupId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dkg_keys(n: usize, t: usize, seed: u64) -> (Group, Vec<KeyShare>) {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dealings: Vec<(u32, Dealing)> = (1..=n as u32)
+            .map(|i| (i, dkg::deal(&group, t, n, &mut rng)))
+            .collect();
+        let keys = (1..=n as u32)
+            .map(|me| {
+                let inputs: Vec<ReceivedDealing> = dealings
+                    .iter()
+                    .map(|(dealer, d)| ReceivedDealing {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.share_for(me).clone(),
+                    })
+                    .collect();
+                dkg::aggregate(&group, t, n, me, &inputs).unwrap()
+            })
+            .collect();
+        (group, keys)
+    }
+
+    fn refresh_all(
+        group: &Group,
+        t: usize,
+        n: usize,
+        keys: &[KeyShare],
+        rng: &mut StdRng,
+    ) -> Vec<KeyShare> {
+        let dealings: Vec<(u32, Dealing)> = (1..=n as u32)
+            .map(|i| (i, deal_update(group, t, n, rng)))
+            .collect();
+        keys.iter()
+            .map(|k| {
+                let updates: Vec<ReceivedUpdate> = dealings
+                    .iter()
+                    .map(|(dealer, d)| ReceivedUpdate {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.share_for(k.index).clone(),
+                    })
+                    .collect();
+                apply_updates(group, t, k, &updates).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refresh_preserves_public_key_and_changes_shares() {
+        let (group, keys) = dkg_keys(5, 2, 81);
+        let mut rng = StdRng::seed_from_u64(82);
+        let new_keys = refresh_all(&group, 2, 5, &keys, &mut rng);
+        for (old, new) in keys.iter().zip(&new_keys) {
+            assert_eq!(old.public_key, new.public_key);
+            assert_ne!(old.share, new.share, "share must change");
+            assert!(new.self_consistent(&group));
+        }
+        // New shares still interpolate to the same secret.
+        let points: Vec<(u32, BigUint)> = new_keys[0..3]
+            .iter()
+            .map(|k| (k.index, k.share.clone()))
+            .collect();
+        let secret = shamir::interpolate_at_zero(&group, &points);
+        assert_eq!(group.exp_g(&secret), keys[0].public_key);
+    }
+
+    #[test]
+    fn old_and_new_shares_do_not_mix() {
+        // t+1 shares drawn from different epochs interpolate to garbage.
+        let (group, keys) = dkg_keys(5, 2, 83);
+        let mut rng = StdRng::seed_from_u64(84);
+        let new_keys = refresh_all(&group, 2, 5, &keys, &mut rng);
+        let mixed: Vec<(u32, BigUint)> = vec![
+            (1, keys[0].share.clone()),
+            (2, new_keys[1].share.clone()),
+            (3, new_keys[2].share.clone()),
+        ];
+        let candidate = shamir::interpolate_at_zero(&group, &mixed);
+        assert_ne!(group.exp_g(&candidate), keys[0].public_key);
+    }
+
+    #[test]
+    fn nonzero_update_rejected() {
+        let (group, keys) = dkg_keys(3, 1, 85);
+        let mut rng = StdRng::seed_from_u64(86);
+        // A malicious "update" that shifts the secret.
+        let bad = Dealing::deal(&group, 1, 3, BigUint::one(), &mut rng);
+        let ru = ReceivedUpdate {
+            dealer: 2,
+            commitments: bad.commitments.clone(),
+            share: bad.share_for(1).clone(),
+        };
+        assert!(!ru.verify(&group, 1, 1));
+        assert!(apply_updates(&group, 1, &keys[0], &[ru]).is_none());
+    }
+
+    #[test]
+    fn full_share_recovery() {
+        let (group, keys) = dkg_keys(5, 2, 87);
+        let mut rng = StdRng::seed_from_u64(88);
+        let target = 4u32;
+        let helpers = [1u32, 2, 3];
+        // Each helper deals a blinding with root at target.
+        let blind_dealings: Vec<(u32, BlindingDealing)> = helpers
+            .iter()
+            .map(|&h| (h, deal_blinding(&group, 2, 5, target, &mut rng)))
+            .collect();
+        // Each helper verifies the blindings it received and computes v_j.
+        let values: Vec<RecoveryValue> = helpers
+            .iter()
+            .map(|&h| {
+                let received: Vec<ReceivedBlinding> = blind_dealings
+                    .iter()
+                    .map(|(dealer, d)| ReceivedBlinding {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.shares[(h - 1) as usize].clone(),
+                    })
+                    .collect();
+                for rb in &received {
+                    assert!(rb.verify(&group, 2, target, h));
+                }
+                recovery_value(&group, &keys[(h - 1) as usize], &received)
+            })
+            .collect();
+        // The recovering node checks each value against public data.
+        let comms: Vec<Commitments> = blind_dealings
+            .iter()
+            .map(|(_, d)| d.commitments.clone())
+            .collect();
+        for v in &values {
+            let expected = expected_recovery_commitment(&group, &keys[0].share_keys, &comms, v.helper);
+            assert_eq!(group.exp_g(&v.value), expected);
+        }
+        let recovered = recover_share(&group, 2, target, &values).unwrap();
+        assert_eq!(recovered, keys[(target - 1) as usize].share);
+    }
+
+    #[test]
+    fn recovery_needs_quorum() {
+        let group = Group::new(GroupId::Toy64);
+        let values = vec![
+            RecoveryValue {
+                helper: 1,
+                value: BigUint::one(),
+            },
+            RecoveryValue {
+                helper: 2,
+                value: BigUint::one(),
+            },
+        ];
+        assert!(recover_share(&group, 2, 5, &values).is_none());
+    }
+
+    #[test]
+    fn blinding_with_wrong_root_rejected() {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(89);
+        let d = deal_blinding(&group, 2, 5, 3, &mut rng);
+        let rb = ReceivedBlinding {
+            dealer: 1,
+            commitments: d.commitments.clone(),
+            share: d.shares[0].clone(),
+        };
+        assert!(rb.verify(&group, 2, 3, 1));
+        // Claimed target 4 but root is at 3.
+        assert!(!rb.verify(&group, 2, 4, 1));
+    }
+
+    #[test]
+    fn recovery_does_not_reveal_helper_shares() {
+        // The recovered value equals f(target); a single v_j alone differs
+        // from the helper's raw share (blinded).
+        let (group, keys) = dkg_keys(4, 1, 90);
+        let mut rng = StdRng::seed_from_u64(91);
+        let target = 4u32;
+        let d = deal_blinding(&group, 1, 4, target, &mut rng);
+        let rb = ReceivedBlinding {
+            dealer: 1,
+            commitments: d.commitments.clone(),
+            share: d.shares[0].clone(),
+        };
+        let v = recovery_value(&group, &keys[0], &[rb]);
+        assert_ne!(v.value, keys[0].share, "value is blinded");
+    }
+
+    #[test]
+    fn public_update_tracking_matches_full_update() {
+        let (group, keys) = dkg_keys(4, 1, 92);
+        let mut rng = StdRng::seed_from_u64(93);
+        let dealings: Vec<(u32, Dealing)> = (1..=4u32)
+            .map(|i| (i, deal_update(&group, 1, 4, &mut rng)))
+            .collect();
+        let updates_for = |me: u32| -> Vec<ReceivedUpdate> {
+            dealings
+                .iter()
+                .map(|(dealer, d)| ReceivedUpdate {
+                    dealer: *dealer,
+                    commitments: d.commitments.clone(),
+                    share: d.share_for(me).clone(),
+                })
+                .collect()
+        };
+        let full = apply_updates(&group, 1, &keys[0], &updates_for(1)).unwrap();
+        let (pub_keys, qualified) = apply_updates_public(
+            &group,
+            1,
+            4,
+            &keys[1].public_key,
+            &keys[1].share_keys,
+            &updates_for(2),
+            2,
+        )
+        .unwrap();
+        assert_eq!(pub_keys, full.share_keys);
+        assert_eq!(qualified, full.qualified);
+    }
+}

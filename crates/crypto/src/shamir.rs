@@ -1,0 +1,294 @@
+//! Shamir secret sharing over `Z_q`.
+//!
+//! The building block for the distributed key generation
+//! ([`crate::dkg`]), threshold signing ([`crate::thresh`]), and the proactive
+//! refresh protocol ([`crate::refresh`]).
+//!
+//! A degree-`t` polynomial `f` hides the secret `f(0)`; node `i` (1-based)
+//! holds the share `f(i)`. Any `t+1` shares reconstruct via Lagrange
+//! interpolation; any `t` reveal nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use proauth_crypto::group::{Group, GroupId};
+//! use proauth_crypto::shamir::Polynomial;
+//! use proauth_primitives::bigint::BigUint;
+//!
+//! let group = Group::new(GroupId::Toy64);
+//! let mut rng = rand::thread_rng();
+//! let secret = group.random_scalar(&mut rng);
+//! let poly = Polynomial::random_with_secret(&group, 2, secret.clone(), &mut rng);
+//! let shares: Vec<_> = (1u32..=5).map(|i| (i, poly.eval_at(i))).collect();
+//! let rec = proauth_crypto::shamir::interpolate_at_zero(&group, &shares[0..3]);
+//! assert_eq!(rec, secret);
+//! ```
+
+use crate::group::Group;
+use proauth_primitives::bigint::BigUint;
+
+/// A polynomial over `Z_q` in coefficient form (degree = `coeffs.len() - 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    group: Group,
+    /// `coeffs[k]` is the coefficient of `x^k`.
+    coeffs: Vec<BigUint>,
+}
+
+impl Polynomial {
+    /// A uniformly random polynomial of degree `degree`.
+    pub fn random<R: rand::RngCore>(group: &Group, degree: usize, rng: &mut R) -> Self {
+        let coeffs = (0..=degree).map(|_| group.random_scalar(rng)).collect();
+        Polynomial {
+            group: group.clone(),
+            coeffs,
+        }
+    }
+
+    /// A random polynomial of degree `degree` with fixed constant term.
+    pub fn random_with_secret<R: rand::RngCore>(
+        group: &Group,
+        degree: usize,
+        secret: BigUint,
+        rng: &mut R,
+    ) -> Self {
+        let mut coeffs = vec![secret.rem(group.q())];
+        coeffs.extend((0..degree).map(|_| group.random_scalar(rng)));
+        Polynomial {
+            group: group.clone(),
+            coeffs,
+        }
+    }
+
+    /// A random polynomial of degree `degree` with a *root* at `point`
+    /// (`f(point) = 0`), i.e. `f(x) = (x - point)·e(x)` for random `e`.
+    ///
+    /// Used by Herzberg-style share recovery: helpers jointly blind the share
+    /// polynomial with polynomials that vanish exactly at the recovering
+    /// node's evaluation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0` (a nonzero constant cannot have a root).
+    pub fn random_with_root<R: rand::RngCore>(
+        group: &Group,
+        degree: usize,
+        point: u32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(degree >= 1, "degree-0 polynomial cannot have a root");
+        let e = Self::random(group, degree - 1, rng);
+        // f(x) = (x - point) * e(x)
+        let q = group.q();
+        let neg_point = group.scalar_neg(&BigUint::from_u64(point as u64));
+        let mut coeffs = vec![BigUint::zero(); degree + 1];
+        for (k, ek) in e.coeffs.iter().enumerate() {
+            // x * ek * x^k  contributes to coeff k+1
+            coeffs[k + 1] = coeffs[k + 1].add_mod(ek, q);
+            // (-point) * ek * x^k contributes to coeff k
+            coeffs[k] = coeffs[k].add_mod(&neg_point.mul_mod(ek, q), q);
+        }
+        Polynomial {
+            group: group.clone(),
+            coeffs,
+        }
+    }
+
+    /// Builds a polynomial from explicit coefficients (reduced mod `q`).
+    pub fn from_coeffs(group: &Group, coeffs: Vec<BigUint>) -> Self {
+        let coeffs = coeffs.into_iter().map(|c| c.rem(group.q())).collect();
+        Polynomial {
+            group: group.clone(),
+            coeffs,
+        }
+    }
+
+    /// The coefficients, constant term first.
+    pub fn coeffs(&self) -> &[BigUint] {
+        &self.coeffs
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// The secret `f(0)`.
+    pub fn secret(&self) -> &BigUint {
+        &self.coeffs[0]
+    }
+
+    /// Evaluates at the (1-based) node index `i` by Horner's rule.
+    pub fn eval_at(&self, i: u32) -> BigUint {
+        self.eval_scalar(&BigUint::from_u64(i as u64))
+    }
+
+    /// Evaluates at an arbitrary scalar point.
+    pub fn eval_scalar(&self, x: &BigUint) -> BigUint {
+        let q = self.group.q();
+        let mut acc = BigUint::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc.mul_mod(x, q).add_mod(c, q);
+        }
+        acc
+    }
+}
+
+/// Lagrange coefficient `λ_j` for reconstructing `f(0)` from the points
+/// `indices` (all distinct, 1-based): `λ_j = Π_{m≠j} m / (m - j) mod q`.
+///
+/// # Panics
+///
+/// Panics if `j` is not in `indices` or indices are not distinct.
+pub fn lagrange_coeff_at_zero(group: &Group, indices: &[u32], j: u32) -> BigUint {
+    lagrange_coeff_at(group, indices, j, 0)
+}
+
+/// Lagrange coefficient for evaluating at an arbitrary point `x0`:
+/// `λ_j(x0) = Π_{m≠j} (x0 - m) / (j - m)` over the index set.
+///
+/// # Panics
+///
+/// Panics if `j ∉ indices` or indices repeat.
+pub fn lagrange_coeff_at(group: &Group, indices: &[u32], j: u32, x0: u32) -> BigUint {
+    assert!(indices.contains(&j), "j must be one of the indices");
+    let q = group.q();
+    let to_s = |v: u32| BigUint::from_u64(v as u64).rem(q);
+    let xj = to_s(j);
+    let x0s = to_s(x0);
+    let mut num = BigUint::one();
+    let mut den = BigUint::one();
+    for &m in indices {
+        if m == j {
+            continue;
+        }
+        assert_ne!(m, j);
+        let xm = to_s(m);
+        num = num.mul_mod(&x0s.sub_mod(&xm, q), q);
+        den = den.mul_mod(&xj.sub_mod(&xm, q), q);
+    }
+    let den_inv = group
+        .scalar_inv(&den)
+        .expect("distinct indices below q give nonzero denominator");
+    num.mul_mod(&den_inv, q)
+}
+
+/// Reconstructs `f(0)` from `(index, share)` points.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains duplicate indices.
+pub fn interpolate_at_zero(group: &Group, points: &[(u32, BigUint)]) -> BigUint {
+    interpolate_at(group, points, 0)
+}
+
+/// Reconstructs `f(x0)` from `(index, share)` points.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains duplicate indices.
+pub fn interpolate_at(group: &Group, points: &[(u32, BigUint)], x0: u32) -> BigUint {
+    assert!(!points.is_empty(), "need at least one point");
+    let indices: Vec<u32> = points.iter().map(|(i, _)| *i).collect();
+    let q = group.q();
+    let mut acc = BigUint::zero();
+    for (i, share) in points {
+        let lambda = lagrange_coeff_at(group, &indices, *i, x0);
+        acc = acc.add_mod(&lambda.mul_mod(share, q), q);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Group, StdRng) {
+        (Group::new(GroupId::Toy64), StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn share_and_reconstruct() {
+        let (group, mut rng) = setup();
+        let secret = group.random_scalar(&mut rng);
+        let poly = Polynomial::random_with_secret(&group, 2, secret.clone(), &mut rng);
+        let shares: Vec<(u32, BigUint)> = (1..=7).map(|i| (i, poly.eval_at(i))).collect();
+        // Any 3 of 7 reconstruct.
+        for window in [&shares[0..3], &shares[2..5], &shares[4..7]] {
+            assert_eq!(interpolate_at_zero(&group, window), secret);
+        }
+    }
+
+    #[test]
+    fn too_few_shares_give_wrong_secret() {
+        let (group, mut rng) = setup();
+        let secret = group.random_scalar(&mut rng);
+        let poly = Polynomial::random_with_secret(&group, 3, secret.clone(), &mut rng);
+        let shares: Vec<(u32, BigUint)> = (1..=3).map(|i| (i, poly.eval_at(i))).collect();
+        // 3 shares of a degree-3 polynomial: interpolation yields garbage
+        // (w.h.p. not the secret).
+        assert_ne!(interpolate_at_zero(&group, &shares), secret);
+    }
+
+    #[test]
+    fn interpolate_at_general_point() {
+        let (group, mut rng) = setup();
+        let poly = Polynomial::random(&group, 2, &mut rng);
+        let shares: Vec<(u32, BigUint)> = (1..=3).map(|i| (i, poly.eval_at(i))).collect();
+        assert_eq!(interpolate_at(&group, &shares, 9), poly.eval_at(9));
+    }
+
+    #[test]
+    fn root_polynomial_vanishes_at_point() {
+        let (group, mut rng) = setup();
+        for point in [1u32, 3, 7] {
+            let poly = Polynomial::random_with_root(&group, 2, point, &mut rng);
+            assert!(poly.eval_at(point).is_zero(), "f({point}) = 0");
+            assert_eq!(poly.degree(), 2);
+            // Not identically zero (w.h.p.).
+            assert!(!poly.eval_at(point + 1).is_zero());
+        }
+    }
+
+    #[test]
+    fn lagrange_coeffs_sum_correctly() {
+        let (group, mut rng) = setup();
+        // Constant polynomial: all shares equal secret, so Σλ_j = 1.
+        let secret = group.random_scalar(&mut rng);
+        let indices = [2u32, 5, 9];
+        let mut sum = proauth_primitives::bigint::BigUint::zero();
+        for &j in &indices {
+            sum = group.scalar_add(&sum, &lagrange_coeff_at_zero(&group, &indices, j));
+        }
+        assert!(sum.is_one());
+        let _ = secret;
+    }
+
+    #[test]
+    fn eval_matches_horner_reference() {
+        let (group, _) = setup();
+        // f(x) = 3 + 2x + x^2 mod q
+        let poly = Polynomial::from_coeffs(
+            &group,
+            vec![
+                BigUint::from_u64(3),
+                BigUint::from_u64(2),
+                BigUint::from_u64(1),
+            ],
+        );
+        assert_eq!(poly.eval_at(0), BigUint::from_u64(3));
+        assert_eq!(poly.eval_at(1), BigUint::from_u64(6));
+        assert_eq!(poly.eval_at(5), BigUint::from_u64(3 + 10 + 25));
+        assert_eq!(poly.secret(), &BigUint::from_u64(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "j must be one of the indices")]
+    fn lagrange_requires_member_index() {
+        let (group, _) = setup();
+        let _ = lagrange_coeff_at_zero(&group, &[1, 2, 3], 4);
+    }
+}

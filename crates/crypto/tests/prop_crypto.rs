@@ -1,0 +1,175 @@
+//! Property tests over the cryptographic substrates: Shamir interpolation on
+//! random subsets, Feldman verification soundness/completeness, Schnorr
+//! signature correctness, and refresh invariants.
+
+use proauth_crypto::dkg;
+use proauth_crypto::feldman::{Commitments, Dealing};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_crypto::refresh;
+use proauth_crypto::schnorr::SigningKey;
+use proauth_crypto::shamir::{self, Polynomial};
+use proauth_primitives::bigint::BigUint;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn group() -> Group {
+    Group::new(GroupId::Toy64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shamir_any_quorum_reconstructs(seed in any::<u64>(), t in 1usize..4, extra in 0usize..4) {
+        let group = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = t + 1 + extra;
+        let secret = group.random_scalar(&mut rng);
+        let poly = Polynomial::random_with_secret(&group, t, secret.clone(), &mut rng);
+        // Pick an arbitrary (t+1)-subset determined by the seed.
+        let mut indices: Vec<u32> = (1..=n as u32).collect();
+        for k in (1..indices.len()).rev() {
+            let j = (seed as usize + k * 7) % (k + 1);
+            indices.swap(k, j);
+        }
+        let points: Vec<(u32, BigUint)> = indices[..t + 1]
+            .iter()
+            .map(|&i| (i, poly.eval_at(i)))
+            .collect();
+        prop_assert_eq!(shamir::interpolate_at_zero(&group, &points), secret);
+    }
+
+    #[test]
+    fn feldman_complete_and_sound(seed in any::<u64>(), t in 1usize..4) {
+        let group = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 * t + 1;
+        let secret = group.random_scalar(&mut rng);
+        let dealing = Dealing::deal(&group, t, n, secret, &mut rng);
+        for i in 1..=n as u32 {
+            // Completeness: honest shares verify.
+            prop_assert!(dealing.commitments.verify_share_in(&group, i, dealing.share_for(i)));
+            // Soundness: shifted shares fail.
+            let bad = group.scalar_add(dealing.share_for(i), &BigUint::one());
+            prop_assert!(!dealing.commitments.verify_share_in(&group, i, &bad));
+        }
+    }
+
+    #[test]
+    fn schnorr_roundtrip_random_messages(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let group = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SigningKey::generate(&group, &mut rng);
+        let sig = sk.sign(&msg, &mut rng);
+        prop_assert!(sk.verify_key().verify(&msg, &sig));
+        // A one-byte perturbation invalidates the signature.
+        let mut other = msg.clone();
+        other.push(0x55);
+        prop_assert!(!sk.verify_key().verify(&other, &sig));
+    }
+
+    #[test]
+    fn dkg_plus_refresh_keeps_secret(seed in any::<u64>(), t in 1usize..3) {
+        let group = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 * t + 1;
+        // DKG
+        let dealings: Vec<(u32, Dealing)> = (1..=n as u32)
+            .map(|i| (i, dkg::deal(&group, t, n, &mut rng)))
+            .collect();
+        let keys: Vec<dkg::KeyShare> = (1..=n as u32)
+            .map(|me| {
+                let inputs: Vec<dkg::ReceivedDealing> = dealings
+                    .iter()
+                    .map(|(dealer, d)| dkg::ReceivedDealing {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.share_for(me).clone(),
+                    })
+                    .collect();
+                dkg::aggregate(&group, t, n, me, &inputs).unwrap()
+            })
+            .collect();
+        // Refresh
+        let upd: Vec<(u32, Dealing)> = (1..=n as u32)
+            .map(|i| (i, refresh::deal_update(&group, t, n, &mut rng)))
+            .collect();
+        let new_keys: Vec<dkg::KeyShare> = keys
+            .iter()
+            .map(|k| {
+                let updates: Vec<refresh::ReceivedUpdate> = upd
+                    .iter()
+                    .map(|(dealer, d)| refresh::ReceivedUpdate {
+                        dealer: *dealer,
+                        commitments: d.commitments.clone(),
+                        share: d.share_for(k.index).clone(),
+                    })
+                    .collect();
+                refresh::apply_updates(&group, t, k, &updates).unwrap()
+            })
+            .collect();
+        // Public key unchanged, shares changed, reconstruction intact.
+        let points: Vec<(u32, BigUint)> = new_keys[..t + 1]
+            .iter()
+            .map(|k| (k.index, k.share.clone()))
+            .collect();
+        let secret = shamir::interpolate_at_zero(&group, &points);
+        prop_assert_eq!(&group.exp_g(&secret), &keys[0].public_key);
+        for (old, new) in keys.iter().zip(&new_keys) {
+            prop_assert_eq!(&old.public_key, &new.public_key);
+            prop_assert_ne!(&old.share, &new.share);
+        }
+    }
+
+    #[test]
+    fn recovery_reconstructs_exact_share(seed in any::<u64>(), t in 1usize..3) {
+        let group = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 * t + 1;
+        let secret = group.random_scalar(&mut rng);
+        let poly = Polynomial::random_with_secret(&group, t, secret, &mut rng);
+        let share_keys: Vec<BigUint> = (1..=n as u32).map(|i| group.exp_g(&poly.eval_at(i))).collect();
+        let target = n as u32;
+        let helpers: Vec<u32> = (1..=(t + 1) as u32).collect();
+        let blinds: Vec<(u32, refresh::BlindingDealing)> = helpers
+            .iter()
+            .map(|&h| (h, refresh::deal_blinding(&group, t, n, target, &mut rng)))
+            .collect();
+        let values: Vec<refresh::RecoveryValue> = helpers
+            .iter()
+            .map(|&h| {
+                let mut v = poly.eval_at(h);
+                for (_, d) in &blinds {
+                    v = group.scalar_add(&v, &d.shares[(h - 1) as usize]);
+                }
+                refresh::RecoveryValue { helper: h, value: v }
+            })
+            .collect();
+        // Verify each value against public data before interpolating.
+        let comms: Vec<Commitments> = blinds.iter().map(|(_, d)| d.commitments.clone()).collect();
+        for v in &values {
+            let expected = refresh::expected_recovery_commitment(&group, &share_keys, &comms, v.helper);
+            prop_assert_eq!(&group.exp_g(&v.value), &expected);
+        }
+        let recovered = refresh::recover_share(&group, t, target, &values).unwrap();
+        prop_assert_eq!(recovered, poly.eval_at(target));
+    }
+
+    #[test]
+    fn lagrange_weights_reconstruct_in_exponent(seed in any::<u64>(), t in 1usize..4) {
+        // Σ λ_i · f(i) = f(0) also holds in the exponent — the identity that
+        // makes threshold Schnorr work.
+        let group = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = Polynomial::random(&group, t, &mut rng);
+        let indices: Vec<u32> = (1..=(t + 1) as u32).collect();
+        let mut acc = group.identity();
+        for &i in &indices {
+            let lambda = shamir::lagrange_coeff_at_zero(&group, &indices, i);
+            let term = group.exp_g(&group.scalar_mul(&lambda, &poly.eval_at(i)));
+            acc = group.mul(&acc, &term);
+        }
+        prop_assert_eq!(acc, group.exp_g(poly.secret()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Adapter running an [`AlPds`] directly in the AL-model simulator —
+//! the reference execution for Theorem 13 ("there exist t-secure PDS schemes
+//! in the AL model"), and the baseline the ULS construction is compared
+//! against.
+//!
+//! In the AL model one logical PDS round equals one physical round.
+//! Sign requests arrive as per-round external inputs (the `x_{i,w}` channel):
+//! the raw input bytes are the message to sign in the current time unit.
+
+use crate::api::{AlPds, PdsPhase, PdsTime};
+use crate::als::AlsPds;
+use proauth_sim::clock::Phase;
+use proauth_sim::message::OutputEvent;
+use proauth_sim::process::{Process, RoundCtx, SetupCtx};
+
+/// A simulator node executing an ALS instance over authenticated links.
+pub struct AlsProcess {
+    /// The wrapped PDS state machine (public so adversary strategies can
+    /// corrupt it through `state_mut`).
+    pub pds: AlsPds,
+}
+
+impl AlsProcess {
+    /// Wraps an ALS state machine.
+    pub fn new(pds: AlsPds) -> Self {
+        AlsProcess { pds }
+    }
+}
+
+/// Maps simulator phases to PDS phases: the PDS refresh protocol (`ARfr`)
+/// runs during refresh Part II (Part I belongs to the ULS layer and is a
+/// no-op for a bare AL-model PDS).
+pub fn pds_time_of(phase: Phase, unit: u64) -> PdsTime {
+    match phase {
+        Phase::RefreshPart2 { step } => PdsTime {
+            unit,
+            phase: PdsPhase::Refresh { step },
+        },
+        _ => PdsTime {
+            unit,
+            phase: PdsPhase::Normal,
+        },
+    }
+}
+
+impl Process for AlsProcess {
+    fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>) {
+        let inbox: Vec<_> = ctx
+            .inbox
+            .iter()
+            .map(|e| (e.from, e.payload.clone()))
+            .collect();
+        let outs = self.pds.on_setup_round(ctx.setup_round, &inbox, ctx.rng);
+        // Burn the joint verification key into ROM once available.
+        if let Some(pk) = self.pds.public_key() {
+            ctx.rom.write("v_cert", pk);
+        }
+        for env in outs {
+            ctx.send(env.to, env.payload);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        // External input = "sign these bytes in the current unit".
+        if let Some(input) = ctx.input {
+            let msg = input.to_vec();
+            ctx.emit(OutputEvent::SignRequested {
+                msg: msg.clone(),
+                unit: ctx.time.unit,
+            });
+            self.pds.request_sign(msg, ctx.time.unit);
+        }
+        let time = pds_time_of(ctx.time.phase, ctx.time.unit);
+        let inbox: Vec<_> = ctx
+            .inbox
+            .iter()
+            .map(|e| (e.from, e.payload.clone()))
+            .collect();
+        let outs = self.pds.on_logical_round(time, &inbox, ctx.rng);
+        for env in outs {
+            ctx.send(env.to, env.payload);
+        }
+        for rec in self.pds.take_completed() {
+            ctx.emit(OutputEvent::Signed {
+                msg: rec.msg,
+                unit: rec.unit,
+            });
+        }
+        // Alert on refresh failure, mirroring the ULS behaviour (§4.2.3).
+        if ctx.time.phase == (Phase::RefreshPart2 { step: 6 }) && self.pds.refresh_failed() {
+            ctx.emit(OutputEvent::Alert);
+        }
+    }
+
+    fn state_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

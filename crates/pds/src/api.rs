@@ -1,0 +1,136 @@
+//! The PDS interface (§3.2 of the paper): `⟨Gen, Sign, Ver, Rfr⟩` as a
+//! transport-agnostic state machine.
+//!
+//! The paper's Theorem 14 transformation is generic over "any `t`-secure PDS
+//! scheme in the AL model". We capture that genericity with the [`AlPds`]
+//! trait: a PDS implementation consumes and produces *logical-round* message
+//! batches, and the surrounding driver decides how those messages travel —
+//! directly over authenticated links (the AL model, `proauth-pds::als_node`),
+//! or wrapped in `AUTH-SEND` over unauthenticated links (the ULS construction
+//! of §4.2, in `proauth-core`). One logical round corresponds to two physical
+//! rounds under `AUTH-SEND` (a `DISPERSE` echo costs one extra round).
+
+use proauth_crypto::schnorr::Signature;
+use proauth_sim::message::NodeId;
+use rand::rngs::StdRng;
+
+/// Where a logical round sits relative to the PDS refresh schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdsPhase {
+    /// Inside the share-refresh protocol (`Rfr`), at the given step.
+    Refresh {
+        /// 0-based step within the refresh protocol.
+        step: u64,
+    },
+    /// Ordinary operation (signing allowed).
+    Normal,
+}
+
+/// Logical time handed to the PDS state machine by its driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdsTime {
+    /// Current time unit.
+    pub unit: u64,
+    /// Phase within the unit.
+    pub phase: PdsPhase,
+}
+
+/// A message between PDS participants (payloads are wire-encoded
+/// [`crate::msg::AlsMsg`] for the bundled implementation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdsEnvelope {
+    /// Destination (for the driver to route).
+    pub to: NodeId,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// A completed signature the scheme hands back to its driver.
+#[derive(Debug, Clone)]
+pub struct SignatureRecord {
+    /// The signed message (application bytes, *excluding* the `(m, u)`
+    /// time-unit binding which the scheme adds internally).
+    pub msg: Vec<u8>,
+    /// Time unit in which it was signed.
+    pub unit: u64,
+    /// The threshold signature, verifiable with the scheme's public key.
+    pub sig: Signature,
+}
+
+/// A proactive distributed signature scheme in the AL model, as a state
+/// machine over logical rounds.
+///
+/// Drivers must uphold the synchrony contract: messages returned from
+/// [`AlPds::on_logical_round`] at logical round `w` are passed to the
+/// recipients' `on_logical_round` at `w+1` (authenticated and reliable
+/// delivery is the *driver's* responsibility — that is exactly the gap the
+/// paper's ULS transformation fills).
+pub trait AlPds: 'static {
+    /// Number of adversary-free setup logical rounds needed by key
+    /// generation (`Gen`).
+    fn setup_rounds(&self) -> u64;
+
+    /// Executes one setup round; returns messages to deliver next setup round.
+    fn on_setup_round(
+        &mut self,
+        round: u64,
+        inbox: &[(NodeId, Vec<u8>)],
+        rng: &mut StdRng,
+    ) -> Vec<PdsEnvelope>;
+
+    /// The joint verification key, available after setup (`Gen` output).
+    fn public_key(&self) -> Option<Vec<u8>>;
+
+    /// Requests a signature on `(msg, unit)` (the "sign m" invocation of
+    /// §3.2). Takes effect at the next logical round.
+    fn request_sign(&mut self, msg: Vec<u8>, unit: u64);
+
+    /// Executes one logical round; returns outgoing messages.
+    fn on_logical_round(
+        &mut self,
+        time: PdsTime,
+        inbox: &[(NodeId, Vec<u8>)],
+        rng: &mut StdRng,
+    ) -> Vec<PdsEnvelope>;
+
+    /// Drains signatures completed since the last call.
+    fn take_completed(&mut self) -> Vec<SignatureRecord>;
+
+    /// Whether the most recent refresh failed for this node (drives the
+    /// "alert" output of §4.2.3).
+    fn refresh_failed(&self) -> bool;
+
+    /// Whether this node currently holds usable key material.
+    fn has_share(&self) -> bool;
+
+    /// Marks the node's share as lost (break-in recovery entry point; the
+    /// next refresh will run share recovery).
+    fn mark_share_lost(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pds_time_equality() {
+        let a = PdsTime {
+            unit: 1,
+            phase: PdsPhase::Refresh { step: 2 },
+        };
+        assert_eq!(
+            a,
+            PdsTime {
+                unit: 1,
+                phase: PdsPhase::Refresh { step: 2 }
+            }
+        );
+        assert_ne!(
+            a,
+            PdsTime {
+                unit: 1,
+                phase: PdsPhase::Normal
+            }
+        );
+    }
+}

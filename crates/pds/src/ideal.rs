@@ -1,0 +1,248 @@
+//! The ideal signature process of §3.1 as a conformance oracle.
+//!
+//! In the ideal process an incorruptible trusted party keeps a database `M`
+//! of signed messages: `(m, u)` enters `M` only when `t+1` signers request
+//! it in the same unit, and verification is a database lookup. Definition 12
+//! declares a real PDS secure iff its global output is indistinguishable
+//! from an ideal one.
+//!
+//! Rather than re-proving indistinguishability, the experiments check the
+//! *hard invariants* every ideal output satisfies — any violation in a real
+//! run is a concrete counterexample to Theorem 14:
+//!
+//! * **no forgery**: nothing verifies unless `t+1` distinct signers were
+//!   asked to sign it in that unit (counting broken nodes as adversarially
+//!   askable);
+//! * **threshold liveness**: if ≥ `t+1` nodes that stayed honest and
+//!   operational were asked, a signature appears.
+
+use proauth_sim::clock::Schedule;
+use proauth_sim::message::{NodeId, OutputEvent, OutputLog};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A conformance violation: the real execution did something no ideal-model
+/// execution can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `(msg, unit)` was reported signed/verified with fewer than `t+1`
+    /// distinct sign requests in that unit.
+    SignedWithoutQuorum {
+        /// The message.
+        msg: Vec<u8>,
+        /// The unit it claims to be signed in.
+        unit: u64,
+        /// How many distinct nodes were actually asked.
+        requesters: usize,
+    },
+    /// ≥ `t+1` consistently-honest nodes requested `(msg, unit)` but no node
+    /// ever reported it signed.
+    QuorumWithoutSignature {
+        /// The message.
+        msg: Vec<u8>,
+        /// The unit of the requests.
+        unit: u64,
+    },
+}
+
+/// The ideal-process invariant checker.
+#[derive(Debug, Clone)]
+pub struct IdealChecker {
+    /// The signing threshold `t`.
+    pub t: usize,
+}
+
+impl IdealChecker {
+    /// Creates a checker for threshold `t`.
+    pub fn new(t: usize) -> Self {
+        IdealChecker { t }
+    }
+
+    /// Collects, per `(msg, unit)`, the distinct nodes that logged a
+    /// `SignRequested` in that unit.
+    fn requests(&self, outputs: &[OutputLog]) -> BTreeMap<(Vec<u8>, u64), BTreeSet<NodeId>> {
+        let mut map: BTreeMap<(Vec<u8>, u64), BTreeSet<NodeId>> = BTreeMap::new();
+        for (idx, log) in outputs.iter().enumerate() {
+            for (_, ev) in log {
+                if let OutputEvent::SignRequested { msg, unit } = ev {
+                    map.entry((msg.clone(), *unit))
+                        .or_default()
+                        .insert(NodeId::from_idx(idx));
+                }
+            }
+        }
+        map
+    }
+
+    /// Collects every `(msg, unit)` any node reported as signed, plus any the
+    /// external verifier accepted.
+    fn signed(
+        &self,
+        outputs: &[OutputLog],
+        externally_verified: &[(Vec<u8>, u64)],
+    ) -> BTreeSet<(Vec<u8>, u64)> {
+        let mut set: BTreeSet<(Vec<u8>, u64)> = externally_verified.iter().cloned().collect();
+        for log in outputs {
+            for (_, ev) in log {
+                if let OutputEvent::Signed { msg, unit } = ev {
+                    set.insert((msg.clone(), *unit));
+                }
+            }
+        }
+        set
+    }
+
+    /// **No-forgery check**: every signed/verified `(msg, unit)` had a
+    /// quorum of sign requests. `externally_verified` lists message/unit
+    /// pairs whose signatures the (unbreakable) verifier accepted.
+    pub fn check_no_forgery(
+        &self,
+        outputs: &[OutputLog],
+        externally_verified: &[(Vec<u8>, u64)],
+    ) -> Vec<Violation> {
+        let requests = self.requests(outputs);
+        self.signed(outputs, externally_verified)
+            .into_iter()
+            .filter_map(|(msg, unit)| {
+                let requesters = requests
+                    .get(&(msg.clone(), unit))
+                    .map(BTreeSet::len)
+                    .unwrap_or(0);
+                if requesters < self.t + 1 {
+                    Some(Violation::SignedWithoutQuorum {
+                        msg,
+                        unit,
+                        requesters,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// **Liveness check**: for each `(msg, unit)` requested by ≥ `t+1` nodes
+    /// in `reliable_nodes` (nodes the caller knows stayed honest and
+    /// connected), a signature must have appeared somewhere.
+    pub fn check_liveness(
+        &self,
+        outputs: &[OutputLog],
+        reliable_nodes: &[NodeId],
+        externally_verified: &[(Vec<u8>, u64)],
+    ) -> Vec<Violation> {
+        let requests = self.requests(outputs);
+        let signed = self.signed(outputs, externally_verified);
+        let reliable: BTreeSet<NodeId> = reliable_nodes.iter().copied().collect();
+        requests
+            .into_iter()
+            .filter_map(|((msg, unit), who)| {
+                let reliable_requesters = who.intersection(&reliable).count();
+                if reliable_requesters > self.t && !signed.contains(&(msg.clone(), unit)) {
+                    Some(Violation::QuorumWithoutSignature { msg, unit })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Convenience: both checks at once.
+    pub fn check(
+        &self,
+        outputs: &[OutputLog],
+        reliable_nodes: &[NodeId],
+        externally_verified: &[(Vec<u8>, u64)],
+        _schedule: &Schedule,
+    ) -> Vec<Violation> {
+        let mut v = self.check_no_forgery(outputs, externally_verified);
+        v.extend(self.check_liveness(outputs, reliable_nodes, externally_verified));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(events: Vec<OutputEvent>) -> OutputLog {
+        events.into_iter().map(|e| (0, e)).collect()
+    }
+
+    #[test]
+    fn quorum_signature_accepted() {
+        let checker = IdealChecker::new(1);
+        let outputs = vec![
+            log_with(vec![
+                OutputEvent::SignRequested {
+                    msg: b"m".to_vec(),
+                    unit: 1,
+                },
+                OutputEvent::Signed {
+                    msg: b"m".to_vec(),
+                    unit: 1,
+                },
+            ]),
+            log_with(vec![OutputEvent::SignRequested {
+                msg: b"m".to_vec(),
+                unit: 1,
+            }]),
+        ];
+        assert!(checker.check_no_forgery(&outputs, &[]).is_empty());
+    }
+
+    #[test]
+    fn forgery_detected() {
+        let checker = IdealChecker::new(1);
+        // Only one requester but the verifier accepted it.
+        let outputs = vec![log_with(vec![OutputEvent::SignRequested {
+            msg: b"m".to_vec(),
+            unit: 1,
+        }])];
+        let violations = checker.check_no_forgery(&outputs, &[(b"m".to_vec(), 1)]);
+        assert_eq!(
+            violations,
+            vec![Violation::SignedWithoutQuorum {
+                msg: b"m".to_vec(),
+                unit: 1,
+                requesters: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn unit_mismatch_is_forgery() {
+        // Requests in unit 1 do not justify a signature bound to unit 2.
+        let checker = IdealChecker::new(0);
+        let outputs = vec![log_with(vec![OutputEvent::SignRequested {
+            msg: b"m".to_vec(),
+            unit: 1,
+        }])];
+        let violations = checker.check_no_forgery(&outputs, &[(b"m".to_vec(), 2)]);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn liveness_violation_detected() {
+        let checker = IdealChecker::new(1);
+        let outputs = vec![
+            log_with(vec![OutputEvent::SignRequested {
+                msg: b"m".to_vec(),
+                unit: 1,
+            }]),
+            log_with(vec![OutputEvent::SignRequested {
+                msg: b"m".to_vec(),
+                unit: 1,
+            }]),
+        ];
+        let v = checker.check_liveness(&outputs, &[NodeId(1), NodeId(2)], &[]);
+        assert_eq!(
+            v,
+            vec![Violation::QuorumWithoutSignature {
+                msg: b"m".to_vec(),
+                unit: 1
+            }]
+        );
+        // With an unreliable requester, no liveness obligation.
+        let v = checker.check_liveness(&outputs, &[NodeId(1)], &[]);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Wire messages of the bundled AL-model PDS (threshold Schnorr with
+//! proactive refresh), plus the canonical signing payload.
+
+use proauth_crypto::feldman::Commitments;
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::sha256;
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Session identifier: hash of the `(msg, unit)` pair.
+pub type Sid = [u8; 32];
+
+/// Computes the session id for a sign request.
+pub fn sid_for(msg: &[u8], unit: u64) -> Sid {
+    sha256::hash_parts("proauth/pds/sid", &[msg, &unit.to_be_bytes()])
+}
+
+/// The canonical bytes actually signed for `(msg, unit)` — the time-unit
+/// binding the ideal process requires (§3.1: the database stores `(m, u)`).
+pub fn signing_payload(msg: &[u8], unit: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(b"proauth/pds/signed-message/v1");
+    w.put_bytes(msg);
+    w.put_u64(unit);
+    w.into_bytes()
+}
+
+/// Protocol messages of the bundled AL-model PDS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlsMsg {
+    /// A signer announces participation in a session and its nonce commitment.
+    SignInit {
+        /// Session id.
+        sid: Sid,
+        /// Message to sign.
+        msg: Vec<u8>,
+        /// Time unit of the request.
+        unit: u64,
+        /// Nonce commitment `R_i`.
+        nonce: BigUint,
+    },
+    /// A fresh nonce commitment for a retry attempt.
+    SignRetryNonce {
+        /// Session id.
+        sid: Sid,
+        /// Attempt number (≥ 1).
+        attempt: u32,
+        /// Fresh nonce commitment.
+        nonce: BigUint,
+    },
+    /// A partial signature.
+    SignPartial {
+        /// Session id.
+        sid: Sid,
+        /// Attempt this partial belongs to.
+        attempt: u32,
+        /// The partial `z_i`.
+        z: BigUint,
+    },
+    /// A completed threshold signature, gossiped to all session members.
+    SignDone {
+        /// Session id.
+        sid: Sid,
+        /// Challenge scalar.
+        e: BigUint,
+        /// Response scalar.
+        s: BigUint,
+    },
+    /// A zero-sharing refresh dealing (commitments public, share private).
+    RfrDeal {
+        /// Refresh target unit.
+        unit: u64,
+        /// Feldman commitments (must commit to zero).
+        commitments: Commitments,
+        /// The receiver's share of the dealing.
+        share: BigUint,
+    },
+    /// Echo of the commitments received from a dealer (consistency: nodes
+    /// adopt the commitment vector echoed by `n−t` peers, so a two-faced
+    /// dealer cannot split honest nodes, and a node that received a bad copy
+    /// can still adopt the majority one).
+    RfrEcho {
+        /// Refresh target unit.
+        unit: u64,
+        /// The dealer being echoed.
+        dealer: u32,
+        /// The dealer's commitments as received.
+        commitments: Commitments,
+    },
+    /// Complaint: the dealer's share for me did not verify.
+    RfrComplaint {
+        /// Refresh target unit.
+        unit: u64,
+        /// The accused dealer.
+        dealer: u32,
+    },
+    /// The dealer's public response to a complaint: the complainer's share.
+    RfrReveal {
+        /// Refresh target unit.
+        unit: u64,
+        /// Whose share is being revealed.
+        complainer: u32,
+        /// The revealed share.
+        share: BigUint,
+    },
+    /// Announcement that this node lost its share and needs recovery.
+    RecoveryNeed {
+        /// Refresh target unit.
+        unit: u64,
+    },
+    /// A blinding dealing for share recovery (root at `target`).
+    RecoveryBlind {
+        /// Refresh target unit.
+        unit: u64,
+        /// The recovering node.
+        target: u32,
+        /// Commitments to the blinding polynomial.
+        commitments: Commitments,
+        /// The receiver's blinding share.
+        share: BigUint,
+    },
+    /// A key-generation dealing (setup phase only, adversary-free).
+    GenDeal {
+        /// Feldman commitments to the dealer's random polynomial.
+        commitments: Commitments,
+        /// The receiver's share of the dealing.
+        share: BigUint,
+    },
+    /// A helper's blinded share evaluation for the recovering node.
+    RecoveryValue {
+        /// Refresh target unit.
+        unit: u64,
+        /// The recovering node.
+        target: u32,
+        /// Sorted dealer ids of the blindings this helper applied.
+        used: Vec<u32>,
+        /// `v_j = x_j + Σ d_h(j)`.
+        value: BigUint,
+        /// The helper's view of the current share-key vector (public data
+        /// the recovering node lost; accepted on `t+1` identical reports).
+        share_keys: Vec<BigUint>,
+    },
+}
+
+impl AlsMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            AlsMsg::SignInit { .. } => 1,
+            AlsMsg::SignRetryNonce { .. } => 2,
+            AlsMsg::SignPartial { .. } => 3,
+            AlsMsg::SignDone { .. } => 4,
+            AlsMsg::RfrDeal { .. } => 5,
+            AlsMsg::RfrEcho { .. } => 6,
+            AlsMsg::RfrComplaint { .. } => 7,
+            AlsMsg::RfrReveal { .. } => 8,
+            AlsMsg::RecoveryNeed { .. } => 9,
+            AlsMsg::RecoveryBlind { .. } => 10,
+            AlsMsg::RecoveryValue { .. } => 11,
+            AlsMsg::GenDeal { .. } => 12,
+        }
+    }
+}
+
+impl Encode for AlsMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            AlsMsg::SignInit {
+                sid,
+                msg,
+                unit,
+                nonce,
+            } => {
+                sid.encode(w);
+                msg.encode(w);
+                w.put_u64(*unit);
+                nonce.encode(w);
+            }
+            AlsMsg::SignRetryNonce {
+                sid,
+                attempt,
+                nonce,
+            } => {
+                sid.encode(w);
+                w.put_u32(*attempt);
+                nonce.encode(w);
+            }
+            AlsMsg::SignPartial { sid, attempt, z } => {
+                sid.encode(w);
+                w.put_u32(*attempt);
+                z.encode(w);
+            }
+            AlsMsg::SignDone { sid, e, s } => {
+                sid.encode(w);
+                e.encode(w);
+                s.encode(w);
+            }
+            AlsMsg::RfrDeal {
+                unit,
+                commitments,
+                share,
+            } => {
+                w.put_u64(*unit);
+                commitments.encode(w);
+                share.encode(w);
+            }
+            AlsMsg::RfrEcho {
+                unit,
+                dealer,
+                commitments,
+            } => {
+                w.put_u64(*unit);
+                w.put_u32(*dealer);
+                commitments.encode(w);
+            }
+            AlsMsg::RfrComplaint { unit, dealer } => {
+                w.put_u64(*unit);
+                w.put_u32(*dealer);
+            }
+            AlsMsg::RfrReveal {
+                unit,
+                complainer,
+                share,
+            } => {
+                w.put_u64(*unit);
+                w.put_u32(*complainer);
+                share.encode(w);
+            }
+            AlsMsg::RecoveryNeed { unit } => {
+                w.put_u64(*unit);
+            }
+            AlsMsg::RecoveryBlind {
+                unit,
+                target,
+                commitments,
+                share,
+            } => {
+                w.put_u64(*unit);
+                w.put_u32(*target);
+                commitments.encode(w);
+                share.encode(w);
+            }
+            AlsMsg::GenDeal {
+                commitments,
+                share,
+            } => {
+                commitments.encode(w);
+                share.encode(w);
+            }
+            AlsMsg::RecoveryValue {
+                unit,
+                target,
+                used,
+                value,
+                share_keys,
+            } => {
+                w.put_u64(*unit);
+                w.put_u32(*target);
+                used.encode(w);
+                value.encode(w);
+                share_keys.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for AlsMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            1 => AlsMsg::SignInit {
+                sid: <[u8; 32]>::decode(r)?,
+                msg: Vec::<u8>::decode(r)?,
+                unit: r.get_u64()?,
+                nonce: BigUint::decode(r)?,
+            },
+            2 => AlsMsg::SignRetryNonce {
+                sid: <[u8; 32]>::decode(r)?,
+                attempt: r.get_u32()?,
+                nonce: BigUint::decode(r)?,
+            },
+            3 => AlsMsg::SignPartial {
+                sid: <[u8; 32]>::decode(r)?,
+                attempt: r.get_u32()?,
+                z: BigUint::decode(r)?,
+            },
+            4 => AlsMsg::SignDone {
+                sid: <[u8; 32]>::decode(r)?,
+                e: BigUint::decode(r)?,
+                s: BigUint::decode(r)?,
+            },
+            5 => AlsMsg::RfrDeal {
+                unit: r.get_u64()?,
+                commitments: Commitments::decode(r)?,
+                share: BigUint::decode(r)?,
+            },
+            6 => AlsMsg::RfrEcho {
+                unit: r.get_u64()?,
+                dealer: r.get_u32()?,
+                commitments: Commitments::decode(r)?,
+            },
+            7 => AlsMsg::RfrComplaint {
+                unit: r.get_u64()?,
+                dealer: r.get_u32()?,
+            },
+            8 => AlsMsg::RfrReveal {
+                unit: r.get_u64()?,
+                complainer: r.get_u32()?,
+                share: BigUint::decode(r)?,
+            },
+            9 => AlsMsg::RecoveryNeed { unit: r.get_u64()? },
+            10 => AlsMsg::RecoveryBlind {
+                unit: r.get_u64()?,
+                target: r.get_u32()?,
+                commitments: Commitments::decode(r)?,
+                share: BigUint::decode(r)?,
+            },
+            11 => AlsMsg::RecoveryValue {
+                unit: r.get_u64()?,
+                target: r.get_u32()?,
+                used: Vec::<u32>::decode(r)?,
+                value: BigUint::decode(r)?,
+                share_keys: Vec::<BigUint>::decode(r)?,
+            },
+            12 => AlsMsg::GenDeal {
+                commitments: Commitments::decode(r)?,
+                share: BigUint::decode(r)?,
+            },
+            t => return Err(WireError::InvalidTag(t)),
+        })
+    }
+}
+
+/// Hashes a commitment vector for echo comparison.
+pub fn commitment_hash(c: &Commitments) -> [u8; 32] {
+    sha256::Sha256::digest(&c.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_crypto::group::{Group, GroupId};
+    use proauth_crypto::shamir::Polynomial;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_commitments() -> Commitments {
+        let group = Group::new(GroupId::Toy64);
+        let mut rng = StdRng::seed_from_u64(5);
+        let poly = Polynomial::random(&group, 2, &mut rng);
+        Commitments::from_polynomial(&group, &poly)
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let c = sample_commitments();
+        let msgs = vec![
+            AlsMsg::SignInit {
+                sid: [1; 32],
+                msg: b"m".to_vec(),
+                unit: 3,
+                nonce: BigUint::from_u64(77),
+            },
+            AlsMsg::SignRetryNonce {
+                sid: [2; 32],
+                attempt: 1,
+                nonce: BigUint::from_u64(88),
+            },
+            AlsMsg::SignPartial {
+                sid: [3; 32],
+                attempt: 0,
+                z: BigUint::from_u64(99),
+            },
+            AlsMsg::SignDone {
+                sid: [4; 32],
+                e: BigUint::from_u64(1),
+                s: BigUint::from_u64(2),
+            },
+            AlsMsg::RfrDeal {
+                unit: 2,
+                commitments: c.clone(),
+                share: BigUint::from_u64(5),
+            },
+            AlsMsg::RfrEcho {
+                unit: 2,
+                dealer: 4,
+                commitments: c.clone(),
+            },
+            AlsMsg::RfrComplaint { unit: 2, dealer: 4 },
+            AlsMsg::RfrReveal {
+                unit: 2,
+                complainer: 3,
+                share: BigUint::from_u64(6),
+            },
+            AlsMsg::RecoveryNeed { unit: 2 },
+            AlsMsg::RecoveryBlind {
+                unit: 2,
+                target: 5,
+                commitments: c.clone(),
+                share: BigUint::from_u64(7),
+            },
+            AlsMsg::RecoveryValue {
+                unit: 2,
+                target: 5,
+                used: vec![1, 2, 3],
+                value: BigUint::from_u64(8),
+                share_keys: vec![BigUint::from_u64(10), BigUint::from_u64(11)],
+            },
+            AlsMsg::GenDeal {
+                commitments: c.clone(),
+                share: BigUint::from_u64(12),
+            },
+        ];
+        for m in msgs {
+            let decoded = AlsMsg::from_bytes(&m.to_bytes()).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(AlsMsg::from_bytes(&[200]).is_err());
+        assert!(AlsMsg::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn sid_binds_msg_and_unit() {
+        assert_ne!(sid_for(b"m", 1), sid_for(b"m", 2));
+        assert_ne!(sid_for(b"m", 1), sid_for(b"n", 1));
+        assert_eq!(sid_for(b"m", 1), sid_for(b"m", 1));
+    }
+
+    #[test]
+    fn signing_payload_binds_unit() {
+        assert_ne!(signing_payload(b"m", 1), signing_payload(b"m", 2));
+    }
+}

@@ -1,0 +1,86 @@
+//! Canonical certificate statements.
+//!
+//! The paper's certificates read *"it is certified that the personal
+//! verification key of `N_i` for time unit `u` is `v`"* (§1.3). We encode the
+//! statement canonically (domain tag + fixed field order) so that signing and
+//! verifying agree byte-for-byte and no two distinct statements collide.
+
+use proauth_primitives::wire::Writer;
+use proauth_sim::message::NodeId;
+
+const DOMAIN: &[u8] = b"proauth/statement/key-cert/v1";
+
+/// Encodes "the public key of `node` in time unit `unit` is `key`".
+pub fn key_statement(node: NodeId, unit: u64, key: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(DOMAIN);
+    w.put_u32(node.0);
+    w.put_u64(unit);
+    w.put_bytes(key);
+    w.into_bytes()
+}
+
+/// Parses a key statement back into `(node, unit, key)`.
+///
+/// Returns `None` if `bytes` is not a well-formed key statement.
+pub fn parse_key_statement(bytes: &[u8]) -> Option<(NodeId, u64, Vec<u8>)> {
+    use proauth_primitives::wire::Reader;
+    let mut r = Reader::new(bytes);
+    let domain = r.get_bytes().ok()?;
+    if domain != DOMAIN {
+        return None;
+    }
+    let node = r.get_u32().ok()?;
+    let unit = r.get_u64().ok()?;
+    let key = r.get_bytes().ok()?;
+    if r.remaining() != 0 || node == 0 {
+        return None;
+    }
+    Some((NodeId(node), unit, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = key_statement(NodeId(3), 7, b"pubkeybytes");
+        let (node, unit, key) = parse_key_statement(&s).unwrap();
+        assert_eq!(node, NodeId(3));
+        assert_eq!(unit, 7);
+        assert_eq!(key, b"pubkeybytes");
+    }
+
+    #[test]
+    fn distinct_statements_differ() {
+        assert_ne!(
+            key_statement(NodeId(1), 2, b"k"),
+            key_statement(NodeId(2), 1, b"k")
+        );
+        assert_ne!(
+            key_statement(NodeId(1), 2, b"k"),
+            key_statement(NodeId(1), 2, b"K")
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_key_statement(b"junk").is_none());
+        assert!(parse_key_statement(&[]).is_none());
+        // Wrong domain.
+        let mut w = proauth_primitives::wire::Writer::new();
+        w.put_bytes(b"other/domain");
+        w.put_u32(1);
+        w.put_u64(1);
+        w.put_bytes(b"k");
+        assert!(parse_key_statement(&w.into_bytes()).is_none());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut s = key_statement(NodeId(3), 7, b"x");
+        s.push(0);
+        assert!(parse_key_statement(&s).is_none());
+    }
+}

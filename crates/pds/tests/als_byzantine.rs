@@ -1,0 +1,175 @@
+//! AL-model Byzantine signer tests: the adversary actively sends *malformed
+//! partial signatures* in broken nodes' names during signing sessions. The
+//! robustness layer (publicly verifiable partials + fresh-nonce retry) must
+//! identify the cheaters and still complete the signature off the honest
+//! quorum — the behaviour Theorem 13's schemes promise.
+
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::als::{AlsConfig, AlsPds};
+use proauth_pds::als_node::AlsProcess;
+use proauth_pds::ideal::IdealChecker;
+use proauth_pds::msg::{sid_for, AlsMsg};
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode};
+use proauth_sim::adversary::{AlAdversary, BreakPlan, NetView};
+use proauth_sim::clock::Schedule;
+use proauth_sim::message::{Envelope, NodeId, OutputEvent};
+use proauth_sim::runner::{run_al_with_inputs, SimConfig};
+
+const N: usize = 5;
+const T: usize = 2;
+
+fn schedule() -> Schedule {
+    Schedule::new(20, 1, 8)
+}
+
+fn cfg(units: u64, seed: u64) -> SimConfig {
+    let mut c = SimConfig::new(N, T, schedule());
+    c.setup_rounds = 2;
+    c.total_rounds = schedule().unit_rounds * units;
+    c.seed = seed;
+    c
+}
+
+fn make_node(id: NodeId) -> AlsProcess {
+    let group = Group::new(GroupId::Toy64);
+    AlsProcess::new(AlsPds::new(AlsConfig::new(group, N, T), id))
+}
+
+/// Breaks node 1 before the signing request and, whenever it observes honest
+/// `SignInit`/`SignPartial` traffic, speaks in node 1's name: a valid-looking
+/// `SignInit` (so node 1 lands in the signer set) followed by garbage
+/// partials for every attempt.
+struct BadPartialForger {
+    victim: NodeId,
+    bogus_sent: u64,
+}
+
+impl AlAdversary for BadPartialForger {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        if view.time.round == 1 {
+            BreakPlan::break_into([self.victim])
+        } else {
+            BreakPlan::none()
+        }
+    }
+
+    fn broken_sends(&mut self, honest_sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        // Mirror honest session traffic with poisoned copies from the victim.
+        for env in honest_sent {
+            if env.from == self.victim || env.to != NodeId(2) {
+                continue; // one copy per broadcast set (they all match)
+            }
+            let Ok(msg) = AlsMsg::from_bytes(&env.payload) else {
+                continue;
+            };
+            let forged = match msg {
+                AlsMsg::SignInit { sid, msg, unit, .. } => {
+                    // Join the session with a syntactically valid nonce (the
+                    // group generator — adversary knows no discrete log but
+                    // needs none to *join*).
+                    let group = Group::new(GroupId::Toy64);
+                    Some(AlsMsg::SignInit {
+                        sid,
+                        msg,
+                        unit,
+                        nonce: group.g().clone(),
+                    })
+                }
+                AlsMsg::SignPartial { sid, attempt, .. } => Some(AlsMsg::SignPartial {
+                    sid,
+                    attempt,
+                    z: BigUint::from_u64(0xBAD),
+                }),
+                AlsMsg::SignRetryNonce { sid, attempt, .. } => {
+                    let group = Group::new(GroupId::Toy64);
+                    Some(AlsMsg::SignRetryNonce {
+                        sid,
+                        attempt,
+                        nonce: group.exp_g(&BigUint::from_u64(3)),
+                    })
+                }
+                _ => None,
+            };
+            if let Some(forged) = forged {
+                let payload = forged.to_bytes();
+                for to in NodeId::all(view.n) {
+                    if to != self.victim {
+                        out.push(Envelope::new(self.victim, to, payload.clone()));
+                        self.bogus_sent += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn bogus_partials_from_broken_signer_are_survived_by_retry() {
+    let mut adv = BadPartialForger {
+        victim: NodeId(1),
+        bogus_sent: 0,
+    };
+    let result = run_al_with_inputs(cfg(1, 601), make_node, &mut adv, |id, round| {
+        // Only honest nodes are asked (the victim is broken), but the forger
+        // injects the victim into the signer set anyway.
+        (round == 2 && id != NodeId(1)).then(|| b"byzantine-doc".to_vec())
+    });
+    assert!(adv.bogus_sent > 0, "attack ran: {} bogus msgs", adv.bogus_sent);
+    // All four honest nodes still obtain the signature. The victim's bogus
+    // partial fails public verification; the retry excludes it; the
+    // remaining quorum (4 ≥ t+1 = 3) completes.
+    let signed = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter())
+        .filter(|(_, e)| matches!(e, OutputEvent::Signed { msg, .. } if msg == b"byzantine-doc"))
+        .count();
+    assert_eq!(signed, N - 1, "honest quorum completes despite the cheater");
+    // Ideal conformance still holds.
+    let checker = IdealChecker::new(T);
+    assert!(checker.check_no_forgery(&result.outputs, &[]).is_empty());
+}
+
+#[test]
+fn bogus_traffic_for_unknown_sessions_is_ignored() {
+    // The forger also spams session messages for sids nobody opened.
+    struct SessionSpammer;
+    impl AlAdversary for SessionSpammer {
+        fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+            if view.time.round == 1 {
+                BreakPlan::break_into([NodeId(1)])
+            } else {
+                BreakPlan::none()
+            }
+        }
+        fn broken_sends(&mut self, _honest: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+            let msg = AlsMsg::SignPartial {
+                sid: sid_for(b"ghost", 0),
+                attempt: 0,
+                z: BigUint::from_u64(1),
+            };
+            NodeId::all(view.n)
+                .filter(|&to| to != NodeId(1))
+                .map(|to| Envelope::new(NodeId(1), to, msg.to_bytes()))
+                .collect()
+        }
+    }
+    let result = run_al_with_inputs(cfg(1, 602), make_node, &mut SessionSpammer, |_, round| {
+        (round == 4).then(|| b"real-doc".to_vec())
+    });
+    // The real session completes for everyone who was asked (the victim is
+    // broken, so N−1 confirmations).
+    let signed = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter())
+        .filter(|(_, e)| matches!(e, OutputEvent::Signed { msg, .. } if msg == b"real-doc"))
+        .count();
+    assert_eq!(signed, N - 1);
+    // No ghost signatures.
+    let checker = IdealChecker::new(T);
+    assert!(checker.check_no_forgery(&result.outputs, &[]).is_empty());
+}

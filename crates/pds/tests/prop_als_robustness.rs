@@ -1,0 +1,105 @@
+//! Robustness fuzzing of the ALS state machine: arbitrary adversarial bytes
+//! fed straight into the logical-round inbox must never panic, never mint
+//! signatures, and never destroy the node's own key material.
+
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::api::{AlPds, PdsPhase, PdsTime};
+use proauth_pds::als::{AlsConfig, AlsPds};
+use proauth_sim::message::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 5;
+const T: usize = 2;
+
+/// Builds one node with a fully completed (single-party-simulated) setup:
+/// node 1's machine, fed the setup traffic of all five machines.
+fn setup_network(seed: u64) -> Vec<AlsPds> {
+    let group = Group::new(GroupId::Toy64);
+    let mut nodes: Vec<AlsPds> = (1..=N as u32)
+        .map(|i| AlsPds::new(AlsConfig::new(group.clone(), N, T), NodeId(i)))
+        .collect();
+    let mut in_flight: Vec<(NodeId, NodeId, Vec<u8>)> = Vec::new();
+    for round in 0..2u64 {
+        let delivered = std::mem::take(&mut in_flight);
+        for (idx, node) in nodes.iter_mut().enumerate() {
+            let me = NodeId::from_idx(idx);
+            let inbox: Vec<(NodeId, Vec<u8>)> = delivered
+                .iter()
+                .filter(|(_, to, _)| *to == me)
+                .map(|(from, _, payload)| (*from, payload.clone()))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed ^ (round << 8) ^ idx as u64);
+            for env in node.on_setup_round(round, &inbox, &mut rng) {
+                in_flight.push((me, env.to, env.payload));
+            }
+        }
+    }
+    nodes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn garbage_inbox_never_panics_or_corrupts(
+        garbage in proptest::collection::vec(
+            (1u32..=N as u32, proptest::collection::vec(any::<u8>(), 0..120)),
+            0..20,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut nodes = setup_network(seed);
+        let node = &mut nodes[0];
+        let key_before = node.key_share().cloned();
+        prop_assert!(key_before.is_some());
+        let inbox: Vec<(NodeId, Vec<u8>)> = garbage
+            .into_iter()
+            .map(|(from, bytes)| (NodeId(from), bytes))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Feed garbage across phases; must never panic.
+        for phase in [
+            PdsPhase::Normal,
+            PdsPhase::Refresh { step: 0 },
+            PdsPhase::Refresh { step: 3 },
+            PdsPhase::Refresh { step: 6 },
+        ] {
+            let _ = node.on_logical_round(
+                PdsTime { unit: 1, phase },
+                &inbox,
+                &mut rng,
+            );
+        }
+        // No signatures minted out of garbage.
+        prop_assert!(node.take_completed().is_empty());
+    }
+
+    #[test]
+    fn truncated_valid_traffic_never_panics(seed in any::<u64>(), cut in 1usize..20) {
+        // Run a legitimate signing round, truncate every message, replay.
+        let mut nodes = setup_network(seed);
+        nodes[0].request_sign(b"fuzz-doc".to_vec(), 0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let outs = nodes[0].on_logical_round(
+            PdsTime { unit: 0, phase: PdsPhase::Normal },
+            &[],
+            &mut rng,
+        );
+        let truncated: Vec<(NodeId, Vec<u8>)> = outs
+            .iter()
+            .map(|env| {
+                let len = env.payload.len().saturating_sub(cut);
+                (NodeId(1), env.payload[..len].to_vec())
+            })
+            .collect();
+        // Feed the mangled copies into another node.
+        let _ = nodes[1].on_logical_round(
+            PdsTime { unit: 0, phase: PdsPhase::Normal },
+            &truncated,
+            &mut rng,
+        );
+        prop_assert!(nodes[1].take_completed().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Fuzz/property tests for the PDS wire messages: decoding must never panic,
+//! valid messages roundtrip, and session ids / signing payloads are
+//! injective.
+
+use proauth_pds::msg::{sid_for, signing_payload, AlsMsg};
+use proauth_primitives::wire::Decode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = AlsMsg::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn sid_injective_on_msg_and_unit(
+        m1 in proptest::collection::vec(any::<u8>(), 0..30),
+        m2 in proptest::collection::vec(any::<u8>(), 0..30),
+        u1 in any::<u64>(),
+        u2 in any::<u64>(),
+    ) {
+        if (m1.clone(), u1) != (m2.clone(), u2) {
+            prop_assert_ne!(sid_for(&m1, u1), sid_for(&m2, u2));
+        } else {
+            prop_assert_eq!(sid_for(&m1, u1), sid_for(&m2, u2));
+        }
+    }
+
+    #[test]
+    fn signing_payload_injective(
+        m1 in proptest::collection::vec(any::<u8>(), 0..30),
+        m2 in proptest::collection::vec(any::<u8>(), 0..30),
+        u1 in any::<u64>(),
+        u2 in any::<u64>(),
+    ) {
+        if (m1.clone(), u1) != (m2.clone(), u2) {
+            prop_assert_ne!(signing_payload(&m1, u1), signing_payload(&m2, u2));
+        }
+    }
+
+    #[test]
+    fn truncated_valid_messages_rejected(
+        unit in any::<u64>(),
+        cut in 1usize..8,
+    ) {
+        use proauth_primitives::wire::Encode;
+        let msg = AlsMsg::RecoveryNeed { unit };
+        let bytes = msg.to_bytes();
+        if cut < bytes.len() {
+            prop_assert!(AlsMsg::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! One-off generator for the Schnorr group constants embedded in
+//! `proauth-crypto::group`. Run with:
+//!
+//! ```text
+//! cargo run --release -p proauth-primitives --example gen_params
+//! ```
+//!
+//! Generation is deterministic (fixed seed), so the constants in the crypto
+//! crate can be re-derived and audited at any time.
+
+use proauth_primitives::bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gen_prime(bits: usize, rng: &mut StdRng) -> BigUint {
+    loop {
+        let mut cand = BigUint::random_below(rng, &BigUint::one().shl(bits));
+        // Force top bit and oddness.
+        cand = cand
+            .add(&BigUint::one().shl(bits - 1))
+            .rem(&BigUint::one().shl(bits));
+        if cand.bits() < bits {
+            cand = cand.add(&BigUint::one().shl(bits - 1));
+        }
+        if cand.is_even() {
+            cand = cand.add(&BigUint::one());
+        }
+        if cand.is_probable_prime(32, rng) {
+            return cand;
+        }
+    }
+}
+
+fn gen_group(pbits: usize, qbits: usize, rng: &mut StdRng) -> (BigUint, BigUint, BigUint) {
+    let q = gen_prime(qbits, rng);
+    let one = BigUint::one();
+    loop {
+        // p = q*r + 1 with r chosen so p has pbits bits.
+        let r_bits = pbits - qbits;
+        let mut r = BigUint::random_below(rng, &one.shl(r_bits));
+        if r.bit(0) {
+            r = r.add(&one); // force even so p is odd
+        }
+        if r.is_zero() {
+            continue;
+        }
+        let p = q.mul(&r).add(&one);
+        if p.bits() != pbits {
+            continue;
+        }
+        if !p.is_probable_prime(32, rng) {
+            continue;
+        }
+        // Find a generator of the order-q subgroup: g = h^r mod p != 1.
+        for h in 2u64..100 {
+            let g = BigUint::from_u64(h).modpow(&r, &p);
+            if !g.is_one() {
+                // Sanity: g^q == 1.
+                assert!(g.modpow(&q, &p).is_one());
+                return (p, q, g);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x70726f61757468); // "proauth"
+    for (name, pbits, qbits) in [
+        ("TOY64", 64usize, 32usize),
+        ("S256", 256, 160),
+        ("S512", 512, 256),
+        ("S1024", 1024, 256),
+    ] {
+        let (p, q, g) = gen_group(pbits, qbits, &mut rng);
+        println!("// {name}: p {pbits} bits, q {qbits} bits");
+        println!("const {name}_P: &str = \"{}\";", p.to_hex());
+        println!("const {name}_Q: &str = \"{}\";", q.to_hex());
+        println!("const {name}_G: &str = \"{}\";", g.to_hex());
+        println!();
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for `BigUint`: ring axioms, division invariants,
+//! modular arithmetic laws, and serialization roundtrips.
+
+use proauth_primitives::bigint::BigUint;
+use proptest::prelude::*;
+
+/// Strategy producing a BigUint of up to 6 limbs (384 bits).
+fn big() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..6).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy producing a nonzero BigUint.
+fn big_nonzero() -> impl Strategy<Value = BigUint> {
+    big().prop_filter("nonzero", |v| !v.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in big(), b in big()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associative(a in big(), b in big(), c in big()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in big(), b in big()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutative(a in big(), b in big()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_associative(a in big(), b in big(), c in big()) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in big(), b in big(), c in big()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in big(), d in big_nonzero()) {
+        let (q, r) = a.divrem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+        prop_assert!(r < d);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in big(), n in 0usize..200) {
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in big(), n in 0usize..100) {
+        let pow = BigUint::one().shl(n);
+        prop_assert_eq!(a.shl(n), a.mul(&pow));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in big()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in big()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in any::<u64>(), exp in 0u64..40, m in 2u64..1_000_000) {
+        let big_m = BigUint::from_u64(m);
+        let got = BigUint::from_u64(base).modpow(&BigUint::from_u64(exp), &big_m);
+        // Naive u128 computation.
+        let mut acc: u128 = 1;
+        for _ in 0..exp {
+            acc = acc * (base as u128 % m as u128) % m as u128;
+        }
+        prop_assert_eq!(got, BigUint::from_u64(acc as u64));
+    }
+
+    #[test]
+    fn inv_mod_prime_is_inverse(a in 1u64..1_000_000_006) {
+        let p = BigUint::from_u64(1_000_000_007);
+        let ab = BigUint::from_u64(a);
+        let inv = ab.inv_mod_prime(&p).unwrap();
+        prop_assert_eq!(ab.mul_mod(&inv, &p), BigUint::one());
+    }
+
+    #[test]
+    fn cmp_consistent_with_sub(a in big(), b in big()) {
+        if a >= b {
+            let d = a.sub(&b);
+            prop_assert_eq!(b.add(&d), a);
+        } else {
+            let d = b.sub(&a);
+            prop_assert_eq!(a.add(&d), b);
+        }
+    }
+
+    #[test]
+    fn add_mod_stays_reduced(a in big(), b in big(), m in big_nonzero()) {
+        let ar = a.rem(&m);
+        let br = b.rem(&m);
+        let s = ar.add_mod(&br, &m);
+        prop_assert!(s < m);
+        prop_assert_eq!(s, ar.add(&br).rem(&m));
+    }
+
+    #[test]
+    fn sub_mod_stays_reduced(a in big(), b in big(), m in big_nonzero()) {
+        let ar = a.rem(&m);
+        let br = b.rem(&m);
+        let d = ar.sub_mod(&br, &m);
+        prop_assert!(d < m);
+        prop_assert_eq!(d.add(&br).rem(&m), ar);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the Montgomery exponentiation and HMAC substrates:
+//! agreement with the reference implementations across random inputs.
+
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::hmac::{hmac_sha256, tags_equal};
+use proauth_primitives::montgomery::Montgomery;
+use proauth_primitives::sha256::Sha256;
+use proptest::prelude::*;
+
+fn big(limbs: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..=limbs).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn montgomery_matches_generic(a in big(4), e in big(2), m in big(4)) {
+        // Force odd modulus > 1.
+        let m = if m.is_even() { m.add(&BigUint::one()) } else { m };
+        prop_assume!(!m.is_one() && !m.is_zero());
+        match Montgomery::new(&m) {
+            Some(ctx) => {
+                prop_assert_eq!(ctx.modpow(&a, &e), a.modpow_generic(&e, &m));
+            }
+            None => prop_assert!(m.is_one() || m.is_even()),
+        }
+    }
+
+    #[test]
+    fn modpow_dispatch_is_transparent(a in big(4), e in big(2), m in big(4)) {
+        prop_assume!(!m.is_zero());
+        prop_assert_eq!(a.modpow(&e, &m), a.modpow_generic(&e, &m));
+    }
+
+    #[test]
+    fn montgomery_respects_exponent_laws(a in big(3), e1 in 0u64..200, e2 in 0u64..200, m in big(3)) {
+        let m = if m.is_even() { m.add(&BigUint::one()) } else { m };
+        prop_assume!(!m.is_one() && !m.is_zero());
+        let Some(ctx) = Montgomery::new(&m) else { return Ok(()); };
+        // a^(e1+e2) = a^e1 · a^e2 (mod m)
+        let lhs = ctx.modpow(&a, &BigUint::from_u64(e1 + e2));
+        let rhs = ctx
+            .modpow(&a, &BigUint::from_u64(e1))
+            .mul_mod(&ctx.modpow(&a, &BigUint::from_u64(e2)), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn hmac_differs_from_plain_hash(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                     data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let tag = hmac_sha256(&key, &data);
+        prop_assert_ne!(tag, Sha256::digest(&data));
+        // Deterministic and key-sensitive.
+        prop_assert!(tags_equal(&tag, &hmac_sha256(&key, &data)));
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert!(!tags_equal(&tag, &hmac_sha256(&key2, &data)));
+    }
+
+    #[test]
+    fn hmac_data_sensitivity(key in proptest::collection::vec(any::<u8>(), 1..32),
+                              data in proptest::collection::vec(any::<u8>(), 1..64),
+                              flip in any::<prop::sample::Index>()) {
+        let tag = hmac_sha256(&key, &data);
+        let mut data2 = data.clone();
+        let i = flip.index(data2.len());
+        data2[i] ^= 0xFF;
+        prop_assert!(!tags_equal(&tag, &hmac_sha256(&key, &data2)));
+    }
+}

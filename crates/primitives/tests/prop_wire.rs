@@ -1,0 +1,80 @@
+//! Property tests for the canonical wire encoding: roundtrips, strictness,
+//! and injectivity of composite encodings.
+
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode, Reader, Writer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(Vec::<u8>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,80}") {
+        prop_assert_eq!(String::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_vec_roundtrip(v in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..20), 0..10)) {
+        prop_assert_eq!(Vec::<Vec<u8>>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_roundtrip(v in proptest::option::of(any::<u32>())) {
+        prop_assert_eq!(Option::<u32>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn biguint_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 0..5)) {
+        let v = BigUint::from_limbs(limbs);
+        prop_assert_eq!(BigUint::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn trailing_byte_always_rejected(v in any::<u64>(), extra in any::<u8>()) {
+        let mut bytes = v.to_bytes();
+        bytes.push(extra);
+        prop_assert!(u64::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_always_rejected(v in proptest::collection::vec(any::<u8>(), 1..100)) {
+        let bytes = v.to_bytes();
+        // Drop the last byte: must fail (either EOF or BadLength).
+        prop_assert!(Vec::<u8>::from_bytes(&bytes[..bytes.len()-1]).is_err());
+    }
+
+    #[test]
+    fn pair_encoding_injective(
+        a1 in proptest::collection::vec(any::<u8>(), 0..20),
+        b1 in proptest::collection::vec(any::<u8>(), 0..20),
+        a2 in proptest::collection::vec(any::<u8>(), 0..20),
+        b2 in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let enc = |a: &[u8], b: &[u8]| {
+            let mut w = Writer::new();
+            w.put_bytes(a);
+            w.put_bytes(b);
+            w.into_bytes()
+        };
+        if (a1.clone(), b1.clone()) != (a2.clone(), b2.clone()) {
+            prop_assert_ne!(enc(&a1, &b1), enc(&a2, &b2));
+        }
+    }
+
+    #[test]
+    fn reader_remaining_decreases(v in proptest::collection::vec(any::<u8>(), 8..64)) {
+        let mut r = Reader::new(&v);
+        let before = r.remaining();
+        let _ = r.get_u32().unwrap();
+        prop_assert_eq!(r.remaining(), before - 4);
+    }
+}

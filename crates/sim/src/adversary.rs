@@ -1,0 +1,173 @@
+//! Adversary interfaces for the AL and UL models (§2.1–2.2).
+//!
+//! Both adversaries are *mobile* and *adaptive*: each round they may break
+//! into nodes and leave nodes, read the full traffic, and mutate the memory
+//! of broken nodes. They differ in their power over the links:
+//!
+//! * the **AL adversary** cannot touch honest traffic — every honest message
+//!   is delivered unmodified — but may send messages in the name of broken
+//!   nodes;
+//! * the **UL adversary** *owns* delivery: it receives everything that was
+//!   sent and returns whatever it wants delivered (drop, modify, inject,
+//!   duplicate, impersonate — anything).
+//!
+//! Strategy implementations live in `proauth-adversary`; this module only
+//! defines the interface plus the two faithful baselines.
+
+use crate::clock::TimeView;
+use crate::message::{Envelope, NodeId};
+use std::any::Any;
+
+/// Break-in / leave decisions for one round.
+#[derive(Debug, Clone, Default)]
+pub struct BreakPlan {
+    /// Nodes to break into at the start of this round.
+    pub break_into: Vec<NodeId>,
+    /// Nodes to leave (release) at the start of this round.
+    pub leave: Vec<NodeId>,
+}
+
+impl BreakPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Breaks into the given nodes.
+    pub fn break_into(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        BreakPlan {
+            break_into: nodes.into_iter().collect(),
+            leave: Vec::new(),
+        }
+    }
+
+    /// Leaves the given nodes.
+    pub fn leave(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        BreakPlan {
+            break_into: Vec::new(),
+            leave: nodes.into_iter().collect(),
+        }
+    }
+}
+
+/// Everything the adversary can observe about the network at a given moment.
+///
+/// Adversaries in both models see all traffic (the paper's adversary "learns
+/// all the communication among the parties").
+#[derive(Debug)]
+pub struct NetView<'a> {
+    /// Current time.
+    pub time: TimeView,
+    /// Network size.
+    pub n: usize,
+    /// Which nodes are currently broken.
+    pub broken: &'a [bool],
+    /// Which nodes are currently `s`-operational (runner's ground truth).
+    pub operational: &'a [bool],
+    /// Messages delivered at the end of the previous round (the traffic the
+    /// adversary has read so far).
+    pub last_delivered: &'a [Envelope],
+    /// Deliveries addressed to broken nodes this round (the adversary
+    /// receives these instead of the node).
+    pub broken_inboxes: &'a [Envelope],
+}
+
+/// The AL-model mobile adversary (§2.1).
+pub trait AlAdversary {
+    /// Break-in/leave decisions at the start of the round.
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let _ = view;
+        BreakPlan::none()
+    }
+
+    /// Reads/modifies the memory of a broken node (called once per round per
+    /// broken node). The ROM is not reachable from here.
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn Any, time: &TimeView) {
+        let _ = (node, state, time);
+    }
+
+    /// Messages the adversary sends in the name of broken nodes this round.
+    /// Called *after* the honest messages of the round are known (rushing).
+    /// Envelopes whose `from` is not currently broken are discarded by the
+    /// runner.
+    fn broken_sends(&mut self, honest_sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        let _ = (honest_sent, view);
+        Vec::new()
+    }
+
+    /// The adversary's own output, appended to the global output.
+    fn output(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// The UL-model mobile adversary (§2.2).
+pub trait UlAdversary {
+    /// Break-in/leave decisions at the start of the round.
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let _ = view;
+        BreakPlan::none()
+    }
+
+    /// Reads/modifies the memory of a broken node (called once per round per
+    /// broken node). The ROM is not reachable from here.
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn Any, time: &TimeView) {
+        let _ = (node, state, time);
+    }
+
+    /// Full control of delivery: receives everything sent this round and
+    /// returns the set of envelopes actually delivered (with arbitrary
+    /// claimed senders). Called after honest sends are known (rushing).
+    fn deliver(&mut self, sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope>;
+
+    /// The adversary's own output, appended to the global output.
+    fn output(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// AL baseline: never breaks in; broken set stays empty.
+#[derive(Debug, Default, Clone)]
+pub struct PassiveAl;
+
+impl AlAdversary for PassiveAl {}
+
+/// UL baseline: delivers everything faithfully, never breaks in.
+#[derive(Debug, Default, Clone)]
+pub struct FaithfulUl;
+
+impl UlAdversary for FaithfulUl {
+    fn deliver(&mut self, sent: &[Envelope], _view: &NetView<'_>) -> Vec<Envelope> {
+        sent.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_plan_constructors() {
+        let p = BreakPlan::break_into([NodeId(1), NodeId(2)]);
+        assert_eq!(p.break_into.len(), 2);
+        assert!(p.leave.is_empty());
+        let p = BreakPlan::leave([NodeId(3)]);
+        assert_eq!(p.leave, vec![NodeId(3)]);
+        assert!(BreakPlan::none().break_into.is_empty());
+    }
+
+    #[test]
+    fn faithful_ul_echoes_sent() {
+        let mut adv = FaithfulUl;
+        let sent = vec![Envelope::new(NodeId(1), NodeId(2), vec![5])];
+        let view = NetView {
+            time: crate::clock::TimeView::at(&crate::clock::Schedule::new(10, 2, 2), 0),
+            n: 2,
+            broken: &[false, false],
+            operational: &[true, true],
+            last_delivered: &[],
+            broken_inboxes: &[],
+        };
+        assert_eq!(adv.deliver(&sent, &view), sent);
+    }
+}

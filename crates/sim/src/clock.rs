@@ -1,0 +1,223 @@
+//! Time units, refreshment phases, and communication rounds (Fig. 1 of the
+//! paper).
+//!
+//! The lifetime of the system is divided into *time units*; consecutive time
+//! units overlap in a short *refreshment phase*. We model this with a global
+//! physical round counter: time unit `u` occupies rounds
+//! `[u·unit_rounds, (u+1)·unit_rounds)`, and the refreshment phase of unit
+//! `u ≥ 1` is the first `part1_rounds + part2_rounds` rounds of the unit.
+//! During Part I nodes still authenticate with unit-`u−1` keys (the paper's
+//! "overlap"); Part II belongs to unit `u` proper.
+//!
+//! Unit 0 has no refreshment phase — its keys come from the adversary-free
+//! set-up phase (`UGen`).
+
+/// The round layout of time units and refreshment phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Physical rounds per time unit.
+    pub unit_rounds: u64,
+    /// Rounds of refresh Part I (local key certification, old keys).
+    pub part1_rounds: u64,
+    /// Rounds of refresh Part II (PDS share refresh, new keys).
+    pub part2_rounds: u64,
+}
+
+impl Schedule {
+    /// A schedule validated for internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the refresh phase does not fit inside a unit.
+    pub fn new(unit_rounds: u64, part1_rounds: u64, part2_rounds: u64) -> Self {
+        assert!(
+            part1_rounds + part2_rounds <= unit_rounds,
+            "refresh phase must fit in a time unit"
+        );
+        assert!(part1_rounds > 0 && part2_rounds > 0);
+        Schedule {
+            unit_rounds,
+            part1_rounds,
+            part2_rounds,
+        }
+    }
+
+    /// Total refresh-phase length in rounds.
+    pub fn refresh_rounds(&self) -> u64 {
+        self.part1_rounds + self.part2_rounds
+    }
+
+    /// The time unit containing `round`.
+    pub fn unit_of(&self, round: u64) -> u64 {
+        round / self.unit_rounds
+    }
+
+    /// Round index within its time unit.
+    pub fn round_in_unit(&self, round: u64) -> u64 {
+        round % self.unit_rounds
+    }
+
+    /// The phase of `round` within the protocol schedule.
+    pub fn phase_of(&self, round: u64) -> Phase {
+        let unit = self.unit_of(round);
+        let r = self.round_in_unit(round);
+        if unit == 0 {
+            return Phase::Normal;
+        }
+        if r < self.part1_rounds {
+            Phase::RefreshPart1 { step: r }
+        } else if r < self.refresh_rounds() {
+            Phase::RefreshPart2 {
+                step: r - self.part1_rounds,
+            }
+        } else {
+            Phase::Normal
+        }
+    }
+
+    /// The time unit whose *authentication keys* are in force at `round`.
+    ///
+    /// During refresh Part I of unit `u`, messages are still certified and
+    /// verified with the keys of unit `u−1` (Definition 17 treats them as
+    /// belonging to that unit).
+    pub fn auth_unit_of(&self, round: u64) -> u64 {
+        let unit = self.unit_of(round);
+        match self.phase_of(round) {
+            Phase::RefreshPart1 { .. } => unit - 1,
+            _ => unit,
+        }
+    }
+
+    /// Whether `round` is the final round of a refreshment phase.
+    pub fn is_refresh_end(&self, round: u64) -> bool {
+        self.unit_of(round) > 0 && self.round_in_unit(round) + 1 == self.refresh_rounds()
+    }
+
+    /// Whether `round` is inside a refreshment phase.
+    pub fn in_refresh(&self, round: u64) -> bool {
+        matches!(
+            self.phase_of(round),
+            Phase::RefreshPart1 { .. } | Phase::RefreshPart2 { .. }
+        )
+    }
+}
+
+/// Where a round sits inside the time-unit schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Refresh Part I — certify new local keys with old keys.
+    RefreshPart1 {
+        /// Step index inside Part I (0-based).
+        step: u64,
+    },
+    /// Refresh Part II — refresh the PDS shares with new keys.
+    RefreshPart2 {
+        /// Step index inside Part II (0-based).
+        step: u64,
+    },
+    /// Ordinary operation.
+    Normal,
+}
+
+/// A snapshot of "what time it is" handed to processes and adversaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeView {
+    /// Global physical round counter (0-based, post-setup).
+    pub round: u64,
+    /// Time unit of this round.
+    pub unit: u64,
+    /// Time unit whose authentication keys are in force.
+    pub auth_unit: u64,
+    /// Schedule phase.
+    pub phase: Phase,
+    /// Round index within the unit.
+    pub round_in_unit: u64,
+}
+
+impl TimeView {
+    /// Computes the view of `round` under `schedule`.
+    pub fn at(schedule: &Schedule, round: u64) -> Self {
+        TimeView {
+            round,
+            unit: schedule.unit_of(round),
+            auth_unit: schedule.auth_unit_of(round),
+            phase: schedule.phase_of(round),
+            round_in_unit: schedule.round_in_unit(round),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Schedule {
+        Schedule::new(30, 12, 8)
+    }
+
+    #[test]
+    fn unit_boundaries() {
+        let s = sched();
+        assert_eq!(s.unit_of(0), 0);
+        assert_eq!(s.unit_of(29), 0);
+        assert_eq!(s.unit_of(30), 1);
+        assert_eq!(s.round_in_unit(31), 1);
+    }
+
+    #[test]
+    fn unit_zero_has_no_refresh() {
+        let s = sched();
+        for r in 0..30 {
+            assert_eq!(s.phase_of(r), Phase::Normal, "round {r}");
+            assert_eq!(s.auth_unit_of(r), 0);
+        }
+    }
+
+    #[test]
+    fn refresh_phases_of_unit_one() {
+        let s = sched();
+        assert_eq!(s.phase_of(30), Phase::RefreshPart1 { step: 0 });
+        assert_eq!(s.phase_of(41), Phase::RefreshPart1 { step: 11 });
+        assert_eq!(s.phase_of(42), Phase::RefreshPart2 { step: 0 });
+        assert_eq!(s.phase_of(49), Phase::RefreshPart2 { step: 7 });
+        assert_eq!(s.phase_of(50), Phase::Normal);
+    }
+
+    #[test]
+    fn auth_unit_lags_during_part1() {
+        let s = sched();
+        // Part I of unit 1 authenticates with unit-0 keys.
+        assert_eq!(s.auth_unit_of(30), 0);
+        assert_eq!(s.auth_unit_of(41), 0);
+        // Part II and normal operation use unit-1 keys.
+        assert_eq!(s.auth_unit_of(42), 1);
+        assert_eq!(s.auth_unit_of(59), 1);
+    }
+
+    #[test]
+    fn refresh_end_marker() {
+        let s = sched();
+        assert!(!s.is_refresh_end(19));
+        assert!(s.is_refresh_end(49));
+        assert!(s.is_refresh_end(79));
+        assert!(!s.is_refresh_end(50));
+        // Unit 0 never ends a refresh.
+        assert!(!s.is_refresh_end(19));
+    }
+
+    #[test]
+    fn time_view_consistency() {
+        let s = sched();
+        let tv = TimeView::at(&s, 42);
+        assert_eq!(tv.unit, 1);
+        assert_eq!(tv.auth_unit, 1);
+        assert_eq!(tv.round_in_unit, 12);
+        assert_eq!(tv.phase, Phase::RefreshPart2 { step: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh phase must fit")]
+    fn oversized_refresh_rejected() {
+        let _ = Schedule::new(10, 8, 8);
+    }
+}

@@ -1,0 +1,36 @@
+//! # proauth-sim
+//!
+//! The computational models of Canetti–Halevi–Herzberg (PODC '97), §2, as an
+//! executable synchronous network simulator:
+//!
+//! * [`clock`] — time units and refreshment phases (Fig. 1);
+//! * [`message`] — envelopes, node ids, output events (the "global output");
+//! * [`process`] — the node programming interface, including ROM;
+//! * [`adversary`] — the AL and UL mobile-adversary interfaces;
+//! * [`reliability`] — link reliability (Def. 4) and `s`-operational
+//!   tracking (Defs. 5–6) from ground truth;
+//! * [`runner`] — the AL/UL execution engines ([`runner::run_al`],
+//!   [`runner::run_ul`]).
+//!
+//! The simulator is fully deterministic given a seed: node randomness is
+//! derived per (node, round) outside corruptible state, matching the paper's
+//! `r_{i,w}` formalization.
+
+pub mod adversary;
+pub mod clock;
+pub mod message;
+pub mod process;
+pub mod reliability;
+pub mod report;
+pub mod runner;
+
+pub use adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
+pub use clock::{Phase, Schedule, TimeView};
+pub use message::{Envelope, NodeId, OutputEvent, OutputLog};
+pub use process::{Process, Rom, RoundCtx, SetupCtx};
+pub use reliability::{OperationalRule, OperationalTracker, PairMatrix};
+pub use report::{unit_summaries, NodeUnitSummary, UnitSummary};
+pub use runner::{
+    run_al, run_al_with_inputs, run_ul, run_ul_with_inputs, RoundRecord, SimConfig, SimResult,
+    SimStats,
+};

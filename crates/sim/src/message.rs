@@ -1,0 +1,122 @@
+//! Messages, node identifiers, and per-round outputs.
+
+use std::fmt;
+
+/// A node identifier, 1-based (matching the Shamir evaluation points used by
+/// the crypto layer). `NodeId(0)` is never a valid node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The 0-based vector index for this node.
+    pub fn idx(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Builds a `NodeId` from a 0-based index.
+    pub fn from_idx(idx: usize) -> Self {
+        NodeId(idx as u32 + 1)
+    }
+
+    /// Iterates all node ids for an `n`-node network.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (1..=n as u32).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A message in flight: `from` is the *claimed* sender (in the UL model the
+/// adversary may claim anything), `to` the destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Claimed sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Opaque payload (upper layers encode/decode with `proauth-primitives::wire`).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(from: NodeId, to: NodeId, payload: Vec<u8>) -> Self {
+        Envelope { from, to, payload }
+    }
+}
+
+/// A single local-output event, in the sense of the paper's "global output":
+/// the externally visible functionality of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputEvent {
+    /// "Node N_i is compromised" — broken into (AL) or broken/disconnected (UL).
+    Compromised,
+    /// "Node N_i is recovered".
+    Recovered,
+    /// The node detected impersonation or a failed refresh (§2.3 awareness).
+    Alert,
+    /// "N_i is asked to sign m at time unit u".
+    SignRequested {
+        /// Message to sign.
+        msg: Vec<u8>,
+        /// Time unit of the request.
+        unit: u64,
+    },
+    /// "(m, u) is signed".
+    Signed {
+        /// The signed message.
+        msg: Vec<u8>,
+        /// Time unit in which it was signed.
+        unit: u64,
+    },
+    /// The (unbreakable) verifier accepted `msg` as signed.
+    Verified {
+        /// The verified message.
+        msg: Vec<u8>,
+    },
+    /// An application-layer (π) message was accepted as authentic.
+    Accepted {
+        /// Claimed sender it was accepted from.
+        from: NodeId,
+        /// The payload.
+        msg: Vec<u8>,
+    },
+    /// An application-layer (π) message was sent by the top layer.
+    Sent {
+        /// Destination.
+        to: NodeId,
+        /// The payload.
+        msg: Vec<u8>,
+    },
+    /// Free-form protocol output.
+    Custom(String),
+}
+
+/// One node's timestamped output log.
+pub type OutputLog = Vec<(u64, OutputEvent)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_indexing() {
+        assert_eq!(NodeId(1).idx(), 0);
+        assert_eq!(NodeId::from_idx(4), NodeId(5));
+        let all: Vec<NodeId> = NodeId::all(3).collect();
+        assert_eq!(all, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(format!("{}", NodeId(7)), "N7");
+    }
+
+    #[test]
+    fn envelope_construction() {
+        let e = Envelope::new(NodeId(1), NodeId(2), vec![1, 2, 3]);
+        assert_eq!(e.from, NodeId(1));
+        assert_eq!(e.to, NodeId(2));
+        assert_eq!(e.payload, vec![1, 2, 3]);
+    }
+}

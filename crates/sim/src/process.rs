@@ -1,0 +1,193 @@
+//! The node-side execution interface: processes, ROM, and round contexts.
+
+use crate::clock::TimeView;
+use crate::message::{Envelope, NodeId, OutputEvent};
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Read-only memory (§2.2/§6 of the paper): the program plus a small amount
+/// of data written once at the end of the set-up phase — in our protocols the
+/// PDS global verification key `v_cert`.
+///
+/// The runner hands processes a `&mut Rom` only during setup; afterwards the
+/// ROM is frozen and even the adversary's memory-corruption API cannot reach
+/// it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rom {
+    entries: BTreeMap<String, Vec<u8>>,
+}
+
+impl Rom {
+    /// Creates an empty ROM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes an entry (setup phase only — the runner enforces this by not
+    /// exposing `&mut Rom` afterwards).
+    pub fn write(&mut self, key: &str, value: Vec<u8>) {
+        self.entries.insert(key.to_owned(), value);
+    }
+
+    /// Reads an entry.
+    pub fn read(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).map(|v| v.as_slice())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROM holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Everything a process can see and do in one communication round.
+pub struct RoundCtx<'a> {
+    /// Current time.
+    pub time: TimeView,
+    /// This node's id.
+    pub me: NodeId,
+    /// Network size.
+    pub n: usize,
+    /// Messages delivered to this node at the start of the round.
+    pub inbox: &'a [Envelope],
+    /// This node's frozen ROM.
+    pub rom: &'a Rom,
+    /// Fresh per-round randomness (the paper's `r_{i,w}`): seeded outside the
+    /// node's corruptible state, so breaking in reveals nothing about future
+    /// rounds' randomness.
+    pub rng: &'a mut StdRng,
+    /// External input for this round (the paper's `x_{i,w}`), if any.
+    pub input: Option<&'a [u8]>,
+    pub(crate) outbox: &'a mut Vec<Envelope>,
+    pub(crate) output: &'a mut Vec<(u64, OutputEvent)>,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// Sends `payload` to `to` at the end of this round.
+    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+        debug_assert!(to != self.me, "no self-links in the model");
+        self.outbox.push(Envelope::new(self.me, to, payload));
+    }
+
+    /// Sends `payload` to every other node.
+    pub fn send_all(&mut self, payload: Vec<u8>) {
+        for to in NodeId::all(self.n) {
+            if to != self.me {
+                self.outbox.push(Envelope::new(self.me, to, payload.clone()));
+            }
+        }
+    }
+
+    /// Appends an event to this node's local output.
+    pub fn emit(&mut self, event: OutputEvent) {
+        self.output.push((self.time.round, event));
+    }
+
+    /// Number of messages sent so far this round (used by complexity
+    /// experiments).
+    pub fn sent_count(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+/// Context for the adversary-free set-up phase. Like [`RoundCtx`] but with a
+/// writable ROM.
+pub struct SetupCtx<'a> {
+    /// Setup round index (0-based; independent of post-setup rounds).
+    pub setup_round: u64,
+    /// This node's id.
+    pub me: NodeId,
+    /// Network size.
+    pub n: usize,
+    /// Messages delivered this setup round (faithful delivery).
+    pub inbox: &'a [Envelope],
+    /// The node's ROM, writable during setup only.
+    pub rom: &'a mut Rom,
+    /// Setup randomness.
+    pub rng: &'a mut StdRng,
+    pub(crate) outbox: &'a mut Vec<Envelope>,
+}
+
+impl<'a> SetupCtx<'a> {
+    /// Sends `payload` to `to` at the end of this setup round.
+    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+        debug_assert!(to != self.me);
+        self.outbox.push(Envelope::new(self.me, to, payload));
+    }
+
+    /// Sends `payload` to every other node.
+    pub fn send_all(&mut self, payload: Vec<u8>) {
+        for to in NodeId::all(self.n) {
+            if to != self.me {
+                self.outbox.push(Envelope::new(self.me, to, payload.clone()));
+            }
+        }
+    }
+}
+
+/// A node program.
+///
+/// While a node is broken into, the runner does **not** call `on_round`; the
+/// adversary acts in the node's name and may mutate its state through
+/// [`Process::state_mut`]. When the adversary leaves, execution resumes from
+/// whatever the (possibly corrupted) state now holds — the recovery problem
+/// the paper is about.
+pub trait Process: 'static {
+    /// Executes one adversary-free setup round.
+    fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>);
+
+    /// Executes one communication round.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Exposes mutable state to the break-in semantics (`dyn Any` so
+    /// adversary strategies can downcast to the concrete node type).
+    fn state_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Schedule, TimeView};
+    use rand::SeedableRng;
+
+    #[test]
+    fn rom_read_write() {
+        let mut rom = Rom::new();
+        assert!(rom.is_empty());
+        rom.write("v_cert", vec![1, 2, 3]);
+        assert_eq!(rom.read("v_cert"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(rom.read("missing"), None);
+        assert_eq!(rom.len(), 1);
+    }
+
+    #[test]
+    fn round_ctx_send_and_emit() {
+        let sched = Schedule::new(30, 12, 8);
+        let mut outbox = Vec::new();
+        let mut output = Vec::new();
+        let rom = Rom::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = RoundCtx {
+            time: TimeView::at(&sched, 5),
+            me: NodeId(1),
+            n: 3,
+            inbox: &[],
+            rom: &rom,
+            rng: &mut rng,
+            input: None,
+            outbox: &mut outbox,
+            output: &mut output,
+        };
+        ctx.send(NodeId(2), vec![9]);
+        ctx.send_all(vec![7]);
+        ctx.emit(OutputEvent::Alert);
+        assert_eq!(outbox.len(), 3); // one direct + two broadcast
+        assert_eq!(output, vec![(5, OutputEvent::Alert)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Unit-by-unit summaries of a run — the "system log" view of the global
+//! output that an operator (the consumer of alerts, per the paper's
+//! awareness discussion) would actually read.
+
+use crate::clock::Schedule;
+use crate::message::{NodeId, OutputEvent};
+use crate::runner::SimResult;
+use std::fmt;
+
+/// Aggregates for one node in one time unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeUnitSummary {
+    /// Top-layer messages sent.
+    pub sent: usize,
+    /// Authenticated messages accepted.
+    pub accepted: usize,
+    /// Alerts raised.
+    pub alerts: usize,
+    /// Whether a "compromised" line appeared this unit.
+    pub compromised: bool,
+    /// Whether a "recovered" line appeared this unit.
+    pub recovered: bool,
+    /// Threshold signatures reported.
+    pub signed: usize,
+}
+
+/// Aggregates for one time unit across the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitSummary {
+    /// The time unit index.
+    pub unit: u64,
+    /// Per-node rows.
+    pub nodes: Vec<NodeUnitSummary>,
+}
+
+impl UnitSummary {
+    /// Total alerts in the unit.
+    pub fn total_alerts(&self) -> usize {
+        self.nodes.iter().map(|n| n.alerts).sum()
+    }
+
+    /// Nodes that were compromised at some point in the unit.
+    pub fn compromised_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.compromised)
+            .map(|(i, _)| NodeId::from_idx(i))
+            .collect()
+    }
+}
+
+/// Builds per-unit summaries from a run's global output.
+pub fn unit_summaries(result: &SimResult, schedule: &Schedule) -> Vec<UnitSummary> {
+    let n = result.outputs.len();
+    let last_round = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter().map(|(r, _)| *r))
+        .max()
+        .unwrap_or(0);
+    let units = schedule.unit_of(last_round) + 1;
+    let mut out: Vec<UnitSummary> = (0..units)
+        .map(|unit| UnitSummary {
+            unit,
+            nodes: vec![NodeUnitSummary::default(); n],
+        })
+        .collect();
+    for (idx, log) in result.outputs.iter().enumerate() {
+        for (round, ev) in log {
+            let unit = schedule.unit_of(*round) as usize;
+            let cell = &mut out[unit].nodes[idx];
+            match ev {
+                OutputEvent::Sent { .. } => cell.sent += 1,
+                OutputEvent::Accepted { .. } => cell.accepted += 1,
+                OutputEvent::Alert => cell.alerts += 1,
+                OutputEvent::Compromised => cell.compromised = true,
+                OutputEvent::Recovered => cell.recovered = true,
+                OutputEvent::Signed { .. } => cell.signed += 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+impl fmt::Display for UnitSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "unit {}:", self.unit)?;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut flags = String::new();
+            if node.compromised {
+                flags.push_str(" COMPROMISED");
+            }
+            if node.recovered {
+                flags.push_str(" RECOVERED");
+            }
+            if node.alerts > 0 {
+                flags.push_str(&format!(" ALERT×{}", node.alerts));
+            }
+            writeln!(
+                f,
+                "  {}: sent {:4}  accepted {:4}  signed {:2}{}",
+                NodeId::from_idx(idx),
+                node.sent,
+                node.accepted,
+                node.signed,
+                flags
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Rom;
+    use crate::runner::{SimResult, SimStats};
+
+    fn mk_result(outputs: Vec<Vec<(u64, OutputEvent)>>) -> SimResult {
+        let n = outputs.len();
+        SimResult {
+            outputs,
+            adversary_output: Vec::new(),
+            stats: SimStats::default(),
+            final_operational: vec![true; n],
+            roms: vec![Rom::new(); n],
+            transcript: None,
+        }
+    }
+
+    #[test]
+    fn summaries_bucket_by_unit() {
+        let schedule = Schedule::new(10, 2, 2);
+        let result = mk_result(vec![
+            vec![
+                (1, OutputEvent::Sent { to: NodeId(2), msg: vec![] }),
+                (12, OutputEvent::Alert),
+                (13, OutputEvent::Compromised),
+            ],
+            vec![(3, OutputEvent::Accepted { from: NodeId(1), msg: vec![] })],
+        ]);
+        let summaries = unit_summaries(&result, &schedule);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].nodes[0].sent, 1);
+        assert_eq!(summaries[0].nodes[1].accepted, 1);
+        assert_eq!(summaries[0].total_alerts(), 0);
+        assert_eq!(summaries[1].nodes[0].alerts, 1);
+        assert!(summaries[1].nodes[0].compromised);
+        assert_eq!(summaries[1].compromised_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn display_renders_flags() {
+        let schedule = Schedule::new(10, 2, 2);
+        let result = mk_result(vec![vec![
+            (0, OutputEvent::Alert),
+            (1, OutputEvent::Recovered),
+        ]]);
+        let text = format!("{}", unit_summaries(&result, &schedule)[0]);
+        assert!(text.contains("ALERT×1"));
+        assert!(text.contains("RECOVERED"));
+    }
+
+    #[test]
+    fn empty_run_yields_one_empty_unit() {
+        let schedule = Schedule::new(10, 2, 2);
+        let result = mk_result(vec![vec![], vec![]]);
+        let summaries = unit_summaries(&result, &schedule);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].total_alerts(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the time-unit / refresh-phase schedule (Fig. 1).
+
+use proauth_sim::clock::{Phase, Schedule, TimeView};
+use proptest::prelude::*;
+
+fn schedules() -> impl Strategy<Value = Schedule> {
+    (1u64..10, 1u64..10, 10u64..40).prop_filter_map("refresh fits", |(p1, p2, extra)| {
+        let unit = p1 + p2 + extra;
+        (p1 + p2 <= unit).then(|| Schedule::new(unit, p1, p2))
+    })
+}
+
+proptest! {
+    #[test]
+    fn unit_and_round_in_unit_invert(s in schedules(), round in 0u64..10_000) {
+        let unit = s.unit_of(round);
+        let off = s.round_in_unit(round);
+        prop_assert_eq!(unit * s.unit_rounds + off, round);
+        prop_assert!(off < s.unit_rounds);
+    }
+
+    #[test]
+    fn phase_partition_is_total_and_consistent(s in schedules(), round in 0u64..10_000) {
+        let phase = s.phase_of(round);
+        let off = s.round_in_unit(round);
+        let unit = s.unit_of(round);
+        match phase {
+            Phase::RefreshPart1 { step } => {
+                prop_assert!(unit > 0);
+                prop_assert_eq!(step, off);
+                prop_assert!(step < s.part1_rounds);
+                prop_assert!(s.in_refresh(round));
+            }
+            Phase::RefreshPart2 { step } => {
+                prop_assert!(unit > 0);
+                prop_assert_eq!(step, off - s.part1_rounds);
+                prop_assert!(step < s.part2_rounds);
+                prop_assert!(s.in_refresh(round));
+            }
+            Phase::Normal => {
+                prop_assert!(unit == 0 || off >= s.refresh_rounds());
+                prop_assert!(!s.in_refresh(round));
+            }
+        }
+    }
+
+    #[test]
+    fn auth_unit_lags_exactly_in_part1(s in schedules(), round in 0u64..10_000) {
+        let unit = s.unit_of(round);
+        let auth = s.auth_unit_of(round);
+        match s.phase_of(round) {
+            Phase::RefreshPart1 { .. } => prop_assert_eq!(auth, unit - 1),
+            _ => prop_assert_eq!(auth, unit),
+        }
+    }
+
+    #[test]
+    fn auth_unit_is_monotone(s in schedules(), start in 0u64..5_000) {
+        // The key-epoch counter never goes backwards.
+        let mut prev = s.auth_unit_of(start);
+        for round in start + 1..start + 200 {
+            let cur = s.auth_unit_of(round);
+            prop_assert!(cur >= prev);
+            prop_assert!(cur - prev <= 1, "advances by at most one per round");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn exactly_one_refresh_end_per_refreshing_unit(s in schedules(), unit in 1u64..50) {
+        let start = unit * s.unit_rounds;
+        let ends = (start..start + s.unit_rounds)
+            .filter(|&r| s.is_refresh_end(r))
+            .count();
+        prop_assert_eq!(ends, 1);
+        // And unit 0 has none.
+        let ends0 = (0..s.unit_rounds).filter(|&r| s.is_refresh_end(r)).count();
+        prop_assert_eq!(ends0, 0);
+    }
+
+    #[test]
+    fn time_view_agrees_with_schedule(s in schedules(), round in 0u64..10_000) {
+        let tv = TimeView::at(&s, round);
+        prop_assert_eq!(tv.round, round);
+        prop_assert_eq!(tv.unit, s.unit_of(round));
+        prop_assert_eq!(tv.auth_unit, s.auth_unit_of(round));
+        prop_assert_eq!(tv.phase, s.phase_of(round));
+        prop_assert_eq!(tv.round_in_unit, s.round_in_unit(round));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the ground-truth machinery: link reliability
+//! (Definition 4) and the s-operational tracker (Definition 5).
+
+use proauth_sim::message::{Envelope, NodeId};
+use proauth_sim::reliability::{link_reliability, OperationalRule, OperationalTracker, PairMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random message set over an n-node network.
+fn msgs(n: u32, max: usize) -> impl Strategy<Value = Vec<Envelope>> {
+    proptest::collection::vec(
+        (1..=n, 1..=n, proptest::collection::vec(any::<u8>(), 0..4)).prop_filter_map(
+            "no self-links",
+            |(a, b, payload)| (a != b).then(|| Envelope::new(NodeId(a), NodeId(b), payload)),
+        ),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn faithful_delivery_keeps_unbroken_links_reliable(sent in msgs(5, 20)) {
+        let n = 5;
+        let m = link_reliability(n, &sent, &sent, &[false; 5]);
+        for a in NodeId::all(n) {
+            for b in NodeId::all(n) {
+                if a != b {
+                    prop_assert!(m.get(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_is_symmetric(sent in msgs(5, 20), delivered in msgs(5, 20)) {
+        let n = 5;
+        let m = link_reliability(n, &sent, &delivered, &[false; 5]);
+        for a in NodeId::all(n) {
+            for b in NodeId::all(n) {
+                if a != b {
+                    prop_assert_eq!(m.get(a, b), m.get(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_mismatch_breaks_exactly_affected_links(
+        sent in msgs(4, 12),
+        drop_idx in any::<prop::sample::Index>(),
+    ) {
+        const N: usize = 4;
+        let n = N;
+        if sent.is_empty() {
+            return Ok(());
+        }
+        let victim = drop_idx.get(&sent).clone();
+        let delivered: Vec<Envelope> = {
+            // Drop exactly one copy of the chosen message.
+            let mut dropped = false;
+            sent.iter()
+                .filter(|e| {
+                    if !dropped && **e == victim {
+                        dropped = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect()
+        };
+        let m = link_reliability(n, &sent, &delivered, &[false; N]);
+        // The victim's link must be unreliable.
+        prop_assert!(!m.get(victim.from, victim.to));
+        // Links with no traffic discrepancy stay reliable.
+        for a in NodeId::all(n) {
+            for b in NodeId::all(n) {
+                if a.0 < b.0 && !m.get(a, b) {
+                    // Some message between a and b must differ between sent
+                    // and delivered.
+                    let pair_msgs = |set: &[Envelope]| {
+                        let mut v: Vec<&Envelope> = set
+                            .iter()
+                            .filter(|e| {
+                                (e.from == a && e.to == b) || (e.from == b && e.to == a)
+                            })
+                            .collect();
+                        v.sort_by(|x, y| (x.from.0, &x.payload).cmp(&(y.from.0, &y.payload)));
+                        v.into_iter().cloned().collect::<Vec<_>>()
+                    };
+                    prop_assert_ne!(pair_msgs(&sent), pair_msgs(&delivered));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broken_nodes_are_never_operational(broken_mask in 0u8..32) {
+        let n = 5;
+        let broken: Vec<bool> = (0..n).map(|i| broken_mask & (1 << i) != 0).collect();
+        let mut tracker = OperationalTracker::new(n, 2);
+        let rel = link_reliability(n, &[], &[], &broken);
+        tracker.on_round(&broken, &rel, false, false);
+        for i in 0..n {
+            if broken[i] {
+                prop_assert!(!tracker.is_operational(NodeId::from_idx(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn operational_set_never_grows_outside_refresh_end(
+        breaks in proptest::collection::vec(0u8..32, 1..12),
+    ) {
+        // Without a refresh-phase end, rule 3 cannot fire, so the
+        // operational set is monotonically non-increasing.
+        let n = 5;
+        let mut tracker = OperationalTracker::new(n, 2);
+        let mut prev_count = n;
+        for mask in breaks {
+            let broken: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let rel = link_reliability(n, &[], &[], &broken);
+            tracker.on_round(&broken, &rel, false, false);
+            let count = tracker.count();
+            prop_assert!(count <= prev_count, "grew {prev_count} -> {count}");
+            prev_count = count;
+        }
+    }
+
+    #[test]
+    fn parenthetical_no_less_permissive_than_main_text(
+        breaks in proptest::collection::vec(0u8..32, 1..8),
+    ) {
+        // Every node operational under MainText is operational under
+        // Parenthetical (the latter only discounts non-operational peers).
+        let n = 5;
+        let mut lax = OperationalTracker::with_rule(n, 2, OperationalRule::Parenthetical);
+        let mut strict = OperationalTracker::with_rule(n, 2, OperationalRule::MainText);
+        for mask in breaks {
+            let broken: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let rel = link_reliability(n, &[], &[], &broken);
+            lax.on_round(&broken, &rel, false, false);
+            strict.on_round(&broken, &rel, false, false);
+            for i in 0..n {
+                if strict.is_operational(NodeId::from_idx(i)) {
+                    prop_assert!(lax.is_operational(NodeId::from_idx(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_matrix_and_with_is_intersection(
+        cuts1 in proptest::collection::vec((1u32..=4, 1u32..=4), 0..6),
+        cuts2 in proptest::collection::vec((1u32..=4, 1u32..=4), 0..6),
+    ) {
+        let n = 4;
+        let mk = |cuts: &[(u32, u32)]| {
+            let mut m = PairMatrix::filled(n, true);
+            for &(a, b) in cuts {
+                if a != b {
+                    m.set(NodeId(a), NodeId(b), false);
+                }
+            }
+            m
+        };
+        let m1 = mk(&cuts1);
+        let m2 = mk(&cuts2);
+        let mut both = m1.clone();
+        both.and_with(&m2);
+        for a in NodeId::all(n) {
+            for b in NodeId::all(n) {
+                if a != b {
+                    prop_assert_eq!(both.get(a, b), m1.get(a, b) && m2.get(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! `proauth` — scenario runner CLI.
+//!
+//! Runs a configurable ULS network against a chosen adversary and prints a
+//! full report: per-node traffic, alerts, impersonation analysis, ideal-model
+//! conformance, and (s,t)-limit accounting.
+//!
+//! ```text
+//! cargo run -p proauth-examples --bin proauth -- [options]
+//!
+//! Options:
+//!   --n <int>            nodes (default 5)
+//!   --t <int>            threshold (default (n-1)/2)
+//!   --units <int>        time units to simulate (default 3)
+//!   --normal <int>       normal-operation rounds per unit, even (default 12)
+//!   --seed <int>         master seed (default 0)
+//!   --group <id>         toy64 | s256 | s512 | s1024 (default toy64)
+//!   --auth <mode>        sign | mac (default sign)
+//!   --adversary <name>   none | drop:<pct> | replay | isolate:<node> |
+//!                        wipe:<node> | hijack:<node> (default none)
+//!   --parallel           run nodes on worker threads
+//!   --verbose            print every output event
+//! ```
+
+use proauth_adversary::{Hijacker, LimitObserver, LinkCutter, Replayer};
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::awareness;
+use proauth_core::uls::{uls_schedule, AuthMode, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_sim::adversary::{
+    BreakPlan, FaithfulUl, NetView, UlAdversary,
+};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId, OutputEvent};
+use proauth_sim::runner::{run_ul, SimConfig, SimResult};
+use std::collections::HashMap;
+use std::process::exit;
+
+struct Wiper {
+    target: NodeId,
+    break_at: u64,
+    leave_at: u64,
+}
+
+impl UlAdversary for Wiper {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        if view.time.round == self.break_at {
+            BreakPlan::break_into([self.target])
+        } else if view.time.round == self.leave_at {
+            BreakPlan::leave([self.target])
+        } else {
+            BreakPlan::none()
+        }
+    }
+    fn corrupt(&mut self, _n: NodeId, state: &mut dyn std::any::Any, _t: &TimeView) {
+        if let Some(node) = state.downcast_mut::<UlsNode<HeartbeatApp>>() {
+            node.corrupt_wipe();
+        }
+    }
+    fn deliver(&mut self, sent: &[Envelope], _v: &NetView<'_>) -> Vec<Envelope> {
+        sent.to_vec()
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("see the module docs at the top of examples/proauth_cli.rs for usage");
+    exit(2)
+}
+
+fn parse_args() -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            eprintln!("unexpected argument: {arg}");
+            usage()
+        };
+        match key {
+            "parallel" | "verbose" => {
+                out.insert(key.to_owned(), "true".to_owned());
+            }
+            "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--{key} needs a value");
+                    usage()
+                };
+                out.insert(key.to_owned(), value);
+            }
+            _ => {
+                eprintln!("unknown option --{key}");
+                usage()
+            }
+        }
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
+    match args.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v}");
+            usage()
+        }),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let n: usize = get(&args, "n", 5);
+    let t: usize = get(&args, "t", (n - 1) / 2);
+    let units: u64 = get(&args, "units", 3);
+    let normal: u64 = get(&args, "normal", 12);
+    let seed: u64 = get(&args, "seed", 0);
+    let verbose = args.contains_key("verbose");
+    if n < 2 * t + 1 {
+        eprintln!("need n >= 2t+1 (got n={n}, t={t})");
+        exit(2);
+    }
+    if !normal.is_multiple_of(2) {
+        eprintln!("--normal must be even");
+        exit(2);
+    }
+    let group_id = match args.get("group").map(String::as_str) {
+        None | Some("toy64") => GroupId::Toy64,
+        Some("s256") => GroupId::S256,
+        Some("s512") => GroupId::S512,
+        Some("s1024") => GroupId::S1024,
+        Some(other) => {
+            eprintln!("unknown group {other}");
+            usage()
+        }
+    };
+    let auth_mode = match args.get("auth").map(String::as_str) {
+        None | Some("sign") => AuthMode::Sign,
+        Some("mac") => AuthMode::SessionMac,
+        Some(other) => {
+            eprintln!("unknown auth mode {other}");
+            usage()
+        }
+    };
+
+    let schedule = uls_schedule(normal);
+    let mut cfg = SimConfig::new(n, t, schedule);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = schedule.unit_rounds * units;
+    cfg.seed = seed;
+    cfg.parallel = args.contains_key("parallel");
+
+    let group = Group::new(group_id);
+    let make_node = |id: NodeId| {
+        let mut c = UlsConfig::new(group.clone(), n, t);
+        c.auth_mode = auth_mode;
+        UlsNode::new(c, id, HeartbeatApp::default())
+    };
+
+    println!(
+        "proauth scenario: n={n} t={t} units={units} group={group_id} auth={auth_mode:?} seed={seed}"
+    );
+    let adversary_spec = args
+        .get("adversary")
+        .cloned()
+        .unwrap_or_else(|| "none".to_owned());
+    println!("adversary: {adversary_spec}\n");
+
+    let parse_node = |spec: &str| -> NodeId {
+        let id: u32 = spec.parse().unwrap_or_else(|_| {
+            eprintln!("bad node id {spec}");
+            usage()
+        });
+        if id == 0 || id as usize > n {
+            eprintln!("node id out of range: {id}");
+            exit(2);
+        }
+        NodeId(id)
+    };
+
+    // Dispatch on the adversary; each arm runs the same simulation.
+    let result: SimResult;
+    let mut limit_note = String::new();
+    if adversary_spec == "none" {
+        result = run_ul(cfg, make_node, &mut FaithfulUl);
+    } else if let Some(pct) = adversary_spec.strip_prefix("drop:") {
+        let p: f64 = pct.parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
+        let mut adv = proauth_adversary::RandomDropper::new(p, seed ^ 0xD20);
+        result = run_ul(cfg, make_node, &mut adv);
+    } else if adversary_spec == "replay" {
+        let mut adv = Replayer::new(6);
+        result = run_ul(cfg, make_node, &mut adv);
+    } else if let Some(node) = adversary_spec.strip_prefix("isolate:") {
+        let victim = parse_node(node);
+        let from = schedule.unit_rounds;
+        let mut adv = LimitObserver::new(
+            LinkCutter::isolate(victim, n).during(from, 2 * schedule.unit_rounds),
+        );
+        result = run_ul(cfg, make_node, &mut adv);
+        limit_note = format!("max impaired per unit: {}", adv.max_impaired());
+    } else if let Some(node) = adversary_spec.strip_prefix("wipe:") {
+        let victim = parse_node(node);
+        let mut adv = Wiper {
+            target: victim,
+            break_at: 4,
+            leave_at: 8,
+        };
+        result = run_ul(cfg, make_node, &mut adv);
+    } else if let Some(node) = adversary_spec.strip_prefix("hijack:") {
+        let victim = parse_node(node);
+        if units < 2 {
+            eprintln!("hijack needs at least 2 units");
+            exit(2);
+        }
+        let mut adv = LimitObserver::new(Hijacker::new(
+            group.clone(),
+            victim,
+            1,
+            schedule.unit_rounds,
+        ));
+        result = run_ul(cfg, make_node, &mut adv);
+        limit_note = format!(
+            "cert harvested: {}, forgeries: {}, max impaired per unit: {}",
+            adv.inner.harvested_cert.is_some(),
+            adv.inner.forgeries_sent,
+            adv.max_impaired()
+        );
+    } else {
+        eprintln!("unknown adversary {adversary_spec}");
+        usage()
+    }
+
+    // ------- report -------
+    println!("per-node summary:");
+    for id in NodeId::all(n) {
+        let log = &result.outputs[id.idx()];
+        let count = |f: &dyn Fn(&OutputEvent) -> bool| log.iter().filter(|(_, e)| f(e)).count();
+        println!(
+            "  {id}: accepted {:4}  sent {:4}  alerts {}  broken-rounds {:3}  operational {}",
+            count(&|e| matches!(e, OutputEvent::Accepted { .. })),
+            count(&|e| matches!(e, OutputEvent::Sent { .. })),
+            count(&|e| *e == OutputEvent::Alert),
+            result.stats.broken_rounds[id.idx()],
+            result.final_operational[id.idx()],
+        );
+    }
+    println!(
+        "\ntraffic: {} messages sent, {} delivered, {} bytes",
+        result.stats.messages_sent, result.stats.messages_delivered, result.stats.bytes_sent
+    );
+    if !limit_note.is_empty() {
+        println!("adversary: {limit_note}");
+    }
+
+    // Awareness analysis.
+    let imps = awareness::find_impersonations(&result.outputs, &schedule, |_, _| false);
+    let uncovered = awareness::unalerted_impersonations(
+        &result.outputs,
+        &schedule,
+        |_, _| false,
+        |node, unit| result.alerted_in_unit(node, unit, &schedule),
+    );
+    println!(
+        "awareness: {} impersonation incidents, {} NOT covered by same-unit alerts",
+        imps.len(),
+        uncovered.len()
+    );
+
+    // Unit-by-unit operator view.
+    println!("\nunit timeline:");
+    for summary in proauth_sim::report::unit_summaries(&result, &schedule) {
+        print!("{summary}");
+    }
+
+    if verbose {
+        println!("\nfull event log:");
+        for id in NodeId::all(n) {
+            for (round, ev) in &result.outputs[id.idx()] {
+                println!("  [{round:4}] {id}: {ev:?}");
+            }
+        }
+    }
+
+    for line in &result.adversary_output {
+        println!("adversary output: {line}");
+    }
+}

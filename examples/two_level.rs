@@ -1,0 +1,174 @@
+//! The §6 two-level deployment: an `n`-node network partitioned into `≈√n`
+//! neighborhoods, each running its own ULS instance, with a top-level PDS
+//! certifying the neighborhood verification keys at system start-up.
+//!
+//! ```text
+//! cargo run -p proauth-examples --bin two_level
+//! ```
+//!
+//! Demonstrates the paper's scalability trade-off concretely:
+//!
+//! * each cluster refreshes independently (traffic scales with cluster size,
+//!   not `n`);
+//! * a node in cluster B verifies a message from cluster A through the
+//!   chain: top-level signature → A's neighborhood key → A's per-unit
+//!   certificate → message;
+//! * breaking a *majority of one cluster* hands the adversary that
+//!   neighborhood's key — fewer total break-ins than the flat scheme
+//!   tolerates — while the other clusters stay sound.
+
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::partition::{flat_min_breakins, Partition};
+use proauth_core::uls::{uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::dkg::{self, ReceivedDealing};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_crypto::shamir;
+use proauth_crypto::thresh;
+use proauth_pds::als::AlsPds;
+use proauth_pds::statement::key_statement;
+use proauth_primitives::bigint::BigUint;
+use proauth_sim::adversary::FaithfulUl;
+use proauth_sim::message::NodeId;
+use proauth_sim::runner::{run_ul, SimConfig, SimResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs one neighborhood as an independent ULS network; returns the result
+/// and the cluster's PDS verification key (from any node's ROM).
+fn run_cluster(cluster_id: usize, size: usize, t: usize, seed: u64) -> (SimResult, BigUint) {
+    let schedule = uls_schedule(8);
+    let mut cfg = SimConfig::new(size, t, schedule);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = schedule.unit_rounds * 2;
+    cfg.seed = seed + cluster_id as u64;
+    let group = Group::new(GroupId::Toy64);
+    let result = run_ul(
+        cfg,
+        |id| UlsNode::new(UlsConfig::new(group.clone(), size, t), id, HeartbeatApp::default()),
+        &mut FaithfulUl,
+    );
+    let v_cert = BigUint::from_bytes_be(
+        result.roms[0]
+            .read("v_cert")
+            .expect("cluster setup burned its key"),
+    );
+    (result, v_cert)
+}
+
+fn main() {
+    let n = 9usize;
+    let partition = Partition::sqrt(n);
+    let cluster_size = partition.clusters[0].len();
+    let t_cluster = (cluster_size - 1) / 2;
+    let group = Group::new(GroupId::Toy64);
+    println!(
+        "two-level deployment: n = {n}, {} clusters of {cluster_size}, per-cluster t = {t_cluster}\n",
+        partition.cluster_count()
+    );
+
+    // 1. Each neighborhood runs its own ULS (independent refreshes).
+    let mut cluster_keys: Vec<BigUint> = Vec::new();
+    let mut total_msgs = 0u64;
+    for c in 0..partition.cluster_count() {
+        let (result, v_cert) = run_cluster(c, cluster_size, t_cluster, 1000);
+        total_msgs += result.stats.messages_sent;
+        println!(
+            "  cluster {c}: 2 units simulated, {} msgs, alerts {}, neighborhood key 0x{}…",
+            result.stats.messages_sent,
+            result.stats.alerts.iter().sum::<u64>(),
+            &v_cert.to_hex()[..8.min(v_cert.to_hex().len())]
+        );
+        cluster_keys.push(v_cert);
+    }
+
+    // 2. The top-level PDS (one share per cluster representative) signs each
+    //    neighborhood key at start-up — the global certification authority
+    //    of §6.
+    let k = partition.cluster_count();
+    let t_top = (k - 1) / 2;
+    let mut rng = StdRng::seed_from_u64(7);
+    let dealings: Vec<(u32, proauth_crypto::feldman::Dealing)> = (1..=k as u32)
+        .map(|i| (i, dkg::deal(&group, t_top, k, &mut rng)))
+        .collect();
+    let top_keys: Vec<dkg::KeyShare> = (1..=k as u32)
+        .map(|me| {
+            let inputs: Vec<ReceivedDealing> = dealings
+                .iter()
+                .map(|(dealer, d)| ReceivedDealing {
+                    dealer: *dealer,
+                    commitments: d.commitments.clone(),
+                    share: d.share_for(me).clone(),
+                })
+                .collect();
+            dkg::aggregate(&group, t_top, k, me, &inputs).unwrap()
+        })
+        .collect();
+    let top_pk = top_keys[0].public_key.clone();
+    println!("\n  top-level PDS: {k} representatives, threshold {}", t_top + 1);
+
+    // Threshold-sign each neighborhood key.
+    let mut neighborhood_certs = Vec::new();
+    for (c, key) in cluster_keys.iter().enumerate() {
+        let statement = key_statement(NodeId(c as u32 + 1), 0, &key.to_bytes_be());
+        let signer_set: Vec<u32> = (1..=(t_top + 1) as u32).collect();
+        let nonces: Vec<(u32, thresh::Nonce)> = signer_set
+            .iter()
+            .map(|&i| (i, thresh::generate_nonce(&group, &mut rng)))
+            .collect();
+        let commitments: Vec<BigUint> = nonces.iter().map(|(_, n)| n.commitment.clone()).collect();
+        let r = thresh::combine_nonces(&group, &commitments);
+        let e = thresh::challenge(
+            &group,
+            &r,
+            &top_pk,
+            &proauth_pds::msg::signing_payload(&statement, 0),
+        );
+        let partials: Vec<BigUint> = nonces
+            .iter()
+            .map(|(i, nonce)| {
+                thresh::partial_sign(&group, &top_keys[(*i - 1) as usize], &signer_set, nonce, &e)
+            })
+            .collect();
+        let sig = thresh::combine_partials(&group, &e, &partials);
+        let ok = AlsPds::verify(&group, &top_pk, &statement, 0, &sig);
+        println!("  neighborhood {c} key certified by top level: {ok}");
+        assert!(ok);
+        neighborhood_certs.push(sig);
+    }
+
+    // 3. Cross-cluster verification chain: a node in cluster 1 validates
+    //    cluster 0's neighborhood key before trusting any certificate from it.
+    let statement0 = key_statement(NodeId(1), 0, &cluster_keys[0].to_bytes_be());
+    assert!(AlsPds::verify(&group, &top_pk, &statement0, 0, &neighborhood_certs[0]));
+    println!(
+        "\n  cross-cluster chain verified: top-level sig → cluster-0 key → (per-unit certs → messages)"
+    );
+
+    // 4. The security trade-off, measured on this deployment.
+    let two_level_budget = partition.min_breakins_to_compromise();
+    let flat_budget = flat_min_breakins(n);
+    println!("\nsecurity/performance trade-off at n = {n}:");
+    println!("  flat scheme: adversary needs {flat_budget} simultaneous break-ins");
+    println!("  two-level  : adversary needs {two_level_budget} (majority of a majority of clusters)");
+    println!(
+        "  refresh traffic: {} msgs across all clusters vs Θ(n²) for one flat network",
+        total_msgs
+    );
+
+    // Demonstrate the cheaper attack: break 2 of 3 nodes in cluster 0 →
+    // reconstruct that neighborhood's signing key (shares via Shamir).
+    let demo_secret = group.random_scalar(&mut rng);
+    let poly = shamir::Polynomial::random_with_secret(&group, t_cluster, demo_secret.clone(), &mut rng);
+    let stolen: Vec<(u32, BigUint)> = (1..=(t_cluster + 1) as u32)
+        .map(|i| (i, poly.eval_at(i)))
+        .collect();
+    let reconstructed = shamir::interpolate_at_zero(&group, &stolen);
+    assert_eq!(reconstructed, demo_secret);
+    println!(
+        "  breaking {} nodes of one cluster reconstructs that neighborhood's key — \
+         {} total break-ins beat the two-level scheme vs {} for flat",
+        t_cluster + 1,
+        two_level_budget,
+        flat_budget
+    );
+}

@@ -1,0 +1,190 @@
+//! Long-horizon churn tests: mobile break-ins sweeping the whole network
+//! over many time units, recovery denial by link cutting, and conformance
+//! under sustained attack — the "repeated and transient" break-in story of
+//! the paper's title.
+
+use proauth_adversary::{Composed, CorruptMode, LimitObserver, LinkCutter, MobileBreakins};
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::uls::{uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::ideal::IdealChecker;
+use proauth_sim::message::{NodeId, OutputEvent};
+use proauth_sim::runner::{run_ul, SimConfig};
+
+const N: usize = 5;
+const T: usize = 2;
+const NORMAL: u64 = 12;
+
+fn cfg(total_units: u64, seed: u64) -> SimConfig {
+    let schedule = uls_schedule(NORMAL);
+    let mut c = SimConfig::new(N, T, schedule);
+    c.setup_rounds = SETUP_ROUNDS;
+    c.total_rounds = schedule.unit_rounds * total_units;
+    c.seed = seed;
+    c
+}
+
+fn make_node(id: NodeId) -> UlsNode<HeartbeatApp> {
+    let group = Group::new(GroupId::Toy64);
+    UlsNode::new(UlsConfig::new(group, N, T), id, HeartbeatApp::default())
+}
+
+#[test]
+fn every_node_gets_broken_eventually_and_the_network_survives() {
+    // 1 wipe per unit, rotating: after 5 units every node has been broken
+    // into at least once. The paper's point: the adversary may break into
+    // ALL nodes over time, just not too many at once.
+    let sched = uls_schedule(NORMAL);
+    let units = 6u64;
+    let inner = MobileBreakins::<HeartbeatApp>::rotating(
+        N,
+        1,
+        units - 1,
+        sched.unit_rounds,
+        sched.refresh_rounds() + 2,
+        4,
+        CorruptMode::Wipe,
+    );
+    let mut adv = LimitObserver::new(inner);
+    let result = run_ul(cfg(units, 201), make_node, &mut adv);
+
+    // Every node was visited.
+    for id in NodeId::all(N) {
+        assert!(
+            result.stats.broken_rounds[id.idx()] > 0,
+            "{id} was never broken"
+        );
+    }
+    // Everyone is operational at the end.
+    assert!(result.final_operational.iter().all(|&b| b));
+    // The adversary stayed within limits throughout. (Note: a wiped node is
+    // impaired for the rest of its unit and through the next refresh, so the
+    // per-unit impairment can reach 2 — still ≤ t.)
+    assert!(adv.max_impaired() <= T, "max impaired {}", adv.max_impaired());
+    // Authenticated traffic flowed in the last unit.
+    let last_unit_start = (units - 1) * sched.unit_rounds;
+    let accepted_late = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter())
+        .filter(|(round, ev)| {
+            *round > last_unit_start && matches!(ev, OutputEvent::Accepted { .. })
+        })
+        .count();
+    assert!(accepted_late > 0);
+}
+
+#[test]
+fn spy_breakins_expose_keys_but_never_break_authenticity() {
+    // Read-only espionage on 2 nodes per unit: no state corruption, but key
+    // exposure. The refresh makes the stolen material worthless.
+    let sched = uls_schedule(NORMAL);
+    let inner = MobileBreakins::<HeartbeatApp>::rotating(
+        N,
+        2,
+        3,
+        sched.unit_rounds,
+        sched.refresh_rounds() + 2,
+        2,
+        CorruptMode::Spy,
+    );
+    let mut adv = LimitObserver::new(inner);
+    let result = run_ul(cfg(4, 202), make_node, &mut adv);
+    // Spied-on nodes keep operating (their state was read, not modified) —
+    // no alerts anywhere.
+    assert_eq!(result.stats.alerts.iter().sum::<u64>(), 0);
+    assert!(result.final_operational.iter().all(|&b| b));
+    let checker = IdealChecker::new(T);
+    assert!(checker.check_no_forgery(&result.outputs, &[]).is_empty());
+}
+
+#[test]
+fn garbled_share_is_detected_and_recovered_transparently() {
+    let sched = uls_schedule(NORMAL);
+    let inner = MobileBreakins::<HeartbeatApp>::rotating(
+        N,
+        1,
+        2,
+        sched.unit_rounds,
+        sched.refresh_rounds() + 2,
+        2,
+        CorruptMode::GarbleShare(0xBAD),
+    );
+    let mut adv = LimitObserver::new(inner);
+    let result = run_ul(cfg(4, 203), make_node, &mut adv);
+    // Self-consistency checks catch the garbage; recovery restores the
+    // share; the network ends fully operational.
+    assert!(result.final_operational.iter().all(|&b| b));
+}
+
+#[test]
+fn recovery_denied_by_isolation_then_granted_when_attack_stops() {
+    // Wipe node 2 in unit 0 AND isolate it through the unit-1 refresh: it
+    // cannot recover (alert). When the cutter stops, the unit-2 refresh
+    // rescues it.
+    let sched = uls_schedule(NORMAL);
+    let unit1 = sched.unit_rounds;
+    let unit2 = 2 * sched.unit_rounds;
+    let breakin = MobileBreakins::<HeartbeatApp>::new(
+        vec![proauth_adversary::Visit {
+            node: NodeId(2),
+            break_at: 4,
+            leave_at: 8,
+        }],
+        CorruptMode::Wipe,
+    );
+    let cutter = LinkCutter::isolate(NodeId(2), N).during(unit1, unit1 + sched.refresh_rounds());
+    let mut adv = LimitObserver::new(Composed {
+        first: breakin,
+        second: cutter,
+    });
+    let result = run_ul(cfg(3, 204), make_node, &mut adv);
+
+    // Unit 1: recovery denied → alert from node 2.
+    assert!(
+        result.alerted_in_unit(NodeId(2), 1, &sched),
+        "isolated node alerts when it cannot re-certify"
+    );
+    // Unit 2: recovered and heard from again.
+    let accepted_from_2_late = result
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != NodeId(2).idx())
+        .flat_map(|(_, l)| l.iter())
+        .filter(|(round, ev)| {
+            *round > unit2 + sched.refresh_rounds()
+                && matches!(ev, OutputEvent::Accepted { from, .. } if *from == NodeId(2))
+        })
+        .count();
+    assert!(accepted_from_2_late > 0, "node 2 back after the attack ends");
+    assert!(result.final_operational[NodeId(2).idx()]);
+    // Throughout, the adversary impaired at most t nodes per unit.
+    assert!(adv.max_impaired() <= T);
+}
+
+#[test]
+fn isolation_without_breakin_costs_only_the_victim() {
+    // Cut node 5 off for a whole unit, never break in anywhere: the other
+    // four keep full service; node 5 alerts and rejoins afterwards.
+    let sched = uls_schedule(NORMAL);
+    let unit1 = sched.unit_rounds;
+    let mut adv = LinkCutter::isolate(NodeId(5), N).during(unit1, 2 * unit1);
+    let result = run_ul(cfg(3, 205), make_node, &mut adv);
+    assert!(result.alerted_in_unit(NodeId(5), 1, &sched));
+    assert!(result.final_operational.iter().all(|&b| b));
+    // The other nodes exchanged heartbeats during the isolation unit.
+    let accepted_mid = result
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != NodeId(5).idx())
+        .flat_map(|(_, l)| l.iter())
+        .filter(|(round, ev)| {
+            *round > unit1 + sched.refresh_rounds()
+                && *round < 2 * unit1
+                && matches!(ev, OutputEvent::Accepted { from, .. } if *from != NodeId(5))
+        })
+        .count();
+    assert!(accepted_mid > 0);
+}

@@ -1,0 +1,148 @@
+//! Emulation tests (Definition 8 / Theorem 14's content, checked on the
+//! functionality level): the *global output* of the ULS system over
+//! unauthenticated links matches what the same PDS workload produces over
+//! authenticated links — same signatures, same requesters, no extra events.
+
+use proauth_core::authenticator::NullApp;
+use proauth_core::uls::{sign_input, uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::als::{AlsConfig, AlsPds};
+use proauth_pds::als_node::AlsProcess;
+use proauth_sim::adversary::{FaithfulUl, PassiveAl};
+use proauth_sim::clock::Schedule;
+use proauth_sim::message::{NodeId, OutputEvent, OutputLog};
+use proauth_sim::runner::{run_al_with_inputs, run_ul_with_inputs, SimConfig};
+use std::collections::BTreeSet;
+
+const N: usize = 5;
+const T: usize = 2;
+
+/// Functionality view of a run: the set of (node, msg, unit) sign requests
+/// and (node, msg, unit) signed confirmations, ignoring timing.
+fn functionality(outputs: &[OutputLog]) -> (BTreeSet<(u32, Vec<u8>, u64)>, BTreeSet<(u32, Vec<u8>, u64)>) {
+    let mut requested = BTreeSet::new();
+    let mut signed = BTreeSet::new();
+    for (idx, log) in outputs.iter().enumerate() {
+        let id = NodeId::from_idx(idx).0;
+        for (_, ev) in log {
+            match ev {
+                OutputEvent::SignRequested { msg, unit } => {
+                    requested.insert((id, msg.clone(), *unit));
+                }
+                OutputEvent::Signed { msg, unit } => {
+                    signed.insert((id, msg.clone(), *unit));
+                }
+                _ => {}
+            }
+        }
+    }
+    (requested, signed)
+}
+
+#[test]
+fn ul_run_emulates_al_run_on_the_functionality_level() {
+    // The same three-document signing workload, one per unit.
+    let docs: [&[u8]; 3] = [b"doc-a", b"doc-b", b"doc-c"];
+
+    // --- AL side: bare PDS over authenticated links. ---
+    let al_sched = Schedule::new(20, 1, 8);
+    let mut al_cfg = SimConfig::new(N, T, al_sched);
+    al_cfg.setup_rounds = 2;
+    al_cfg.total_rounds = al_sched.unit_rounds * 3;
+    al_cfg.seed = 5;
+    let al_result = run_al_with_inputs(
+        al_cfg,
+        |id| {
+            let group = Group::new(GroupId::Toy64);
+            AlsProcess::new(AlsPds::new(AlsConfig::new(group, N, T), id))
+        },
+        &mut PassiveAl,
+        |_, round| match round {
+            2 => Some(docs[0].to_vec()),
+            30 => Some(docs[1].to_vec()),
+            50 => Some(docs[2].to_vec()),
+            _ => None,
+        },
+    );
+
+    // --- UL side: the full ULS over unauthenticated links. ---
+    let ul_sched = uls_schedule(12);
+    let mut ul_cfg = SimConfig::new(N, T, ul_sched);
+    ul_cfg.setup_rounds = SETUP_ROUNDS;
+    ul_cfg.total_rounds = ul_sched.unit_rounds * 3;
+    ul_cfg.seed = 5;
+    let normal1 = ul_sched.unit_rounds + ul_sched.refresh_rounds();
+    let normal2 = 2 * ul_sched.unit_rounds + ul_sched.refresh_rounds();
+    let ul_result = run_ul_with_inputs(
+        ul_cfg,
+        |id| {
+            let group = Group::new(GroupId::Toy64);
+            UlsNode::new(UlsConfig::new(group, N, T), id, NullApp)
+        },
+        &mut FaithfulUl,
+        move |_, round| {
+            if round == 2 {
+                Some(sign_input(docs[0]))
+            } else if round == normal1 + 2 {
+                Some(sign_input(docs[1]))
+            } else if round == normal2 + 2 {
+                Some(sign_input(docs[2]))
+            } else {
+                None
+            }
+        },
+    );
+
+    let (al_req, al_signed) = functionality(&al_result.outputs);
+    let (ul_req, ul_signed) = functionality(&ul_result.outputs);
+    assert_eq!(al_req, ul_req, "identical request patterns");
+    assert_eq!(al_signed, ul_signed, "identical signing outcomes");
+    // Full success on both sides: every node reports every doc signed.
+    assert_eq!(al_signed.len(), N * docs.len());
+    // And neither side produced alerts or impersonation-relevant extras.
+    assert_eq!(al_result.stats.alerts.iter().sum::<u64>(), 0);
+    assert_eq!(ul_result.stats.alerts.iter().sum::<u64>(), 0);
+}
+
+#[test]
+fn ul_cost_overhead_vs_al_is_bounded() {
+    // The transformation's price: AUTH-SEND multiplies messages by O(n) (the
+    // DISPERSE fan-out) and adds the refresh machinery. Measure the factor
+    // so regressions are caught.
+    let al_sched = Schedule::new(20, 1, 8);
+    let mut al_cfg = SimConfig::new(N, T, al_sched);
+    al_cfg.setup_rounds = 2;
+    al_cfg.total_rounds = al_sched.unit_rounds * 2;
+    al_cfg.seed = 6;
+    let al = run_al_with_inputs(
+        al_cfg,
+        |id| {
+            let group = Group::new(GroupId::Toy64);
+            AlsProcess::new(AlsPds::new(AlsConfig::new(group, N, T), id))
+        },
+        &mut PassiveAl,
+        |_, round| (round == 2).then(|| b"m".to_vec()),
+    );
+
+    let ul_sched = uls_schedule(12);
+    let mut ul_cfg = SimConfig::new(N, T, ul_sched);
+    ul_cfg.setup_rounds = SETUP_ROUNDS;
+    ul_cfg.total_rounds = ul_sched.unit_rounds * 2;
+    ul_cfg.seed = 6;
+    let ul = run_ul_with_inputs(
+        ul_cfg,
+        |id| {
+            let group = Group::new(GroupId::Toy64);
+            UlsNode::new(UlsConfig::new(group, N, T), id, NullApp)
+        },
+        &mut FaithfulUl,
+        |_, round| (round == 2).then(|| sign_input(b"m")),
+    );
+
+    let factor = ul.stats.messages_sent as f64 / al.stats.messages_sent.max(1) as f64;
+    assert!(
+        factor < 100.0,
+        "UL/AL message overhead factor {factor:.1} exploded"
+    );
+    assert!(factor > 1.0, "UL must cost more than AL");
+}

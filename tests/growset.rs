@@ -1,0 +1,123 @@
+//! End-to-end test of a stateful top-layer protocol (the replicated
+//! grow-only set) compiled by the proactive authenticator: replicas converge
+//! over unauthenticated links, survive a break-in, and never contain
+//! laundered entries.
+
+use proauth_core::authenticator::GrowSetApp;
+use proauth_core::uls::{app_input, uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId};
+use proauth_sim::runner::{run_ul_with_inputs, SimConfig};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+const N: usize = 4;
+const T: usize = 1;
+
+type Replicas = Arc<Mutex<Vec<BTreeSet<(u32, Vec<u8>)>>>>;
+
+/// Reads every node's replica at the last round (via the break-in API) and,
+/// optionally, wipes node 3 early in the run.
+struct Observer {
+    replicas: Replicas,
+    read_at: u64,
+    wipe_node3: bool,
+}
+
+impl UlAdversary for Observer {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let mut plan = BreakPlan::none();
+        if view.time.round == self.read_at {
+            plan.break_into.extend(NodeId::all(view.n));
+        }
+        if self.wipe_node3 {
+            match view.time.round {
+                6 => plan.break_into.push(NodeId(3)),
+                8 => plan.leave.push(NodeId(3)),
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn std::any::Any, time: &TimeView) {
+        if let Some(n) = state.downcast_mut::<UlsNode<GrowSetApp>>() {
+            if time.round >= self.read_at {
+                self.replicas.lock().unwrap()[node.idx()] = n.app.set.clone();
+            } else if self.wipe_node3 && node == NodeId(3) {
+                n.corrupt_wipe();
+                n.app.set.clear(); // full state loss, including the replica
+            }
+        }
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], _view: &NetView<'_>) -> Vec<Envelope> {
+        sent.to_vec()
+    }
+}
+
+fn run(units: u64, seed: u64, wipe: bool) -> Vec<BTreeSet<(u32, Vec<u8>)>> {
+    let schedule = uls_schedule(20);
+    let mut cfg = SimConfig::new(N, T, schedule);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = schedule.unit_rounds * units;
+    cfg.seed = seed;
+    let replicas: Replicas = Arc::new(Mutex::new(vec![BTreeSet::new(); N]));
+    let mut adv = Observer {
+        replicas: replicas.clone(),
+        read_at: cfg.total_rounds - 1,
+        wipe_node3: wipe,
+    };
+    let group = Group::new(GroupId::Toy64);
+    let _result = run_ul_with_inputs(
+        cfg,
+        |id| UlsNode::new(UlsConfig::new(group.clone(), N, T), id, GrowSetApp::default()),
+        &mut adv,
+        |id, round| {
+            // Every node adds one element early in unit 0.
+            (round == 2).then(|| app_input(format!("item-from-{}", id.0).as_bytes()))
+        },
+    );
+    let out = replicas.lock().unwrap().clone();
+    out
+}
+
+#[test]
+fn replicas_converge_over_unauthenticated_links() {
+    let replicas = run(2, 61, false);
+    // All four elements present everywhere.
+    for (idx, replica) in replicas.iter().enumerate() {
+        assert_eq!(replica.len(), N, "replica of N{} = {replica:?}", idx + 1);
+        for origin in 1..=N as u32 {
+            assert!(replica.contains(&(origin, format!("item-from-{origin}").into_bytes())));
+        }
+    }
+}
+
+#[test]
+fn wiped_replica_catches_up_after_recovery() {
+    // Node 3 loses everything (keys AND replica) in unit 0; after its
+    // unit-1 recovery the gossip refills its replica — except its own entry,
+    // which only it could originate and which died with its state.
+    let replicas = run(3, 62, true);
+    let node3 = &replicas[NodeId(3).idx()];
+    for origin in [1u32, 2, 4] {
+        assert!(
+            node3.contains(&(origin, format!("item-from-{origin}").into_bytes())),
+            "node 3 caught up on {origin}: {node3:?}"
+        );
+    }
+    // The others never lost anything *they* had. Node 3's own entry may be
+    // gone forever — it was wiped before node 3's first gossip tick, and
+    // only node 3 could have originated it. That is the correct semantics:
+    // the authenticator restores *communication*, not application state
+    // that existed nowhere else.
+    for idx in [0usize, 1, 3] {
+        for origin in [1u32, 2, 4] {
+            assert!(replicas[idx]
+                .contains(&(origin, format!("item-from-{origin}").into_bytes())));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Smoke tests at realistic group sizes: the whole stack is parameterized by
+//! the Schnorr group, and everything that works on `Toy64` must work
+//! unchanged on `S256`+ (only slower). The parallel execution mode keeps the
+//! larger runs tolerable.
+
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::uls::{sign_input, uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_sim::adversary::FaithfulUl;
+use proauth_sim::message::OutputEvent;
+use proauth_sim::runner::{run_ul_with_inputs, SimConfig};
+
+#[test]
+fn s256_unit_zero_sign_and_heartbeats() {
+    // One time unit (no refresh) at 256-bit group size: setup DKG, unit-0
+    // certificates, authenticated heartbeats, one threshold signature.
+    let n = 5;
+    let t = 2;
+    let schedule = uls_schedule(12);
+    let mut cfg = SimConfig::new(n, t, schedule);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = 12; // stay within unit 0's normal phase
+    cfg.seed = 77;
+    cfg.parallel = true;
+    let group = Group::new(GroupId::S256);
+    let result = run_ul_with_inputs(
+        cfg,
+        |id| UlsNode::new(UlsConfig::new(group.clone(), n, t), id, HeartbeatApp::default()),
+        &mut FaithfulUl,
+        |_, round| (round == 2).then(|| sign_input(b"s256 smoke")),
+    );
+    let signed = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter())
+        .filter(|(_, e)| matches!(e, OutputEvent::Signed { msg, .. } if msg == b"s256 smoke"))
+        .count();
+    assert_eq!(signed, n);
+    let accepted = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter())
+        .filter(|(_, e)| matches!(e, OutputEvent::Accepted { .. }))
+        .count();
+    assert!(accepted > 0, "heartbeats authenticated at 256-bit sizes");
+    assert_eq!(result.stats.alerts.iter().sum::<u64>(), 0);
+}
+
+#[test]
+#[ignore = "minutes-long: full refresh cycle at 256-bit group size; run with --ignored"]
+fn s256_full_refresh_cycle() {
+    let n = 5;
+    let t = 2;
+    let schedule = uls_schedule(12);
+    let mut cfg = SimConfig::new(n, t, schedule);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = schedule.unit_rounds * 2;
+    cfg.seed = 78;
+    cfg.parallel = true;
+    let group = Group::new(GroupId::S256);
+    let result = run_ul_with_inputs(
+        cfg,
+        |id| UlsNode::new(UlsConfig::new(group.clone(), n, t), id, HeartbeatApp::default()),
+        &mut FaithfulUl,
+        |_, _| None,
+    );
+    assert_eq!(result.stats.alerts.iter().sum::<u64>(), 0);
+    assert!(result.final_operational.iter().all(|&b| b));
+    // Heartbeats flowed after the refresh (unit-1 keys in force).
+    let refresh_end = schedule.unit_rounds + schedule.refresh_rounds();
+    let late_accepts = result
+        .outputs
+        .iter()
+        .flat_map(|l| l.iter())
+        .filter(|(round, e)| {
+            *round > refresh_end && matches!(e, OutputEvent::Accepted { .. })
+        })
+        .count();
+    assert!(late_accepts > 0);
+}
+
+#[test]
+fn all_group_presets_load_and_sign() {
+    use proauth_crypto::schnorr::SigningKey;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for id in [GroupId::Toy64, GroupId::S256, GroupId::S512, GroupId::S1024] {
+        let group = Group::new(id);
+        let sk = SigningKey::generate(&group, &mut rng);
+        let sig = sk.sign(b"preset", &mut rng);
+        assert!(sk.verify_key().verify(b"preset", &sig), "{id:?}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Attacks on the share-refresh protocol itself (URfr Part II): a broken
+//! node's identity is used to deal *equivocating* zero-sharings — different
+//! commitment vectors to different receivers. The echo-broadcast consistency
+//! layer must exclude the two-faced dealer at every honest node alike, and
+//! the refresh must still succeed off the honest dealers' contributions.
+
+use proauth_core::authenticator::HeartbeatApp;
+use proauth_core::certify::{certify, LocalKeys};
+use proauth_core::uls::{uls_schedule, UlsConfig, UlsNode, PART1_ROUNDS, SETUP_ROUNDS};
+use proauth_core::wire::{Blob, DisperseMsg, Inner, UlsWire};
+use proauth_crypto::feldman::Dealing;
+use proauth_crypto::group::{Group, GroupId};
+use proauth_pds::msg::AlsMsg;
+use proauth_primitives::wire::Encode;
+use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::clock::TimeView;
+use proauth_sim::message::{Envelope, NodeId, OutputEvent};
+use proauth_sim::runner::{run_ul, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 5;
+const T: usize = 2;
+const NORMAL: u64 = 12;
+
+/// Breaks into node 5 for the whole unit-1 refresh, steals its *new* local
+/// keys right after Part I would have adopted them is impossible (the node
+/// does not run while broken) — instead the adversary itself announces a key
+/// for node 5, harvests its certificate, and then deals equivocating
+/// zero-sharings in node 5's name during Part II.
+struct TwoFacedDealer {
+    group: Group,
+    unit_rounds: u64,
+    fake_keys: Option<LocalKeys>,
+    dealings_injected: u64,
+    rng: StdRng,
+}
+
+impl TwoFacedDealer {
+    fn new(group: Group, unit_rounds: u64) -> Self {
+        TwoFacedDealer {
+            group,
+            unit_rounds,
+            fake_keys: None,
+            dealings_injected: 0,
+            rng: StdRng::seed_from_u64(0x2FACE),
+        }
+    }
+}
+
+impl UlAdversary for TwoFacedDealer {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        // Keep node 5 broken for the whole of unit 1 (so its honest code
+        // never runs and the adversary's dealing is the only one in its name).
+        let unit1 = self.unit_rounds;
+        if view.time.round == unit1 {
+            BreakPlan::break_into([NodeId(5)])
+        } else if view.time.round == 2 * unit1 {
+            BreakPlan::leave([NodeId(5)])
+        } else {
+            BreakPlan::none()
+        }
+    }
+
+    fn corrupt(&mut self, _node: NodeId, _state: &mut dyn std::any::Any, _time: &TimeView) {}
+
+    fn deliver(&mut self, sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        let round = view.time.round;
+        let unit1 = self.unit_rounds;
+        let mut out: Vec<Envelope> = sent.to_vec();
+
+        // Part I step 0 of unit 1: announce a fake key for node 5.
+        if round == unit1 {
+            let fake = LocalKeys::generate(&self.group, 1, &mut self.rng);
+            let announce = UlsWire::KeyAnnounce {
+                unit: 1,
+                vk: fake.vk_bytes(),
+            };
+            for to in NodeId::all(view.n) {
+                if to != NodeId(5) {
+                    out.push(Envelope::new(NodeId(5), to, announce.to_bytes()));
+                }
+            }
+            self.fake_keys = Some(fake);
+        }
+
+        // Harvest the certificate for the fake key from CertDeliver traffic.
+        if let Some(fake) = &mut self.fake_keys {
+            if fake.cert.is_none() {
+                for env in sent {
+                    let Ok(UlsWire::Disperse(d)) = proauth_primitives::wire::Decode::from_bytes(
+                        &env.payload,
+                    ) else {
+                        continue;
+                    };
+                    let blob = match d {
+                        DisperseMsg::Forward { blob, .. } => blob,
+                        DisperseMsg::Forwarding { blob, .. } => blob,
+                    };
+                    if let Ok(Blob::CertDeliver {
+                        subject, unit, vk, cert,
+                    }) = proauth_primitives::wire::Decode::from_bytes(&blob)
+                    {
+                        if subject == 5 && unit == 1 && vk == fake.vk_bytes() {
+                            fake.cert = Some(cert);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Part II step 0 of unit 1: inject TWO DIFFERENT zero-dealings in
+        // node 5's name — commitments A to nodes 1–2, commitments B to 3–4.
+        let part2_start = unit1 + PART1_ROUNDS;
+        if round == part2_start {
+            if let Some(fake) = self.fake_keys.clone() {
+                if fake.cert.is_some() {
+                    let deal_a = Dealing::deal_zero(&self.group, T, N, &mut self.rng);
+                    let deal_b = Dealing::deal_zero(&self.group, T, N, &mut self.rng);
+                    for to in NodeId::all(N) {
+                        if to == NodeId(5) {
+                            continue;
+                        }
+                        let deal = if to.0 <= 2 { &deal_a } else { &deal_b };
+                        let msg = AlsMsg::RfrDeal {
+                            unit: 1,
+                            commitments: deal.commitments.clone(),
+                            share: deal.share_for(to.0).clone(),
+                        };
+                        let inner = Inner::Pds(msg.to_bytes());
+                        // Certify for arrival at round + 1 → w = round - 1.
+                        if let Some(cmsg) = certify(
+                            &fake,
+                            &inner.to_bytes(),
+                            NodeId(5),
+                            to,
+                            round - 1,
+                            &mut self.rng,
+                        ) {
+                            let wire = UlsWire::Disperse(DisperseMsg::Forwarding {
+                                origin: 5,
+                                blob: Blob::Certified(cmsg).to_bytes(),
+                            });
+                            out.push(Envelope::new(NodeId(5), to, wire.to_bytes()));
+                            self.dealings_injected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn two_faced_refresh_dealer_is_excluded_consistently() {
+    let schedule = uls_schedule(NORMAL);
+    let mut cfg = SimConfig::new(N, T, schedule);
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = schedule.unit_rounds * 3;
+    cfg.seed = 51;
+    let group = Group::new(GroupId::Toy64);
+    let mut adv = TwoFacedDealer::new(group.clone(), schedule.unit_rounds);
+    let result = run_ul(
+        cfg,
+        |id| UlsNode::new(UlsConfig::new(group.clone(), N, T), id, HeartbeatApp::default()),
+        &mut adv,
+    );
+    assert!(
+        adv.dealings_injected > 0,
+        "the attack actually injected equivocating dealings"
+    );
+    // The honest nodes completed the refresh without alerts: the echo layer
+    // found no n−t majority for either commitment vector, so every honest
+    // node dropped dealer 5 and applied the same qualified set.
+    for id in [NodeId(1), NodeId(2), NodeId(3), NodeId(4)] {
+        assert!(
+            !result.alerted_in_unit(id, 1, &schedule),
+            "{id} refreshed cleanly despite the equivocation"
+        );
+    }
+    // Honest traffic flows in unit 2 — shares stayed consistent (an
+    // inconsistent share set would break all subsequent certificates).
+    let unit2_normal = 2 * schedule.unit_rounds + schedule.refresh_rounds();
+    let late_accepts = result
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != NodeId(5).idx())
+        .flat_map(|(_, l)| l.iter())
+        .filter(|(round, e)| {
+            *round > unit2_normal && matches!(e, OutputEvent::Accepted { .. })
+        })
+        .count();
+    assert!(late_accepts > 0, "unit-2 certificates work ⇒ shares consistent");
+    // Node 5 (broken through its own refresh) recovers at the unit-2 refresh.
+    assert!(result.final_operational[NodeId(5).idx()]);
+}
