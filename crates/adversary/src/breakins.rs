@@ -18,8 +18,12 @@ pub enum CorruptMode {
     /// Silently overwrite the PDS share with garbage.
     GarbleShare(u64),
     /// Arbitrary custom corruption.
-    Custom(Box<dyn FnMut(NodeId, &mut dyn Any, &TimeView)>),
+    Custom(CustomCorrupt),
 }
+
+/// Boxed callback for [`CorruptMode::Custom`]: receives the broken node's
+/// id, its downcastable state, and the current time view.
+pub type CustomCorrupt = Box<dyn FnMut(NodeId, &mut dyn Any, &TimeView)>;
 
 impl std::fmt::Debug for CorruptMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -101,11 +101,15 @@ impl UlAdversary for RandomDropper {
 /// the scheme must at worst alert, never break).
 pub struct Injector {
     /// Builds the injections for a round: `(claimed_from, to, payload)`.
-    pub inject: Box<dyn FnMut(&NetView<'_>) -> Vec<(NodeId, NodeId, Vec<u8>)>>,
+    pub inject: InjectFn,
     /// Deliver injections *before* the honest traffic (a rushing adversary
     /// racing the honest messages); default is after.
     pub prepend: bool,
 }
+
+/// Boxed callback for [`Injector::inject`]: maps the round's network view
+/// to a list of `(claimed_from, to, payload)` forgeries.
+pub type InjectFn = Box<dyn FnMut(&NetView<'_>) -> Vec<(NodeId, NodeId, Vec<u8>)>>;
 
 impl std::fmt::Debug for Injector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -4,15 +4,15 @@
 //! sizes, the threshold-signing pipeline as `(n, t)` scales, the proactive
 //! refresh, and the AUTH-SEND overhead factor versus a bare send.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use proauth_core::certify::{
     certify, mac_certify, session_key, ver_cert, ver_mac, DestCheck, LocalKeys,
 };
 use proauth_crypto::dkg::{self, KeyShare, ReceivedDealing};
-use proauth_crypto::feldman::Dealing;
+use proauth_crypto::feldman::{self, Dealing, ShareCheck};
 use proauth_crypto::group::{Group, GroupId};
 use proauth_crypto::refresh;
-use proauth_crypto::schnorr::SigningKey;
+use proauth_crypto::schnorr::{self, SigningKey};
 use proauth_crypto::thresh;
 use proauth_pds::msg::signing_payload;
 use proauth_pds::statement::key_statement;
@@ -186,6 +186,90 @@ fn bench_auth_send_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fast-exponentiation layer ablation at s256: each row isolates one
+/// optimization against the seed (binary / per-item) code path it replaced.
+fn bench_fastexp_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fastexp_ablation");
+    let group = Group::new(GroupId::S256);
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // --- raw exponentiation: binary vs windowed vs fixed-base comb ---
+    let base = group.exp_g(&group.random_scalar(&mut rng));
+    let exp = group.random_scalar(&mut rng);
+    g.bench_function("exp/binary", |b| {
+        b.iter(|| group.exp_binary(black_box(&base), black_box(&exp)))
+    });
+    g.bench_function("exp/windowed", |b| {
+        b.iter(|| group.exp(black_box(&base), black_box(&exp)))
+    });
+    g.bench_function("exp_g/fixed_base_comb", |b| {
+        b.iter(|| group.exp_g(black_box(&exp)))
+    });
+
+    // --- Schnorr verify: two binary exps vs one interleaved multi-exp ---
+    let sk = SigningKey::generate(&group, &mut rng);
+    let sig = sk.sign(b"ablation message", &mut rng);
+    g.bench_function("schnorr_verify/naive", |b| {
+        b.iter(|| sk.verify_key().verify_naive(b"ablation message", &sig))
+    });
+    g.bench_function("schnorr_verify/multi_exp", |b| {
+        b.iter(|| sk.verify_key().verify(b"ablation message", &sig))
+    });
+    // Batched certificate shape: 8 signatures under one key (per batch, so
+    // divide by 8 for the per-signature cost).
+    let msgs: Vec<Vec<u8>> = (0..8).map(|i| format!("cert-{i}").into_bytes()).collect();
+    let sigs: Vec<schnorr::Signature> = msgs.iter().map(|m| sk.sign(m, &mut rng)).collect();
+    let items: Vec<(&[u8], &schnorr::Signature)> = msgs
+        .iter()
+        .zip(&sigs)
+        .map(|(m, s)| (m.as_slice(), s))
+        .collect();
+    g.bench_function("schnorr_verify/batch8_naive", |b| {
+        b.iter(|| items.iter().all(|(m, s)| sk.verify_key().verify_naive(m, s)))
+    });
+    g.bench_function("schnorr_verify/batch8", |b| {
+        b.iter(|| schnorr::batch_verify(sk.verify_key(), &items))
+    });
+
+    // --- Feldman share verification: per-term exps vs multi-exp vs RLC batch ---
+    let (n, t) = (5usize, 2usize);
+    let secret = group.random_scalar(&mut rng);
+    let dealing = Dealing::deal(&group, t, n, secret, &mut rng);
+    g.bench_function("feldman_share_verify/naive", |b| {
+        b.iter(|| dealing.commitments.verify_share_in_naive(&group, 3, dealing.share_for(3)))
+    });
+    g.bench_function("feldman_share_verify/multi_exp", |b| {
+        b.iter(|| dealing.commitments.verify_share_in(&group, 3, dealing.share_for(3)))
+    });
+    // Batched aggregate shape: n dealings checked at once (one RLC equation
+    // instead of n share verifications; divide by 5 for per-share cost).
+    let dealings: Vec<Dealing> = (0..n)
+        .map(|_| {
+            let s = group.random_scalar(&mut rng);
+            Dealing::deal(&group, t, n, s, &mut rng)
+        })
+        .collect();
+    let checks: Vec<ShareCheck<'_>> = dealings
+        .iter()
+        .map(|d| ShareCheck {
+            commitments: &d.commitments,
+            index: 3,
+            share: d.share_for(3),
+        })
+        .collect();
+    g.bench_function("feldman_share_verify/batch5_naive", |b| {
+        b.iter(|| {
+            checks
+                .iter()
+                .all(|c| c.commitments.verify_share_in_naive(&group, c.index, c.share))
+        })
+    });
+    g.bench_function("feldman_share_verify/batch5", |b| {
+        b.iter(|| feldman::batch_verify_shares(&group, &checks))
+    });
+    g.finish();
+}
+
 fn bench_bigint(c: &mut Criterion) {
     let mut g = c.benchmark_group("bigint");
     for bits in [256usize, 512, 1024] {
@@ -226,7 +310,7 @@ fn bench_bigint(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_hash, bench_bigint, bench_schnorr, bench_threshold_sign,
-              bench_refresh, bench_auth_send_overhead
+    targets = bench_hash, bench_bigint, bench_fastexp_ablation, bench_schnorr,
+              bench_threshold_sign, bench_refresh, bench_auth_send_overhead
 }
 criterion_main!(benches);

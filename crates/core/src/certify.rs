@@ -13,6 +13,7 @@ use crate::wire::{CertifiedMsg, MacMsg};
 use proauth_crypto::group::Group;
 use proauth_crypto::schnorr::{Signature, SigningKey, VerifyKey};
 use proauth_pds::als::AlsPds;
+use proauth_pds::msg::signing_payload;
 use proauth_pds::statement::key_statement;
 use proauth_primitives::bigint::BigUint;
 use proauth_primitives::hmac::{hmac_sha256, tags_equal};
@@ -210,20 +211,8 @@ pub fn ver_cert(
     v_cert: &BigUint,
 ) -> bool {
     // Step 1: format.
-    if msg.i != from.0 || msg.u != expected_unit || msg.w != expected_w {
+    if !ver_cert_format(dest, from, expected_unit, expected_w, msg) {
         return false;
-    }
-    match dest {
-        DestCheck::Me(me) => {
-            if msg.j != me.0 {
-                return false;
-            }
-        }
-        DestCheck::AnyDestination => {
-            if msg.j == 0 {
-                return false;
-            }
-        }
     }
     // Step 2: certificate.
     let statement = key_statement(from, msg.u, &msg.vk);
@@ -231,6 +220,50 @@ pub fn ver_cert(
         return false;
     }
     // Step 3: message signature.
+    ver_cert_signature(group, msg)
+}
+
+/// VER-CERT steps 1 and 3 only (format + message signature), for callers
+/// that have already validated the certificate (step 2) as part of a batch
+/// under `v_cert` — see [`cert_payload`].
+pub fn ver_cert_precertified(
+    group: &Group,
+    dest: DestCheck,
+    from: NodeId,
+    expected_unit: u64,
+    expected_w: u64,
+    msg: &CertifiedMsg,
+) -> bool {
+    ver_cert_format(dest, from, expected_unit, expected_w, msg) && ver_cert_signature(group, msg)
+}
+
+/// The bytes the PDS signed for a node's per-unit key certificate. Every
+/// certificate in the system verifies under the one ROM-resident `v_cert`,
+/// so a receiver holding many certified messages can check all their
+/// certificates in one [`proauth_crypto::schnorr::batch_verify`] call.
+pub fn cert_payload(from: NodeId, unit: u64, vk: &[u8]) -> Vec<u8> {
+    signing_payload(&key_statement(from, unit, vk), unit)
+}
+
+/// VER-CERT step 1: field bindings.
+fn ver_cert_format(
+    dest: DestCheck,
+    from: NodeId,
+    expected_unit: u64,
+    expected_w: u64,
+    msg: &CertifiedMsg,
+) -> bool {
+    if msg.i != from.0 || msg.u != expected_unit || msg.w != expected_w {
+        return false;
+    }
+    match dest {
+        DestCheck::Me(me) => msg.j == me.0,
+        DestCheck::AnyDestination => msg.j != 0,
+    }
+}
+
+/// VER-CERT step 3: the message signature under the attached local key.
+fn ver_cert_signature(group: &Group, msg: &CertifiedMsg) -> bool {
     let Some(vk) = VerifyKey::from_element(group, BigUint::from_bytes_be(&msg.vk)) else {
         return false;
     };

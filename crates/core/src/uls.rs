@@ -33,14 +33,14 @@
 
 use crate::authenticator::{AlProtocol, AppCtx};
 use crate::certify::{
-    certify, mac_certify, session_key, ver_cert, ver_mac, ver_mac_certificate, DestCheck,
-    LocalKeys,
+    cert_payload, certify, mac_certify, session_key, ver_cert, ver_cert_precertified, ver_mac,
+    ver_mac_certificate, DestCheck, LocalKeys,
 };
 use crate::disperse::{DisperseLayer, DisperseMode};
 use crate::pa::PaInstance;
 use crate::wire::{Blob, CertifiedMsg, Inner, UlsWire};
 use proauth_crypto::group::Group;
-use proauth_crypto::schnorr::Signature;
+use proauth_crypto::schnorr::{self, Signature, VerifyKey};
 use proauth_pds::api::{AlPds, PdsPhase, PdsTime};
 use proauth_pds::als::{AlsConfig, AlsPds};
 use proauth_pds::statement::{key_statement, parse_key_statement};
@@ -365,22 +365,76 @@ impl<A: AlProtocol> UlsNode<A> {
             }
         }
 
-        for (_claimed_origin, blob) in delivered {
-            match Blob::from_bytes(&blob) {
-                Ok(Blob::Certified(cmsg)) => {
+        // Parse blobs once and collect every PDS-certificate check they
+        // carry: all certificates verify under the single ROM key `v_cert`,
+        // so one batched Schnorr verification (which also promotes `v_cert`
+        // into the group's hot-base table cache) covers the whole inbox —
+        // the certificate-adoption and evidence windows routinely deliver
+        // `n`-sized bursts. A rejecting batch falls back to the individual
+        // per-message checks below, so acceptance is unchanged.
+        let parsed: Vec<Blob> = delivered
+            .iter()
+            .filter_map(|(_, blob)| Blob::from_bytes(blob).ok())
+            .collect();
+        let mut cert_items: Vec<(Vec<u8>, &Signature)> = Vec::new();
+        for blob in &parsed {
+            match blob {
+                Blob::Certified(cmsg) => {
+                    cert_items.push((cert_payload(NodeId(cmsg.i), cmsg.u, &cmsg.vk), &cmsg.cert));
+                }
+                Blob::Evidence { msg, .. } => {
+                    cert_items.push((cert_payload(NodeId(msg.i), msg.u, &msg.vk), &msg.cert));
+                }
+                Blob::CertDeliver {
+                    subject,
+                    unit,
+                    vk,
+                    cert,
+                } => {
+                    cert_items.push((cert_payload(NodeId(*subject), *unit, vk), cert));
+                }
+                // MAC certificates are validated once per sender at pin time.
+                Blob::MacCertified(_) => {}
+            }
+        }
+        let certs_batch_ok = cert_items.len() >= 2
+            && VerifyKey::from_element(&self.cfg.group, v_cert.clone())
+                .map(|vk| {
+                    let items: Vec<(&[u8], &Signature)> = cert_items
+                        .iter()
+                        .map(|(payload, sig)| (payload.as_slice(), *sig))
+                        .collect();
+                    schnorr::batch_verify(&vk, &items)
+                })
+                .unwrap_or(false);
+
+        for blob in &parsed {
+            match blob {
+                Blob::Certified(cmsg) => {
                     let from = NodeId(cmsg.i);
                     if from == self.me {
                         continue;
                     }
-                    let ok = ver_cert(
-                        &self.cfg.group,
-                        DestCheck::Me(self.me),
-                        from,
-                        auth_unit,
-                        round.saturating_sub(2),
-                        &cmsg,
-                        &v_cert,
-                    );
+                    let ok = if certs_batch_ok {
+                        ver_cert_precertified(
+                            &self.cfg.group,
+                            DestCheck::Me(self.me),
+                            from,
+                            auth_unit,
+                            round.saturating_sub(2),
+                            cmsg,
+                        )
+                    } else {
+                        ver_cert(
+                            &self.cfg.group,
+                            DestCheck::Me(self.me),
+                            from,
+                            auth_unit,
+                            round.saturating_sub(2),
+                            cmsg,
+                            &v_cert,
+                        )
+                    };
                     if !ok {
                         continue;
                     }
@@ -394,19 +448,30 @@ impl<A: AlProtocol> UlsNode<A> {
                     }
                     self.dispatch_inner(cmsg.i, inner, in_pa_window);
                 }
-                Ok(Blob::Evidence { subject, msg }) => {
+                Blob::Evidence { subject, msg } => {
                     if !in_evidence_window {
                         continue;
                     }
-                    let ok = ver_cert(
-                        &self.cfg.group,
-                        DestCheck::AnyDestination,
-                        NodeId(msg.i),
-                        auth_unit,
-                        pa_send_round,
-                        &msg,
-                        &v_cert,
-                    );
+                    let ok = if certs_batch_ok {
+                        ver_cert_precertified(
+                            &self.cfg.group,
+                            DestCheck::AnyDestination,
+                            NodeId(msg.i),
+                            auth_unit,
+                            pa_send_round,
+                            msg,
+                        )
+                    } else {
+                        ver_cert(
+                            &self.cfg.group,
+                            DestCheck::AnyDestination,
+                            NodeId(msg.i),
+                            auth_unit,
+                            pa_send_round,
+                            msg,
+                            &v_cert,
+                        )
+                    };
                     if !ok {
                         continue;
                     }
@@ -415,15 +480,15 @@ impl<A: AlProtocol> UlsNode<A> {
                         value,
                     }) = Inner::from_bytes(&msg.m)
                     {
-                        if s2 == subject {
+                        if s2 == *subject {
                             self.pa
-                                .entry(subject)
+                                .entry(*subject)
                                 .or_insert_with(|| PaInstance::new(self.cfg.n))
                                 .on_evidence(msg.i, value);
                         }
                     }
                 }
-                Ok(Blob::MacCertified(mmsg)) => {
+                Blob::MacCertified(mmsg) => {
                     let from = mmsg.i;
                     if from == self.me.0 || from == 0 || from > self.cfg.n as u32 {
                         continue;
@@ -443,7 +508,7 @@ impl<A: AlProtocol> UlsNode<A> {
                             let Some(vk) = ver_mac_certificate(
                                 &self.cfg.group,
                                 NodeId(from),
-                                &mmsg,
+                                mmsg,
                                 &v_cert,
                             ) else {
                                 continue;
@@ -464,7 +529,7 @@ impl<A: AlProtocol> UlsNode<A> {
                         NodeId(from),
                         auth_unit,
                         round.saturating_sub(2),
-                        &mmsg,
+                        mmsg,
                         &key,
                     ) {
                         continue;
@@ -479,27 +544,28 @@ impl<A: AlProtocol> UlsNode<A> {
                     }
                     self.dispatch_inner(from, inner, false);
                 }
-                Ok(Blob::CertDeliver {
+                Blob::CertDeliver {
                     subject,
                     unit,
                     vk,
                     cert,
-                }) => {
-                    if subject != self.me.0 || unit != ctx.time.unit {
+                } => {
+                    if *subject != self.me.0 || *unit != ctx.time.unit {
                         continue;
                     }
                     let Some(pending) = &mut self.pending_new else {
                         continue;
                     };
-                    if pending.cert.is_some() || pending.vk_bytes() != vk {
+                    if pending.cert.is_some() || pending.vk_bytes() != *vk {
                         continue;
                     }
-                    let statement = key_statement(self.me, unit, &vk);
-                    if AlsPds::verify(&self.cfg.group, &v_cert, &statement, unit, &cert) {
-                        pending.cert = Some(cert);
+                    let statement = key_statement(self.me, *unit, vk);
+                    if certs_batch_ok
+                        || AlsPds::verify(&self.cfg.group, &v_cert, &statement, *unit, cert)
+                    {
+                        pending.cert = Some(cert.clone());
                     }
                 }
-                Err(_) => {}
             }
         }
     }

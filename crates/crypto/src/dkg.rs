@@ -36,7 +36,7 @@
 //! assert!(group.contains(&key.public_key));
 //! ```
 
-use crate::feldman::{Commitments, Dealing};
+use crate::feldman::{self, Commitments, Dealing, ShareCheck};
 use crate::group::Group;
 use proauth_primitives::bigint::BigUint;
 
@@ -122,14 +122,34 @@ pub fn aggregate(
     if dealings.is_empty() {
         return None;
     }
+    // Degree checks are per-dealing; the share checks collapse into one
+    // batched random-linear-combination verification, falling back to the
+    // per-dealing equation only when the batch rejects (to pinpoint which
+    // dealing is bad — here that just means rejecting the whole set).
+    if dealings
+        .iter()
+        .any(|d| d.commitments.degree() != threshold)
+    {
+        return None;
+    }
+    let checks: Vec<ShareCheck<'_>> = dealings
+        .iter()
+        .map(|d| ShareCheck {
+            commitments: &d.commitments,
+            index: me,
+            share: &d.share,
+        })
+        .collect();
+    if !feldman::batch_verify_shares(group, &checks)
+        && !dealings.iter().all(|d| d.verify(group, threshold, me))
+    {
+        return None;
+    }
     let mut share = BigUint::zero();
     let mut public_key = group.identity();
     let mut share_keys = vec![group.identity(); n];
     let mut qualified = Vec::with_capacity(dealings.len());
     for d in dealings {
-        if !d.verify(group, threshold, me) {
-            return None;
-        }
         share = group.scalar_add(&share, &d.share);
         public_key = group.mul(&public_key, d.commitments.secret_commitment());
         for (slot, sk) in share_keys.iter_mut().enumerate() {

@@ -24,6 +24,7 @@
 use crate::group::Group;
 use crate::shamir::Polynomial;
 use proauth_primitives::bigint::BigUint;
+use proauth_primitives::sha256;
 use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// Feldman coefficient commitments `C_k = g^{a_k}`.
@@ -66,16 +67,39 @@ impl Commitments {
     }
 
     /// Computes `g^{f(i)}` "in the exponent": `Π_k C_k^{i^k} mod p`.
+    ///
+    /// One interleaved multi-exponentiation. The `i^k` exponents are tiny
+    /// (`i ≤ n`, so ≲ 60 bits even at `k = 4`), and the shared Straus
+    /// squaring chain only runs to the *longest* of them — a fraction of the
+    /// `t+1` sequential full modpows of [`Self::eval_in_exponent_naive`].
     pub fn eval_in_exponent(&self, group: &Group, i: u32) -> BigUint {
-        let q = group.q();
-        let i_scalar = BigUint::from_u64(i as u64).rem(q);
+        let pairs = self.eval_pairs(group, i);
+        let borrowed: Vec<(&BigUint, &BigUint)> = self.c.iter().zip(pairs.iter()).collect();
+        group.multi_exp(&borrowed)
+    }
+
+    /// `g^{f(i)}` along the seed code path (a loop of sequential modpows).
+    /// Kept for the E9 ablation and the property tests.
+    pub fn eval_in_exponent_naive(&self, group: &Group, i: u32) -> BigUint {
+        let pairs = self.eval_pairs(group, i);
         let mut acc = group.identity();
-        let mut i_pow = BigUint::one();
-        for ck in &self.c {
-            acc = group.mul(&acc, &group.exp(ck, &i_pow));
-            i_pow = i_pow.mul_mod(&i_scalar, q);
+        for (ck, i_pow) in self.c.iter().zip(pairs.iter()) {
+            acc = group.mul(&acc, &group.exp_binary(ck, i_pow));
         }
         acc
+    }
+
+    /// The exponents `i^k mod q` for `k = 0..=degree`.
+    fn eval_pairs(&self, group: &Group, i: u32) -> Vec<BigUint> {
+        let q = group.q();
+        let i_scalar = BigUint::from_u64(i as u64).rem(q);
+        let mut pows = Vec::with_capacity(self.c.len());
+        let mut i_pow = BigUint::one();
+        for _ in &self.c {
+            pows.push(i_pow.clone());
+            i_pow = i_pow.mul_mod(&i_scalar, q);
+        }
+        pows
     }
 
     /// Verifies that `share` equals `f(i)` for the committed polynomial.
@@ -84,6 +108,15 @@ impl Commitments {
             return false;
         }
         group.exp_g(share) == self.eval_in_exponent(group, i)
+    }
+
+    /// Share verification along the seed code path (see
+    /// [`Self::eval_in_exponent_naive`]); the E9 ablation baseline.
+    pub fn verify_share_in_naive(&self, group: &Group, i: u32, share: &BigUint) -> bool {
+        if share >= group.q() {
+            return false;
+        }
+        group.exp_binary(group.g(), share) == self.eval_in_exponent_naive(group, i)
     }
 
     /// Pointwise product of commitments: commits to the *sum* polynomial.
@@ -102,6 +135,86 @@ impl Commitments {
                 .collect(),
         }
     }
+}
+
+/// One share-against-commitments check, for [`batch_verify_shares`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShareCheck<'a> {
+    /// The dealer's coefficient commitments.
+    pub commitments: &'a Commitments,
+    /// The receiver index `i` the share is claimed for (1-based).
+    pub index: u32,
+    /// The claimed share `f(i)`.
+    pub share: &'a BigUint,
+}
+
+/// Randomized batch verification of many Feldman share checks (typically:
+/// one receiver, many dealers): `true` ⟹ accept the whole set.
+///
+/// Each check `g^{s_j} = Π_k C_{j,k}^{i_j^k}` is raised to a random
+/// coefficient `r_j` and all are multiplied into a single equation
+///
+/// ```text
+/// g^{Σ_j r_j·s_j}  ==  Π_j Π_k C_{j,k}^{r_j·i_j^k}
+/// ```
+///
+/// evaluated as one interleaved multi-exponentiation per side (equal
+/// commitment bases merge their exponents). If every individual check
+/// holds the batch equation holds **identically** — the right-hand
+/// exponents are kept as integer products, so no subgroup-order assumption
+/// on the `C_{j,k}` is needed and there are no false negatives. A set with
+/// an invalid share passes with probability `≤ 1/q` per the standard
+/// small-exponents argument.
+///
+/// The coefficients are *deterministic* Fiat–Shamir hashes of the full
+/// check transcript, not fresh randomness: every honest node evaluating
+/// the same adoption/complaint evidence computes the same coefficients and
+/// therefore reaches the same accept/reject decision, which the
+/// consensus-style call sites (certificate adoption, refresh complaints)
+/// require. On `false`, callers fall back to per-item
+/// [`Commitments::verify_share_in`] to identify the culprit.
+pub fn batch_verify_shares(group: &Group, checks: &[ShareCheck<'_>]) -> bool {
+    if checks.is_empty() {
+        return true;
+    }
+    if checks.len() == 1 {
+        let c = &checks[0];
+        return c.commitments.verify_share_in(group, c.index, c.share);
+    }
+    if checks.iter().any(|c| c.share >= group.q()) {
+        return false;
+    }
+    // Transcript-derived coefficients (see doc comment).
+    let mut transcript = Vec::new();
+    for c in checks {
+        transcript.extend_from_slice(&c.commitments.to_bytes());
+        transcript.extend_from_slice(&c.index.to_be_bytes());
+        transcript.extend_from_slice(&c.share.to_bytes_be());
+    }
+    let digest = sha256::hash_parts("proauth/feldman/batch/v1", &[&transcript]);
+
+    let mut lhs_exp = BigUint::zero();
+    // (base, integer exponent) pairs for the right-hand side.
+    let mut rhs: Vec<(&BigUint, BigUint)> = Vec::new();
+    for (j, c) in checks.iter().enumerate() {
+        let r_j = group.hash_to_scalar(
+            "proauth/feldman/batch/coeff/v1",
+            &[&digest, &(j as u64).to_be_bytes()],
+        );
+        lhs_exp = group.scalar_add(&lhs_exp, &group.scalar_mul(&r_j, c.share));
+        let i_pows = c.commitments.eval_pairs(group, c.index);
+        for (ck, i_pow) in c.commitments.c.iter().zip(i_pows.iter()) {
+            // Integer product — deliberately NOT reduced mod q (the C_k are
+            // only assumed to be elements of Z_p^*, not of the subgroup).
+            let e = r_j.mul(i_pow);
+            match rhs.iter_mut().find(|(b, _)| *b == ck) {
+                Some((_, acc)) => *acc = acc.add(&e),
+                None => rhs.push((ck, e)),
+            }
+        }
+    }
+    let rhs_pairs: Vec<(&BigUint, &BigUint)> = rhs.iter().map(|(b, e)| (*b, e)).collect();
+    group.exp_g(&lhs_exp) == group.multi_exp(&rhs_pairs)
 }
 
 impl Encode for Commitments {
@@ -258,6 +371,55 @@ mod tests {
                 group.exp_g(&poly.eval_at(i))
             );
         }
+    }
+
+    #[test]
+    fn fast_and_naive_eval_agree() {
+        let (group, mut rng) = setup();
+        let poly = Polynomial::random(&group, 3, &mut rng);
+        let comms = Commitments::from_polynomial(&group, &poly);
+        for i in [1u32, 2, 9, 20, 1000] {
+            assert_eq!(
+                comms.eval_in_exponent(&group, i),
+                comms.eval_in_exponent_naive(&group, i)
+            );
+        }
+        for i in 1..=4u32 {
+            let share = poly.eval_at(i);
+            assert!(comms.verify_share_in(&group, i, &share));
+            assert!(comms.verify_share_in_naive(&group, i, &share));
+        }
+    }
+
+    #[test]
+    fn batch_accepts_all_valid_and_rejects_any_invalid() {
+        let (group, mut rng) = setup();
+        let dealings: Vec<Dealing> = (0..4)
+            .map(|k| Dealing::deal(&group, 2, 5, BigUint::from_u64(k), &mut rng))
+            .collect();
+        // Receiver 3 checks its share from every dealer.
+        let checks: Vec<ShareCheck<'_>> = dealings
+            .iter()
+            .map(|d| ShareCheck {
+                commitments: &d.commitments,
+                index: 3,
+                share: d.share_for(3),
+            })
+            .collect();
+        assert!(batch_verify_shares(&group, &checks));
+        assert!(batch_verify_shares(&group, &[]));
+        assert!(batch_verify_shares(&group, &checks[..1]));
+
+        // Corrupt one share: the batch must reject.
+        let bad = group.scalar_add(dealings[2].share_for(3), &BigUint::one());
+        let mut bad_checks = checks.clone();
+        bad_checks[2].share = &bad;
+        assert!(!batch_verify_shares(&group, &bad_checks));
+
+        // Out-of-range share: reject without panicking.
+        let oversized = dealings[0].share_for(3).add(group.q());
+        bad_checks[2].share = &oversized;
+        assert!(!batch_verify_shares(&group, &bad_checks));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! driver's job.
 
 use crate::dkg::KeyShare;
-use crate::feldman::{Commitments, Dealing};
+use crate::feldman::{self, Commitments, Dealing, ShareCheck};
 use crate::group::Group;
 use crate::shamir::{self, Polynomial};
 use proauth_primitives::bigint::BigUint;
@@ -49,10 +49,37 @@ pub struct ReceivedUpdate {
 impl ReceivedUpdate {
     /// Verifies the dealing: correct degree, zero secret, valid share.
     pub fn verify(&self, group: &Group, threshold: usize, me: u32) -> bool {
-        self.commitments.degree() == threshold
-            && self.commitments.secret_commitment().is_one()
+        self.structurally_valid(threshold)
             && self.commitments.verify_share_in(group, me, &self.share)
     }
+
+    /// The cheap non-exponentiation part of [`Self::verify`]: correct degree
+    /// and a zero secret commitment. The expensive share equation is what
+    /// [`verify_updates`] batches.
+    fn structurally_valid(&self, threshold: usize) -> bool {
+        self.commitments.degree() == threshold && self.commitments.secret_commitment().is_one()
+    }
+}
+
+/// Verifies a whole set of refresh dealings for receiver `me`, batching the
+/// share equations into one random-linear-combination check. Semantically
+/// identical to `updates.iter().all(|u| u.verify(..))`: when the batch
+/// rejects, the per-update path is re-run so a single bad dealing cannot
+/// veto differently than the seed code did.
+fn verify_updates(group: &Group, threshold: usize, me: u32, updates: &[ReceivedUpdate]) -> bool {
+    if !updates.iter().all(|u| u.structurally_valid(threshold)) {
+        return false;
+    }
+    let checks: Vec<ShareCheck<'_>> = updates
+        .iter()
+        .map(|u| ShareCheck {
+            commitments: &u.commitments,
+            index: me,
+            share: &u.share,
+        })
+        .collect();
+    feldman::batch_verify_shares(group, &checks)
+        || updates.iter().all(|u| u.verify(group, threshold, me))
 }
 
 /// Applies verified refresh dealings, producing the next unit's [`KeyShare`].
@@ -69,16 +96,13 @@ pub fn apply_updates(
     key: &KeyShare,
     updates: &[ReceivedUpdate],
 ) -> Option<KeyShare> {
-    if updates.is_empty() {
+    if updates.is_empty() || !verify_updates(group, threshold, key.index, updates) {
         return None;
     }
     let mut share = key.share.clone();
     let mut share_keys = key.share_keys.clone();
     let mut qualified = Vec::with_capacity(updates.len());
     for u in updates {
-        if !u.verify(group, threshold, key.index) {
-            return None;
-        }
         share = group.scalar_add(&share, &u.share);
         for (slot, sk) in share_keys.iter_mut().enumerate() {
             let i = (slot + 1) as u32;
@@ -108,16 +132,16 @@ pub fn apply_updates_public(
     updates: &[ReceivedUpdate],
     me: u32,
 ) -> Option<(Vec<BigUint>, Vec<u32>)> {
-    if updates.is_empty() || share_keys.len() != n {
+    if updates.is_empty()
+        || share_keys.len() != n
+        || !verify_updates(group, threshold, me, updates)
+    {
         return None;
     }
     let _ = public_key;
     let mut keys = share_keys.to_vec();
     let mut qualified = Vec::with_capacity(updates.len());
     for u in updates {
-        if !u.verify(group, threshold, me) {
-            return None;
-        }
         for (slot, sk) in keys.iter_mut().enumerate() {
             let i = (slot + 1) as u32;
             *sk = group.mul(sk, &u.commitments.eval_in_exponent(group, i));

@@ -92,16 +92,56 @@ impl VerifyKey {
     }
 
     /// Verifies `sig` over `msg`.
+    ///
+    /// `R' = g^s · y^{q−e}` is computed as one interleaved
+    /// multi-exponentiation: the `g` term comes squaring-free from the
+    /// generator's comb table, and `y` is promoted to its own table by the
+    /// group's hot-base cache once the key verifies a second signature.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
         if sig.e >= *self.group.q() || sig.s >= *self.group.q() {
             return false;
         }
-        // R' = g^s * y^(q - e)
-        let y_to_neg_e = self.group.exp(&self.y, &self.group.scalar_neg(&sig.e));
-        let r_prime = self.group.mul(&self.group.exp_g(&sig.s), &y_to_neg_e);
+        let neg_e = self.group.scalar_neg(&sig.e);
+        let r_prime = self.group.multi_exp(&[(self.group.g(), &sig.s), (&self.y, &neg_e)]);
         let e_prime = challenge(&self.group, &r_prime, &self.y, msg);
         e_prime == sig.e
     }
+
+    /// Verifies `sig` over `msg` along the seed code path (two sequential
+    /// binary exponentiations). Kept for the E9 ablation and the
+    /// batch/property tests' reference semantics.
+    pub fn verify_naive(&self, msg: &[u8], sig: &Signature) -> bool {
+        if sig.e >= *self.group.q() || sig.s >= *self.group.q() {
+            return false;
+        }
+        let y_to_neg_e = self.group.exp_binary(&self.y, &self.group.scalar_neg(&sig.e));
+        let r_prime = self
+            .group
+            .mul(&self.group.exp_binary(self.group.g(), &sig.s), &y_to_neg_e);
+        let e_prime = challenge(&self.group, &r_prime, &self.y, msg);
+        e_prime == sig.e
+    }
+}
+
+/// Verifies many `(msg, sig)` pairs under **one** key; `true` iff every
+/// signature individually verifies.
+///
+/// `(e, s)`-form Schnorr cannot be collapsed into a random-linear-
+/// combination batch: each check must *recompute* its own `R'` and hash it,
+/// so the exponentiations cannot be merged across signatures (contrast
+/// [`crate::thresh::batch_verify_partials`], where the commitment `R` is
+/// transmitted). What *does* amortize is the per-base work: the first
+/// verification promotes `y` into the group's hot-base table cache, making
+/// every subsequent check in the batch squaring-free on both terms. The
+/// certificate-heavy call sites (ULS evidence windows, certificate
+/// adoption) verify dozens of signatures under the same `v_cert`, which is
+/// exactly this shape.
+pub fn batch_verify(vk: &VerifyKey, items: &[(&[u8], &Signature)]) -> bool {
+    // Touch the key's table deliberately so even a 2-item batch amortizes.
+    if items.len() >= 2 {
+        let _ = vk.group.exp(&vk.y, &BigUint::one());
+    }
+    items.iter().all(|(msg, sig)| vk.verify(msg, sig))
 }
 
 /// A Schnorr signing (secret) key.

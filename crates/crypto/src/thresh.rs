@@ -28,6 +28,7 @@ use crate::group::Group;
 use crate::schnorr::{self, Signature};
 use crate::shamir;
 use proauth_primitives::bigint::BigUint;
+use proauth_primitives::sha256;
 
 /// A signer's nonce for one signing session.
 ///
@@ -82,6 +83,10 @@ pub fn partial_sign(
 }
 
 /// Verifies signer `i`'s partial signature: `g^{z_i} = R_i · X_i^{e·λ_i}`.
+///
+/// The left side comes squaring-free from the generator's comb table; the
+/// `X_i` term uses the windowed Montgomery path (and a promoted table once
+/// the share key repeats across sessions).
 pub fn verify_partial(
     group: &Group,
     signer_set: &[u32],
@@ -100,6 +105,97 @@ pub fn verify_partial(
         &group.exp(share_key, &group.scalar_mul(e, &lambda)),
     );
     group.exp_g(z_i) == expected
+}
+
+/// One partial-signature check, for [`batch_verify_partials`].
+#[derive(Debug, Clone, Copy)]
+pub struct PartialCheck<'a> {
+    /// The signer index `i` (must be in the signer set).
+    pub signer: u32,
+    /// The signer's share key `X_i = g^{x_i}`.
+    pub share_key: &'a BigUint,
+    /// The signer's transmitted nonce commitment `R_i`.
+    pub nonce_commitment: &'a BigUint,
+    /// The partial signature `z_i`.
+    pub z_i: &'a BigUint,
+}
+
+/// Randomized batch verification of a session's partial signatures:
+/// `true` ⟹ accept them all.
+///
+/// Unlike full `(e, s)` Schnorr signatures, partials CAN be batched with a
+/// random linear combination, because the commitment `R_i` is transmitted
+/// rather than recomputed: raising each equation
+/// `g^{z_i} = R_i · X_i^{e·λ_i}` to a coefficient `r_i` and multiplying
+/// gives the single equation
+///
+/// ```text
+/// g^{Σ r_i·z_i}  ==  Π R_i^{r_i} · Π X_i^{r_i·e·λ_i}
+/// ```
+///
+/// — one comb evaluation plus one shared-squaring multi-exponentiation in
+/// place of `|S|` full verifications. Coefficients are deterministic
+/// Fiat–Shamir hashes of the transcript so all honest verifiers agree (see
+/// [`crate::feldman::batch_verify_shares`] for why), and the right-hand
+/// exponents stay integer products, so all-valid sets are accepted
+/// *identically*, not just with high probability. On `false`, fall back to
+/// per-signer [`verify_partial`] to identify the cheater.
+pub fn batch_verify_partials(
+    group: &Group,
+    signer_set: &[u32],
+    e: &BigUint,
+    checks: &[PartialCheck<'_>],
+) -> bool {
+    if checks.is_empty() {
+        return true;
+    }
+    if checks.len() == 1 {
+        let c = &checks[0];
+        return verify_partial(
+            group,
+            signer_set,
+            c.signer,
+            c.share_key,
+            c.nonce_commitment,
+            e,
+            c.z_i,
+        );
+    }
+    if checks
+        .iter()
+        .any(|c| c.z_i >= group.q() || !group.contains(c.nonce_commitment))
+    {
+        return false;
+    }
+    let mut transcript = Vec::new();
+    for c in checks {
+        transcript.extend_from_slice(&c.signer.to_be_bytes());
+        transcript.extend_from_slice(&c.share_key.to_bytes_be());
+        transcript.extend_from_slice(&c.nonce_commitment.to_bytes_be());
+        transcript.extend_from_slice(&c.z_i.to_bytes_be());
+    }
+    let digest = sha256::hash_parts("proauth/thresh/batch/v1", &[&e.to_bytes_be(), &transcript]);
+
+    let mut lhs_exp = BigUint::zero();
+    let mut rhs: Vec<(&BigUint, BigUint)> = Vec::with_capacity(2 * checks.len());
+    for (j, c) in checks.iter().enumerate() {
+        let r_j = group.hash_to_scalar(
+            "proauth/thresh/batch/coeff/v1",
+            &[&digest, &(j as u64).to_be_bytes()],
+        );
+        lhs_exp = group.scalar_add(&lhs_exp, &group.scalar_mul(&r_j, c.z_i));
+        let lambda = shamir::lagrange_coeff_at_zero(group, signer_set, c.signer);
+        // Integer product r_j · (e·λ_i mod q): no subgroup assumption on X_i.
+        let x_exp = r_j.mul(&group.scalar_mul(e, &lambda));
+        for (base, exp) in [(c.nonce_commitment, r_j), (c.share_key, x_exp)] {
+            match rhs.iter_mut().find(|(b, _)| *b == base) {
+                Some((_, acc)) => *acc = acc.add(&exp),
+                None => rhs.push((base, exp)),
+            }
+        }
+    }
+    let rhs_pairs: Vec<(&BigUint, &BigUint)> = rhs.iter().map(|(b, e)| (*b, e)).collect();
+    group.exp_g(&lhs_exp) == group.multi_exp(&rhs_pairs)
 }
 
 /// Combines partial signatures into a full Schnorr signature `(e, Σ z_i)`.
@@ -257,6 +353,44 @@ mod tests {
             &e,
             &BigUint::one()
         ));
+    }
+
+    #[test]
+    fn batch_partials_accepts_valid_rejects_tampered() {
+        let (group, keys) = dkg_keys(5, 2, 80);
+        let mut rng = StdRng::seed_from_u64(81);
+        let signer_set = [1u32, 3, 5];
+        let nonces: Vec<(u32, Nonce)> = signer_set
+            .iter()
+            .map(|&i| (i, generate_nonce(&group, &mut rng)))
+            .collect();
+        let commitments: Vec<BigUint> = nonces.iter().map(|(_, n)| n.commitment.clone()).collect();
+        let r = combine_nonces(&group, &commitments);
+        let e = challenge(&group, &r, &keys[0].public_key, b"batch");
+        let partials: Vec<(u32, BigUint)> = nonces
+            .iter()
+            .map(|(i, nonce)| {
+                (*i, partial_sign(&group, &keys[(*i - 1) as usize], &signer_set, nonce, &e))
+            })
+            .collect();
+        let checks: Vec<PartialCheck<'_>> = signer_set
+            .iter()
+            .enumerate()
+            .map(|(idx, &i)| PartialCheck {
+                signer: i,
+                share_key: keys[(i - 1) as usize].share_key(i),
+                nonce_commitment: &nonces[idx].1.commitment,
+                z_i: &partials[idx].1,
+            })
+            .collect();
+        assert!(batch_verify_partials(&group, &signer_set, &e, &checks));
+        assert!(batch_verify_partials(&group, &signer_set, &e, &[]));
+        assert!(batch_verify_partials(&group, &signer_set, &e, &checks[..1]));
+
+        let bad = group.scalar_add(&partials[1].1, &BigUint::one());
+        let mut bad_checks = checks.clone();
+        bad_checks[1].z_i = &bad;
+        assert!(!batch_verify_partials(&group, &signer_set, &e, &bad_checks));
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! signature correctness, and refresh invariants.
 
 use proauth_crypto::dkg;
-use proauth_crypto::feldman::{Commitments, Dealing};
+use proauth_crypto::feldman::{self, Commitments, Dealing, ShareCheck};
 use proauth_crypto::group::{Group, GroupId};
 use proauth_crypto::refresh;
-use proauth_crypto::schnorr::SigningKey;
+use proauth_crypto::schnorr::{self, SigningKey};
 use proauth_crypto::shamir::{self, Polynomial};
+use proauth_crypto::thresh;
 use proauth_primitives::bigint::BigUint;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -15,6 +16,170 @@ use rand::SeedableRng;
 
 fn group() -> Group {
     Group::new(GroupId::Toy64)
+}
+
+/// multi_exp over random pairs must equal the product of seed-path
+/// (binary, non-cached) exponentiations.
+fn check_multi_exp_matches_naive(group: &Group, seed: u64, k: usize) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(BigUint, BigUint)> = (0..k)
+        .map(|_| {
+            let base = group.exp_g(&group.random_scalar(&mut rng));
+            let exp = group.random_scalar(&mut rng);
+            (base, exp)
+        })
+        .collect();
+    let borrowed: Vec<(&BigUint, &BigUint)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+    let mut expected = group.identity();
+    for (base, exp) in &pairs {
+        expected = group.mul(&expected, &group.exp_binary(base, exp));
+    }
+    prop_assert_eq!(group.multi_exp(&borrowed), expected);
+    Ok(())
+}
+
+/// Feldman batch verification accepts exactly when every share individually
+/// verifies; `corrupt_mask` selects which shares get perturbed.
+fn check_feldman_batch_iff_individual(
+    group: &Group,
+    seed: u64,
+    t: usize,
+    corrupt_mask: u8,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 * t + 1;
+    let secret = group.random_scalar(&mut rng);
+    let dealing = Dealing::deal(group, t, n, secret, &mut rng);
+    let shares: Vec<BigUint> = (1..=n as u32)
+        .map(|i| {
+            let s = dealing.share_for(i).clone();
+            if corrupt_mask & (1 << (i - 1)) != 0 {
+                group.scalar_add(&s, &BigUint::one())
+            } else {
+                s
+            }
+        })
+        .collect();
+    let checks: Vec<ShareCheck<'_>> = shares
+        .iter()
+        .enumerate()
+        .map(|(idx, share)| ShareCheck {
+            commitments: &dealing.commitments,
+            index: (idx + 1) as u32,
+            share,
+        })
+        .collect();
+    let each = checks
+        .iter()
+        .all(|c| c.commitments.verify_share_in(group, c.index, c.share));
+    prop_assert_eq!(feldman::batch_verify_shares(group, &checks), each);
+    Ok(())
+}
+
+/// Schnorr batch verification accepts exactly when every signature
+/// individually verifies.
+fn check_schnorr_batch_iff_individual(
+    group: &Group,
+    seed: u64,
+    k: usize,
+    corrupt_mask: u8,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SigningKey::generate(group, &mut rng);
+    let msgs: Vec<Vec<u8>> = (0..k).map(|i| format!("msg-{i}").into_bytes()).collect();
+    let sigs: Vec<schnorr::Signature> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mut sig = sk.sign(m, &mut rng);
+            if corrupt_mask & (1 << i) != 0 {
+                sig.s = group.scalar_add(&sig.s, &BigUint::one());
+            }
+            sig
+        })
+        .collect();
+    let items: Vec<(&[u8], &schnorr::Signature)> = msgs
+        .iter()
+        .zip(&sigs)
+        .map(|(m, s)| (m.as_slice(), s))
+        .collect();
+    let each = items.iter().all(|(m, s)| sk.verify_key().verify(m, s));
+    prop_assert_eq!(schnorr::batch_verify(sk.verify_key(), &items), each);
+    Ok(())
+}
+
+/// Threshold-partial batch verification accepts exactly when every partial
+/// individually verifies.
+fn check_thresh_batch_iff_individual(
+    group: &Group,
+    seed: u64,
+    t: usize,
+    corrupt_mask: u8,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret = group.random_scalar(&mut rng);
+    let poly = Polynomial::random_with_secret(group, t, secret, &mut rng);
+    let signer_set: Vec<u32> = (1..=(t + 1) as u32).collect();
+    let share_keys: Vec<BigUint> = signer_set
+        .iter()
+        .map(|&i| group.exp_g(&poly.eval_at(i)))
+        .collect();
+    let nonces: Vec<thresh::Nonce> = signer_set
+        .iter()
+        .map(|_| thresh::generate_nonce(group, &mut rng))
+        .collect();
+    let r = thresh::combine_nonces(
+        group,
+        &nonces.iter().map(|n| n.commitment.clone()).collect::<Vec<_>>(),
+    );
+    let pk = group.exp_g(poly.secret());
+    let e = thresh::challenge(group, &r, &pk, b"prop-thresh-batch");
+    let partials: Vec<BigUint> = signer_set
+        .iter()
+        .zip(&nonces)
+        .enumerate()
+        .map(|(idx, (&i, nonce))| {
+            let key = dkg::KeyShare {
+                index: i,
+                share: poly.eval_at(i),
+                public_key: pk.clone(),
+                share_keys: share_keys.clone(),
+                qualified: signer_set.clone(),
+            };
+            let z = thresh::partial_sign(group, &key, &signer_set, nonce, &e);
+            if corrupt_mask & (1 << idx) != 0 {
+                group.scalar_add(&z, &BigUint::one())
+            } else {
+                z
+            }
+        })
+        .collect();
+    let checks: Vec<thresh::PartialCheck<'_>> = signer_set
+        .iter()
+        .enumerate()
+        .map(|(idx, &i)| thresh::PartialCheck {
+            signer: i,
+            share_key: &share_keys[idx],
+            nonce_commitment: &nonces[idx].commitment,
+            z_i: &partials[idx],
+        })
+        .collect();
+    let each = checks.iter().all(|c| {
+        thresh::verify_partial(
+            group,
+            &signer_set,
+            c.signer,
+            c.share_key,
+            c.nonce_commitment,
+            &e,
+            c.z_i,
+        )
+    });
+    prop_assert_eq!(
+        thresh::batch_verify_partials(group, &signer_set, &e, &checks),
+        each
+    );
+    Ok(())
 }
 
 proptest! {
@@ -157,6 +322,26 @@ proptest! {
     }
 
     #[test]
+    fn multi_exp_matches_naive_toy64(seed in any::<u64>(), k in 0usize..6) {
+        check_multi_exp_matches_naive(&group(), seed, k)?;
+    }
+
+    #[test]
+    fn feldman_batch_iff_individual_toy64(seed in any::<u64>(), t in 1usize..4, mask in any::<u8>()) {
+        check_feldman_batch_iff_individual(&group(), seed, t, mask)?;
+    }
+
+    #[test]
+    fn schnorr_batch_iff_individual_toy64(seed in any::<u64>(), k in 0usize..6, mask in any::<u8>()) {
+        check_schnorr_batch_iff_individual(&group(), seed, k, mask)?;
+    }
+
+    #[test]
+    fn thresh_batch_iff_individual_toy64(seed in any::<u64>(), t in 1usize..4, mask in any::<u8>()) {
+        check_thresh_batch_iff_individual(&group(), seed, t, mask)?;
+    }
+
+    #[test]
     fn lagrange_weights_reconstruct_in_exponent(seed in any::<u64>(), t in 1usize..4) {
         // Σ λ_i · f(i) = f(0) also holds in the exponent — the identity that
         // makes threshold Schnorr work.
@@ -171,5 +356,31 @@ proptest! {
             acc = group.mul(&acc, &term);
         }
         prop_assert_eq!(acc, group.exp_g(poly.secret()));
+    }
+}
+
+// The same fast-path/batch equivalences at production size (s256): fewer
+// cases, since each involves dozens of 256-bit exponentiations.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn multi_exp_matches_naive_s256(seed in any::<u64>(), k in 0usize..4) {
+        check_multi_exp_matches_naive(&Group::new(GroupId::S256), seed, k)?;
+    }
+
+    #[test]
+    fn feldman_batch_iff_individual_s256(seed in any::<u64>(), mask in any::<u8>()) {
+        check_feldman_batch_iff_individual(&Group::new(GroupId::S256), seed, 2, mask)?;
+    }
+
+    #[test]
+    fn schnorr_batch_iff_individual_s256(seed in any::<u64>(), k in 0usize..4, mask in any::<u8>()) {
+        check_schnorr_batch_iff_individual(&Group::new(GroupId::S256), seed, k, mask)?;
+    }
+
+    #[test]
+    fn thresh_batch_iff_individual_s256(seed in any::<u64>(), mask in any::<u8>()) {
+        check_thresh_batch_iff_individual(&Group::new(GroupId::S256), seed, 2, mask)?;
     }
 }

@@ -22,12 +22,16 @@
 
 use crate::msg::{commitment_hash, AlsMsg};
 use proauth_crypto::dkg::KeyShare;
-use proauth_crypto::feldman::Commitments;
+use proauth_crypto::feldman::{self, Commitments, ShareCheck};
 use proauth_crypto::group::Group;
 use proauth_crypto::refresh as rfr;
 use proauth_crypto::shamir;
 use proauth_primitives::bigint::BigUint;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-dealer echo tally: commitment-hash → (representative commitments,
+/// set of echoers).
+type EchoTally = BTreeMap<[u8; 32], (Commitments, BTreeSet<u32>)>;
 
 /// Message destination as produced by the session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +68,7 @@ pub struct RefreshSession {
     received: BTreeMap<u32, (Commitments, BigUint)>,
     /// Echo tally: dealer → commitment-hash → set of echoers, plus one
     /// representative commitments value per hash.
-    echoes: BTreeMap<u32, BTreeMap<[u8; 32], (Commitments, BTreeSet<u32>)>>,
+    echoes: BTreeMap<u32, EchoTally>,
     /// Complaints seen: dealer → complainers.
     complaints: BTreeMap<u32, BTreeSet<u32>>,
     /// Reveals seen: (dealer, complainer) → share.
@@ -292,33 +296,53 @@ impl RefreshSession {
             return out; // recovering nodes have no share to update
         }
         let dealers: Vec<u32> = self.echoes.keys().copied().collect();
-        for dealer in dealers {
+        // First pass: dealers whose received share matches the majority
+        // commitments go into one batched share check; the rest (missing or
+        // mismatched share) are complained about outright.
+        let mut bad: Vec<u32> = Vec::new();
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut checks: Vec<ShareCheck<'_>> = Vec::new();
+        for &dealer in &dealers {
             let Some(majority) = self.majority_commitments(dealer) else {
                 continue; // inconsistent dealer: dropped by everyone alike
             };
             if !self.valid_zero_commitments(majority) {
                 continue; // invalid dealing shape: dropped by everyone alike
             }
-            let share_ok = self
-                .received
-                .get(&dealer)
-                .is_some_and(|(c, share)| {
-                    commitment_hash(c) == commitment_hash(majority)
-                        && c.verify_share_in(&self.group, self.me, share)
-                });
-            if !share_ok {
-                self.complaints
-                    .entry(dealer)
-                    .or_default()
-                    .insert(self.me);
-                out.push((
-                    Dest::All,
-                    AlsMsg::RfrComplaint {
-                        unit: self.unit,
-                        dealer,
-                    },
-                ));
+            match self.received.get(&dealer) {
+                Some((c, share)) if commitment_hash(c) == commitment_hash(majority) => {
+                    candidates.push(dealer);
+                    checks.push(ShareCheck {
+                        commitments: c,
+                        index: self.me,
+                        share,
+                    });
+                }
+                _ => bad.push(dealer),
             }
+        }
+        // The batch passing clears every candidate at once; otherwise fall
+        // back per dealer to find exactly whom to complain about.
+        if !feldman::batch_verify_shares(&self.group, &checks) {
+            for (&dealer, c) in candidates.iter().zip(&checks) {
+                if !c.commitments.verify_share_in(&self.group, self.me, c.share) {
+                    bad.push(dealer);
+                }
+            }
+        }
+        bad.sort_unstable();
+        for dealer in bad {
+            self.complaints
+                .entry(dealer)
+                .or_default()
+                .insert(self.me);
+            out.push((
+                Dest::All,
+                AlsMsg::RfrComplaint {
+                    unit: self.unit,
+                    dealer,
+                },
+            ));
         }
         out
     }
@@ -361,7 +385,7 @@ impl RefreshSession {
         // a reveal that verifies against the majority commitments.
         let dealers: Vec<u32> = self.echoes.keys().copied().collect();
         let mut qualified: Vec<u32> = Vec::new();
-        let mut my_updates: Vec<rfr::ReceivedUpdate> = Vec::new();
+        let mut pending: Vec<(u32, Commitments)> = Vec::new();
         for dealer in dealers {
             let Some(majority) = self.majority_commitments(dealer).cloned() else {
                 continue;
@@ -387,20 +411,46 @@ impl RefreshSession {
             }
             qualified.push(dealer);
             if self.old_key.is_some() {
-                // My update share: the one I received if consistent, else the
-                // revealed one.
-                let share = self
-                    .received
-                    .get(&dealer)
-                    .filter(|(c, s)| {
-                        commitment_hash(c) == commitment_hash(&majority)
-                            && c.verify_share_in(&self.group, self.me, s)
-                    })
-                    .map(|(_, s)| s.clone())
-                    .or_else(|| self.reveals.get(&(dealer, self.me)).cloned());
+                pending.push((dealer, majority));
+            }
+        }
+
+        // Pick my update share per qualified dealer: the received one if it
+        // is consistent with the majority commitments, else the revealed one.
+        // The received-share consistency checks collapse into one batched
+        // verification; only a rejecting batch re-checks per dealer.
+        let mut my_updates: Vec<rfr::ReceivedUpdate> = Vec::new();
+        {
+            let mut checks: Vec<ShareCheck<'_>> = Vec::new();
+            let mut check_slots: Vec<usize> = Vec::new();
+            for (k, (dealer, majority)) in pending.iter().enumerate() {
+                if let Some((c, s)) = self.received.get(dealer) {
+                    if commitment_hash(c) == commitment_hash(majority) {
+                        checks.push(ShareCheck {
+                            commitments: c,
+                            index: self.me,
+                            share: s,
+                        });
+                        check_slots.push(k);
+                    }
+                }
+            }
+            let batch_ok = feldman::batch_verify_shares(&self.group, &checks);
+            let mut received_ok = vec![false; pending.len()];
+            for (c, &k) in checks.iter().zip(&check_slots) {
+                received_ok[k] = batch_ok
+                    || c.commitments.verify_share_in(&self.group, self.me, c.share);
+            }
+            for (k, (dealer, majority)) in pending.iter().enumerate() {
+                let share = if received_ok[k] {
+                    self.received.get(dealer).map(|(_, s)| s.clone())
+                } else {
+                    None
+                }
+                .or_else(|| self.reveals.get(&(*dealer, self.me)).cloned());
                 if let Some(share) = share {
                     my_updates.push(rfr::ReceivedUpdate {
-                        dealer,
+                        dealer: *dealer,
                         commitments: majority.clone(),
                         share,
                     });
@@ -476,12 +526,29 @@ impl RefreshSession {
             };
             // Use every blinding whose share verifies for me and whose shape
             // is right; `used` tells the target which commitments to combine.
+            // Share checks for all shape-valid blindings run as one batch,
+            // with per-dealer fallback when the batch rejects.
+            let shaped: Vec<(u32, &Commitments, &BigUint)> = by_dealer
+                .iter()
+                .filter(|(_, (commitments, _))| {
+                    commitments.degree() == self.t
+                        && commitments.eval_in_exponent(&self.group, target).is_one()
+                })
+                .map(|(&dealer, (commitments, share))| (dealer, commitments, share))
+                .collect();
+            let checks: Vec<ShareCheck<'_>> = shaped
+                .iter()
+                .map(|&(_, commitments, share)| ShareCheck {
+                    commitments,
+                    index: self.me,
+                    share,
+                })
+                .collect();
+            let batch_ok = feldman::batch_verify_shares(&self.group, &checks);
             let mut used: Vec<u32> = Vec::new();
             let mut value = key.share.clone();
-            for (&dealer, (commitments, share)) in by_dealer {
-                let shape_ok = commitments.degree() == self.t
-                    && commitments.eval_in_exponent(&self.group, target).is_one();
-                if shape_ok && commitments.verify_share_in(&self.group, self.me, share) {
+            for (dealer, commitments, share) in shaped {
+                if batch_ok || commitments.verify_share_in(&self.group, self.me, share) {
                     used.push(dealer);
                     value = self.group.scalar_add(&value, share);
                 }
@@ -509,7 +576,8 @@ impl RefreshSession {
         }
         // Group values by (used-set, share-key vector); a group of ≥ t+1
         // verified values determines the share.
-        let mut groups: BTreeMap<(Vec<u32>, Vec<Vec<u8>>), Vec<(u32, BigUint)>> = BTreeMap::new();
+        type ValueGroups = BTreeMap<(Vec<u32>, Vec<Vec<u8>>), Vec<(u32, BigUint)>>;
+        let mut groups: ValueGroups = BTreeMap::new();
         for (&helper, (used, value, share_keys)) in &self.values {
             if share_keys.len() != self.n {
                 continue;

@@ -84,6 +84,7 @@ impl SignSession {
     /// Starts a session at the node that was asked to sign. Returns the
     /// session plus the `SignInit` broadcast (`None` if the node holds no
     /// share and thus only listens for the result).
+    #[allow(clippy::too_many_arguments)]
     pub fn start<R: rand::RngCore>(
         group: &Group,
         me: u32,
@@ -293,25 +294,44 @@ impl SignSession {
             let commitments: Vec<BigUint> = active.iter().map(|i| nonces[i].clone()).collect();
             let r = thresh::combine_nonces(group, &commitments);
             let e = thresh::challenge(group, &r, public_key, &signing_payload(&self.msg, self.unit));
-            for &i in &active {
-                match (self.partials.get(&i), share_keys.as_ref()) {
-                    (Some(z), Some(keys)) => {
+            if let Some(keys) = share_keys.as_ref() {
+                // Batch-first: one random-linear-combination check covers
+                // every partial that arrived. Only when the batch rejects do
+                // we fall back to per-signer verification, which is what
+                // pinpoints the cheaters to exclude on retry.
+                let mut checks: Vec<thresh::PartialCheck<'_>> = Vec::new();
+                for &i in &active {
+                    match self.partials.get(&i) {
+                        Some(z) => checks.push(thresh::PartialCheck {
+                            signer: i,
+                            share_key: &keys[(i - 1) as usize],
+                            nonce_commitment: &nonces[&i],
+                            z_i: z,
+                        }),
+                        None => bad.push(i),
+                    }
+                }
+                if thresh::batch_verify_partials(group, &active, &e, &checks) {
+                    good.extend(checks.iter().map(|c| c.z_i.clone()));
+                } else {
+                    for c in &checks {
                         if thresh::verify_partial(
                             group,
                             &active,
-                            i,
-                            &keys[(i - 1) as usize],
-                            &nonces[&i],
+                            c.signer,
+                            c.share_key,
+                            c.nonce_commitment,
                             &e,
-                            z,
+                            c.z_i,
                         ) {
-                            good.push(z.clone());
+                            good.push(c.z_i.clone());
                         } else {
-                            bad.push(i);
+                            bad.push(c.signer);
                         }
                     }
-                    _ => bad.push(i),
                 }
+            } else {
+                bad = active.clone();
             }
             if bad.is_empty() && good.len() == active.len() {
                 let sig = thresh::combine_partials(group, &e, &good);

@@ -116,6 +116,26 @@ impl BigUint {
         }
     }
 
+    /// Returns the `width`-bit window starting at bit `lo` (little-endian),
+    /// zero-padded past the top. `width` must be `≤ 64`.
+    ///
+    /// This is the digit-extraction primitive for windowed and fixed-base
+    /// exponentiation: digit `d` of a radix-`2^w` decomposition is
+    /// `bits_range(d·w, w)`.
+    pub fn bits_range(&self, lo: usize, width: usize) -> u64 {
+        debug_assert!((1..=64).contains(&width));
+        let limb_idx = lo / 64;
+        let bit_idx = lo % 64;
+        let mut v = self.limbs.get(limb_idx).copied().unwrap_or(0) >> bit_idx;
+        if bit_idx != 0 && bit_idx + width > 64 {
+            v |= self.limbs.get(limb_idx + 1).copied().unwrap_or(0) << (64 - bit_idx);
+        }
+        if width < 64 {
+            v &= (1u64 << width) - 1;
+        }
+        v
+    }
+
     fn normalize(&mut self) {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();
@@ -229,9 +249,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);

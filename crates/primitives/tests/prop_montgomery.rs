@@ -1,0 +1,104 @@
+//! Property tests for the Montgomery fast-exponentiation layer: the
+//! windowed, fixed-base, and multi-exponentiation paths must be
+//! bit-identical to the generic reference (`BigUint::modpow_generic`) on
+//! arbitrary odd moduli, bases, and exponents.
+
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::montgomery::{ExpTerm, Montgomery};
+use proptest::prelude::*;
+
+/// Strategy producing an odd modulus > 1 of up to 5 limbs (320 bits).
+fn odd_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..5).prop_map(|mut limbs| {
+        limbs[0] |= 1; // odd, and ≥ 1
+        let m = BigUint::from_limbs(limbs);
+        if m.is_one() {
+            BigUint::from_u64(3)
+        } else {
+            m
+        }
+    })
+}
+
+/// Strategy producing an arbitrary value of up to 5 limbs.
+fn value() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..5).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn windowed_modpow_matches_generic(m in odd_modulus(), base in value(), exp in value()) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let expected = base.modpow_generic(&exp, &m);
+        prop_assert_eq!(ctx.modpow(&base, &exp), expected.clone());
+        prop_assert_eq!(ctx.modpow_binary(&base, &exp), expected);
+    }
+
+    #[test]
+    fn fixed_base_matches_generic(m in odd_modulus(), base in value(), exp in value(), max_bits in 1usize..300) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        // In-range exponents use the comb table; out-of-range ones fall back
+        // to the windowed path. Either way the result is the reference one.
+        let table = ctx.precompute(&base, max_bits);
+        prop_assert_eq!(ctx.modpow_fixed(&table, &exp), base.modpow_generic(&exp, &m));
+    }
+
+    #[test]
+    fn multi_exp_matches_product(
+        m in odd_modulus(),
+        pairs in proptest::collection::vec((value(), value()), 0..5),
+    ) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let mut expected = BigUint::one().rem(&m);
+        for (base, exp) in &pairs {
+            let factor = base.modpow_generic(exp, &m);
+            expected = ctx.mul_mod(&expected, &factor);
+        }
+        let terms: Vec<ExpTerm<'_>> = pairs
+            .iter()
+            .map(|(base, exp)| ExpTerm::Plain { base, exp })
+            .collect();
+        prop_assert_eq!(ctx.multi_exp(&terms), expected);
+    }
+
+    #[test]
+    fn multi_exp_mixed_fixed_and_plain_matches_product(
+        m in odd_modulus(),
+        base0 in value(),
+        exp0 in value(),
+        base1 in value(),
+        exp1 in value(),
+    ) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let table = ctx.precompute(&base0, exp0.bits().max(1));
+        let expected = ctx.mul_mod(
+            &base0.modpow_generic(&exp0, &m),
+            &base1.modpow_generic(&exp1, &m),
+        );
+        let terms = [
+            ExpTerm::Fixed { table: &table, exp: &exp0 },
+            ExpTerm::Plain { base: &base1, exp: &exp1 },
+        ];
+        prop_assert_eq!(ctx.multi_exp(&terms), expected);
+    }
+
+    #[test]
+    fn multi_exp_merges_duplicate_bases(m in odd_modulus(), base in value(), e1 in value(), e2 in value()) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        // a^e1 · a^e2 = a^(e1+e2) — the equal-base merge must be invisible.
+        let expected = base.modpow_generic(&e1.add(&e2), &m);
+        let terms = [
+            ExpTerm::Plain { base: &base, exp: &e1 },
+            ExpTerm::Plain { base: &base, exp: &e2 },
+        ];
+        prop_assert_eq!(ctx.multi_exp(&terms), expected);
+    }
+
+    #[test]
+    fn mul_mod_matches_generic(m in odd_modulus(), a in value(), b in value()) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&m));
+    }
+}

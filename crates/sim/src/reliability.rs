@@ -211,8 +211,8 @@ impl OperationalTracker {
         if !self.started {
             // Rule 1: in the first round, operational = not broken.
             self.started = true;
-            for i in 0..self.n {
-                self.operational[i] = !broken[i];
+            for (op, &b) in self.operational.iter_mut().zip(broken) {
+                *op = !b;
             }
         } else {
             // Rule 2: stay operational if unbroken and sufficiently connected
@@ -250,9 +250,9 @@ impl OperationalTracker {
                 unbroken_throughout: vec![true; self.n],
                 reliable_throughout: PairMatrix::filled(self.n, true),
             });
-            for i in 0..self.n {
+            for (i, &b) in broken.iter().enumerate().take(self.n) {
                 accum.ops_throughout[i] &= self.operational[i];
-                accum.unbroken_throughout[i] &= !broken[i];
+                accum.unbroken_throughout[i] &= !b;
             }
             accum.reliable_throughout.and_with(reliable);
 

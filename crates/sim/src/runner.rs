@@ -327,7 +327,8 @@ impl<P: Process + Send> Engine<P> {
         };
         let outboxes: Vec<(NodeId, Vec<Envelope>, u64)> = if self.cfg.parallel {
             // Hand each worker disjoint &mut slices of the per-node state.
-            let mut node_refs: Vec<Option<(&mut P, &mut Vec<(u64, OutputEvent)>, &Rom)>> = self
+            type NodeSlot<'a, P> = Option<(&'a mut P, &'a mut Vec<(u64, OutputEvent)>, &'a Rom)>;
+            let mut node_refs: Vec<NodeSlot<'_, P>> = self
                 .nodes
                 .iter_mut()
                 .zip(self.outputs.iter_mut())

@@ -69,7 +69,7 @@ fn random_plan(seed: u64, unit_rounds: u64) -> Vec<Action> {
             // Stay clear of the very end of the unit so break-ins do not
             // straddle the next unit's budget.
             let from = unit_start + rng.gen_range(2..unit_rounds / 2);
-            let dwell = rng.gen_range(2..8);
+            let dwell: u64 = rng.gen_range(2..8);
             let to = (from + dwell).min(unit_start + unit_rounds - 2);
             let action = match rng.gen_range(0..3) {
                 0 => Action::Wipe { node, from, to },

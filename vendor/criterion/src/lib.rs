@@ -1,0 +1,244 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! slice of criterion the bench crate uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], `black_box`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock estimate: a short warmup sizes the
+//! batch, then `sample_size` samples are timed and the median per-iteration
+//! time is reported. There is no outlier analysis or HTML report. If the
+//! `CRITERION_JSON` environment variable names a file, one JSON line per
+//! benchmark (`{"id": ..., "median_ns": ..., "samples_ns": [...]}`) is
+//! appended to it — the repo's `BENCH_e9.json` baseline is produced that way.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named set of benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark under this group's name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; no-op).
+    pub fn finish(self) {}
+}
+
+/// A function name + parameter pair (mirror of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id within a group.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures (mirror of `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`; results are kept via `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup sizes the batch: run single iterations until the warmup budget
+    // is spent, then pick a batch size so one sample ≈ measurement/samples.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    while warm_start.elapsed() < c.warmup {
+        f(&mut b);
+        warm_iters += b.iters;
+        // Grow geometrically so cheap closures don't spin on Instant::now.
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_nanos().max(1) / (warm_iters as u128).max(1);
+    let sample_budget = c.measurement.as_nanos() / c.sample_size as u128;
+    let iters_per_sample = (sample_budget / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}]  ({iters_per_sample} iters/sample)",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let samples: Vec<String> = samples_ns.iter().map(|s| format!("{s:.1}")).collect();
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{id}\", \"median_ns\": {median:.1}, \"samples_ns\": [{}]}}",
+                samples.join(", ")
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group runner function (mirror of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the given groups (mirror of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,46 @@
+//! Default strategies per type (mirror of `proptest::arbitrary`).
+
+use crate::strategy::{Reason, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool);
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        crate::sample::Index::from_raw(rng.next_u64() as usize)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<T, Reason> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T` (mirror of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,25 @@
+//! Option strategies (mirror of `proptest::option`).
+
+use crate::strategy::{Reason, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<Option<S::Value>, Reason> {
+        // Bias toward Some (3:1) so inner values get real coverage.
+        if rng.gen_range(0u32..4) == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(self.0.try_new_value(rng)?))
+        }
+    }
+}
+
+/// `None` or a value from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

@@ -1,0 +1,9 @@
+//! One-stop imports (mirror of `proptest::prelude`).
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Crate alias so `prop::sample::Index`, `prop::collection::vec`, etc. work.
+pub use crate as prop;

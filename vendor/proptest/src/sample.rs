@@ -1,0 +1,22 @@
+//! Index sampling (mirror of `proptest::sample::Index`).
+
+/// A length-agnostic index: drawn once, projected onto any collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    pub(crate) fn from_raw(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Projects onto `0..len`; panics if `len == 0` (as upstream does).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+
+    /// Returns the selected element of a non-empty slice.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}

@@ -1,0 +1,199 @@
+//! Value-generation strategies (mirror of `proptest::strategy`, no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::borrow::Cow;
+use std::fmt::Debug;
+
+/// Why a value was rejected (filter miss or failed assumption).
+pub type Reason = Cow<'static, str>;
+
+/// How many fresh draws a filter tries before rejecting the whole case.
+const FILTER_RETRIES: usize = 256;
+
+/// Generates values of an associated type from a seeded RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value, or rejects the case (e.g. a filter ran dry).
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<Self::Value, Reason>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keeps only values satisfying `f`; rejects after repeated misses.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<Reason>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { source: self, whence: whence.into(), f }
+    }
+
+    /// Combined filter + map: keeps values where `f` returns `Some`.
+    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        whence: impl Into<Reason>,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { source: self, whence: whence.into(), f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.try_new_value(rng)))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn try_new_value(&self, _rng: &mut StdRng) -> Result<T, Reason> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<O, Reason> {
+        self.source.try_new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: Reason,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<S::Value, Reason> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.source.try_new_value(rng)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(self.whence.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    source: S,
+    whence: Reason,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<O, Reason> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.source.try_new_value(rng)?) {
+                return Ok(v);
+            }
+        }
+        Err(self.whence.clone())
+    }
+}
+
+/// Boxed generator backing [`BoxedStrategy`].
+type BoxedGen<T> = Box<dyn Fn(&mut StdRng) -> Result<T, Reason>>;
+
+/// A type-erased strategy (closure-backed; see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(BoxedGen<T>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<T, Reason> {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Union<T> {
+    /// Builds a union; panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        Union(alternatives)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<T, Reason> {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].try_new_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn try_new_value(&self, rng: &mut StdRng) -> Result<$ty, Reason> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn try_new_value(&self, rng: &mut StdRng) -> Result<$ty, Reason> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn try_new_value(&self, rng: &mut StdRng) -> Result<Self::Value, Reason> {
+                let ($($name,)+) = self;
+                Ok(($($name.try_new_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);

@@ -1,0 +1,49 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream interprets `&str` strategies as full regexes. This shim supports
+//! the patterns the workspace actually uses — `.{A,B}` (A..=B arbitrary
+//! chars) — plus `.*`/`.+` fallbacks; anything else yields 0..=32 chars.
+
+use crate::strategy::{Reason, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn parse_len_range(pattern: &str) -> (usize, usize) {
+    // ".{A,B}" — the only quantified form used in this workspace.
+    if let Some(body) = pattern.strip_prefix(".{").and_then(|s| s.strip_suffix('}')) {
+        if let Some((a, b)) = body.split_once(',') {
+            if let (Ok(a), Ok(b)) = (a.trim().parse(), b.trim().parse()) {
+                return (a, b);
+            }
+        } else if let Ok(n) = body.trim().parse() {
+            return (n, n);
+        }
+    }
+    match pattern {
+        ".*" => (0, 32),
+        ".+" => (1, 32),
+        _ => (0, 32),
+    }
+}
+
+fn arbitrary_char(rng: &mut StdRng) -> char {
+    // Mostly printable ASCII, sometimes a wider scalar to exercise UTF-8.
+    match rng.gen_range(0u32..8) {
+        0 => loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0x80u32..0x1_0000)) {
+                return c;
+            }
+        },
+        1 => char::from_u32(rng.gen_range(0x1_0000u32..0x2_0000)).unwrap_or('\u{10000}'),
+        _ => char::from(rng.gen_range(0x20u8..0x7f)),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn try_new_value(&self, rng: &mut StdRng) -> Result<String, Reason> {
+        let (min, max) = parse_len_range(self);
+        let len = rng.gen_range(min..=max);
+        Ok((0..len).map(|_| arbitrary_char(rng)).collect())
+    }
+}

@@ -1,0 +1,111 @@
+//! Case execution (mirror of `proptest::test_runner`, no shrinking).
+
+use crate::strategy::Reason;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (only `cases` is honored by this shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case is skipped and does not count toward `cases`.
+    Reject(Reason),
+    /// The property failed; the whole test fails.
+    Fail(Reason),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<Reason>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<Reason>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Attaches the generated input values to a failure message.
+    pub fn with_values(self, values: String) -> Self {
+        match self {
+            TestCaseError::Fail(r) => {
+                TestCaseError::Fail(format!("{r}\n  with inputs: {values}").into())
+            }
+            reject => reject,
+        }
+    }
+}
+
+/// The result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` until `config.cases` cases pass; panics on the first failure.
+///
+/// Each case gets a fresh `StdRng` seeded from the test name and case
+/// number, so failures are reproducible by rerunning the same test binary.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut f: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = (config.cases as u64) * 10 + 100;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest '{name}' failed at case {passed} (seed {seed:#x}):\n  {reason}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}

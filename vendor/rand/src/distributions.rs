@@ -1,0 +1,68 @@
+//! The standard distribution (mirror of `rand::distributions`).
+
+use crate::RngCore;
+
+/// A sampling distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: full-domain integers, `[0, 1)` floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($ty:ty, $method:ident) => {
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    };
+}
+
+standard_int!(u8, next_u32);
+standard_int!(u16, next_u32);
+standard_int!(u32, next_u32);
+standard_int!(u64, next_u64);
+standard_int!(usize, next_u64);
+standard_int!(i8, next_u32);
+standard_int!(i16, next_u32);
+standard_int!(i32, next_u32);
+standard_int!(i64, next_u64);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Upstream order: high word first.
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream compares against the sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Upstream "multiply-based" conversion: 53 significant bits.
+        let precision = 52 + 1;
+        let scale = 1.0 / ((1u64 << precision) as f64);
+        let value = rng.next_u64() >> (64 - precision);
+        scale * value as f64
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let precision = 23 + 1;
+        let scale = 1.0 / ((1u32 << precision) as f32);
+        let value = rng.next_u32() >> (32 - precision);
+        scale * value as f32
+    }
+}

@@ -1,0 +1,76 @@
+//! RNG implementations: [`StdRng`] (ChaCha12, as upstream rand 0.8) and
+//! [`ThreadRng`] (OS-entropy-seeded `StdRng`).
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha12, identical stream to `rand 0.8`'s `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaCha12);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(ChaCha12::from_seed(seed))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// An OS-entropy-seeded RNG, handed out by [`crate::thread_rng`].
+///
+/// Unlike upstream this is an owned generator rather than a thread-local
+/// handle; each `thread_rng()` call seeds a fresh one.
+#[derive(Debug, Clone)]
+pub struct ThreadRng(ChaCha12);
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        let mut seed = [0u8; 32];
+        fill_os_entropy(&mut seed);
+        ThreadRng(ChaCha12::from_seed(seed))
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Fills `dest` with OS entropy (`/dev/urandom`), falling back to clock and
+/// address-space jitter if unavailable.
+pub(crate) fn fill_os_entropy(dest: &mut [u8]) {
+    use std::io::Read;
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        if f.read_exact(dest).is_ok() {
+            return;
+        }
+    }
+    // Fallback: mix the clock and an ASLR-influenced address through the
+    // seed expander. Not cryptographic; only reached on exotic hosts.
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let addr = dest.as_ptr() as u64;
+    let mut mixer = StdRng::seed_from_u64(now ^ addr.rotate_left(32));
+    mixer.fill_bytes(dest);
+}

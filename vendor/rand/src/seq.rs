@@ -1,0 +1,43 @@
+//! Slice randomisation (mirror of `rand::seq::SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices (mirror of upstream `SliceRandom`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, upstream draw order).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+/// Uniform index below `ubound`, using the same type-width split as
+/// upstream `gen_index` (u32 sampling for small bounds).
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}

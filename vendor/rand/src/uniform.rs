@@ -1,0 +1,147 @@
+//! Uniform range sampling, mirroring rand 0.8's `UniformInt` widening
+//! multiply rejection so seeded streams match upstream.
+
+use crate::{Rng, RngCore};
+
+/// A range that [`Rng::gen_range`] can sample a `T` from.
+pub trait SampleRange<T> {
+    /// Samples a single value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $large_is_small:expr) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range =
+                    (self.end.wrapping_sub(self.start) as $unsigned) as $u_large;
+                let zone = if $large_is_small {
+                    // Small int types share a u32 wide type: exact zone.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = gen_large::<$u_large, R>(rng);
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty range");
+                let range = ((high.wrapping_sub(low) as $unsigned) as $u_large)
+                    .wrapping_add(1);
+                if range == 0 {
+                    // Full integer domain.
+                    return gen_large::<$u_large, R>(rng) as $ty;
+                }
+                let zone = if $large_is_small {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = gen_large::<$u_large, R>(rng);
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, true);
+uniform_int_impl!(u16, u16, u32, true);
+uniform_int_impl!(u32, u32, u32, false);
+uniform_int_impl!(u64, u64, u64, false);
+uniform_int_impl!(usize, usize, u64, false);
+uniform_int_impl!(i8, u8, u32, true);
+uniform_int_impl!(i16, u16, u32, true);
+uniform_int_impl!(i32, u32, u32, false);
+uniform_int_impl!(i64, u64, u64, false);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit: f64 = rng.gen();
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Widening multiply: `(hi, lo)` of `a · b`.
+trait WideningMul: Copy {
+    fn widening(a: Self, b: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn widening(a: u32, b: u32) -> (u32, u32) {
+        let t = (a as u64) * (b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn widening(a: u64, b: u64) -> (u64, u64) {
+        let t = (a as u128) * (b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+fn wmul<T: WideningMul>(a: T, b: T) -> (T, T) {
+    T::widening(a, b)
+}
+
+/// Draws a full-width value of the wide type (u32 via `next_u32`, u64 via
+/// `next_u64`) — the same draw upstream `v: $u_large = rng.gen()` performs.
+trait GenLarge: Sized {
+    fn gen_large<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl GenLarge for u32 {
+    fn gen_large<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl GenLarge for u64 {
+    fn gen_large<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+fn gen_large<T: GenLarge, R: RngCore + ?Sized>(rng: &mut R) -> T {
+    T::gen_large(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_full_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u8 = rng.gen_range(0..=u8::MAX);
+    }
+}
