@@ -4,5 +4,11 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
-cargo clippy -- -D warnings
+
+# The round engine must be invisible in results: the full suite runs once
+# with a single-worker pool and once with four workers (PROAUTH_THREADS
+# defaults SimConfig::parallel to true), and must pass identically.
+PROAUTH_THREADS=1 cargo test -q
+PROAUTH_THREADS=4 cargo test -q
+
+cargo clippy --workspace --all-targets -- -D warnings

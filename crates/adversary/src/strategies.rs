@@ -319,7 +319,7 @@ mod tests {
         assert_eq!(adv.deliver(&[], &netview(1, &b, &o)).len(), 0);
         let replayed = adv.deliver(&[], &netview(2, &b, &o));
         assert_eq!(replayed.len(), 1);
-        assert_eq!(replayed[0].payload, vec![7]);
+        assert_eq!(&replayed[0].payload[..], &[7]);
     }
 
     #[test]
@@ -334,6 +334,6 @@ mod tests {
         let sent = vec![Envelope::new(NodeId(1), NodeId(2), vec![1])];
         let out = adv.deliver(&sent, &netview(0, &b, &o));
         assert_eq!(out.len(), 1); // original dropped, injection added
-        assert_eq!(out[0].payload, vec![9]);
+        assert_eq!(&out[0].payload[..], &[9]);
     }
 }

@@ -17,7 +17,7 @@
 use crate::wire::{DisperseMsg, UlsWire};
 use proauth_primitives::sha256;
 use proauth_primitives::wire::Encode;
-use proauth_sim::message::{Envelope, NodeId};
+use proauth_sim::message::{Envelope, NodeId, Payload};
 use std::collections::HashSet;
 
 /// Fan-out policy (§6).
@@ -78,14 +78,18 @@ impl DisperseLayer {
         if !targets.contains(&dst) && dst != self.me {
             targets.push(dst);
         }
+        // The Forward is identical for every relay (it names only origin,
+        // dst, and blob) — encode once and share the bytes across the whole
+        // fan-out instead of re-serializing the blob per relay.
+        let wire = UlsWire::Disperse(DisperseMsg::Forward {
+            origin: self.me.0,
+            dst: dst.0,
+            blob,
+        });
+        let payload: Payload = wire.to_payload();
         for relay in targets {
-            let wire = UlsWire::Disperse(DisperseMsg::Forward {
-                origin: self.me.0,
-                dst: dst.0,
-                blob: blob.clone(),
-            });
             self.outgoing
-                .push(Envelope::new(self.me, relay, wire.to_bytes()));
+                .push(Envelope::new(self.me, relay, payload.clone()));
         }
     }
 

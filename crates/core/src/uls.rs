@@ -47,7 +47,7 @@ use proauth_pds::statement::{key_statement, parse_key_statement};
 use proauth_primitives::bigint::BigUint;
 use proauth_primitives::wire::{Decode, Encode};
 use proauth_sim::clock::Phase;
-use proauth_sim::message::{NodeId, OutputEvent};
+use proauth_sim::message::{NodeId, OutputEvent, Payload};
 use proauth_sim::process::{Process, RoundCtx, SetupCtx};
 use std::collections::BTreeMap;
 
@@ -667,9 +667,11 @@ impl<A: AlProtocol> UlsNode<A> {
                 };
                 self.announces.insert(self.me.0, keys.vk_bytes());
                 self.pending_new = Some(keys);
+                // One encode, shared across the broadcast.
+                let bytes: Payload = announce.to_payload();
                 for to in NodeId::all(self.cfg.n) {
                     if to != self.me {
-                        ctx.send(to, announce.to_bytes());
+                        ctx.send(to, bytes.clone());
                     }
                 }
             }
@@ -791,7 +793,7 @@ impl<A: AlProtocol> Process for UlsNode<A> {
             let inbox: Vec<_> = ctx
                 .inbox
                 .iter()
-                .map(|e| (e.from, e.payload.clone()))
+                .map(|e| (e.from, e.payload.to_vec()))
                 .collect();
             for env in self.pds.on_setup_round(ctx.setup_round, &inbox, ctx.rng) {
                 ctx.send(env.to, env.payload);
@@ -817,7 +819,7 @@ impl<A: AlProtocol> Process for UlsNode<A> {
             for env in ctx.inbox {
                 self.setup_vks
                     .entry(env.from.0)
-                    .or_insert_with(|| env.payload.clone());
+                    .or_insert_with(|| env.payload.to_vec());
             }
             let vks = self.setup_vks.clone();
             for (subject, vk) in vks {
@@ -830,7 +832,7 @@ impl<A: AlProtocol> Process for UlsNode<A> {
         let inbox: Vec<_> = ctx
             .inbox
             .iter()
-            .map(|e| (e.from, e.payload.clone()))
+            .map(|e| (e.from, e.payload.to_vec()))
             .collect();
         let outs = self.pds.on_logical_round(
             PdsTime {

@@ -14,6 +14,7 @@
 
 use proauth_crypto::schnorr::Signature;
 use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use proauth_sim::message::Payload;
 
 /// Outermost physical payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,14 @@ pub enum UlsWire {
     },
     /// Everything else rides the DISPERSE echo.
     Disperse(DisperseMsg),
+}
+
+impl UlsWire {
+    /// Encodes into a shared [`Payload`] — for fan-out sites that send the
+    /// same bytes to many peers: one allocation, refcounted clones.
+    pub fn to_payload(&self) -> Payload {
+        self.to_bytes().into()
+    }
 }
 
 /// The two-phase echo of Fig. 2.

@@ -196,8 +196,10 @@ fn app_inputs_during_refresh_are_queued_not_lost() {
     use proauth_core::authenticator::GrowSetApp;
     use std::sync::{Arc, Mutex};
 
+    type Replica = Arc<Mutex<std::collections::BTreeSet<(u32, Vec<u8>)>>>;
+
     struct Reader {
-        replica: Arc<Mutex<std::collections::BTreeSet<(u32, Vec<u8>)>>>,
+        replica: Replica,
         read_at: u64,
     }
     impl UlAdversary for Reader {

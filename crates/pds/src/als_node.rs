@@ -48,7 +48,7 @@ impl Process for AlsProcess {
         let inbox: Vec<_> = ctx
             .inbox
             .iter()
-            .map(|e| (e.from, e.payload.clone()))
+            .map(|e| (e.from, e.payload.to_vec()))
             .collect();
         let outs = self.pds.on_setup_round(ctx.setup_round, &inbox, ctx.rng);
         // Burn the joint verification key into ROM once available.
@@ -74,7 +74,7 @@ impl Process for AlsProcess {
         let inbox: Vec<_> = ctx
             .inbox
             .iter()
-            .map(|e| (e.from, e.payload.clone()))
+            .map(|e| (e.from, e.payload.to_vec()))
             .collect();
         let outs = self.pds.on_logical_round(time, &inbox, ctx.rng);
         for env in outs {

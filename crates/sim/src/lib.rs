@@ -9,6 +9,7 @@
 //! * [`adversary`] — the AL and UL mobile-adversary interfaces;
 //! * [`reliability`] — link reliability (Def. 4) and `s`-operational
 //!   tracking (Defs. 5–6) from ground truth;
+//! * [`pool`] — the persistent worker pool behind the parallel round engine;
 //! * [`runner`] — the AL/UL execution engines ([`runner::run_al`],
 //!   [`runner::run_ul`]).
 //!
@@ -19,6 +20,7 @@
 pub mod adversary;
 pub mod clock;
 pub mod message;
+pub mod pool;
 pub mod process;
 pub mod reliability;
 pub mod report;
@@ -26,10 +28,11 @@ pub mod runner;
 
 pub use adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
 pub use clock::{Phase, Schedule, TimeView};
-pub use message::{Envelope, NodeId, OutputEvent, OutputLog};
+pub use message::{Envelope, NodeId, OutputEvent, OutputLog, Payload};
+pub use pool::WorkerPool;
 pub use process::{Process, Rom, RoundCtx, SetupCtx};
 pub use reliability::{OperationalRule, OperationalTracker, PairMatrix};
-pub use report::{unit_summaries, NodeUnitSummary, UnitSummary};
+pub use report::{unit_summaries, NodeUnitSummary, ThroughputSummary, UnitSummary};
 pub use runner::{
     run_al, run_al_with_inputs, run_ul, run_ul_with_inputs, RoundRecord, SimConfig, SimResult,
     SimStats,

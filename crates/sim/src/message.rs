@@ -1,6 +1,16 @@
 //! Messages, node identifiers, and per-round outputs.
 
 use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable message payload.
+///
+/// Payloads are written once (by the sending node or the adversary) and then
+/// fan out through the delivery map, DISPERSE relays, pending inboxes, and
+/// transcripts. Backing them with `Arc<[u8]>` makes every one of those copies
+/// a reference-count bump instead of a heap copy, which is what lets the
+/// round engine clone envelopes freely on the hot path.
+pub type Payload = Arc<[u8]>;
 
 /// A node identifier, 1-based (matching the Shamir evaluation points used by
 /// the crypto layer). `NodeId(0)` is never a valid node.
@@ -39,13 +49,20 @@ pub struct Envelope {
     /// Destination.
     pub to: NodeId,
     /// Opaque payload (upper layers encode/decode with `proauth-primitives::wire`).
-    pub payload: Vec<u8>,
+    /// Shared, immutable bytes: cloning an envelope never copies the payload.
+    pub payload: Payload,
 }
 
 impl Envelope {
-    /// Convenience constructor.
-    pub fn new(from: NodeId, to: NodeId, payload: Vec<u8>) -> Self {
-        Envelope { from, to, payload }
+    /// Convenience constructor. Accepts anything convertible into a shared
+    /// payload (`Vec<u8>`, `&[u8]`, or an existing [`Payload`] — the latter
+    /// without copying).
+    pub fn new(from: NodeId, to: NodeId, payload: impl Into<Payload>) -> Self {
+        Envelope {
+            from,
+            to,
+            payload: payload.into(),
+        }
     }
 }
 
@@ -117,6 +134,9 @@ mod tests {
         let e = Envelope::new(NodeId(1), NodeId(2), vec![1, 2, 3]);
         assert_eq!(e.from, NodeId(1));
         assert_eq!(e.to, NodeId(2));
-        assert_eq!(e.payload, vec![1, 2, 3]);
+        assert_eq!(&e.payload[..], &[1, 2, 3]);
+        // Cloning shares the payload allocation.
+        let c = e.clone();
+        assert!(std::sync::Arc::ptr_eq(&e.payload, &c.payload));
     }
 }

@@ -1,0 +1,354 @@
+//! A persistent sharded worker pool for the round engines.
+//!
+//! The previous engine spawned one OS thread per honest node per round via
+//! `thread::scope` — at `n = 64` and thousands of rounds that is hundreds of
+//! thousands of thread spawns per run. [`WorkerPool`] instead keeps a fixed
+//! set of workers alive for the whole `run_al`/`run_ul` call; each round the
+//! engine publishes a batch of node slots and workers pull indices until the
+//! batch is drained.
+//!
+//! # Determinism
+//!
+//! The pool never affects results: jobs receive disjoint `&mut` slots, write
+//! their outputs into those slots, and the caller merges slot results in
+//! index (i.e. `NodeId`) order after [`WorkerPool::for_each_mut`] returns.
+//! Combined with per-`(node, round, tag)` derived randomness, the output is
+//! bit-identical to sequential execution for any worker count — the
+//! `prop_engine_determinism` suite proves this.
+//!
+//! # Panic safety
+//!
+//! A panicking job must not wedge the run: the worker catches the unwind,
+//! records the payload, finishes draining the batch, and the panic is
+//! re-raised on the *caller's* thread once the batch completes — the same
+//! observable behavior as `thread::scope`, without poisoning the pool.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Resolves the worker count for a new pool: an explicit request, else the
+/// `PROAUTH_THREADS` environment variable, else available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested >= 1 {
+        return requested;
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The `PROAUTH_THREADS` override, if set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("PROAUTH_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// A batch published to the workers: a type-erased job function plus the
+/// number of indices to claim. The raw pointer is only dereferenced while
+/// the publishing `for_each_mut` call is blocked waiting for completion, so
+/// the borrow it erases is always live (see `Shared::state` invariants).
+struct Batch {
+    job: *const (dyn Fn(usize) + Sync),
+    njobs: usize,
+    next: usize,
+}
+
+// SAFETY: the pointer is only sent to workers that dereference it under the
+// epoch discipline described on `State`; the pointee is `Sync`.
+unsafe impl Send for Batch {}
+
+struct State {
+    /// Monotonic batch counter; a worker only claims indices from a batch
+    /// whose epoch matches the one it observed when it copied the job
+    /// pointer, so a stale worker can never touch a newer batch's jobs.
+    epoch: u64,
+    batch: Option<Batch>,
+    /// Jobs claimed but not yet completed, plus jobs not yet claimed.
+    outstanding: usize,
+    /// First panic payload captured from a job this batch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers when a batch is published or shutdown is requested.
+    work_cv: Condvar,
+    /// Wakes the publisher when the last job of the batch completes.
+    done_cv: Condvar,
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    // A worker that panicked inside the *pool machinery* (not a job — jobs
+    // are caught) would poison this mutex; recovering keeps the remaining
+    // workers serviceable rather than wedging every subsequent round.
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A persistent pool of worker threads executing indexed batches.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool({} workers)", self.workers.len())
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (`0` = auto, see
+    /// [`resolve_threads`]).
+    pub fn new(threads: usize) -> Self {
+        let threads = resolve_threads(threads);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                batch: None,
+                outstanding: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("proauth-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(i, &mut items[i])` for every index, distributing indices over
+    /// the workers. Blocks until every job has completed; panics from jobs
+    /// are re-raised here after the batch drains.
+    ///
+    /// Each index is claimed exactly once, so each job holds the only `&mut`
+    /// to its item for the duration of the call.
+    pub fn for_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(&mut self, items: &mut [T], f: F) {
+        let njobs = items.len();
+        if njobs == 0 {
+            return;
+        }
+        // Tiny batches are cheaper inline than over the condvar handshake.
+        if njobs == 1 || self.workers.is_empty() {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        struct ItemsPtr<T>(*mut T);
+        // SAFETY: each index is claimed exactly once per batch, so distinct
+        // jobs receive disjoint &mut items; the slice outlives the batch
+        // because this function blocks until `outstanding == 0`.
+        unsafe impl<T: Send> Send for ItemsPtr<T> {}
+        unsafe impl<T: Send> Sync for ItemsPtr<T> {}
+        impl<T> ItemsPtr<T> {
+            fn item(&self, i: usize) -> *mut T {
+                // SAFETY: `i` is always within the published batch's bounds.
+                unsafe { self.0.add(i) }
+            }
+        }
+        let base = ItemsPtr(items.as_mut_ptr());
+        let job = move |i: usize| {
+            // SAFETY: the claiming discipline hands out each index once, so
+            // this is the only live &mut to the item.
+            let item: &mut T = unsafe { &mut *base.item(i) };
+            f(i, item);
+        };
+        let job_ref: &(dyn Fn(usize) + Sync) = &job;
+        // Erase the borrow: the pointer is dropped from worker reach before
+        // this function returns (workers abandon a batch whose epoch no
+        // longer matches, and the batch is cleared when the last job ends).
+        let job_ptr: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(job_ref as *const _) };
+
+        let epoch = {
+            let mut st = lock_state(&self.shared);
+            st.epoch += 1;
+            st.batch = Some(Batch {
+                job: job_ptr,
+                njobs,
+                next: 0,
+            });
+            st.outstanding = njobs;
+            st.panic = None;
+            self.shared.work_cv.notify_all();
+            st.epoch
+        };
+
+        // The publishing thread works too: with W workers there are W+1
+        // executors, and on a run where every worker is busy elsewhere the
+        // batch still makes progress.
+        run_batch_jobs(&self.shared, epoch);
+
+        let mut st = lock_state(&self.shared);
+        while st.outstanding > 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.batch = None;
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Claims and runs jobs of batch `epoch` until it drains or is superseded.
+fn run_batch_jobs(shared: &Shared, epoch: u64) {
+    loop {
+        let job_ptr = {
+            let mut st = lock_state(shared);
+            if st.epoch != epoch {
+                return;
+            }
+            let Some(batch) = st.batch.as_mut() else {
+                return;
+            };
+            if batch.next >= batch.njobs {
+                return;
+            }
+            let i = batch.next;
+            batch.next += 1;
+            (batch.job, i)
+        };
+        let (job, i) = job_ptr;
+        // SAFETY: the claim above succeeded under the state lock with a
+        // matching epoch, so the publisher is still blocked in
+        // `for_each_mut` and the closure behind `job` is live.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(i) }));
+        let mut st = lock_state(shared);
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let epoch = {
+            let mut st = lock_state(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let has_work = st
+                    .batch
+                    .as_ref()
+                    .is_some_and(|b| b.next < b.njobs);
+                if has_work {
+                    break st.epoch;
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_batch_jobs(shared, epoch);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_state(&self.shared);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let mut pool = WorkerPool::new(4);
+        let mut items: Vec<u64> = vec![0; 100];
+        pool.for_each_mut(&mut items, |i, item| *item += i as u64 + 1);
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(*item, i as u64 + 1);
+        }
+        // Reuse across batches (the whole point of persistence).
+        pool.for_each_mut(&mut items, |_, item| *item *= 2);
+        assert_eq!(items[9], 20);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let mut pool = WorkerPool::new(2);
+        let mut empty: Vec<u8> = Vec::new();
+        pool.for_each_mut(&mut empty, |_, _| {});
+        let mut one = vec![5u8];
+        pool.for_each_mut(&mut one, |_, v| *v += 1);
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn single_worker_is_sequential_in_index_order() {
+        // With one worker + the publisher there are two executors; order of
+        // *execution* may interleave, but results per slot are still exact.
+        let mut pool = WorkerPool::new(1);
+        let mut items: Vec<usize> = (0..50).collect();
+        pool.for_each_mut(&mut items, |i, v| *v = i * i);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn job_panic_propagates_without_wedging() {
+        let mut pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let mut items: Vec<usize> = (0..16).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_mut(&mut items, |i, _| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool survives and runs later batches normally.
+        let mut items2 = vec![0u8; 8];
+        pool.for_each_mut(&mut items2, |_, v| *v = 7);
+        assert!(items2.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! The node-side execution interface: processes, ROM, and round contexts.
 
 use crate::clock::TimeView;
-use crate::message::{Envelope, NodeId, OutputEvent};
+use crate::message::{Envelope, NodeId, OutputEvent, Payload};
 use rand::rngs::StdRng;
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -69,14 +69,17 @@ pub struct RoundCtx<'a> {
 }
 
 impl<'a> RoundCtx<'a> {
-    /// Sends `payload` to `to` at the end of this round.
-    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+    /// Sends `payload` to `to` at the end of this round. Accepts `Vec<u8>`
+    /// or an already-shared [`Payload`] (forwarded without copying).
+    pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
         debug_assert!(to != self.me, "no self-links in the model");
         self.outbox.push(Envelope::new(self.me, to, payload));
     }
 
-    /// Sends `payload` to every other node.
-    pub fn send_all(&mut self, payload: Vec<u8>) {
+    /// Sends `payload` to every other node. The payload bytes are shared —
+    /// one allocation regardless of fan-out.
+    pub fn send_all(&mut self, payload: impl Into<Payload>) {
+        let payload: Payload = payload.into();
         for to in NodeId::all(self.n) {
             if to != self.me {
                 self.outbox.push(Envelope::new(self.me, to, payload.clone()));
@@ -116,13 +119,14 @@ pub struct SetupCtx<'a> {
 
 impl<'a> SetupCtx<'a> {
     /// Sends `payload` to `to` at the end of this setup round.
-    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+    pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
         debug_assert!(to != self.me);
         self.outbox.push(Envelope::new(self.me, to, payload));
     }
 
-    /// Sends `payload` to every other node.
-    pub fn send_all(&mut self, payload: Vec<u8>) {
+    /// Sends `payload` to every other node (bytes shared, not copied).
+    pub fn send_all(&mut self, payload: impl Into<Payload>) {
+        let payload: Payload = payload.into();
         for to in NodeId::all(self.n) {
             if to != self.me {
                 self.outbox.push(Envelope::new(self.me, to, payload.clone()));

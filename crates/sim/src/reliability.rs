@@ -23,6 +23,7 @@
 //! matching the counts used in the proofs of Lemmas 15 and 20.
 
 use crate::message::{Envelope, NodeId};
+use crate::pool::WorkerPool;
 
 /// A symmetric boolean matrix over node pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,37 +79,69 @@ pub fn link_reliability(
     delivered: &[Envelope],
     broken: &[bool],
 ) -> PairMatrix {
+    let ctx = PairContext::new(n, sent, delivered);
     let mut m = PairMatrix::filled(n, true);
-    // Broken endpoints make every incident link unreliable.
-    for a in NodeId::all(n) {
-        if broken[a.idx()] {
-            for b in NodeId::all(n) {
-                if a != b {
-                    m.set(a, b, false);
-                }
-            }
-        }
-    }
-    // Multiset comparison per directed pair. Payload order within a pair is
-    // irrelevant in a synchronous round, so compare sorted payload lists.
-    let mut sent_by_pair = collect_by_pair(n, sent);
-    let mut dlv_by_pair = collect_by_pair(n, delivered);
-    for v in sent_by_pair.iter_mut().chain(dlv_by_pair.iter_mut()) {
-        v.sort();
-    }
-    for a in NodeId::all(n) {
-        for b in NodeId::all(n) {
-            if a.0 >= b.0 {
-                continue;
-            }
-            let ab = a.idx() * n + b.idx();
-            let ba = b.idx() * n + a.idx();
-            if sent_by_pair[ab] != dlv_by_pair[ab] || sent_by_pair[ba] != dlv_by_pair[ba] {
-                m.set(a, b, false);
-            }
-        }
+    for (a, row) in m.bits.chunks_mut(n).enumerate() {
+        ctx.fill_row(n, a, broken, row);
     }
     m
+}
+
+/// [`link_reliability`] with the rows computed on a worker pool. Rows are
+/// independent and the per-entry formula is symmetric, so the result is
+/// identical to the serial computation.
+pub fn link_reliability_pooled(
+    n: usize,
+    sent: &[Envelope],
+    delivered: &[Envelope],
+    broken: &[bool],
+    pool: &mut WorkerPool,
+) -> PairMatrix {
+    let ctx = PairContext::new(n, sent, delivered);
+    let mut m = PairMatrix::filled(n, true);
+    let mut rows: Vec<&mut [bool]> = m.bits.chunks_mut(n).collect();
+    pool.for_each_mut(&mut rows, |a, row| ctx.fill_row(n, a, broken, row));
+    drop(rows);
+    m
+}
+
+/// Per-directed-pair payload multisets, shared by the serial and pooled
+/// reliability computations. Payload order within a pair is irrelevant in a
+/// synchronous round, so the lists are kept sorted for multiset comparison.
+struct PairContext<'a> {
+    sent_by_pair: Vec<Vec<&'a [u8]>>,
+    dlv_by_pair: Vec<Vec<&'a [u8]>>,
+}
+
+impl<'a> PairContext<'a> {
+    fn new(n: usize, sent: &'a [Envelope], delivered: &'a [Envelope]) -> Self {
+        let mut sent_by_pair = collect_by_pair(n, sent);
+        let mut dlv_by_pair = collect_by_pair(n, delivered);
+        for v in sent_by_pair.iter_mut().chain(dlv_by_pair.iter_mut()) {
+            v.sort_unstable();
+        }
+        PairContext {
+            sent_by_pair,
+            dlv_by_pair,
+        }
+    }
+
+    /// Whether the delivered multiset matched the sent one on the directed
+    /// pair with flat index `flat`.
+    fn dir_ok(&self, flat: usize) -> bool {
+        self.sent_by_pair[flat] == self.dlv_by_pair[flat]
+    }
+
+    /// Fills row `a` of the reliability matrix: entry `{a,b}` holds iff
+    /// neither endpoint is broken and both directions matched exactly. The
+    /// formula is symmetric in `(a, b)`, so rows can be filled independently
+    /// (in any order, on any thread) and still produce a symmetric matrix.
+    fn fill_row(&self, n: usize, a: usize, broken: &[bool], row: &mut [bool]) {
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell = a == b
+                || (!broken[a] && !broken[b] && self.dir_ok(a * n + b) && self.dir_ok(b * n + a));
+        }
+    }
 }
 
 fn collect_by_pair(n: usize, msgs: &[Envelope]) -> Vec<Vec<&[u8]>> {
@@ -207,6 +240,21 @@ impl OperationalTracker {
         in_refresh: bool,
         refresh_end: bool,
     ) {
+        self.on_round_pooled(broken, reliable, in_refresh, refresh_end, None);
+    }
+
+    /// [`OperationalTracker::on_round`] with the per-node induction step
+    /// (rule 2) distributed over a worker pool. Each node's new status
+    /// depends only on the *previous* round's set — snapshotted before the
+    /// update — so the result is identical for any worker count.
+    pub fn on_round_pooled(
+        &mut self,
+        broken: &[bool],
+        reliable: &PairMatrix,
+        in_refresh: bool,
+        refresh_end: bool,
+        pool: Option<&mut WorkerPool>,
+    ) {
         let need = self.n.saturating_sub(self.s);
         if !self.started {
             // Rule 1: in the first round, operational = not broken.
@@ -218,16 +266,19 @@ impl OperationalTracker {
             // Rule 2: stay operational if unbroken and sufficiently connected
             // to previously-operational nodes (reading per `self.rule`).
             let prev = self.operational.clone();
-            for a in NodeId::all(self.n) {
-                if !prev[a.idx()] || broken[a.idx()] {
-                    self.operational[a.idx()] = false;
-                    continue;
+            let n = self.n;
+            let s = self.s;
+            let rule = self.rule;
+            let step = |a_idx: usize| -> bool {
+                if !prev[a_idx] || broken[a_idx] {
+                    return false;
                 }
+                let a = NodeId::from_idx(a_idx);
                 // Peers that count: operational at the previous round and not
                 // currently broken (a broken peer is definitively not
                 // s-operational this round, so the parenthetical's "other
                 // s-operational nodes" cannot include it).
-                let (reliable_ops, unreliable_ops) = NodeId::all(self.n)
+                let (reliable_ops, unreliable_ops) = NodeId::all(n)
                     .filter(|&b| b != a && prev[b.idx()] && !broken[b.idx()])
                     .fold((0usize, 0usize), |(r, u), b| {
                         if reliable.get(a, b) {
@@ -236,10 +287,20 @@ impl OperationalTracker {
                             (r, u + 1)
                         }
                     });
-                self.operational[a.idx()] = match self.rule {
-                    OperationalRule::Parenthetical => unreliable_ops < self.s,
+                match rule {
+                    OperationalRule::Parenthetical => unreliable_ops < s,
                     OperationalRule::MainText => reliable_ops >= need,
-                };
+                }
+            };
+            match pool {
+                Some(pool) => {
+                    pool.for_each_mut(&mut self.operational, |a_idx, op| *op = step(a_idx));
+                }
+                None => {
+                    for (a_idx, op) in self.operational.iter_mut().enumerate() {
+                        *op = step(a_idx);
+                    }
+                }
             }
         }
 

@@ -44,8 +44,11 @@
 use crate::adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
 use crate::clock::{Schedule, TimeView};
 use crate::message::{Envelope, NodeId, OutputEvent, OutputLog};
+use crate::pool::{self, WorkerPool};
 use crate::process::{Process, Rom, RoundCtx, SetupCtx};
-use crate::reliability::{link_reliability, OperationalRule, OperationalTracker, PairMatrix};
+use crate::reliability::{
+    link_reliability, link_reliability_pooled, OperationalRule, OperationalTracker, PairMatrix,
+};
 use proauth_primitives::sha256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,11 +73,18 @@ pub struct SimConfig {
     pub rule: OperationalRule,
     /// Record the full per-round transcript (memory-heavy).
     pub record_transcript: bool,
-    /// Execute honest nodes on worker threads each round. Results are
-    /// bit-identical to sequential execution (per-node state is disjoint and
-    /// randomness is derived per (node, round)); useful when node computation
-    /// (big-group crypto) dominates.
+    /// Execute honest nodes on a persistent worker pool each round. Results
+    /// are bit-identical to sequential execution for any worker count
+    /// (per-node state is disjoint, randomness is derived per (node, round),
+    /// and per-worker results are merged in `NodeId` order); useful when node
+    /// computation (big-group crypto) dominates.
+    ///
+    /// Defaults to `true` when the `PROAUTH_THREADS` environment variable is
+    /// set, so the whole test suite can be swept across pool sizes.
     pub parallel: bool,
+    /// Worker-pool size when `parallel` is set. `0` = auto: the
+    /// `PROAUTH_THREADS` environment variable, else available parallelism.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -89,7 +99,8 @@ impl SimConfig {
             total_rounds: schedule.unit_rounds * 3,
             rule: OperationalRule::default(),
             record_transcript: false,
-            parallel: false,
+            parallel: pool::env_threads().is_some(),
+            threads: 0,
         }
     }
 }
@@ -110,7 +121,7 @@ pub struct RoundRecord {
 }
 
 /// Aggregate statistics of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total messages sent by honest nodes.
     pub messages_sent: u64,
@@ -180,6 +191,52 @@ enum Model {
     Ul,
 }
 
+/// One honest node's work for a round: disjoint `&mut` access to its state
+/// plus the round's inputs and reusable outbox buffer. Slots are what the
+/// worker pool distributes; every result a job produces lands back in its
+/// slot and is merged by the engine in `NodeId` order, which is what keeps
+/// the parallel path bit-identical to the serial one.
+struct NodeSlot<'a, P> {
+    id: NodeId,
+    node: &'a mut P,
+    output: &'a mut OutputLog,
+    rom: &'a Rom,
+    inbox: Vec<Envelope>,
+    input: Option<Vec<u8>>,
+    outbox: Vec<Envelope>,
+    alerts: u64,
+}
+
+/// Executes one node's round into its slot. Free function so the serial path
+/// and the pool jobs share the exact same code.
+fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlot<'_, P>) {
+    let mut rng = round_rng(seed, slot.id.0, time.round, "round");
+    // Incremental alert accounting: only events appended *this round* are
+    // scanned, instead of re-filtering the node's whole output log (which
+    // made long runs quadratic in total events).
+    let out_start = slot.output.len();
+    let mut ctx = RoundCtx {
+        time,
+        me: slot.id,
+        n,
+        inbox: &slot.inbox,
+        rom: slot.rom,
+        rng: &mut rng,
+        input: slot.input.as_deref(),
+        outbox: &mut slot.outbox,
+        output: slot.output,
+    };
+    slot.node.on_round(&mut ctx);
+    slot.alerts = slot.output[out_start..]
+        .iter()
+        .filter(|(_, e)| *e == OutputEvent::Alert)
+        .count() as u64;
+}
+
+/// Node count below which the ground-truth computations (link matrix rows,
+/// operational induction) are not worth shipping to the pool.
+const POOLED_GROUND_TRUTH_MIN_N: usize = 24;
+
 /// Internal engine shared by [`run_al`] and [`run_ul`].
 struct Engine<P> {
     cfg: SimConfig,
@@ -188,8 +245,14 @@ struct Engine<P> {
     roms: Vec<Rom>,
     broken: Vec<bool>,
     tracker: OperationalTracker,
-    /// Deliveries pending for the next round, per node.
+    /// Deliveries pending for the next round, per node. The per-node `Vec`s
+    /// are recycled every round (taken as a slot's inbox, cleared, returned)
+    /// so steady state allocates no inbox buffers at all.
     pending: Vec<Vec<Envelope>>,
+    /// Reusable per-node outbox buffers, recycled the same way.
+    outboxes: Vec<Vec<Envelope>>,
+    /// Reusable buffer for the round's merged sent set.
+    sent_buf: Vec<Envelope>,
     /// All deliveries of the previous round (adversary view).
     last_delivered: Vec<Envelope>,
     outputs: Vec<OutputLog>,
@@ -197,6 +260,9 @@ struct Engine<P> {
     transcript: Option<Vec<RoundRecord>>,
     /// Previous "impaired" status used for output lines.
     prev_impaired: Vec<bool>,
+    /// The persistent worker pool (present iff `cfg.parallel`); lives for
+    /// the whole run instead of spawning threads every round.
+    pool: Option<WorkerPool>,
 }
 
 impl<P: Process + Send> Engine<P> {
@@ -210,6 +276,8 @@ impl<P: Process + Send> Engine<P> {
             roms: vec![Rom::new(); n],
             broken: vec![false; n],
             pending: vec![Vec::new(); n],
+            outboxes: vec![Vec::new(); n],
+            sent_buf: Vec::new(),
             last_delivered: Vec::new(),
             outputs: vec![Vec::new(); n],
             stats: SimStats {
@@ -224,6 +292,11 @@ impl<P: Process + Send> Engine<P> {
                 None
             },
             prev_impaired: vec![false; n],
+            pool: if cfg.parallel {
+                Some(WorkerPool::new(cfg.threads))
+            } else {
+                None
+            },
             cfg,
         }
     }
@@ -287,111 +360,70 @@ impl<P: Process + Send> Engine<P> {
         }
 
         // Honest nodes execute; broken nodes' inboxes divert to the adversary.
-        // Inputs are sampled serially (the provider may be stateful), then
-        // nodes run either sequentially or in parallel — the result is
-        // identical: per-node state is disjoint and per-round randomness is
-        // derived, not shared, so execution order cannot matter.
+        // Inputs are sampled serially in NodeId order (the provider may be
+        // stateful), then nodes run either sequentially or on the pool — the
+        // result is identical: per-node state is disjoint, randomness is
+        // derived per (node, round), and slot results are merged in NodeId
+        // order, so execution order cannot matter.
         let mut broken_inboxes: Vec<Envelope> = Vec::new();
-        let mut work: Vec<(NodeId, Vec<Envelope>, Option<Vec<u8>>)> = Vec::new();
-        for id in NodeId::all(n) {
-            let inbox = std::mem::take(&mut self.pending[id.idx()]);
-            if self.broken[id.idx()] {
-                broken_inboxes.extend(inbox);
-            } else {
-                work.push((id, inbox, input_fn(id, round)));
-            }
-        }
         let seed = self.cfg.seed;
-        let run_node = |node: &mut P,
-                        output: &mut Vec<(u64, OutputEvent)>,
-                        rom: &Rom,
-                        id: NodeId,
-                        inbox: &[Envelope],
-                        input: Option<&[u8]>|
-         -> Vec<Envelope> {
-            let mut outbox = Vec::new();
-            let mut rng = round_rng(seed, id.0, round, "round");
-            let mut ctx = RoundCtx {
-                time,
-                me: id,
-                n,
-                inbox,
-                rom,
-                rng: &mut rng,
-                input,
-                outbox: &mut outbox,
-                output,
-            };
-            node.on_round(&mut ctx);
-            outbox
-        };
-        let outboxes: Vec<(NodeId, Vec<Envelope>, u64)> = if self.cfg.parallel {
-            // Hand each worker disjoint &mut slices of the per-node state.
-            type NodeSlot<'a, P> = Option<(&'a mut P, &'a mut Vec<(u64, OutputEvent)>, &'a Rom)>;
-            let mut node_refs: Vec<NodeSlot<'_, P>> = self
+        let mut pool = self.pool.take();
+        {
+            let mut slots: Vec<NodeSlot<'_, P>> = Vec::with_capacity(n);
+            for (((idx, node), output), rom) in self
                 .nodes
                 .iter_mut()
+                .enumerate()
                 .zip(self.outputs.iter_mut())
                 .zip(self.roms.iter())
-                .map(|((node, output), rom)| Some((node, output, rom)))
-                .collect();
-            std::thread::scope(|s| {
-                let handles: Vec<_> = work
+            {
+                let id = NodeId::from_idx(idx);
+                let mut inbox = std::mem::take(&mut self.pending[idx]);
+                if self.broken[idx] {
+                    broken_inboxes.append(&mut inbox);
+                    self.pending[idx] = inbox; // keep the (now empty) buffer
+                    continue;
+                }
+                let input = input_fn(id, round);
+                slots.push(NodeSlot {
+                    id,
+                    node,
+                    output,
+                    rom,
+                    inbox,
+                    input,
+                    outbox: std::mem::take(&mut self.outboxes[idx]),
+                    alerts: 0,
+                });
+            }
+            match pool.as_mut() {
+                Some(pool) => {
+                    pool.for_each_mut(&mut slots, |_, slot| exec_slot(seed, time, n, slot));
+                }
+                None => {
+                    for slot in &mut slots {
+                        exec_slot(seed, time, n, slot);
+                    }
+                }
+            }
+            // Merge in slot (= NodeId) order and recycle the buffers.
+            self.sent_buf.clear();
+            for mut slot in slots {
+                let idx = slot.id.idx();
+                self.stats.alerts[idx] += slot.alerts;
+                self.stats.messages_sent += slot.outbox.len() as u64;
+                self.stats.bytes_sent += slot
+                    .outbox
                     .iter()
-                    .map(|(id, inbox, input)| {
-                        let (node, output, rom) =
-                            node_refs[id.idx()].take().expect("unique per node");
-                        let id = *id;
-                        s.spawn(move || {
-                            let before = output
-                                .iter()
-                                .filter(|(_, e)| *e == OutputEvent::Alert)
-                                .count();
-                            let outbox =
-                                run_node(node, output, rom, id, inbox, input.as_deref());
-                            let after = output
-                                .iter()
-                                .filter(|(_, e)| *e == OutputEvent::Alert)
-                                .count();
-                            (id, outbox, (after - before) as u64)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("node thread"))
-                    .collect()
-            })
-        } else {
-            work.iter()
-                .map(|(id, inbox, input)| {
-                    let before = self.outputs[id.idx()]
-                        .iter()
-                        .filter(|(_, e)| *e == OutputEvent::Alert)
-                        .count();
-                    let outbox = run_node(
-                        &mut self.nodes[id.idx()],
-                        &mut self.outputs[id.idx()],
-                        &self.roms[id.idx()],
-                        *id,
-                        inbox,
-                        input.as_deref(),
-                    );
-                    let after = self.outputs[id.idx()]
-                        .iter()
-                        .filter(|(_, e)| *e == OutputEvent::Alert)
-                        .count();
-                    (*id, outbox, (after - before) as u64)
-                })
-                .collect()
-        };
-        let mut sent: Vec<Envelope> = Vec::new();
-        for (id, outbox, alert_delta) in outboxes {
-            self.stats.alerts[id.idx()] += alert_delta;
-            self.stats.messages_sent += outbox.len() as u64;
-            self.stats.bytes_sent += outbox.iter().map(|e| e.payload.len() as u64).sum::<u64>();
-            sent.extend(outbox);
+                    .map(|e| e.payload.len() as u64)
+                    .sum::<u64>();
+                self.sent_buf.append(&mut slot.outbox);
+                slot.inbox.clear();
+                self.pending[idx] = slot.inbox;
+                self.outboxes[idx] = slot.outbox;
+            }
         }
+        self.pool = pool;
 
         // Delivery under the model's rules (rushing: adversary sees `sent`).
         let delivered = {
@@ -403,17 +435,29 @@ impl<P: Process + Send> Engine<P> {
                 last_delivered: &self.last_delivered,
                 broken_inboxes: &broken_inboxes,
             };
-            deliver(&sent, &view)
+            deliver(&self.sent_buf, &view)
         };
         self.stats.messages_delivered += delivered.len() as u64;
 
-        // Ground truth: reliability + operational set.
-        let reliability: PairMatrix = link_reliability(n, &sent, &delivered, &self.broken);
-        self.tracker.on_round(
+        // Ground truth: reliability + operational set. Both are row-/node-
+        // parallel; only worth the handshake at larger n.
+        let pooled_truth = n >= POOLED_GROUND_TRUTH_MIN_N;
+        let reliability: PairMatrix = match self.pool.as_mut() {
+            Some(pool) if pooled_truth => {
+                link_reliability_pooled(n, &self.sent_buf, &delivered, &self.broken, pool)
+            }
+            _ => link_reliability(n, &self.sent_buf, &delivered, &self.broken),
+        };
+        self.tracker.on_round_pooled(
             &self.broken,
             &reliability,
             self.cfg.schedule.in_refresh(round),
             self.cfg.schedule.is_refresh_end(round),
+            if pooled_truth {
+                self.pool.as_mut()
+            } else {
+                None
+            },
         );
 
         // "Compromised"/"recovered" output lines. In the UL model these track
@@ -437,7 +481,7 @@ impl<P: Process + Send> Engine<P> {
         if let Some(t) = &mut self.transcript {
             t.push(RoundRecord {
                 time,
-                sent: sent.clone(),
+                sent: self.sent_buf.clone(),
                 delivered: delivered.clone(),
                 broken: self.broken.clone(),
                 operational: self.tracker.operational().to_vec(),

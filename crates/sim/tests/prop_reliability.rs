@@ -103,8 +103,8 @@ proptest! {
         let mut tracker = OperationalTracker::new(n, 2);
         let rel = link_reliability(n, &[], &[], &broken);
         tracker.on_round(&broken, &rel, false, false);
-        for i in 0..n {
-            if broken[i] {
+        for (i, &b) in broken.iter().enumerate() {
+            if b {
                 prop_assert!(!tracker.is_operational(NodeId::from_idx(i)));
             }
         }

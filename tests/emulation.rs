@@ -17,9 +17,12 @@ use std::collections::BTreeSet;
 const N: usize = 5;
 const T: usize = 2;
 
+/// The set of (node, msg, unit) events, ignoring timing.
+type EventSet = BTreeSet<(u32, Vec<u8>, u64)>;
+
 /// Functionality view of a run: the set of (node, msg, unit) sign requests
 /// and (node, msg, unit) signed confirmations, ignoring timing.
-fn functionality(outputs: &[OutputLog]) -> (BTreeSet<(u32, Vec<u8>, u64)>, BTreeSet<(u32, Vec<u8>, u64)>) {
+fn functionality(outputs: &[OutputLog]) -> (EventSet, EventSet) {
     let mut requested = BTreeSet::new();
     let mut signed = BTreeSet::new();
     for (idx, log) in outputs.iter().enumerate() {

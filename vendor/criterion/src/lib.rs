@@ -18,11 +18,26 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Per-iteration work declaration (mirror of `criterion::Throughput`).
+///
+/// When a group declares throughput, every report line (and the
+/// `CRITERION_JSON` record) additionally carries an elements-per-second or
+/// bytes-per-second rate computed from the median time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements (rounds,
+    /// messages, …).
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
 /// Benchmark driver (mirror of `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
     warmup: Duration,
     measurement: Duration,
+    throughput: Option<Throughput>,
 }
 
 impl Default for Criterion {
@@ -31,6 +46,7 @@ impl Default for Criterion {
             sample_size: 20,
             warmup: Duration::from_millis(200),
             measurement: Duration::from_millis(800),
+            throughput: None,
         }
     }
 }
@@ -57,6 +73,7 @@ impl Criterion {
 
     /// Runs a single benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.throughput = None;
         run_bench(self, id, &mut f);
         self
     }
@@ -74,6 +91,13 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks in this
+    /// group; reports then include an elements/s or bytes/s rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.criterion.throughput = Some(t);
+        self
+    }
+
     /// Runs a benchmark under this group's name.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
@@ -97,8 +121,10 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Ends the group (kept for API parity; no-op).
-    pub fn finish(self) {}
+    /// Ends the group, clearing its throughput declaration.
+    pub fn finish(self) {
+        self.criterion.throughput = None;
+    }
 }
 
 /// A function name + parameter pair (mirror of `criterion::BenchmarkId`).
@@ -185,8 +211,21 @@ fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let median = samples_ns[samples_ns.len() / 2];
     let lo = samples_ns[0];
     let hi = samples_ns[samples_ns.len() - 1];
+    let thrpt = c.throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            let rate = n as f64 * 1e9 / median.max(f64::EPSILON);
+            (format!("{} elem/s", fmt_rate(rate)), "elems_per_sec", rate)
+        }
+        Throughput::Bytes(n) => {
+            let rate = n as f64 * 1e9 / median.max(f64::EPSILON);
+            (format!("{}B/s", fmt_rate(rate)), "bytes_per_sec", rate)
+        }
+    });
+    let thrpt_col = thrpt
+        .as_ref()
+        .map_or_else(String::new, |(text, _, _)| format!("  thrpt: {text}"));
     println!(
-        "{id:<50} time: [{} {} {}]  ({iters_per_sample} iters/sample)",
+        "{id:<50} time: [{} {} {}]  ({iters_per_sample} iters/sample){thrpt_col}",
         fmt_ns(lo),
         fmt_ns(median),
         fmt_ns(hi)
@@ -194,12 +233,27 @@ fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     if let Ok(path) = std::env::var("CRITERION_JSON") {
         if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
             let samples: Vec<String> = samples_ns.iter().map(|s| format!("{s:.1}")).collect();
+            let thrpt_field = thrpt
+                .as_ref()
+                .map_or_else(String::new, |(_, key, rate)| format!(", \"{key}\": {rate:.1}"));
             let _ = writeln!(
                 file,
-                "{{\"id\": \"{id}\", \"median_ns\": {median:.1}, \"samples_ns\": [{}]}}",
+                "{{\"id\": \"{id}\", \"median_ns\": {median:.1}{thrpt_field}, \"samples_ns\": [{}]}}",
                 samples.join(", ")
             );
         }
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
     }
 }
 
