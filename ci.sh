@@ -12,3 +12,12 @@ PROAUTH_THREADS=1 cargo test -q
 PROAUTH_THREADS=4 cargo test -q
 
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Envelope-budget regression at n = 32 (release: the legacy Θ(n³) ablation
+# inside is minutes-long in debug builds): evidence bundling must keep
+# refresh traffic O(n²·fanout) and beat the pre-bundle encoding ≥10×.
+cargo test -q -p proauth-core --release --test envelope_budget -- --ignored
+
+# One full refresh unit at n = 64 (was infeasible pre-bundling); records
+# throughput and peak RSS.
+PROAUTH_E11=n64 cargo bench -p proauth-bench --bench e11_system_throughput

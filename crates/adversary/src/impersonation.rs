@@ -46,7 +46,7 @@ pub fn forge_app_message<R: rand::RngCore>(
     let cmsg = certify(keys, &inner.to_bytes(), victim, to, w, rng)?;
     let wire = UlsWire::Disperse(DisperseMsg::Forwarding {
         origin: victim.0,
-        blob: Blob::Certified(cmsg).to_bytes(),
+        blob: Blob::Certified(cmsg).intern(),
     });
     // The physical carrier claims to be some other node (it does not matter
     // which — authenticity rides the certificate, not the envelope).
@@ -193,6 +193,8 @@ impl UlAdversary for Hijacker {
                     let Ok(UlsWire::Disperse(d)) = UlsWire::from_bytes(&env.payload) else {
                         continue;
                     };
+                    // Decoding already produced a shared blob handle; inspect
+                    // it in place rather than copying the bytes back out.
                     let blob = match d {
                         DisperseMsg::Forward { blob, .. } => blob,
                         DisperseMsg::Forwarding { blob, .. } => blob,
@@ -202,7 +204,7 @@ impl UlAdversary for Hijacker {
                         unit,
                         vk,
                         cert,
-                    }) = Blob::from_bytes(&blob)
+                    }) = Blob::from_bytes(blob.as_bytes())
                     {
                         if subject == self.victim.0 && unit == self.unit && vk == fake_vk {
                             self.harvested_cert = Some(cert);
@@ -302,7 +304,7 @@ mod tests {
         match wire {
             UlsWire::Disperse(DisperseMsg::Forwarding { origin, blob }) => {
                 assert_eq!(origin, 3);
-                let Blob::Certified(cmsg) = Blob::from_bytes(&blob).unwrap() else {
+                let Blob::Certified(cmsg) = Blob::from_bytes(blob.as_bytes()).unwrap() else {
                     panic!("expected certified blob");
                 };
                 assert_eq!(cmsg.w, 48);

@@ -7,21 +7,26 @@
 //! buys at the system level (E9 measures it per message), and what the
 //! persistent worker pool buys over the serial engine.
 //!
-//! Two parts:
+//! Three parts:
 //!
-//! 1. a criterion group (`e11/unit`) timing one refresh unit at small `n`
+//! 1. a single-run **n = 64** refresh unit (`e11/refresh/n64`), timed with
+//!    its peak RSS recorded — run *first* so the process high-water mark
+//!    reflects this run alone;
+//! 2. a criterion group (`e11/unit`) timing one refresh unit at small `n`
 //!    with `Throughput::Elements(rounds)`, so the report carries rounds/s;
-//! 2. a serial-vs-pool **ablation** at `n ∈ {13, 32}` (single timed runs —
-//!    a full n=32 unit is too slow to sample repeatedly), printed as a
-//!    table and appended to the `CRITERION_JSON` file when set.
+//! 3. a round-engine **ablation** at `n ∈ {13, 32}` (single timed runs —
+//!    a full n=32 unit is too slow to sample repeatedly), including a
+//!    `serial-nobundle` row with `bundle_evidence` off, printed as a table
+//!    and appended to the `CRITERION_JSON` file when set.
 //!
-//! Why the ablation stops at n = 32: PARTIAL-AGREEMENT step 3 relays every
+//! n = 64 used to be infeasible here: PARTIAL-AGREEMENT step 3 relayed every
 //! majority member's certified message to every node through DISPERSE —
-//! Θ(n³) envelopes per node per refresh, the complexity the paper itself
-//! flags in §6 (its relaxations cut the DISPERSE fan-out, not the relay
-//! count). At n = 64 one refresh unit materialises >10⁸ transient envelopes
-//! (tens of GB), which no round engine fixes; n = 32 with the §6 relaxed
-//! fan-out is the largest size that runs in bounded memory.
+//! Θ(n³) envelopes per node per refresh, >10⁸ transient envelopes (tens of
+//! GB) for one n = 64 unit. Evidence bundling (`Blob::EvidenceBundle`: one
+//! DISPERSE send per destination per subject) cuts that to Θ(n²), and the
+//! shared-payload outbox makes each remaining envelope a handle, not a copy;
+//! the `serial-nobundle` ablation row measures exactly what the bundling is
+//! worth. Set `PROAUTH_E11=n64` to run only the n = 64 part (CI does).
 //!
 //! Run `CRITERION_JSON=BENCH_e11.json cargo bench --bench
 //! e11_system_throughput` to regenerate the recorded baseline.
@@ -70,8 +75,15 @@ fn sim_cfg(n: usize, t: usize, units: u64, engine: Engine) -> SimConfig {
     cfg
 }
 
-fn run_one(n: usize, t: usize, mode: AuthMode, engine: Engine) -> (SimStats, u64, Duration) {
-    let cfg = sim_cfg(n, t, 2, engine);
+fn run_one(
+    n: usize,
+    t: usize,
+    mode: AuthMode,
+    engine: Engine,
+    units: u64,
+    bundle: bool,
+) -> (SimStats, u64, Duration) {
+    let cfg = sim_cfg(n, t, units, engine);
     let total_rounds = cfg.total_rounds;
     let group = Group::new(GroupId::Toy64);
     let start = Instant::now();
@@ -80,6 +92,7 @@ fn run_one(n: usize, t: usize, mode: AuthMode, engine: Engine) -> (SimStats, u64
         |id| {
             let mut c = UlsConfig::new(group.clone(), n, t);
             c.auth_mode = mode;
+            c.bundle_evidence = bundle;
             // Large networks use the §6 relaxation so DISPERSE volume stays
             // O(n·t) instead of O(n²).
             if n >= 32 {
@@ -92,6 +105,50 @@ fn run_one(n: usize, t: usize, mode: AuthMode, engine: Engine) -> (SimStats, u64
     (result.stats, total_rounds, start.elapsed())
 }
 
+/// The process peak resident set (`VmHWM`), in bytes.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Part 0: one full refresh unit at n = 64 (§6 relaxed fan-out), single
+/// timed run with peak RSS. Must run before anything else so `VmHWM`
+/// reflects this run, not an earlier allocation peak.
+fn refresh_n64() {
+    let (n, t) = (64usize, 3usize);
+    let (stats, total_rounds, elapsed) = run_one(n, t, AuthMode::SessionMac, Engine::Serial, 1, true);
+    let tp = ThroughputSummary::from_run(&stats, total_rounds, elapsed);
+    let rss = peak_rss_bytes().unwrap_or(0);
+    print_table(
+        "E11 — one refresh unit at n = 64 (serial, session-MAC, 2t+1 fan-out)",
+        &["n", "t", "rounds", "messages", "rounds/s", "msgs/s", "peak RSS MiB"],
+        &[vec![
+            n.to_string(),
+            t.to_string(),
+            total_rounds.to_string(),
+            stats.messages_sent.to_string(),
+            format!("{:.1}", tp.rounds_per_sec),
+            format!("{:.0}", tp.msgs_per_sec),
+            format!("{:.0}", rss as f64 / (1024.0 * 1024.0)),
+        ]],
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"e11/refresh/n64\", \"elapsed_ns\": {}, \
+                 \"rounds_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \
+                 \"peak_rss_bytes\": {rss}}}",
+                elapsed.as_nanos(),
+                tp.rounds_per_sec,
+                tp.msgs_per_sec,
+            );
+        }
+    }
+}
+
 /// Part 1: sampled timings of one 2-unit run at small n, rounds/s reported
 /// via the criterion `Throughput` API.
 fn bench_units(c: &mut Criterion) {
@@ -102,36 +159,49 @@ fn bench_units(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rounds));
         for (mode, label) in [(AuthMode::Sign, "sign"), (AuthMode::SessionMac, "mac")] {
             group.bench_function(format!("n{n}/{label}"), |b| {
-                b.iter(|| run_one(n, t, mode, Engine::Serial));
+                b.iter(|| run_one(n, t, mode, Engine::Serial, 2, true));
             });
         }
     }
     group.finish();
 }
 
-/// Part 2: serial-vs-pool ablation, one timed run per row.
+/// Part 2: round-engine and evidence-bundling ablation, one timed run per
+/// row. The `serial-nobundle` row restores the pre-bundle per-member
+/// Evidence relays (Θ(n³) envelopes per refresh) for comparison.
 fn ablation() {
-    let engines = [Engine::Serial, Engine::Pool(1), Engine::Pool(2), Engine::Pool(8)];
+    let configs: [(Engine, bool); 5] = [
+        (Engine::Serial, true),
+        (Engine::Serial, false),
+        (Engine::Pool(1), true),
+        (Engine::Pool(2), true),
+        (Engine::Pool(8), true),
+    ];
     let mut rows = Vec::new();
     let mut json_lines = Vec::new();
     for (n, t) in [(13usize, 6usize), (32, 3)] {
-        for engine in engines {
-            let (stats, total_rounds, elapsed) = run_one(n, t, AuthMode::SessionMac, engine);
+        for (engine, bundle) in configs {
+            let label = if bundle {
+                engine.label()
+            } else {
+                format!("{}-nobundle", engine.label())
+            };
+            let (stats, total_rounds, elapsed) =
+                run_one(n, t, AuthMode::SessionMac, engine, 2, bundle);
             let tp = ThroughputSummary::from_run(&stats, total_rounds, elapsed);
             rows.push(vec![
                 n.to_string(),
                 t.to_string(),
-                engine.label(),
+                label.clone(),
                 stats.messages_sent.to_string(),
                 format!("{:.1}", tp.rounds_per_sec),
                 format!("{:.0}", tp.msgs_per_sec),
                 format!("{:.0}", tp.bytes_per_sec / 1024.0),
             ]);
             json_lines.push(format!(
-                "{{\"id\": \"e11/ablation/n{n}/{}\", \"elapsed_ns\": {}, \
+                "{{\"id\": \"e11/ablation/n{n}/{label}\", \"elapsed_ns\": {}, \
                  \"rounds_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \
                  \"bytes_per_sec\": {:.1}}}",
-                engine.label(),
                 elapsed.as_nanos(),
                 tp.rounds_per_sec,
                 tp.msgs_per_sec,
@@ -140,7 +210,7 @@ fn ablation() {
         }
     }
     print_table(
-        "E11 — round-engine ablation (2 units, session-MAC, toy group)",
+        "E11 — engine + evidence-bundling ablation (2 units, session-MAC, toy group)",
         &["n", "t", "engine", "messages", "rounds/s", "msgs/s", "KiB/s"],
         &rows,
     );
@@ -152,10 +222,9 @@ fn ablation() {
         }
     }
     println!(
-        "\nExpected shape: throughput falls with the PA-relay message volume\n\
-         (Θ(n³) per node per refresh; the §6 relaxation used at n = 32 trims the\n\
-         DISPERSE fan-out, not the relay count — which is also why n = 64 is\n\
-         omitted: one unit materialises >10⁸ transient envelopes). The pool\n\
+        "\nExpected shape: the nobundle row restores the pre-bundle Θ(n³)\n\
+         evidence relays and should trail the bundled serial row by a widening\n\
+         factor as n grows (≈ the PA majority size on evidence rounds). The pool\n\
          engines approach the serial engine at 1 worker (handshake overhead only)\n\
          and win once cores × per-round crypto outweigh scheduling. On a\n\
          single-core host all engines tie — record the core count with the run."
@@ -163,6 +232,12 @@ fn ablation() {
 }
 
 fn main() {
+    // `PROAUTH_E11=n64`: the n = 64 refresh only (the vendored criterion
+    // shim has no CLI filtering; CI uses this to keep the run bounded).
+    refresh_n64();
+    if std::env::var("PROAUTH_E11").as_deref() == Ok("n64") {
+        return;
+    }
     let mut criterion = Criterion::default()
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));

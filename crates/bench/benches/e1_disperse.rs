@@ -60,10 +60,10 @@ impl Process for Probe {
         }
         if self.me == NodeId(1) {
             self.layer
-                .send(NodeId(2), format!("{}", ctx.time.round).into_bytes());
+                .send(NodeId(2), format!("{}", ctx.time.round).into_bytes().into());
         }
-        for env in self.layer.drain_outgoing() {
-            ctx.send(env.to, env.payload);
+        for entry in self.layer.drain_outgoing() {
+            ctx.send_many(entry.to, entry.payload);
         }
     }
 

@@ -75,7 +75,7 @@ fn main() {
             };
             let wire = UlsWire::Disperse(proauth_core::wire::DisperseMsg::Forwarding {
                 origin: 1,
-                blob: blob.to_bytes(),
+                blob: blob.to_bytes().into(),
             });
             NodeId::all(N)
                 .filter(|&to| to != NodeId(1))

@@ -7,18 +7,23 @@
 //! recipient emits a `Forwarding` to the destination at `w+1` (arriving
 //! `w+2`). A `Forward` that reaches the destination directly is buffered one
 //! round so both paths deliver at the same round — keeping the `w`-binding
-//! of VER-CERT unambiguous.
+//! of VER-CERT unambiguous. A self-send never touches the network but is
+//! buffered two rounds for the same reason.
 //!
 //! The §6 relaxation ("Relaxations for small t") is [`DisperseMode::Relaxed`]:
 //! fan out to only `2t+1` nodes instead of all `n`, cutting the per-node
 //! message complexity from `O(n²)` to `O(nt)` while preserving the
 //! common-neighbor argument.
+//!
+//! Blobs are [`InternedBlob`]s: one allocation shared across the whole
+//! fan-out, relay duty, and dedup, with a content digest computed at most
+//! once per blob. Outgoing traffic is queued as multi-destination
+//! [`OutboxEntry`]s — a fan-out is one entry, not `n−1` envelopes.
 
 use crate::wire::{DisperseMsg, UlsWire};
-use proauth_primitives::sha256;
-use proauth_primitives::wire::Encode;
-use proauth_sim::message::{Envelope, NodeId, Payload};
-use std::collections::HashSet;
+use proauth_primitives::wire::InternedBlob;
+use proauth_sim::message::{NodeId, OutboxEntry};
+use std::collections::{HashMap, HashSet};
 
 /// Fan-out policy (§6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,19 +38,34 @@ pub enum DisperseMode {
     },
 }
 
+/// A blob awaiting local delivery: a direct `Forward` addressed to me
+/// (released at the next `begin_round`) or a self-send (held one extra
+/// round so it keeps the same +2 schedule as a network send).
+#[derive(Debug)]
+struct SelfBuffered {
+    origin: u32,
+    blob: InternedBlob,
+    /// `begin_round` calls to skip before release.
+    delay: u8,
+}
+
 /// Per-node DISPERSE machinery.
 #[derive(Debug)]
 pub struct DisperseLayer {
     me: NodeId,
     n: usize,
     mode: DisperseMode,
-    /// Blobs delivered to me this round, deduplicated.
-    seen_this_round: HashSet<[u8; 32]>,
-    /// Direct `Forward`s addressed to me, buffered one round so their
-    /// delivery round matches the relayed copies.
-    self_buffer: Vec<(u32, Vec<u8>)>,
-    /// Messages queued for sending at the end of this round.
-    outgoing: Vec<Envelope>,
+    /// (origin, blob digest) pairs delivered to me this round.
+    seen_this_round: HashSet<(u32, [u8; 32])>,
+    /// Blobs awaiting local delivery (see [`SelfBuffered`]).
+    self_buffer: Vec<SelfBuffered>,
+    /// Relay duty built this round: (origin, blob digest) → index into
+    /// `outgoing`. Repeated `Forward`s of the same blob only append a
+    /// destination to the existing entry instead of re-encoding the
+    /// `Forwarding` payload.
+    relay_built: HashMap<(u32, [u8; 32]), usize>,
+    /// Entries queued for sending at the end of this round.
+    outgoing: Vec<OutboxEntry>,
 }
 
 impl DisperseLayer {
@@ -57,6 +77,7 @@ impl DisperseLayer {
             mode,
             seen_this_round: HashSet::new(),
             self_buffer: Vec::new(),
+            relay_built: HashMap::new(),
             outgoing: Vec::new(),
         }
     }
@@ -73,24 +94,35 @@ impl DisperseLayer {
     }
 
     /// Queues a blob for DISPERSE to `dst` (delivered at `now + 2`).
-    pub fn send(&mut self, dst: NodeId, blob: Vec<u8>) {
+    ///
+    /// A send to myself produces no network traffic: the blob is buffered
+    /// locally and delivered on the same `+2` schedule as everything else.
+    pub fn send(&mut self, dst: NodeId, blob: InternedBlob) {
+        if dst == self.me {
+            self.self_buffer.push(SelfBuffered {
+                origin: self.me.0,
+                blob,
+                delay: 1,
+            });
+            return;
+        }
         let mut targets = self.relays();
-        if !targets.contains(&dst) && dst != self.me {
+        if !targets.contains(&dst) {
             targets.push(dst);
         }
         // The Forward is identical for every relay (it names only origin,
-        // dst, and blob) — encode once and share the bytes across the whole
-        // fan-out instead of re-serializing the blob per relay.
+        // dst, and blob) — one encoding, one outbox entry for the whole
+        // fan-out.
         let wire = UlsWire::Disperse(DisperseMsg::Forward {
             origin: self.me.0,
             dst: dst.0,
             blob,
         });
-        let payload: Payload = wire.to_payload();
-        for relay in targets {
-            self.outgoing
-                .push(Envelope::new(self.me, relay, payload.clone()));
-        }
+        self.outgoing.push(OutboxEntry {
+            from: self.me,
+            to: targets,
+            payload: wire.to_payload(),
+        });
     }
 
     /// Processes one incoming DISPERSE message; returns a blob delivered to
@@ -99,21 +131,40 @@ impl DisperseLayer {
     /// `carrier` is the node the physical envelope claims to come from (used
     /// only for routing `Forwarding`s; authenticity is the upper layers'
     /// business).
-    pub fn on_message(&mut self, carrier: NodeId, msg: DisperseMsg) -> Option<(u32, Vec<u8>)> {
+    pub fn on_message(
+        &mut self,
+        carrier: NodeId,
+        msg: DisperseMsg,
+    ) -> Option<(u32, InternedBlob)> {
         let _ = carrier;
         match msg {
             DisperseMsg::Forward { origin, dst, blob } => {
                 if dst == self.me.0 {
                     // Direct copy: buffer a round (self-forwarding).
-                    self.self_buffer.push((origin, blob));
-                } else if NodeId(dst) != self.me && dst >= 1 && dst <= self.n as u32 {
-                    // Relay duty.
-                    let wire = UlsWire::Disperse(DisperseMsg::Forwarding {
+                    self.self_buffer.push(SelfBuffered {
                         origin,
                         blob,
+                        delay: 0,
                     });
-                    self.outgoing
-                        .push(Envelope::new(self.me, NodeId(dst), wire.to_bytes()));
+                } else if dst >= 1 && dst <= self.n as u32 {
+                    // Relay duty. The Forwarding payload depends only on
+                    // (origin, blob): encode it once per round and extend
+                    // the existing entry's destination list on repeats.
+                    let key = (origin, *blob.digest());
+                    match self.relay_built.get(&key) {
+                        Some(&i) => self.outgoing[i].to.push(NodeId(dst)),
+                        None => {
+                            let wire =
+                                UlsWire::Disperse(DisperseMsg::Forwarding { origin, blob });
+                            let i = self.outgoing.len();
+                            self.outgoing.push(OutboxEntry {
+                                from: self.me,
+                                to: vec![NodeId(dst)],
+                                payload: wire.to_payload(),
+                            });
+                            self.relay_built.insert(key, i);
+                        }
+                    }
                 }
                 None
             }
@@ -121,9 +172,8 @@ impl DisperseLayer {
         }
     }
 
-    fn deliver(&mut self, origin: u32, blob: Vec<u8>) -> Option<(u32, Vec<u8>)> {
-        let digest = sha256::hash_parts("disperse/dedup", &[&origin.to_be_bytes(), &blob]);
-        if self.seen_this_round.insert(digest) {
+    fn deliver(&mut self, origin: u32, blob: InternedBlob) -> Option<(u32, InternedBlob)> {
+        if self.seen_this_round.insert((origin, *blob.digest())) {
             Some((origin, blob))
         } else {
             None
@@ -132,18 +182,29 @@ impl DisperseLayer {
 
     /// Called once at the start of each round, *before* processing the
     /// round's inbox: clears the per-round dedup set and releases buffered
-    /// self-forwards. Returns the blobs delivered via the direct path.
-    pub fn begin_round(&mut self) -> Vec<(u32, Vec<u8>)> {
+    /// self-forwards whose delay has elapsed. Returns the blobs delivered
+    /// via the direct path.
+    pub fn begin_round(&mut self) -> Vec<(u32, InternedBlob)> {
         self.seen_this_round.clear();
         let buffered = std::mem::take(&mut self.self_buffer);
-        buffered
-            .into_iter()
-            .filter_map(|(origin, blob)| self.deliver(origin, blob))
-            .collect()
+        let mut released = Vec::new();
+        for mut item in buffered {
+            if item.delay == 0 {
+                if let Some(d) = self.deliver(item.origin, item.blob) {
+                    released.push(d);
+                }
+            } else {
+                item.delay -= 1;
+                self.self_buffer.push(item);
+            }
+        }
+        released
     }
 
-    /// Drains the messages queued this round (to go into the node's outbox).
-    pub fn drain_outgoing(&mut self) -> Vec<Envelope> {
+    /// Drains the entries queued this round (to go into the node's outbox).
+    pub fn drain_outgoing(&mut self) -> Vec<OutboxEntry> {
+        // The relay cache holds indices into `outgoing`; they die with it.
+        self.relay_built.clear();
         std::mem::take(&mut self.outgoing)
     }
 }
@@ -153,40 +214,44 @@ mod tests {
     use super::*;
     use proauth_primitives::wire::Decode;
 
-    fn decode(env: &Envelope) -> DisperseMsg {
-        match UlsWire::from_bytes(&env.payload).unwrap() {
+    fn decode(entry: &OutboxEntry) -> DisperseMsg {
+        match UlsWire::from_bytes(&entry.payload).unwrap() {
             UlsWire::Disperse(d) => d,
             other => panic!("unexpected {other:?}"),
         }
     }
 
+    fn blob(bytes: &[u8]) -> InternedBlob {
+        InternedBlob::from(bytes)
+    }
+
     #[test]
     fn send_fans_out_to_everyone() {
         let mut layer = DisperseLayer::new(NodeId(1), 5, DisperseMode::Full);
-        layer.send(NodeId(3), vec![42]);
+        layer.send(NodeId(3), blob(&[42]));
         let out = layer.drain_outgoing();
-        assert_eq!(out.len(), 4); // everyone but me
-        for env in &out {
-            assert!(matches!(
-                decode(env),
-                DisperseMsg::Forward {
-                    origin: 1,
-                    dst: 3,
-                    ..
-                }
-            ));
-        }
+        // One entry; everyone but me as destinations.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fanout(), 4);
+        assert!(matches!(
+            decode(&out[0]),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn relaxed_mode_limits_fanout() {
         let mut layer = DisperseLayer::new(NodeId(5), 10, DisperseMode::Relaxed { fanout: 3 });
-        layer.send(NodeId(9), vec![1]);
+        layer.send(NodeId(9), blob(&[1]));
         let out = layer.drain_outgoing();
+        assert_eq!(out.len(), 1);
         // 3 relays + the destination itself.
-        assert_eq!(out.len(), 4);
-        let tos: Vec<u32> = out.iter().map(|e| e.to.0).collect();
-        assert!(tos.contains(&9));
+        assert_eq!(out[0].fanout(), 4);
+        assert!(out[0].to.contains(&NodeId(9)));
     }
 
     #[test]
@@ -197,17 +262,60 @@ mod tests {
             DisperseMsg::Forward {
                 origin: 1,
                 dst: 3,
-                blob: vec![7],
+                blob: blob(&[7]),
             },
         );
         assert!(delivered.is_none());
         let out = layer.drain_outgoing();
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].to, NodeId(3));
+        assert_eq!(out[0].to, vec![NodeId(3)]);
         assert!(matches!(
             decode(&out[0]),
             DisperseMsg::Forwarding { origin: 1, .. }
         ));
+    }
+
+    #[test]
+    fn relay_encodes_identical_forwarding_once() {
+        // Two Forwards of the same (origin, blob) to different destinations:
+        // one Forwarding payload, two destinations on one entry.
+        let mut layer = DisperseLayer::new(NodeId(2), 5, DisperseMode::Full);
+        for dst in [3u32, 4] {
+            layer.on_message(
+                NodeId(1),
+                DisperseMsg::Forward {
+                    origin: 1,
+                    dst,
+                    blob: blob(&[7]),
+                },
+            );
+        }
+        // A different blob from the same origin is a separate entry.
+        layer.on_message(
+            NodeId(1),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 3,
+                blob: blob(&[8]),
+            },
+        );
+        let out = layer.drain_outgoing();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].to, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(out[1].to, vec![NodeId(3)]);
+        // The cache dies with the round: the same Forward next round builds
+        // a fresh entry rather than indexing into the drained buffer.
+        layer.on_message(
+            NodeId(1),
+            DisperseMsg::Forward {
+                origin: 1,
+                dst: 4,
+                blob: blob(&[7]),
+            },
+        );
+        let out = layer.drain_outgoing();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, vec![NodeId(4)]);
     }
 
     #[test]
@@ -218,27 +326,27 @@ mod tests {
             NodeId(2),
             DisperseMsg::Forwarding {
                 origin: 1,
-                blob: vec![7],
+                blob: blob(&[7]),
             },
         );
         let d2 = layer.on_message(
             NodeId(4),
             DisperseMsg::Forwarding {
                 origin: 1,
-                blob: vec![7],
+                blob: blob(&[7]),
             },
         );
-        assert_eq!(d1, Some((1, vec![7])));
+        assert_eq!(d1, Some((1, blob(&[7]))));
         assert_eq!(d2, None, "duplicate suppressed");
         // A different origin claim is a distinct delivery.
         let d3 = layer.on_message(
             NodeId(4),
             DisperseMsg::Forwarding {
                 origin: 2,
-                blob: vec![7],
+                blob: blob(&[7]),
             },
         );
-        assert_eq!(d3, Some((2, vec![7])));
+        assert_eq!(d3, Some((2, blob(&[7]))));
     }
 
     #[test]
@@ -250,12 +358,33 @@ mod tests {
             DisperseMsg::Forward {
                 origin: 1,
                 dst: 3,
-                blob: vec![9],
+                blob: blob(&[9]),
             },
         );
         assert!(direct.is_none(), "not delivered in the arrival round");
         let released = layer.begin_round();
-        assert_eq!(released, vec![(1, vec![9])]);
+        assert_eq!(released, vec![(1, blob(&[9]))]);
+    }
+
+    #[test]
+    fn self_send_delivered_after_two_rounds() {
+        // `send(me, ...)` must not be silently dropped: it is buffered
+        // locally and delivered exactly two begin_rounds later — the same
+        // +2 schedule as a network send.
+        let mut layer = DisperseLayer::new(NodeId(2), 5, DisperseMode::Full);
+        layer.send(NodeId(2), blob(&[5]));
+        assert!(
+            layer.drain_outgoing().is_empty(),
+            "self-send produces no network traffic"
+        );
+        assert!(
+            layer.begin_round().is_empty(),
+            "not delivered after one round"
+        );
+        let released = layer.begin_round();
+        assert_eq!(released, vec![(2, blob(&[5]))]);
+        // Nothing left buffered.
+        assert!(layer.begin_round().is_empty());
     }
 
     #[test]
@@ -267,7 +396,7 @@ mod tests {
             DisperseMsg::Forward {
                 origin: 1,
                 dst: 3,
-                blob: vec![9],
+                blob: blob(&[9]),
             },
         );
         // Next round: buffered direct copy delivers first...
@@ -278,7 +407,7 @@ mod tests {
             NodeId(2),
             DisperseMsg::Forwarding {
                 origin: 1,
-                blob: vec![9],
+                blob: blob(&[9]),
             },
         );
         assert!(relayed.is_none());
@@ -292,7 +421,7 @@ mod tests {
             DisperseMsg::Forward {
                 origin: 1,
                 dst: 77,
-                blob: vec![1],
+                blob: blob(&[1]),
             },
         );
         assert!(layer.drain_outgoing().is_empty());

@@ -45,11 +45,11 @@ use proauth_pds::api::{AlPds, PdsPhase, PdsTime};
 use proauth_pds::als::{AlsConfig, AlsPds};
 use proauth_pds::statement::{key_statement, parse_key_statement};
 use proauth_primitives::bigint::BigUint;
-use proauth_primitives::wire::{Decode, Encode};
+use proauth_primitives::wire::{Decode, Encode, InternedBlob};
 use proauth_sim::clock::Phase;
-use proauth_sim::message::{NodeId, OutputEvent, Payload};
+use proauth_sim::message::{NodeId, OutputEvent};
 use proauth_sim::process::{Process, RoundCtx, SetupCtx};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 /// Physical rounds of refresh Part I.
 pub const PART1_ROUNDS: u64 = 20;
@@ -121,6 +121,12 @@ pub struct UlsConfig {
     pub disperse: DisperseMode,
     /// Steady-state authentication mode.
     pub auth_mode: AuthMode,
+    /// Bundle all of a node's PA step-3 evidence relays for one subject into
+    /// a single [`Blob::EvidenceBundle`] per destination (default). Turning
+    /// this off restores the per-member `Blob::Evidence` sends — Θ(n³)
+    /// envelopes per refresh instead of Θ(n²) — and exists only as an
+    /// ablation knob for the complexity experiments.
+    pub bundle_evidence: bool,
 }
 
 impl UlsConfig {
@@ -133,6 +139,7 @@ impl UlsConfig {
             t,
             disperse: DisperseMode::Full,
             auth_mode: AuthMode::default(),
+            bundle_evidence: true,
         }
     }
 }
@@ -294,7 +301,7 @@ impl<A: AlProtocol> UlsNode<A> {
                 let keys = self.local.as_ref().expect("checked above");
                 if let Some(mmsg) = mac_certify(keys, &key, &inner.to_bytes(), self.me, to, round)
                 {
-                    let blob = Blob::MacCertified(mmsg).to_bytes();
+                    let blob = Blob::MacCertified(mmsg).intern();
                     self.disperse.send(to, blob);
                     self.mac_sent += 1;
                     return;
@@ -306,7 +313,7 @@ impl<A: AlProtocol> UlsNode<A> {
         let Some(cmsg) = certify(keys, &inner.to_bytes(), self.me, to, round, rng) else {
             return;
         };
-        let blob = Blob::Certified(cmsg).to_bytes();
+        let blob = Blob::Certified(cmsg).intern();
         self.disperse.send(to, blob);
         self.sig_sent += 1;
     }
@@ -343,7 +350,7 @@ impl<A: AlProtocol> UlsNode<A> {
         let pa_send_round = unit_start + OFF_PA_SEND;
 
         // Release DISPERSE self-buffered blobs, then drain the inbox.
-        let mut delivered: Vec<(u32, Vec<u8>)> = self.disperse.begin_round();
+        let mut delivered: Vec<(u32, InternedBlob)> = self.disperse.begin_round();
         for env in ctx.inbox {
             match UlsWire::from_bytes(&env.payload) {
                 Ok(UlsWire::KeyAnnounce { unit, vk }) => {
@@ -372,9 +379,25 @@ impl<A: AlProtocol> UlsNode<A> {
         // the certificate-adoption and evidence windows routinely deliver
         // `n`-sized bursts. A rejecting batch falls back to the individual
         // per-message checks below, so acceptance is unchanged.
+        // Evidence arrives with massive multiplicity: every node relays the
+        // same majority members' certified messages, and in relaxed mode the
+        // relay hub re-carries each bundle once per distinct carrier. PA
+        // evidence is carrier-independent — `on_evidence` keys on the
+        // *certifier* inside the message, never on who delivered it — so
+        // byte-identical evidence blobs beyond the first contribute nothing
+        // and can be dropped by content digest before any verification.
+        let mut evidence_seen: HashSet<[u8; 32]> = HashSet::new();
         let parsed: Vec<Blob> = delivered
             .iter()
-            .filter_map(|(_, blob)| Blob::from_bytes(blob).ok())
+            .filter_map(|(_, blob)| {
+                let b = Blob::from_bytes(blob.as_bytes()).ok()?;
+                if matches!(b, Blob::Evidence { .. } | Blob::EvidenceBundle { .. })
+                    && !evidence_seen.insert(*blob.digest())
+                {
+                    return None;
+                }
+                Some(b)
+            })
             .collect();
         let mut cert_items: Vec<(Vec<u8>, &Signature)> = Vec::new();
         for blob in &parsed {
@@ -384,6 +407,11 @@ impl<A: AlProtocol> UlsNode<A> {
                 }
                 Blob::Evidence { msg, .. } => {
                     cert_items.push((cert_payload(NodeId(msg.i), msg.u, &msg.vk), &msg.cert));
+                }
+                Blob::EvidenceBundle { msgs, .. } => {
+                    for msg in msgs {
+                        cert_items.push((cert_payload(NodeId(msg.i), msg.u, &msg.vk), &msg.cert));
+                    }
                 }
                 Blob::CertDeliver {
                     subject,
@@ -488,6 +516,52 @@ impl<A: AlProtocol> UlsNode<A> {
                         }
                     }
                 }
+                Blob::EvidenceBundle { subject, msgs } => {
+                    // Unpack and feed each certified message through exactly
+                    // the checks an individual `Blob::Evidence` would face:
+                    // PA semantics (Lemma 16 / cheater exposure) see the same
+                    // (certifier, value) pairs either way.
+                    if !in_evidence_window {
+                        continue;
+                    }
+                    for msg in msgs {
+                        let ok = if certs_batch_ok {
+                            ver_cert_precertified(
+                                &self.cfg.group,
+                                DestCheck::AnyDestination,
+                                NodeId(msg.i),
+                                auth_unit,
+                                pa_send_round,
+                                msg,
+                            )
+                        } else {
+                            ver_cert(
+                                &self.cfg.group,
+                                DestCheck::AnyDestination,
+                                NodeId(msg.i),
+                                auth_unit,
+                                pa_send_round,
+                                msg,
+                                &v_cert,
+                            )
+                        };
+                        if !ok {
+                            continue;
+                        }
+                        if let Ok(Inner::PaValue {
+                            subject: s2,
+                            value,
+                        }) = Inner::from_bytes(&msg.m)
+                        {
+                            if s2 == *subject {
+                                self.pa
+                                    .entry(*subject)
+                                    .or_insert_with(|| PaInstance::new(self.cfg.n))
+                                    .on_evidence(msg.i, value);
+                            }
+                        }
+                    }
+                }
                 Blob::MacCertified(mmsg) => {
                     let from = mmsg.i;
                     if from == self.me.0 || from == 0 || from > self.cfg.n as u32 {
@@ -578,7 +652,12 @@ impl<A: AlProtocol> UlsNode<A> {
         let inbox = std::mem::take(&mut self.pds_inbox);
         let outs = self.pds.on_logical_round(time, &inbox, ctx.rng);
         for env in outs {
-            self.auth_send(env.to, &Inner::Pds(env.payload), ctx.time.round, ctx.rng);
+            self.auth_send(
+                env.to,
+                &Inner::Pds(env.payload.to_vec()),
+                ctx.time.round,
+                ctx.rng,
+            );
         }
         // Harvest completed signatures: certificates and USign results.
         for rec in self.pds.take_completed() {
@@ -667,13 +746,8 @@ impl<A: AlProtocol> UlsNode<A> {
                 };
                 self.announces.insert(self.me.0, keys.vk_bytes());
                 self.pending_new = Some(keys);
-                // One encode, shared across the broadcast.
-                let bytes: Payload = announce.to_payload();
-                for to in NodeId::all(self.cfg.n) {
-                    if to != self.me {
-                        ctx.send(to, bytes.clone());
-                    }
-                }
+                // One encode, one outbox entry for the whole broadcast.
+                ctx.send_all(announce.to_payload());
             }
             OFF_PA_SEND => {
                 // PA step 1: AUTH-SEND each received value to everyone.
@@ -697,7 +771,11 @@ impl<A: AlProtocol> UlsNode<A> {
             }
             OFF_PA_MAJ => {
                 // PA steps 2–3: fix majorities; relay majority members'
-                // certified messages as evidence.
+                // certified messages as evidence. Bundled (default): all of
+                // my relays for one subject ride a single EvidenceBundle per
+                // destination — Θ(n²) envelopes per refresh instead of the
+                // per-member Θ(n³). The receiver unpacks and verifies each
+                // message individually, so PA outcomes are unchanged.
                 let subjects: Vec<u32> = self.pa.keys().copied().collect();
                 for subject in subjects {
                     let members = {
@@ -705,19 +783,36 @@ impl<A: AlProtocol> UlsNode<A> {
                         inst.fix_majority();
                         inst.majority_members()
                     };
-                    for member in members {
-                        if member == self.me.0 {
-                            continue; // others received my step-1 send directly
+                    if self.cfg.bundle_evidence {
+                        let msgs: Vec<CertifiedMsg> = members
+                            .iter()
+                            .filter(|&&m| m != self.me.0) // others got my step-1 send directly
+                            .filter_map(|&m| self.pa_raw.get(&(subject, m)).cloned())
+                            .collect();
+                        if msgs.is_empty() {
+                            continue;
                         }
-                        if let Some(raw) = self.pa_raw.get(&(subject, member)) {
-                            let blob = Blob::Evidence {
-                                subject,
-                                msg: raw.clone(),
+                        let blob = Blob::EvidenceBundle { subject, msgs }.intern();
+                        for to in NodeId::all(self.cfg.n) {
+                            if to != self.me {
+                                self.disperse.send(to, blob.clone());
                             }
-                            .to_bytes();
-                            for to in NodeId::all(self.cfg.n) {
-                                if to != self.me {
-                                    self.disperse.send(to, blob.clone());
+                        }
+                    } else {
+                        for member in members {
+                            if member == self.me.0 {
+                                continue; // others received my step-1 send directly
+                            }
+                            if let Some(raw) = self.pa_raw.get(&(subject, member)) {
+                                let blob = Blob::Evidence {
+                                    subject,
+                                    msg: raw.clone(),
+                                }
+                                .intern();
+                                for to in NodeId::all(self.cfg.n) {
+                                    if to != self.me {
+                                        self.disperse.send(to, blob.clone());
+                                    }
                                 }
                             }
                         }
@@ -748,7 +843,7 @@ impl<A: AlProtocol> UlsNode<A> {
                         vk,
                         cert,
                     }
-                    .to_bytes();
+                    .intern();
                     self.disperse.send(NodeId(subject), blob);
                 }
             }
@@ -927,8 +1022,8 @@ impl<A: AlProtocol> Process for UlsNode<A> {
             }
         }
 
-        for env in self.disperse.drain_outgoing() {
-            ctx.send(env.to, env.payload);
+        for entry in self.disperse.drain_outgoing() {
+            ctx.send_many(entry.to, entry.payload);
         }
     }
 

@@ -13,7 +13,9 @@
 //!    (π) application traffic, or a PARTIAL-AGREEMENT input value.
 
 use proauth_crypto::schnorr::Signature;
-use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use proauth_primitives::wire::{
+    decode_seq, encode_seq, Decode, Encode, InternedBlob, Reader, WireError, Writer,
+};
 use proauth_sim::message::Payload;
 
 /// Outermost physical payload.
@@ -48,15 +50,16 @@ pub enum DisperseMsg {
         origin: u32,
         /// Final destination.
         dst: u32,
-        /// Opaque cargo.
-        blob: Vec<u8>,
+        /// Opaque cargo, shared (never re-copied) across fan-out, relay
+        /// duty, dedup, and inspection.
+        blob: InternedBlob,
     },
     /// Round 2: "forwarding `blob` from `origin`".
     Forwarding {
         /// Claimed originator.
         origin: u32,
-        /// Opaque cargo.
-        blob: Vec<u8>,
+        /// Opaque cargo (shared handle, as in `Forward`).
+        blob: InternedBlob,
     },
 }
 
@@ -72,6 +75,19 @@ pub enum Blob {
         subject: u32,
         /// The original certified message (addressed to the relayer).
         msg: CertifiedMsg,
+    },
+    /// PARTIAL-AGREEMENT step 3, bundled: *all* of a node's evidence relays
+    /// for one PA instance in a single DISPERSE send — one bundle per
+    /// destination instead of |MAJ| separate `Evidence` DISPERSEs, cutting a
+    /// node's refresh envelopes from Θ(n³) to Θ(n²). Receivers unpack the
+    /// bundle and feed each message through the exact `Evidence` checks, so
+    /// `PaInstance::on_evidence` (Lemma 16, cheater exposure) sees the same
+    /// (certifier, value) pairs either way.
+    EvidenceBundle {
+        /// The PA subject the evidence concerns.
+        subject: u32,
+        /// The majority members' certified step-1 messages.
+        msgs: Vec<CertifiedMsg>,
     },
     /// A session-MAC authenticated message (the §1.3 shared-key mode).
     MacCertified(MacMsg),
@@ -235,11 +251,11 @@ impl Decode for DisperseMsg {
             1 => Ok(DisperseMsg::Forward {
                 origin: r.get_u32()?,
                 dst: r.get_u32()?,
-                blob: Vec::<u8>::decode(r)?,
+                blob: InternedBlob::decode(r)?,
             }),
             2 => Ok(DisperseMsg::Forwarding {
                 origin: r.get_u32()?,
-                blob: Vec::<u8>::decode(r)?,
+                blob: InternedBlob::decode(r)?,
             }),
             t => Err(WireError::InvalidTag(t)),
         }
@@ -257,6 +273,11 @@ impl Encode for Blob {
                 w.put_u8(2);
                 w.put_u32(*subject);
                 msg.encode(w);
+            }
+            Blob::EvidenceBundle { subject, msgs } => {
+                w.put_u8(5);
+                w.put_u32(*subject);
+                encode_seq(msgs, w);
             }
             Blob::MacCertified(msg) => {
                 w.put_u8(4);
@@ -293,8 +314,20 @@ impl Decode for Blob {
                 cert: Signature::decode(r)?,
             }),
             4 => Ok(Blob::MacCertified(MacMsg::decode(r)?)),
+            5 => Ok(Blob::EvidenceBundle {
+                subject: r.get_u32()?,
+                msgs: decode_seq(r)?,
+            }),
             t => Err(WireError::InvalidTag(t)),
         }
+    }
+}
+
+impl Blob {
+    /// Encodes into an interned, content-addressed blob — the handle
+    /// DISPERSE shares across every fan-out copy, relay, and dedup check.
+    pub fn intern(&self) -> InternedBlob {
+        InternedBlob::from(self.to_bytes())
     }
 }
 
@@ -395,11 +428,11 @@ mod tests {
             UlsWire::Disperse(DisperseMsg::Forward {
                 origin: 1,
                 dst: 2,
-                blob: vec![9],
+                blob: vec![9].into(),
             }),
             UlsWire::Disperse(DisperseMsg::Forwarding {
                 origin: 1,
-                blob: vec![9],
+                blob: vec![9].into(),
             }),
         ];
         for m in msgs {
@@ -428,6 +461,14 @@ mod tests {
             Blob::Evidence {
                 subject: 4,
                 msg: certified(),
+            },
+            Blob::EvidenceBundle {
+                subject: 4,
+                msgs: vec![certified(), certified()],
+            },
+            Blob::EvidenceBundle {
+                subject: 7,
+                msgs: vec![],
             },
             Blob::CertDeliver {
                 subject: 4,
@@ -460,5 +501,15 @@ mod tests {
         assert!(UlsWire::from_bytes(&[99]).is_err());
         assert!(Blob::from_bytes(&[]).is_err());
         assert!(Inner::from_bytes(&[7, 7]).is_err());
+        // A bundle claiming an absurd message count is rejected up front.
+        assert!(Blob::from_bytes(&[5, 0, 0, 0, 4, 0xff, 0xff, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn intern_matches_to_bytes() {
+        let b = Blob::Certified(certified());
+        let interned = b.intern();
+        assert_eq!(interned.as_bytes(), &b.to_bytes()[..]);
+        assert_eq!(Blob::from_bytes(interned.as_bytes()).unwrap(), b);
     }
 }

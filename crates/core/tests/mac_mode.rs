@@ -203,7 +203,7 @@ fn forged_mac_rejected() {
                 let wire = proauth_core::wire::UlsWire::Disperse(
                     proauth_core::wire::DisperseMsg::Forwarding {
                         origin: 1,
-                        blob: proauth_core::wire::Blob::MacCertified(mmsg).to_bytes_shim(),
+                        blob: proauth_core::wire::Blob::MacCertified(mmsg).to_bytes_shim().into(),
                     },
                 );
                 out.push(Envelope::new(NodeId(1), NodeId(2), wire.to_bytes_shim()));

@@ -88,10 +88,10 @@ proptest! {
         prop_assume!(relay != dst);
         // 1 sends to dst; route the Forward through `relay` by hand.
         let mut sender = DisperseLayer::new(NodeId(1), n, DisperseMode::Full);
-        sender.send(dst, payload.clone());
+        sender.send(dst, payload.clone().into());
         let out = sender.drain_outgoing();
-        // Find the copy addressed to the relay.
-        let to_relay = out.iter().find(|e| e.to == relay).expect("fanout covers relay");
+        // One shared entry; the fan-out covers the relay.
+        let to_relay = out.iter().find(|e| e.to.contains(&relay)).expect("fanout covers relay");
         let UlsWire::Disperse(fwd) = UlsWire::from_bytes(&to_relay.payload).unwrap() else {
             panic!("disperse expected")
         };
@@ -107,7 +107,7 @@ proptest! {
         let mut dst_layer = DisperseLayer::new(dst, n, DisperseMode::Full);
         dst_layer.begin_round();
         let delivered = dst_layer.on_message(relay, fw);
-        prop_assert_eq!(delivered, Some((1u32, payload)));
+        prop_assert_eq!(delivered, Some((1u32, payload.into())));
     }
 
     #[test]

@@ -50,8 +50,10 @@ fn boundary_network_sizes_accepted() {
 fn relaxed_fanout_larger_than_network_is_harmless() {
     // Fanout caps at n−1 naturally.
     let mut layer = DisperseLayer::new(NodeId(1), 4, DisperseMode::Relaxed { fanout: 99 });
-    layer.send(NodeId(2), vec![1]);
-    assert_eq!(layer.drain_outgoing().len(), 3);
+    layer.send(NodeId(2), vec![1].into());
+    let out = layer.drain_outgoing();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].fanout(), 3);
 }
 
 #[test]

@@ -22,7 +22,7 @@ use proauth_crypto::dkg::{self, KeyShare, ReceivedDealing};
 use proauth_crypto::group::Group;
 use proauth_crypto::schnorr::{Signature, VerifyKey};
 use proauth_primitives::bigint::BigUint;
-use proauth_primitives::wire::{Decode, Encode};
+use proauth_primitives::wire::{Decode, Encode, InternedBlob};
 use proauth_sim::message::NodeId;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
@@ -164,7 +164,9 @@ impl AlsPds {
     }
 
     fn expand(&self, dest: Dest, msg: AlsMsg) -> Vec<PdsEnvelope> {
-        let payload = msg.to_bytes();
+        // One encoding per logical message; broadcast clones are handle
+        // bumps on the shared interned bytes.
+        let payload = InternedBlob::from(msg.to_bytes());
         match dest {
             Dest::One(to) => vec![PdsEnvelope {
                 to: NodeId(to),
@@ -228,7 +230,8 @@ impl AlPds for AlsPds {
                             commitments: dealing.commitments.clone(),
                             share: dealing.share_for(j).clone(),
                         }
-                        .to_bytes(),
+                        .to_bytes()
+                        .into(),
                     })
                     .collect()
             }

@@ -11,6 +11,7 @@
 //! rounds under `AUTH-SEND` (a `DISPERSE` echo costs one extra round).
 
 use proauth_crypto::schnorr::Signature;
+use proauth_primitives::wire::InternedBlob;
 use proauth_sim::message::NodeId;
 use rand::rngs::StdRng;
 
@@ -41,8 +42,9 @@ pub struct PdsTime {
 pub struct PdsEnvelope {
     /// Destination (for the driver to route).
     pub to: NodeId,
-    /// Opaque payload.
-    pub payload: Vec<u8>,
+    /// Opaque payload. Interned so a broadcast shares one encoding across
+    /// all `n − 1` envelopes (drivers clone handles, not bytes).
+    pub payload: InternedBlob,
 }
 
 /// A completed signature the scheme hands back to its driver.

@@ -32,7 +32,7 @@ fn setup_network(seed: u64) -> Vec<AlsPds> {
                 .collect();
             let mut rng = StdRng::seed_from_u64(seed ^ (round << 8) ^ idx as u64);
             for env in node.on_setup_round(round, &inbox, &mut rng) {
-                in_flight.push((me, env.to, env.payload));
+                in_flight.push((me, env.to, env.payload.to_vec()));
             }
         }
     }

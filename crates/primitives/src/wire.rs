@@ -22,7 +22,9 @@
 //! ```
 
 use crate::bigint::BigUint;
+use crate::sha256::Sha256;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Error produced when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -360,6 +362,134 @@ impl Decode for BigUint {
     }
 }
 
+/// An interned, content-addressed byte blob.
+///
+/// One allocation (`Arc<[u8]>`) shared by every holder — fan-out envelopes,
+/// relay duty, dedup tables, adversary inspection — plus a lazily computed
+/// SHA-256 digest cached next to the bytes, so content addressing costs one
+/// hash per blob no matter how many parties handle it.
+///
+/// Encodes byte-identically to `Vec<u8>` (`u32` length prefix + raw bytes):
+/// swapping a `Vec<u8>` wire field for an `InternedBlob` changes no encoding.
+#[derive(Clone)]
+pub struct InternedBlob {
+    repr: Arc<BlobRepr>,
+}
+
+struct BlobRepr {
+    bytes: Arc<[u8]>,
+    digest: OnceLock<[u8; 32]>,
+}
+
+impl InternedBlob {
+    /// Interns `bytes` (no copy when handed an existing `Arc<[u8]>`).
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        InternedBlob {
+            repr: Arc::new(BlobRepr {
+                bytes: bytes.into(),
+                digest: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The blob contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.repr.bytes
+    }
+
+    /// The shared byte allocation (for zero-copy conversion into payload
+    /// types like the simulator's `Arc<[u8]>`).
+    pub fn share_bytes(&self) -> Arc<[u8]> {
+        self.repr.bytes.clone()
+    }
+
+    /// Content length in bytes.
+    pub fn len(&self) -> usize {
+        self.repr.bytes.len()
+    }
+
+    /// Whether the blob is empty.
+    pub fn is_empty(&self) -> bool {
+        self.repr.bytes.is_empty()
+    }
+
+    /// The SHA-256 digest of the contents, computed at most once across all
+    /// clones of this blob.
+    pub fn digest(&self) -> &[u8; 32] {
+        self.repr.digest.get_or_init(|| Sha256::digest(&self.repr.bytes))
+    }
+}
+
+impl std::ops::Deref for InternedBlob {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl AsRef<[u8]> for InternedBlob {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl From<Vec<u8>> for InternedBlob {
+    fn from(v: Vec<u8>) -> Self {
+        InternedBlob::new(v)
+    }
+}
+
+impl From<&[u8]> for InternedBlob {
+    fn from(v: &[u8]) -> Self {
+        InternedBlob::new(v)
+    }
+}
+
+impl From<Arc<[u8]>> for InternedBlob {
+    fn from(v: Arc<[u8]>) -> Self {
+        InternedBlob::new(v)
+    }
+}
+
+impl From<InternedBlob> for Arc<[u8]> {
+    fn from(b: InternedBlob) -> Self {
+        b.share_bytes()
+    }
+}
+
+impl PartialEq for InternedBlob {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.repr.bytes, &other.repr.bytes)
+            || self.repr.bytes == other.repr.bytes
+    }
+}
+
+impl Eq for InternedBlob {}
+
+impl std::hash::Hash for InternedBlob {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.repr.bytes.hash(state);
+    }
+}
+
+impl fmt::Debug for InternedBlob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InternedBlob({} bytes)", self.len())
+    }
+}
+
+impl Encode for InternedBlob {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for InternedBlob {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(InternedBlob::new(r.get_bytes()?))
+    }
+}
+
 impl Encode for [u8; 32] {
     fn encode(&self, w: &mut Writer) {
         w.put_raw(self);
@@ -450,6 +580,40 @@ mod tests {
     fn array32_roundtrip() {
         let a = [7u8; 32];
         assert_eq!(<[u8; 32]>::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn interned_blob_encodes_like_vec_u8() {
+        let v = vec![1u8, 2, 3, 4, 5];
+        let blob = InternedBlob::from(v.clone());
+        assert_eq!(blob.to_bytes(), v.to_bytes());
+        let back = InternedBlob::from_bytes(&blob.to_bytes()).unwrap();
+        assert_eq!(back, blob);
+        assert_eq!(back.as_bytes(), &v[..]);
+    }
+
+    #[test]
+    fn interned_blob_digest_cached_across_clones() {
+        let blob = InternedBlob::from(vec![7u8; 100]);
+        let clone = blob.clone();
+        let d1 = *blob.digest();
+        // The clone sees the already-computed digest (same cache cell).
+        let d2 = *clone.digest();
+        assert_eq!(d1, d2);
+        assert_eq!(d1, Sha256::digest(&[7u8; 100]));
+        // Clones share the underlying allocation.
+        assert!(Arc::ptr_eq(&blob.share_bytes(), &clone.share_bytes()));
+    }
+
+    #[test]
+    fn interned_blob_eq_by_content() {
+        let a = InternedBlob::from(vec![1u8, 2]);
+        let b = InternedBlob::from(vec![1u8, 2]);
+        let c = InternedBlob::from(vec![3u8]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 2);
     }
 
     #[test]

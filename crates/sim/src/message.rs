@@ -66,6 +66,48 @@ impl Envelope {
     }
 }
 
+/// A sender's queued transmission: one shared payload bound for one or more
+/// destinations.
+///
+/// Nodes emit entries; the round engine expands them into per-destination
+/// [`Envelope`]s only at the adversary boundary (the `deliver` callback must
+/// see individual envelopes — the UL adversary drops and injects per link).
+/// Until then a broadcast or DISPERSE fan-out is a single payload allocation
+/// plus a destination list, instead of `n − 1` envelope clones queued,
+/// merged, and counted one by one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutboxEntry {
+    /// Claimed sender.
+    pub from: NodeId,
+    /// Destinations, in delivery order.
+    pub to: Vec<NodeId>,
+    /// Shared payload bytes.
+    pub payload: Payload,
+}
+
+impl OutboxEntry {
+    /// An entry with a single destination.
+    pub fn single(from: NodeId, to: NodeId, payload: impl Into<Payload>) -> Self {
+        OutboxEntry {
+            from,
+            to: vec![to],
+            payload: payload.into(),
+        }
+    }
+
+    /// Number of physical envelopes this entry expands into.
+    pub fn fanout(&self) -> usize {
+        self.to.len()
+    }
+
+    /// Expands into per-destination envelopes (payload shared, not copied).
+    pub fn envelopes(&self) -> impl Iterator<Item = Envelope> + '_ {
+        self.to
+            .iter()
+            .map(move |&to| Envelope::new(self.from, to, self.payload.clone()))
+    }
+}
+
 /// A single local-output event, in the sense of the paper's "global output":
 /// the externally visible functionality of the protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,5 +180,27 @@ mod tests {
         // Cloning shares the payload allocation.
         let c = e.clone();
         assert!(std::sync::Arc::ptr_eq(&e.payload, &c.payload));
+    }
+
+    #[test]
+    fn outbox_entry_expands_in_destination_order() {
+        let entry = OutboxEntry {
+            from: NodeId(1),
+            to: vec![NodeId(3), NodeId(2), NodeId(4)],
+            payload: vec![9u8].into(),
+        };
+        assert_eq!(entry.fanout(), 3);
+        let envs: Vec<Envelope> = entry.envelopes().collect();
+        assert_eq!(
+            envs.iter().map(|e| e.to).collect::<Vec<_>>(),
+            vec![NodeId(3), NodeId(2), NodeId(4)]
+        );
+        // Every expanded envelope shares the entry's payload allocation.
+        for env in &envs {
+            assert!(std::sync::Arc::ptr_eq(&env.payload, &entry.payload));
+            assert_eq!(env.from, NodeId(1));
+        }
+        let single = OutboxEntry::single(NodeId(2), NodeId(1), vec![7u8]);
+        assert_eq!(single.fanout(), 1);
     }
 }

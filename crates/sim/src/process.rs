@@ -1,7 +1,7 @@
 //! The node-side execution interface: processes, ROM, and round contexts.
 
 use crate::clock::TimeView;
-use crate::message::{Envelope, NodeId, OutputEvent, Payload};
+use crate::message::{Envelope, NodeId, OutboxEntry, OutputEvent, Payload};
 use rand::rngs::StdRng;
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -64,7 +64,7 @@ pub struct RoundCtx<'a> {
     pub rng: &'a mut StdRng,
     /// External input for this round (the paper's `x_{i,w}`), if any.
     pub input: Option<&'a [u8]>,
-    pub(crate) outbox: &'a mut Vec<Envelope>,
+    pub(crate) outbox: &'a mut Vec<OutboxEntry>,
     pub(crate) output: &'a mut Vec<(u64, OutputEvent)>,
 }
 
@@ -73,18 +73,29 @@ impl<'a> RoundCtx<'a> {
     /// or an already-shared [`Payload`] (forwarded without copying).
     pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
         debug_assert!(to != self.me, "no self-links in the model");
-        self.outbox.push(Envelope::new(self.me, to, payload));
+        self.outbox.push(OutboxEntry::single(self.me, to, payload));
     }
 
-    /// Sends `payload` to every other node. The payload bytes are shared —
-    /// one allocation regardless of fan-out.
-    pub fn send_all(&mut self, payload: impl Into<Payload>) {
-        let payload: Payload = payload.into();
-        for to in NodeId::all(self.n) {
-            if to != self.me {
-                self.outbox.push(Envelope::new(self.me, to, payload.clone()));
-            }
+    /// Sends one shared payload to an explicit destination list, as a single
+    /// outbox entry: the engine expands it into per-destination envelopes
+    /// only at the adversary boundary.
+    pub fn send_many(&mut self, to: Vec<NodeId>, payload: impl Into<Payload>) {
+        debug_assert!(to.iter().all(|&t| t != self.me), "no self-links in the model");
+        if to.is_empty() {
+            return;
         }
+        self.outbox.push(OutboxEntry {
+            from: self.me,
+            to,
+            payload: payload.into(),
+        });
+    }
+
+    /// Sends `payload` to every other node. One allocation and one outbox
+    /// entry regardless of fan-out.
+    pub fn send_all(&mut self, payload: impl Into<Payload>) {
+        let to: Vec<NodeId> = NodeId::all(self.n).filter(|&t| t != self.me).collect();
+        self.send_many(to, payload);
     }
 
     /// Appends an event to this node's local output.
@@ -93,9 +104,10 @@ impl<'a> RoundCtx<'a> {
     }
 
     /// Number of messages sent so far this round (used by complexity
-    /// experiments).
+    /// experiments): physical envelopes, counting each destination of a
+    /// multi-destination entry.
     pub fn sent_count(&self) -> usize {
-        self.outbox.len()
+        self.outbox.iter().map(OutboxEntry::fanout).sum()
     }
 }
 
@@ -114,24 +126,27 @@ pub struct SetupCtx<'a> {
     pub rom: &'a mut Rom,
     /// Setup randomness.
     pub rng: &'a mut StdRng,
-    pub(crate) outbox: &'a mut Vec<Envelope>,
+    pub(crate) outbox: &'a mut Vec<OutboxEntry>,
 }
 
 impl<'a> SetupCtx<'a> {
     /// Sends `payload` to `to` at the end of this setup round.
     pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
         debug_assert!(to != self.me);
-        self.outbox.push(Envelope::new(self.me, to, payload));
+        self.outbox.push(OutboxEntry::single(self.me, to, payload));
     }
 
     /// Sends `payload` to every other node (bytes shared, not copied).
     pub fn send_all(&mut self, payload: impl Into<Payload>) {
-        let payload: Payload = payload.into();
-        for to in NodeId::all(self.n) {
-            if to != self.me {
-                self.outbox.push(Envelope::new(self.me, to, payload.clone()));
-            }
+        let to: Vec<NodeId> = NodeId::all(self.n).filter(|&t| t != self.me).collect();
+        if to.is_empty() {
+            return;
         }
+        self.outbox.push(OutboxEntry {
+            from: self.me,
+            to,
+            payload: payload.into(),
+        });
     }
 }
 
@@ -191,7 +206,10 @@ mod tests {
         ctx.send(NodeId(2), vec![9]);
         ctx.send_all(vec![7]);
         ctx.emit(OutputEvent::Alert);
-        assert_eq!(outbox.len(), 3); // one direct + two broadcast
+        assert_eq!(ctx.sent_count(), 3); // one direct + two broadcast
+        // One single-destination entry plus one broadcast entry.
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox[1].to, vec![NodeId(2), NodeId(3)]);
         assert_eq!(output, vec![(5, OutputEvent::Alert)]);
     }
 }

@@ -43,7 +43,7 @@
 
 use crate::adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
 use crate::clock::{Schedule, TimeView};
-use crate::message::{Envelope, NodeId, OutputEvent, OutputLog};
+use crate::message::{Envelope, NodeId, OutboxEntry, OutputEvent, OutputLog};
 use crate::pool::{self, WorkerPool};
 use crate::process::{Process, Rom, RoundCtx, SetupCtx};
 use crate::reliability::{
@@ -203,7 +203,7 @@ struct NodeSlot<'a, P> {
     rom: &'a Rom,
     inbox: Vec<Envelope>,
     input: Option<Vec<u8>>,
-    outbox: Vec<Envelope>,
+    outbox: Vec<OutboxEntry>,
     alerts: u64,
 }
 
@@ -249,8 +249,10 @@ struct Engine<P> {
     /// are recycled every round (taken as a slot's inbox, cleared, returned)
     /// so steady state allocates no inbox buffers at all.
     pending: Vec<Vec<Envelope>>,
-    /// Reusable per-node outbox buffers, recycled the same way.
-    outboxes: Vec<Vec<Envelope>>,
+    /// Reusable per-node outbox buffers, recycled the same way. Entries may
+    /// carry many destinations; they stay unexpanded until the adversary
+    /// boundary.
+    outboxes: Vec<Vec<OutboxEntry>>,
     /// Reusable buffer for the round's merged sent set.
     sent_buf: Vec<Envelope>,
     /// All deliveries of the previous round (adversary view).
@@ -308,7 +310,7 @@ impl<P: Process + Send> Engine<P> {
             let mut sent: Vec<Envelope> = Vec::new();
             for id in NodeId::all(n) {
                 let inbox = std::mem::take(&mut self.pending[id.idx()]);
-                let mut outbox = Vec::new();
+                let mut outbox: Vec<OutboxEntry> = Vec::new();
                 let mut rng = round_rng(self.cfg.seed, id.0, sr, "setup");
                 let mut ctx = SetupCtx {
                     setup_round: sr,
@@ -320,7 +322,9 @@ impl<P: Process + Send> Engine<P> {
                     outbox: &mut outbox,
                 };
                 self.nodes[id.idx()].on_setup_round(&mut ctx);
-                sent.append(&mut outbox);
+                for entry in &outbox {
+                    sent.extend(entry.envelopes());
+                }
             }
             for env in sent {
                 self.pending[env.to.idx()].push(env);
@@ -406,20 +410,24 @@ impl<P: Process + Send> Engine<P> {
                     }
                 }
             }
-            // Merge in slot (= NodeId) order and recycle the buffers.
+            // Merge in slot (= NodeId) order and recycle the buffers. This
+            // is where multi-destination entries expand into per-destination
+            // envelopes: the adversary boundary below must see (and may drop
+            // or inject) individual links, but nothing before this point
+            // needed more than the shared payload plus a destination list.
             self.sent_buf.clear();
             for mut slot in slots {
                 let idx = slot.id.idx();
                 self.stats.alerts[idx] += slot.alerts;
-                self.stats.messages_sent += slot.outbox.len() as u64;
-                self.stats.bytes_sent += slot
-                    .outbox
-                    .iter()
-                    .map(|e| e.payload.len() as u64)
-                    .sum::<u64>();
-                self.sent_buf.append(&mut slot.outbox);
+                for entry in &slot.outbox {
+                    let fanout = entry.fanout() as u64;
+                    self.stats.messages_sent += fanout;
+                    self.stats.bytes_sent += entry.payload.len() as u64 * fanout;
+                    self.sent_buf.extend(entry.envelopes());
+                }
                 slot.inbox.clear();
                 self.pending[idx] = slot.inbox;
+                slot.outbox.clear();
                 self.outboxes[idx] = slot.outbox;
             }
         }

@@ -99,7 +99,7 @@ impl UlAdversary for TwoFacedDealer {
                     };
                     if let Ok(Blob::CertDeliver {
                         subject, unit, vk, cert,
-                    }) = proauth_primitives::wire::Decode::from_bytes(&blob)
+                    }) = proauth_primitives::wire::Decode::from_bytes(blob.as_bytes())
                     {
                         if subject == 5 && unit == 1 && vk == fake.vk_bytes() {
                             fake.cert = Some(cert);
@@ -140,7 +140,7 @@ impl UlAdversary for TwoFacedDealer {
                         ) {
                             let wire = UlsWire::Disperse(DisperseMsg::Forwarding {
                                 origin: 5,
-                                blob: Blob::Certified(cmsg).to_bytes(),
+                                blob: Blob::Certified(cmsg).intern(),
                             });
                             out.push(Envelope::new(NodeId(5), to, wire.to_bytes()));
                             self.dealings_injected += 1;
