@@ -7,7 +7,11 @@ cargo build --release
 
 # The round engine must be invisible in results: the full suite runs once
 # with a single-worker pool and once with four workers (PROAUTH_THREADS
-# defaults SimConfig::parallel to true), and must pass identically.
+# defaults SimConfig::parallel to true), and must pass identically. This
+# matrix includes the telemetry determinism gates — `golden_trace` (JSONL
+# flight-recorder trace byte-identical across engines, n = 13 under an
+# active adversary) and the telemetry-enabled `prop_engine_determinism`
+# variant — in both legs.
 PROAUTH_THREADS=1 cargo test -q
 PROAUTH_THREADS=4 cargo test -q
 

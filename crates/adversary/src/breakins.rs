@@ -7,6 +7,7 @@ use proauth_core::uls::UlsNode;
 use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
 use proauth_sim::clock::TimeView;
 use proauth_sim::message::{Envelope, NodeId};
+use proauth_telemetry as telemetry;
 use std::any::Any;
 
 /// What the adversary does to a broken node's memory each round.
@@ -119,15 +120,17 @@ impl<A: AlProtocol> UlAdversary for MobileBreakins<A> {
 
     fn corrupt(&mut self, node: NodeId, state: &mut dyn Any, time: &TimeView) {
         match &mut self.mode {
-            CorruptMode::Spy => {}
+            CorruptMode::Spy => telemetry::count("adversary/spied", 1),
             CorruptMode::Wipe => {
                 if let Some(n) = state.downcast_mut::<UlsNode<A>>() {
                     n.corrupt_wipe();
+                    telemetry::count("adversary/wipes", 1);
                 }
             }
             CorruptMode::GarbleShare(g) => {
                 if let Some(n) = state.downcast_mut::<UlsNode<A>>() {
                     n.corrupt_garble_share(*g);
+                    telemetry::count("adversary/garbled_shares", 1);
                 }
             }
             CorruptMode::Custom(f) => f(node, state, time),

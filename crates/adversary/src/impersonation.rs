@@ -23,6 +23,7 @@ use proauth_primitives::wire::{Decode, Encode};
 use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
 use proauth_sim::clock::{Phase, TimeView};
 use proauth_sim::message::{Envelope, NodeId};
+use proauth_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -124,6 +125,7 @@ impl<A: AlProtocol> UlAdversary for KeyThief<A> {
                     ) {
                         out.push(env);
                         self.forgeries_sent += 1;
+                        telemetry::count("adversary/forgeries", 1);
                     }
                 }
             }
@@ -263,6 +265,7 @@ impl UlAdversary for Hijacker {
                         ) {
                             out.push(env);
                             self.forgeries_sent += 1;
+                            telemetry::count("adversary/forgeries", 1);
                         }
                     }
                 }

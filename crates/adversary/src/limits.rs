@@ -6,6 +6,7 @@
 use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
 use proauth_sim::clock::TimeView;
 use proauth_sim::message::{Envelope, NodeId};
+use proauth_telemetry as telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Wraps an adversary and records the impaired-node sets per unit.
@@ -46,10 +47,13 @@ impl<A> LimitObserver<A> {
     fn record(&mut self, view: &NetView<'_>) {
         let entry = self.per_unit.entry(view.time.unit).or_default();
         for id in NodeId::all(view.n) {
-            if view.broken[id.idx()] || !view.operational[id.idx()] {
-                entry.insert(id.0);
+            if (view.broken[id.idx()] || !view.operational[id.idx()]) && entry.insert(id.0) {
+                // Def. 7 budget consumption: a node newly counted against
+                // this unit's `t` bound.
+                telemetry::count("adversary/impairments", 1);
             }
         }
+        telemetry::gauge_max("adversary/max_impaired", entry.len() as u64);
     }
 }
 

@@ -40,6 +40,7 @@ use proauth_crypto::group::{Group, GroupId};
 use proauth_sim::adversary::FaithfulUl;
 use proauth_sim::report::ThroughputSummary;
 use proauth_sim::runner::{run_ul, SimConfig, SimStats};
+use proauth_sim::Telemetry;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -83,7 +84,26 @@ fn run_one(
     units: u64,
     bundle: bool,
 ) -> (SimStats, u64, Duration) {
-    let cfg = sim_cfg(n, t, units, engine);
+    run_one_tele(n, t, mode, engine, units, bundle, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_tele(
+    n: usize,
+    t: usize,
+    mode: AuthMode,
+    engine: Engine,
+    units: u64,
+    bundle: bool,
+    telemetry: bool,
+) -> (SimStats, u64, Duration) {
+    let mut cfg = sim_cfg(n, t, units, engine);
+    if telemetry {
+        // Metrics + an in-memory flight recorder: the full recording path
+        // minus file I/O, isolating the instrumentation cost itself.
+        let (tele, _buf) = Telemetry::with_memory_sink();
+        cfg.telemetry = tele;
+    }
     let total_rounds = cfg.total_rounds;
     let group = Group::new(GroupId::Toy64);
     let start = Instant::now();
@@ -166,28 +186,34 @@ fn bench_units(c: &mut Criterion) {
     group.finish();
 }
 
-/// Part 2: round-engine and evidence-bundling ablation, one timed run per
-/// row. The `serial-nobundle` row restores the pre-bundle per-member
-/// Evidence relays (Θ(n³) envelopes per refresh) for comparison.
+/// Part 2: round-engine, evidence-bundling, and telemetry ablation, one
+/// timed run per row. The `serial-nobundle` row restores the pre-bundle
+/// per-member Evidence relays (Θ(n³) envelopes per refresh); the
+/// `serial-tele` row runs the identical serial config with the flight
+/// recorder on (memory sink), measuring the full instrumentation cost —
+/// the gap to `serial` is what `PROAUTH_TRACE` costs, and the gap between
+/// `serial` and the recorded baseline is what the disabled-path branch
+/// checks cost (budget: ≤ 2%).
 fn ablation() {
-    let configs: [(Engine, bool); 5] = [
-        (Engine::Serial, true),
-        (Engine::Serial, false),
-        (Engine::Pool(1), true),
-        (Engine::Pool(2), true),
-        (Engine::Pool(8), true),
+    let configs: [(Engine, bool, bool); 6] = [
+        (Engine::Serial, true, false),
+        (Engine::Serial, true, true),
+        (Engine::Serial, false, false),
+        (Engine::Pool(1), true, false),
+        (Engine::Pool(2), true, false),
+        (Engine::Pool(8), true, false),
     ];
     let mut rows = Vec::new();
     let mut json_lines = Vec::new();
     for (n, t) in [(13usize, 6usize), (32, 3)] {
-        for (engine, bundle) in configs {
-            let label = if bundle {
-                engine.label()
-            } else {
-                format!("{}-nobundle", engine.label())
+        for (engine, bundle, telemetry) in configs {
+            let label = match (bundle, telemetry) {
+                (true, false) => engine.label(),
+                (true, true) => format!("{}-tele", engine.label()),
+                (false, _) => format!("{}-nobundle", engine.label()),
             };
             let (stats, total_rounds, elapsed) =
-                run_one(n, t, AuthMode::SessionMac, engine, 2, bundle);
+                run_one_tele(n, t, AuthMode::SessionMac, engine, 2, bundle, telemetry);
             let tp = ThroughputSummary::from_run(&stats, total_rounds, elapsed);
             rows.push(vec![
                 n.to_string(),
@@ -210,7 +236,7 @@ fn ablation() {
         }
     }
     print_table(
-        "E11 — engine + evidence-bundling ablation (2 units, session-MAC, toy group)",
+        "E11 — engine + bundling + telemetry ablation (2 units, session-MAC, toy group)",
         &["n", "t", "engine", "messages", "rounds/s", "msgs/s", "KiB/s"],
         &rows,
     );

@@ -20,6 +20,7 @@ use proauth_primitives::hmac::{hmac_sha256, tags_equal};
 use proauth_primitives::sha256;
 use proauth_primitives::wire::Writer;
 use proauth_sim::message::NodeId;
+use proauth_telemetry as telemetry;
 
 /// A node's local (centralized) keys for one time unit.
 #[derive(Debug, Clone)]
@@ -169,7 +170,7 @@ pub fn certify<R: rand::RngCore>(
 ) -> Option<CertifiedMsg> {
     let cert = keys.cert.clone()?;
     let tuple = message_tuple(m, i.0, j.0, keys.unit, w);
-    let sig = keys.signing.sign(&tuple, rng);
+    let sig = telemetry::timed("crypto/sign_ns", || keys.signing.sign(&tuple, rng));
     Some(CertifiedMsg {
         m: m.to_vec(),
         i: i.0,
@@ -268,7 +269,7 @@ fn ver_cert_signature(group: &Group, msg: &CertifiedMsg) -> bool {
         return false;
     };
     let tuple = message_tuple(&msg.m, msg.i, msg.j, msg.u, msg.w);
-    vk.verify(&tuple, &msg.sig)
+    telemetry::timed("crypto/verify_ns", || vk.verify(&tuple, &msg.sig))
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 use crate::wire::{DisperseMsg, UlsWire};
 use proauth_primitives::wire::InternedBlob;
 use proauth_sim::message::{NodeId, OutboxEntry};
+use proauth_telemetry as telemetry;
 use std::collections::{HashMap, HashSet};
 
 /// Fan-out policy (§6).
@@ -98,6 +99,8 @@ impl DisperseLayer {
     /// A send to myself produces no network traffic: the blob is buffered
     /// locally and delivered on the same `+2` schedule as everything else.
     pub fn send(&mut self, dst: NodeId, blob: InternedBlob) {
+        telemetry::count("disperse/sends", 1);
+        telemetry::count("disperse/bytes", blob.len() as u64);
         if dst == self.me {
             self.self_buffer.push(SelfBuffered {
                 origin: self.me.0,
@@ -150,6 +153,7 @@ impl DisperseLayer {
                     // Relay duty. The Forwarding payload depends only on
                     // (origin, blob): encode it once per round and extend
                     // the existing entry's destination list on repeats.
+                    telemetry::count("disperse/relays", 1);
                     let key = (origin, *blob.digest());
                     match self.relay_built.get(&key) {
                         Some(&i) => self.outgoing[i].to.push(NodeId(dst)),
@@ -174,8 +178,10 @@ impl DisperseLayer {
 
     fn deliver(&mut self, origin: u32, blob: InternedBlob) -> Option<(u32, InternedBlob)> {
         if self.seen_this_round.insert((origin, *blob.digest())) {
+            telemetry::count("disperse/delivered", 1);
             Some((origin, blob))
         } else {
+            telemetry::count("disperse/dedup_suppressed", 1);
             None
         }
     }

@@ -16,6 +16,7 @@
 //! set; the final output stands only if at least `⌈(n+1)/2⌉` non-cheaters
 //! certified the same value.
 
+use proauth_telemetry as telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One PARTIAL-AGREEMENT instance at one node.
@@ -49,6 +50,7 @@ impl PaInstance {
 
     /// Feeds a step-1 value accepted from `sender` via AUTH-SEND.
     pub fn on_accepted_value(&mut self, sender: u32, value: Vec<u8>) {
+        telemetry::count("pa/accepted_values", 1);
         self.accepted.entry(sender).or_default().insert(value);
     }
 
@@ -83,6 +85,7 @@ impl PaInstance {
     /// Feeds a verified step-3 evidence message: `certifier` certified
     /// `value` as its input.
     pub fn on_evidence(&mut self, certifier: u32, value: Vec<u8>) {
+        telemetry::count("pa/evidence", 1);
         self.relayed.entry(certifier).or_default().insert(value);
     }
 

@@ -48,6 +48,7 @@ use proauth_primitives::bigint::BigUint;
 use proauth_primitives::wire::{Decode, Encode, InternedBlob};
 use proauth_sim::clock::Phase;
 use proauth_sim::message::{NodeId, OutputEvent};
+use proauth_telemetry as telemetry;
 use proauth_sim::process::{Process, RoundCtx, SetupCtx};
 use std::collections::{BTreeMap, HashSet};
 
@@ -304,6 +305,7 @@ impl<A: AlProtocol> UlsNode<A> {
                     let blob = Blob::MacCertified(mmsg).intern();
                     self.disperse.send(to, blob);
                     self.mac_sent += 1;
+                    telemetry::count("uls/mac_sent", 1);
                     return;
                 }
             }
@@ -316,6 +318,7 @@ impl<A: AlProtocol> UlsNode<A> {
         let blob = Blob::Certified(cmsg).intern();
         self.disperse.send(to, blob);
         self.sig_sent += 1;
+        telemetry::count("uls/sig_sent", 1);
     }
 
     /// Routes one verified certified message.
@@ -425,6 +428,7 @@ impl<A: AlProtocol> UlsNode<A> {
                 Blob::MacCertified(_) => {}
             }
         }
+        telemetry::count("uls/certs_checked", cert_items.len() as u64);
         let certs_batch_ok = cert_items.len() >= 2
             && VerifyKey::from_element(&self.cfg.group, v_cert.clone())
                 .map(|vk| {
@@ -432,7 +436,9 @@ impl<A: AlProtocol> UlsNode<A> {
                         .iter()
                         .map(|(payload, sig)| (payload.as_slice(), *sig))
                         .collect();
-                    schnorr::batch_verify(&vk, &items)
+                    telemetry::timed("crypto/batch_verify_ns", || {
+                        schnorr::batch_verify(&vk, &items)
+                    })
                 })
                 .unwrap_or(false);
 
@@ -680,6 +686,7 @@ impl<A: AlProtocol> UlsNode<A> {
                     continue;
                 }
             }
+            telemetry::count("pds/signed", 1);
             ctx.emit(OutputEvent::Signed {
                 msg: rec.msg,
                 unit: rec.unit,
@@ -716,6 +723,7 @@ impl<A: AlProtocol> UlsNode<A> {
             self.auth_send(to, &Inner::App(msg), ctx.time.round, ctx.rng);
         }
         // Surface accepted messages in the output log (external view).
+        telemetry::count("uls/accepted", accepted.len() as u64);
         for (from, msg) in &accepted {
             ctx.emit(OutputEvent::Accepted {
                 from: *from,
@@ -726,6 +734,7 @@ impl<A: AlProtocol> UlsNode<A> {
 
     fn alert(&mut self, ctx: &mut RoundCtx<'_>) {
         self.alerts_raised += 1;
+        telemetry::count("uls/alerts", 1);
         ctx.emit(OutputEvent::Alert);
     }
 
@@ -746,6 +755,7 @@ impl<A: AlProtocol> UlsNode<A> {
                 };
                 self.announces.insert(self.me.0, keys.vk_bytes());
                 self.pending_new = Some(keys);
+                telemetry::count("uls/announces", 1);
                 // One encode, one outbox entry for the whole broadcast.
                 ctx.send_all(announce.to_payload());
             }
@@ -825,6 +835,7 @@ impl<A: AlProtocol> UlsNode<A> {
                 for subject in subjects {
                     let decided = self.pa.get(&subject).and_then(PaInstance::decide);
                     if let Some(value) = decided {
+                        telemetry::count("pa/decided", 1);
                         let statement = key_statement(NodeId(subject), unit, &value);
                         self.pds.request_sign(statement, unit);
                     }

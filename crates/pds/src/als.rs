@@ -18,6 +18,7 @@ use crate::api::{AlPds, PdsEnvelope, PdsPhase, PdsTime, SignatureRecord};
 use crate::msg::{sid_for, signing_payload, AlsMsg, Sid};
 use crate::refresh_session::{Dest, RefreshSession};
 use crate::sign_session::SignSession;
+use proauth_telemetry as telemetry;
 use proauth_crypto::dkg::{self, KeyShare, ReceivedDealing};
 use proauth_crypto::group::Group;
 use proauth_crypto::schnorr::{Signature, VerifyKey};
@@ -289,6 +290,7 @@ impl AlPds for AlsPds {
             PdsPhase::Refresh { step } => {
                 // Abort in-flight signing sessions: shares are about to change.
                 if step == 0 {
+                    telemetry::count("pds/refresh_started", 1);
                     self.sessions.clear();
                     self.refresh_failed = false;
                     let old_key = if self.key_usable() {
@@ -307,7 +309,9 @@ impl AlPds for AlsPds {
                 }
                 if let Some(refresh) = &mut self.refresh {
                     if refresh.unit() == time.unit {
-                        for (dest, msg) in refresh.step(step, rng) {
+                        let outs =
+                            telemetry::timed("pds/refresh_step_ns", || refresh.step(step, rng));
+                        for (dest, msg) in outs {
                             out.extend(self.expand(dest, msg));
                         }
                     }
@@ -315,6 +319,14 @@ impl AlPds for AlsPds {
                         if let Some(refresh) = self.refresh.take() {
                             let outcome = refresh.outcome();
                             self.refresh_failed = outcome.failed;
+                            telemetry::count(
+                                if outcome.failed {
+                                    "pds/refresh_failed"
+                                } else {
+                                    "pds/refresh_ok"
+                                },
+                                1,
+                            );
                             // The old share was erased inside the session
                             // (§6's erasure requirement); adopt the result.
                             match outcome.new_key {
@@ -340,6 +352,7 @@ impl AlPds for AlsPds {
                     if self.sessions.contains_key(&sid) {
                         continue;
                     }
+                    telemetry::count("pds/sign_started", 1);
                     let (session, init) = SignSession::start(
                         &self.cfg.group,
                         self.me,

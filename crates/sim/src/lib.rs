@@ -13,6 +13,12 @@
 //! * [`runner`] — the AL/UL execution engines ([`runner::run_al`],
 //!   [`runner::run_ul`]).
 //!
+//! Observability rides on `proauth-telemetry` (re-exported as [`telemetry`]):
+//! set [`runner::SimConfig::telemetry`] (or `PROAUTH_TRACE=path`) and the
+//! engine emits a deterministic JSONL flight-recorder trace plus a metrics
+//! registry, with per-node shards merged in `NodeId` order so results and
+//! traces stay bit-identical across worker-pool sizes.
+//!
 //! The simulator is fully deterministic given a seed: node randomness is
 //! derived per (node, round) outside corruptible state, matching the paper's
 //! `r_{i,w}` formalization.
@@ -26,13 +32,16 @@ pub mod reliability;
 pub mod report;
 pub mod runner;
 
+pub use proauth_telemetry as telemetry;
+
 pub use adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
 pub use clock::{Phase, Schedule, TimeView};
 pub use message::{Envelope, NodeId, OutputEvent, OutputLog, Payload};
 pub use pool::WorkerPool;
 pub use process::{Process, Rom, RoundCtx, SetupCtx};
 pub use reliability::{OperationalRule, OperationalTracker, PairMatrix};
-pub use report::{unit_summaries, NodeUnitSummary, ThroughputSummary, UnitSummary};
+pub use proauth_telemetry::Telemetry;
+pub use report::{render_metrics, unit_summaries, NodeUnitSummary, ThroughputSummary, UnitSummary};
 pub use runner::{
     run_al, run_al_with_inputs, run_ul, run_ul_with_inputs, RoundRecord, SimConfig, SimResult,
     SimStats,

@@ -5,7 +5,9 @@
 use crate::clock::Schedule;
 use crate::message::{NodeId, OutputEvent};
 use crate::runner::{SimResult, SimStats};
+use proauth_telemetry::Telemetry;
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Wall-clock throughput of a run, for benchmark reporting (experiment E11).
@@ -41,6 +43,98 @@ impl fmt::Display for ThroughputSummary {
             self.bytes_per_sec / 1024.0
         )
     }
+}
+
+impl fmt::Display for SimStats {
+    /// The operator-facing traffic line, including the adversary-side
+    /// counters (drops / injections / modifications from the per-round
+    /// delivery diff).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} messages sent, {} delivered, {} bytes; adversary: {} dropped, {} injected, {} modified",
+            self.messages_sent,
+            self.messages_delivered,
+            self.bytes_sent,
+            self.messages_dropped,
+            self.messages_injected,
+            self.messages_modified,
+        )
+    }
+}
+
+/// Formats nanoseconds with a human-scale unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        u64::MAX => ">1s".into(),
+        ns if ns >= 1_000_000_000 => format!("{:.2}s", ns as f64 / 1e9),
+        ns if ns >= 1_000_000 => format!("{:.2}ms", ns as f64 / 1e6),
+        ns if ns >= 1_000 => format!("{:.1}µs", ns as f64 / 1e3),
+        ns => format!("{ns}ns"),
+    }
+}
+
+/// Renders the telemetry registry as the operator's metrics report: a
+/// per-unit counter table (metrics as rows, time units as columns, plus a
+/// total column) followed by a latency-histogram summary. Returns `None`
+/// when the handle is off or nothing was recorded.
+pub fn render_metrics(tele: &Telemetry) -> Option<String> {
+    let units = tele.units();
+    let snap = tele.snapshot()?;
+    let mut out = String::new();
+
+    if !units.is_empty() && units.iter().any(|u| !u.counters.is_empty()) {
+        // Row set: every counter name seen in any unit, in sorted order
+        // (BTreeMap keys already are).
+        let names: std::collections::BTreeSet<&str> = units
+            .iter()
+            .flat_map(|u| u.counters.keys().copied())
+            .collect();
+        let name_w = names.iter().map(|n| n.len()).max().unwrap_or(6).max(6);
+        let col_w = 10;
+        let _ = write!(out, "{:name_w$}", "metric");
+        for u in &units {
+            let _ = write!(out, " {:>col_w$}", format!("unit {}", u.unit));
+        }
+        let _ = writeln!(out, " {:>col_w$}", "total");
+        for name in names {
+            let _ = write!(out, "{name:name_w$}");
+            let mut total = 0u64;
+            for u in &units {
+                let v = u.counters.get(name).copied().unwrap_or(0);
+                total += v;
+                let _ = write!(out, " {v:>col_w$}");
+            }
+            let _ = writeln!(out, " {total:>col_w$}");
+        }
+    }
+
+    if !snap.maxes.is_empty() {
+        let _ = writeln!(out, "\ngauges (max):");
+        for (name, v) in &snap.maxes {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+    }
+
+    if !snap.hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:28} {:>8} {:>9} {:>9} {:>9}",
+            "latency", "count", "mean", "p50", "p99"
+        );
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "{name:28} {:>8} {:>9} {:>9} {:>9}",
+                h.total,
+                fmt_ns(h.mean_ns()),
+                fmt_ns(h.quantile_ns(0.5)),
+                fmt_ns(h.quantile_ns(0.99)),
+            );
+        }
+    }
+
+    (!out.is_empty()).then_some(out)
 }
 
 /// Aggregates for one node in one time unit.
@@ -210,6 +304,54 @@ mod tests {
         assert!((t.rounds_per_sec - 50.0).abs() < 1e-9);
         assert!((t.msgs_per_sec - 500.0).abs() < 1e-9);
         assert!(format!("{t}").contains("rounds/s"));
+    }
+
+    #[test]
+    fn stats_display_includes_adversary_counters() {
+        let stats = SimStats {
+            messages_sent: 10,
+            messages_delivered: 8,
+            messages_dropped: 2,
+            messages_injected: 1,
+            messages_modified: 3,
+            bytes_sent: 99,
+            ..SimStats::default()
+        };
+        let line = format!("{stats}");
+        assert!(line.contains("2 dropped"));
+        assert!(line.contains("1 injected"));
+        assert!(line.contains("3 modified"));
+    }
+
+    #[test]
+    fn render_metrics_tables() {
+        assert!(render_metrics(&Telemetry::off()).is_none());
+        let tele = Telemetry::enabled();
+        tele.add("uls/accepted", 4);
+        tele.unit_mark(0);
+        tele.add("uls/accepted", 6);
+        tele.add("disperse/sent", 2);
+        tele.unit_mark(1);
+        tele.gauge_max("adversary/max_impaired", 3);
+        tele.observe_ns("crypto/verify_ns", 2_000_000);
+        let text = render_metrics(&tele).expect("rendered");
+        // Counter rows carry per-unit and total columns.
+        assert!(text.contains("unit 0"));
+        assert!(text.contains("unit 1"));
+        assert!(text.contains("uls/accepted"));
+        assert!(text.contains("10")); // total column
+        assert!(text.contains("adversary/max_impaired = 3"));
+        assert!(text.contains("crypto/verify_ns"));
+        assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+        assert_eq!(fmt_ns(u64::MAX), ">1s");
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //! ```
 
 use crate::adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
-use crate::clock::{Schedule, TimeView};
+use crate::clock::{Phase, Schedule, TimeView};
 use crate::message::{Envelope, NodeId, OutboxEntry, OutputEvent, OutputLog};
 use crate::pool::{self, WorkerPool};
 use crate::process::{Process, Rom, RoundCtx, SetupCtx};
@@ -50,8 +50,10 @@ use crate::reliability::{
     link_reliability, link_reliability_pooled, OperationalRule, OperationalTracker, PairMatrix,
 };
 use proauth_primitives::sha256;
+use proauth_telemetry::{self as telemetry, PhaseTimer, Shard, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Simulation parameters shared by both models.
 #[derive(Debug, Clone)]
@@ -85,6 +87,16 @@ pub struct SimConfig {
     /// Worker-pool size when `parallel` is set. `0` = auto: the
     /// `PROAUTH_THREADS` environment variable, else available parallelism.
     pub threads: usize,
+    /// Telemetry handle for the run: metrics registry plus optional JSONL
+    /// flight recorder. Off by default (near-zero cost — instrumented call
+    /// sites reduce to a branch on a process-global flag); defaults to a
+    /// file sink when the `PROAUTH_TRACE` environment variable names a path.
+    ///
+    /// Enabling telemetry never changes a [`SimResult`]: recording is
+    /// one-way, wall-clock values stay out of deterministic state, and
+    /// per-node shards are merged in `NodeId` order, so results *and* traces
+    /// (minus `wall_*` fields) are bit-identical across worker counts.
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -101,12 +113,13 @@ impl SimConfig {
             record_transcript: false,
             parallel: pool::env_threads().is_some(),
             threads: 0,
+            telemetry: Telemetry::from_env(),
         }
     }
 }
 
 /// Per-round transcript record (ground truth; used by analyses and tests).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundRecord {
     /// The round's time view.
     pub time: TimeView,
@@ -127,6 +140,16 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Total messages delivered.
     pub messages_delivered: u64,
+    /// Honest messages the adversary failed to deliver (per-round multiset
+    /// diff of sent vs delivered; a modified message counts as modified, not
+    /// dropped).
+    pub messages_dropped: u64,
+    /// Messages delivered that no honest node sent this round (adversary
+    /// injections, including AL broken-node sends and replays).
+    pub messages_injected: u64,
+    /// Messages whose (from, to) link carried a different payload than the
+    /// honest sender handed over (min of unmatched sent/delivered per link).
+    pub messages_modified: u64,
     /// Total payload bytes sent by honest nodes.
     pub bytes_sent: u64,
     /// Alerts emitted, per node.
@@ -138,8 +161,9 @@ pub struct SimStats {
 }
 
 /// The result of a simulation run: the paper's "global output" plus ground
-/// truth for analysis.
-#[derive(Debug)]
+/// truth for analysis. `PartialEq` compares every component, so determinism
+/// tests can assert two runs are bit-identical with one `assert_eq!`.
+#[derive(Debug, PartialEq, Eq)]
 pub struct SimResult {
     /// Per-node output logs (component `i` of the global output).
     pub outputs: Vec<OutputLog>,
@@ -184,6 +208,55 @@ fn round_rng(seed: u64, node: u32, round: u64, tag: &str) -> StdRng {
     StdRng::from_seed(digest)
 }
 
+/// Per-round adversary interference, reconstructed by diffing the honest
+/// sent set against the delivered set: `(dropped, injected, modified)`.
+///
+/// The fast path covers faithful delivery (same length, same links, shared
+/// payloads — one pointer comparison per envelope), so the accounting is
+/// effectively free on benign runs and `SimStats` can carry these fields
+/// unconditionally. The slow path is a per-link multiset diff: an unmatched
+/// sent and an unmatched delivery on the *same* link pair up as one
+/// modification; the leftovers are drops and injections respectively.
+fn delivery_diff(sent: &[Envelope], delivered: &[Envelope]) -> (u64, u64, u64) {
+    if sent.len() == delivered.len() {
+        let faithful = sent.iter().zip(delivered).all(|(a, b)| {
+            a.from == b.from
+                && a.to == b.to
+                && (std::sync::Arc::ptr_eq(&a.payload, &b.payload) || a.payload == b.payload)
+        });
+        if faithful {
+            return (0, 0, 0);
+        }
+    }
+    use std::collections::HashMap;
+    // Signed multiset per (link, payload): sends count up, deliveries down.
+    let mut multiset: HashMap<(NodeId, NodeId, &[u8]), i64> = HashMap::new();
+    for env in sent {
+        *multiset.entry((env.from, env.to, &env.payload)).or_insert(0) += 1;
+    }
+    for env in delivered {
+        *multiset.entry((env.from, env.to, &env.payload)).or_insert(0) -= 1;
+    }
+    // Net unmatched counts per link, ignoring payloads.
+    let mut links: HashMap<(NodeId, NodeId), (u64, u64)> = HashMap::new();
+    for ((from, to, _), count) in multiset {
+        let slot = links.entry((from, to)).or_insert((0, 0));
+        if count > 0 {
+            slot.0 += count as u64; // sent but not delivered as-is
+        } else {
+            slot.1 += (-count) as u64; // delivered but never sent as-is
+        }
+    }
+    let (mut dropped, mut injected, mut modified) = (0, 0, 0);
+    for (_, (unmatched_sent, unmatched_delivered)) in links {
+        let m = unmatched_sent.min(unmatched_delivered);
+        modified += m;
+        dropped += unmatched_sent - m;
+        injected += unmatched_delivered - m;
+    }
+    (dropped, injected, modified)
+}
+
 /// Which model a run executes under (affects delivery and output semantics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Model {
@@ -205,11 +278,26 @@ struct NodeSlot<'a, P> {
     input: Option<Vec<u8>>,
     outbox: Vec<OutboxEntry>,
     alerts: u64,
+    /// Telemetry shard (present iff telemetry is on): installed as the
+    /// thread-local recording scope while the node executes, merged by the
+    /// engine in `NodeId` order afterwards.
+    shard: Option<Shard>,
 }
 
 /// Executes one node's round into its slot. Free function so the serial path
 /// and the pool jobs share the exact same code.
 fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlot<'_, P>) {
+    // Install the slot's telemetry shard as this thread's recording scope,
+    // saving whatever was there: the publisher thread participates in pool
+    // batches while holding the engine-side shard, so scopes must nest.
+    let scoped = slot.shard.is_some();
+    let prev = if scoped {
+        let mut shard = slot.shard.take().expect("shard present");
+        shard.set_ctx(slot.id.0, time.round);
+        telemetry::install(Some(shard))
+    } else {
+        None
+    };
     let mut rng = round_rng(seed, slot.id.0, time.round, "round");
     // Incremental alert accounting: only events appended *this round* are
     // scanned, instead of re-filtering the node's whole output log (which
@@ -231,6 +319,9 @@ fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlo
         .iter()
         .filter(|(_, e)| *e == OutputEvent::Alert)
         .count() as u64;
+    if scoped {
+        slot.shard = telemetry::install(prev);
+    }
 }
 
 /// Node count below which the ground-truth computations (link matrix rows,
@@ -265,6 +356,14 @@ struct Engine<P> {
     /// The persistent worker pool (present iff `cfg.parallel`); lives for
     /// the whole run instead of spawning threads every round.
     pool: Option<WorkerPool>,
+    /// Per-node telemetry shards (present iff telemetry is on), recycled
+    /// like the outbox buffers and merged in `NodeId` order each round.
+    shards: Vec<Option<Shard>>,
+    /// Engine-side shard for adversary callbacks (plan/corrupt/deliver run
+    /// on the engine thread, outside any node scope).
+    engine_shard: Option<Shard>,
+    /// Span timer over the schedule's phases (Fig. 1).
+    phase_timer: PhaseTimer,
 }
 
 impl<P: Process + Send> Engine<P> {
@@ -299,8 +398,27 @@ impl<P: Process + Send> Engine<P> {
             } else {
                 None
             },
+            shards: (0..n).map(|_| cfg.telemetry.new_shard()).collect(),
+            engine_shard: cfg.telemetry.new_shard(),
+            phase_timer: PhaseTimer::new(),
             cfg,
         }
+    }
+
+    /// Takes the engine-side shard for an adversary callback outside
+    /// [`Engine::round`] (the `plan` call), with its round context set.
+    /// Install it via [`telemetry::install`] and hand the result back to
+    /// [`Engine::put_adv_shard`].
+    fn take_adv_shard(&mut self, round: u64) -> Option<Shard> {
+        let mut shard = self.engine_shard.take();
+        if let Some(sh) = shard.as_mut() {
+            sh.set_ctx(0, round);
+        }
+        shard
+    }
+
+    fn put_adv_shard(&mut self, shard: Option<Shard>) {
+        self.engine_shard = shard;
     }
 
     /// Runs the adversary-free set-up phase.
@@ -330,6 +448,20 @@ impl<P: Process + Send> Engine<P> {
                 self.pending[env.to.idx()].push(env);
             }
         }
+        // The flight recorder starts at the adversary boundary: one
+        // `run_start` header after the adversary-free set-up phase. Worker
+        // count and wall-clock deliberately stay out of it — the trace
+        // (minus `wall_*` fields) must be identical across engines.
+        self.cfg.telemetry.emit_event("run_start", |ev| {
+            ev.u64("n", self.cfg.n as u64)
+                .u64("s", self.cfg.s as u64)
+                .u64("seed", self.cfg.seed)
+                .u64("setup_rounds", self.cfg.setup_rounds)
+                .u64("total_rounds", self.cfg.total_rounds)
+                .u64("unit_rounds", self.cfg.schedule.unit_rounds)
+                .u64("part1_rounds", self.cfg.schedule.part1_rounds)
+                .u64("part2_rounds", self.cfg.schedule.part2_rounds);
+        });
     }
 
     /// Executes one post-setup round; `deliver` maps (sent, view) to the
@@ -346,6 +478,38 @@ impl<P: Process + Send> Engine<P> {
     ) {
         let n = self.cfg.n;
         let time = TimeView::at(&self.cfg.schedule, round);
+        let tele_on = self.cfg.telemetry.is_on();
+        let round_start = tele_on.then(Instant::now);
+        if tele_on {
+            let label = match time.phase {
+                Phase::RefreshPart1 { .. } => telemetry::PHASE_REFRESH1,
+                Phase::RefreshPart2 { .. } => telemetry::PHASE_REFRESH2,
+                Phase::Normal => telemetry::PHASE_NORMAL,
+            };
+            self.phase_timer
+                .on_round(&self.cfg.telemetry, round, time.unit, label);
+            self.cfg.telemetry.emit_event("round_start", |ev| {
+                ev.u64("round", round)
+                    .u64("unit", time.unit)
+                    .u64("auth_unit", time.auth_unit)
+                    .str("phase", label)
+                    .u64("round_in_unit", time.round_in_unit);
+            });
+            self.cfg
+                .telemetry
+                .add("adversary/break_ins", plan.break_into.len() as u64);
+            self.cfg
+                .telemetry
+                .add("adversary/leaves", plan.leave.len() as u64);
+        }
+        // Engine-side recording scope: adversary callbacks (corrupt, the
+        // deliver boundary) run on this thread outside any node scope.
+        // Node jobs save/restore it (see `exec_slot`), so the publisher
+        // thread participating in pool batches cannot clobber it.
+        let adv_prev = tele_on.then(|| {
+            let shard = self.take_adv_shard(round);
+            telemetry::install(shard)
+        });
 
         // Apply break-in plan.
         for id in plan.break_into {
@@ -371,6 +535,8 @@ impl<P: Process + Send> Engine<P> {
         // order, so execution order cannot matter.
         let mut broken_inboxes: Vec<Envelope> = Vec::new();
         let seed = self.cfg.seed;
+        let sent_before = self.stats.messages_sent;
+        let mut round_alerts = 0u64;
         let mut pool = self.pool.take();
         {
             let mut slots: Vec<NodeSlot<'_, P>> = Vec::with_capacity(n);
@@ -398,6 +564,7 @@ impl<P: Process + Send> Engine<P> {
                     input,
                     outbox: std::mem::take(&mut self.outboxes[idx]),
                     alerts: 0,
+                    shard: self.shards[idx].take(),
                 });
             }
             match pool.as_mut() {
@@ -419,6 +586,11 @@ impl<P: Process + Send> Engine<P> {
             for mut slot in slots {
                 let idx = slot.id.idx();
                 self.stats.alerts[idx] += slot.alerts;
+                round_alerts += slot.alerts;
+                if let Some(shard) = slot.shard.as_mut() {
+                    self.cfg.telemetry.merge_shard(shard);
+                }
+                self.shards[idx] = slot.shard.take();
                 for entry in &slot.outbox {
                     let fanout = entry.fanout() as u64;
                     self.stats.messages_sent += fanout;
@@ -446,6 +618,20 @@ impl<P: Process + Send> Engine<P> {
             deliver(&self.sent_buf, &view)
         };
         self.stats.messages_delivered += delivered.len() as u64;
+
+        // Adversary interference accounting. Computed unconditionally so the
+        // new `SimStats` fields never depend on telemetry being on (the fast
+        // path makes faithful rounds nearly free); mirrored into the
+        // registry when it is.
+        let (dropped, injected, modified) = delivery_diff(&self.sent_buf, &delivered);
+        self.stats.messages_dropped += dropped;
+        self.stats.messages_injected += injected;
+        self.stats.messages_modified += modified;
+        if tele_on {
+            self.cfg.telemetry.add("adversary/dropped", dropped);
+            self.cfg.telemetry.add("adversary/injected", injected);
+            self.cfg.telemetry.add("adversary/modified", modified);
+        }
 
         // Ground truth: reliability + operational set. Both are row-/node-
         // parallel; only worth the handshake at larger n.
@@ -497,13 +683,61 @@ impl<P: Process + Send> Engine<P> {
         }
 
         // Queue deliveries for the next round.
+        let delivered_count = delivered.len() as u64;
         for env in &delivered {
             self.pending[env.to.idx()].push(env.clone());
         }
         self.last_delivered = delivered;
+
+        // Close the engine-side scope, merge its shard (adversary events land
+        // before `round_end` in the trace), and emit the round footer.
+        if let Some(prev) = adv_prev {
+            let mut shard = telemetry::install(prev);
+            if let Some(sh) = shard.as_mut() {
+                self.cfg.telemetry.merge_shard(sh);
+            }
+            self.put_adv_shard(shard);
+        }
+        if tele_on {
+            let wall_ns = round_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            self.cfg.telemetry.observe_ns("engine/round_ns", wall_ns);
+            let broken_count = self.broken.iter().filter(|b| **b).count() as u64;
+            let sent_count = self.stats.messages_sent - sent_before;
+            self.cfg.telemetry.emit_event("round_end", |ev| {
+                ev.u64("round", round)
+                    .u64("sent", sent_count)
+                    .u64("delivered", delivered_count)
+                    .u64("dropped", dropped)
+                    .u64("injected", injected)
+                    .u64("modified", modified)
+                    .u64("alerts", round_alerts)
+                    .u64("broken", broken_count)
+                    .u64("wall_ns", wall_ns);
+            });
+            // Unit boundary: every shard has merged at the barrier, so the
+            // registry deltas are deterministic — close the unit's metrics
+            // row (also at run end, for a final partial unit).
+            if time.round_in_unit + 1 == self.cfg.schedule.unit_rounds
+                || round + 1 == self.cfg.total_rounds
+            {
+                self.cfg.telemetry.unit_mark(time.unit);
+            }
+        }
     }
 
-    fn finish(self, adversary_output: Vec<String>) -> SimResult {
+    fn finish(mut self, adversary_output: Vec<String>) -> SimResult {
+        let tele = self.cfg.telemetry.clone();
+        self.phase_timer.finish(&tele, self.cfg.total_rounds);
+        tele.emit_event("run_end", |ev| {
+            ev.u64("rounds", self.cfg.total_rounds)
+                .u64("sent", self.stats.messages_sent)
+                .u64("delivered", self.stats.messages_delivered)
+                .u64("dropped", self.stats.messages_dropped)
+                .u64("injected", self.stats.messages_injected)
+                .u64("modified", self.stats.messages_modified)
+                .u64("alerts", self.stats.alerts.iter().sum::<u64>());
+        });
+        tele.flush();
         SimResult {
             outputs: self.outputs,
             adversary_output,
@@ -536,6 +770,9 @@ pub fn run_al_with_inputs<P: Process + Send, A: AlAdversary>(
     for round in 0..engine.cfg.total_rounds {
         let time = TimeView::at(&engine.cfg.schedule, round);
         let plan = {
+            // The plan callback runs before `Engine::round`, so it gets the
+            // engine-side recording scope installed around it explicitly.
+            let prev = telemetry::install(engine.take_adv_shard(round));
             let view = NetView {
                 time,
                 n: engine.cfg.n,
@@ -544,7 +781,9 @@ pub fn run_al_with_inputs<P: Process + Send, A: AlAdversary>(
                 last_delivered: &engine.last_delivered,
                 broken_inboxes: &[],
             };
-            adversary.plan(&view)
+            let plan = adversary.plan(&view);
+            engine.put_adv_shard(telemetry::install(prev));
+            plan
         };
         let adv = std::cell::RefCell::new(&mut *adversary);
         engine.round(
@@ -591,6 +830,9 @@ pub fn run_ul_with_inputs<P: Process + Send, A: UlAdversary>(
     for round in 0..engine.cfg.total_rounds {
         let time = TimeView::at(&engine.cfg.schedule, round);
         let plan = {
+            // The plan callback runs before `Engine::round`, so it gets the
+            // engine-side recording scope installed around it explicitly.
+            let prev = telemetry::install(engine.take_adv_shard(round));
             let view = NetView {
                 time,
                 n: engine.cfg.n,
@@ -599,7 +841,9 @@ pub fn run_ul_with_inputs<P: Process + Send, A: UlAdversary>(
                 last_delivered: &engine.last_delivered,
                 broken_inboxes: &[],
             };
-            adversary.plan(&view)
+            let plan = adversary.plan(&view);
+            engine.put_adv_shard(telemetry::install(prev));
+            plan
         };
         let adv = std::cell::RefCell::new(&mut *adversary);
         engine.round(
@@ -789,6 +1033,103 @@ mod tests {
         let (a, b) = (mk(), mk());
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.stats.messages_sent, b.stats.messages_sent);
+    }
+
+    #[test]
+    fn delivery_diff_classifies_interference() {
+        let payload: crate::message::Payload = vec![1u8, 2, 3].into();
+        let env = |from: u32, to: u32, p: &crate::message::Payload| {
+            Envelope::new(NodeId(from), NodeId(to), p.clone())
+        };
+        let other: crate::message::Payload = vec![9u8].into();
+
+        // Faithful (shared Arcs, same order): all zero via the fast path.
+        let sent = vec![env(1, 2, &payload), env(2, 3, &payload)];
+        assert_eq!(delivery_diff(&sent, &sent.clone()), (0, 0, 0));
+        // Reordering alone is still faithful, via the multiset slow path.
+        let reordered = vec![sent[1].clone(), sent[0].clone()];
+        assert_eq!(delivery_diff(&sent, &reordered), (0, 0, 0));
+        // A pure drop.
+        assert_eq!(delivery_diff(&sent, &sent[..1]), (1, 0, 0));
+        // A pure injection (new link).
+        let mut plus = sent.clone();
+        plus.push(env(3, 1, &other));
+        assert_eq!(delivery_diff(&sent, &plus), (0, 1, 0));
+        // Same link, different payload: a modification, not drop+inject.
+        let modified = vec![env(1, 2, &other), env(2, 3, &payload)];
+        assert_eq!(delivery_diff(&sent, &modified), (0, 0, 1));
+        // Mixed: drop 1→2, inject 4→1, modify 2→3.
+        let mixed = vec![env(2, 3, &other), env(4, 1, &other)];
+        assert_eq!(delivery_diff(&sent, &mixed), (1, 1, 1));
+    }
+
+    #[test]
+    fn stats_count_drops_and_injections() {
+        /// Drops every message to node 2 and injects one forgery per round.
+        struct DropInject;
+        impl UlAdversary for DropInject {
+            fn plan(&mut self, _view: &NetView<'_>) -> BreakPlan {
+                BreakPlan::none()
+            }
+            fn corrupt(&mut self, _n: NodeId, _s: &mut dyn Any, _t: &TimeView) {}
+            fn deliver(&mut self, sent: &[Envelope], _v: &NetView<'_>) -> Vec<Envelope> {
+                let mut out: Vec<Envelope> = sent
+                    .iter()
+                    .filter(|e| e.to != NodeId(2))
+                    .cloned()
+                    .collect();
+                out.push(Envelope::new(NodeId(3), NodeId(1), vec![0xEE]));
+                out
+            }
+        }
+        let result = run_ul(
+            cfg(3),
+            |_| Pinger {
+                received: 0,
+                rom_check: None,
+            },
+            &mut DropInject,
+        );
+        // Each round: 2 messages to node 2 dropped, 1 forgery injected.
+        assert_eq!(result.stats.messages_dropped, 2 * 10);
+        assert_eq!(result.stats.messages_injected, 10);
+        assert_eq!(result.stats.messages_modified, 0);
+    }
+
+    #[test]
+    fn telemetry_enabled_run_matches_disabled_and_traces() {
+        use proauth_telemetry::{memory_contents, strip_wall_fields};
+        let off = run_ul(
+            cfg(4),
+            |_| Pinger {
+                received: 0,
+                rom_check: None,
+            },
+            &mut FaithfulUl,
+        );
+        let mut c = cfg(4);
+        let (tele, buf) = Telemetry::with_memory_sink();
+        c.telemetry = tele.clone();
+        let on = run_ul(
+            c,
+            |_| Pinger {
+                received: 0,
+                rom_check: None,
+            },
+            &mut FaithfulUl,
+        );
+        // Recording is one-way: the result is unchanged.
+        assert_eq!(off.outputs, on.outputs);
+        assert_eq!(off.stats, on.stats);
+        // The trace has the run framing and a round_end per round.
+        let text = strip_wall_fields(&memory_contents(&buf));
+        assert!(text.starts_with("{\"ev\":\"run_start\",\"n\":4"));
+        assert!(text.ends_with("{\"ev\":\"run_end\",\"rounds\":10,\"sent\":120,\"delivered\":120,\"dropped\":0,\"injected\":0,\"modified\":0,\"alerts\":0}\n"));
+        assert_eq!(text.matches("\"ev\":\"round_end\"").count(), 10);
+        // Per-unit counter rows closed at each unit boundary (10 rounds of a
+        // 10-round unit → exactly one mark).
+        assert_eq!(tele.units().len(), 1);
+        assert_eq!(tele.counter("adversary/dropped"), 0);
     }
 
     #[test]

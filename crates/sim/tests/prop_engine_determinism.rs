@@ -13,6 +13,7 @@ use proauth_sim::clock::{Schedule, TimeView};
 use proauth_sim::message::{Envelope, NodeId, OutputEvent};
 use proauth_sim::process::{Process, RoundCtx, SetupCtx};
 use proauth_sim::runner::{run_al, run_ul, SimConfig, SimResult};
+use proauth_sim::telemetry::{memory_contents, strip_wall_fields, Telemetry};
 use std::any::Any;
 
 /// A node whose behaviour is sensitive to everything that could diverge:
@@ -183,6 +184,44 @@ fn pooled_ground_truth_matches_serial_at_large_n() {
         let serial = run_ul(cfg(seed, n, false, 0), |_| Chatter { counter: 0 }, &mut Chaos);
         let pooled = run_ul(cfg(seed, n, true, 4), |_| Chatter { counter: 0 }, &mut Chaos);
         assert_identical(&serial, &pooled, &format!("large-n seed {seed}"));
+    }
+}
+
+#[test]
+fn ul_results_and_traces_identical_with_telemetry_on() {
+    // Telemetry must be invisible in results AND itself deterministic: for
+    // every pool size the SimResult matches the telemetry-off serial run
+    // bit-for-bit, and the recorded JSONL trace (minus wall-clock fields)
+    // matches the serial-with-telemetry trace byte-for-byte.
+    let n = 8;
+    for seed in [0u64, 3, 11] {
+        let baseline = run_ul(cfg(seed, n, false, 0), |_| Chatter { counter: 0 }, &mut Chaos);
+        let traced = |parallel: bool, threads: usize| {
+            let mut c = cfg(seed, n, parallel, threads);
+            let (tele, buf) = Telemetry::with_memory_sink();
+            c.telemetry = tele;
+            let result = run_ul(c, |_| Chatter { counter: 0 }, &mut Chaos);
+            (result, strip_wall_fields(&memory_contents(&buf)))
+        };
+        let (serial, serial_trace) = traced(false, 0);
+        assert_identical(
+            &baseline,
+            &serial,
+            &format!("seed {seed}: telemetry on vs off"),
+        );
+        assert!(!serial_trace.is_empty(), "trace recorded");
+        for threads in [1usize, 2, 8] {
+            let (pooled, pooled_trace) = traced(true, threads);
+            assert_identical(
+                &baseline,
+                &pooled,
+                &format!("seed {seed} threads {threads}: telemetry on"),
+            );
+            assert_eq!(
+                serial_trace, pooled_trace,
+                "seed {seed} threads {threads}: trace diverged"
+            );
+        }
     }
 }
 

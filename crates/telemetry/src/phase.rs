@@ -1,0 +1,126 @@
+//! Span-style phase timing keyed to the clock's time-unit / refreshment
+//! schedule (Fig. 1 of the paper).
+//!
+//! The engine calls [`PhaseTimer::on_round`] once per round with the
+//! schedule-derived phase label; the timer emits `phase_start` /
+//! `phase_end` events at transitions (a new label *or* a new unit opens a
+//! new span) and records each span's wall time into a per-phase histogram.
+//! Round indices in the events are deterministic; wall durations ride in
+//! `wall_ns` fields and histograms only.
+
+use crate::Telemetry;
+use std::time::Instant;
+
+/// Phase labels the engine derives from `clock::Phase`.
+pub const PHASE_NORMAL: &str = "normal";
+/// Refresh Part I (local key certification with old keys).
+pub const PHASE_REFRESH1: &str = "refresh1";
+/// Refresh Part II (PDS share refresh with new keys).
+pub const PHASE_REFRESH2: &str = "refresh2";
+
+/// Maps a phase label to its static histogram name.
+fn hist_name(label: &str) -> &'static str {
+    match label {
+        PHASE_REFRESH1 => "phase/refresh1_ns",
+        PHASE_REFRESH2 => "phase/refresh2_ns",
+        _ => "phase/normal_ns",
+    }
+}
+
+#[derive(Debug)]
+struct Span {
+    label: &'static str,
+    unit: u64,
+    start_round: u64,
+    start: Instant,
+}
+
+/// Tracks the current schedule phase as a span over physical rounds.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    current: Option<Span>,
+}
+
+impl PhaseTimer {
+    /// A timer with no open span.
+    pub fn new() -> Self {
+        PhaseTimer::default()
+    }
+
+    /// Advances the timer to `round`, opening/closing spans on transitions.
+    pub fn on_round(&mut self, tele: &Telemetry, round: u64, unit: u64, label: &'static str) {
+        if !tele.is_on() {
+            return;
+        }
+        let same = self
+            .current
+            .as_ref()
+            .is_some_and(|s| s.label == label && s.unit == unit);
+        if same {
+            return;
+        }
+        self.close(tele, round);
+        tele.emit_event("phase_start", |ev| {
+            ev.u64("round", round).u64("unit", unit).str("phase", label);
+        });
+        self.current = Some(Span {
+            label,
+            unit,
+            start_round: round,
+            start: Instant::now(),
+        });
+    }
+
+    /// Closes any open span at `end_round` (exclusive), e.g. at run end.
+    pub fn finish(&mut self, tele: &Telemetry, end_round: u64) {
+        self.close(tele, end_round);
+    }
+
+    fn close(&mut self, tele: &Telemetry, end_round: u64) {
+        let Some(span) = self.current.take() else {
+            return;
+        };
+        let wall_ns = span.start.elapsed().as_nanos() as u64;
+        tele.observe_ns(hist_name(span.label), wall_ns);
+        tele.emit_event("phase_end", |ev| {
+            ev.u64("round", end_round)
+                .u64("unit", span.unit)
+                .str("phase", span.label)
+                .u64("rounds", end_round.saturating_sub(span.start_round))
+                .u64("wall_ns", wall_ns);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::strip_wall_fields;
+
+    #[test]
+    fn spans_open_and_close_on_transitions() {
+        let (tele, buf) = Telemetry::with_memory_sink();
+        let mut timer = PhaseTimer::new();
+        timer.on_round(&tele, 0, 0, PHASE_NORMAL);
+        timer.on_round(&tele, 1, 0, PHASE_NORMAL); // same span
+        timer.on_round(&tele, 2, 1, PHASE_REFRESH1); // transition
+        timer.finish(&tele, 4);
+        drop(tele);
+        let text = strip_wall_fields(&crate::sink::memory_contents(&buf));
+        assert_eq!(
+            text,
+            "{\"ev\":\"phase_start\",\"round\":0,\"unit\":0,\"phase\":\"normal\"}\n\
+             {\"ev\":\"phase_end\",\"round\":2,\"unit\":0,\"phase\":\"normal\",\"rounds\":2}\n\
+             {\"ev\":\"phase_start\",\"round\":2,\"unit\":1,\"phase\":\"refresh1\"}\n\
+             {\"ev\":\"phase_end\",\"round\":4,\"unit\":1,\"phase\":\"refresh1\",\"rounds\":2}\n"
+        );
+    }
+
+    #[test]
+    fn disabled_timer_is_inert() {
+        let tele = Telemetry::off();
+        let mut timer = PhaseTimer::new();
+        timer.on_round(&tele, 0, 0, PHASE_NORMAL);
+        timer.finish(&tele, 1);
+    }
+}

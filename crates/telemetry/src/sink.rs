@@ -1,0 +1,92 @@
+//! Flight-recorder sinks: where the JSONL event stream goes.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A destination for encoded JSONL trace bytes.
+#[derive(Debug)]
+pub enum Sink {
+    /// Buffered file writer (the `PROAUTH_TRACE=path` / `--trace` target).
+    File(Mutex<BufWriter<std::fs::File>>),
+    /// Shared in-memory buffer, used by tests to capture and compare traces.
+    Memory(Arc<Mutex<Vec<u8>>>),
+}
+
+impl Sink {
+    /// Opens (creating/truncating) a file sink.
+    pub fn file(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Sink::File(Mutex::new(BufWriter::new(f))))
+    }
+
+    /// Creates a memory sink plus the shared buffer it writes into.
+    pub fn memory() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (Sink::Memory(Arc::clone(&buf)), buf)
+    }
+
+    /// Appends raw bytes (already newline-terminated JSONL).
+    pub fn write(&self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        match self {
+            Sink::File(w) => {
+                let _ = lock(w).write_all(bytes);
+            }
+            Sink::Memory(buf) => lock(buf).extend_from_slice(bytes),
+        }
+    }
+
+    /// Flushes buffered output (file sinks).
+    pub fn flush(&self) {
+        if let Sink::File(w) = self {
+            let _ = lock(w).flush();
+        }
+    }
+}
+
+impl Drop for Sink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Reads a memory-sink buffer out as a UTF-8 string.
+pub fn memory_contents(buf: &Arc<Mutex<Vec<u8>>>) -> String {
+    String::from_utf8_lossy(&lock(buf)).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let (sink, buf) = Sink::memory();
+        sink.write(b"{\"ev\":\"a\"}\n");
+        sink.write(b"");
+        sink.write(b"{\"ev\":\"b\"}\n");
+        assert_eq!(memory_contents(&buf), "{\"ev\":\"a\"}\n{\"ev\":\"b\"}\n");
+    }
+
+    #[test]
+    fn file_sink_writes_and_flushes() {
+        let path = std::env::temp_dir().join(format!(
+            "proauth-telemetry-sink-test-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = Sink::file(&path).expect("create");
+            sink.write(b"{\"ev\":\"x\"}\n");
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, "{\"ev\":\"x\"}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

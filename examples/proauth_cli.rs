@@ -17,6 +17,9 @@
 //!   --auth <mode>        sign | mac (default sign)
 //!   --adversary <name>   none | drop:<pct> | replay | isolate:<node> |
 //!                        wipe:<node> | hijack:<node> (default none)
+//!   --trace <path>       write a JSONL flight-recorder trace to <path>
+//!                        (also enables the metrics report; PROAUTH_TRACE=path
+//!                        works too)
 //!   --parallel           run nodes on worker threads
 //!   --verbose            print every output event
 //! ```
@@ -54,6 +57,7 @@ impl UlAdversary for Wiper {
     fn corrupt(&mut self, _n: NodeId, state: &mut dyn std::any::Any, _t: &TimeView) {
         if let Some(node) = state.downcast_mut::<UlsNode<HeartbeatApp>>() {
             node.corrupt_wipe();
+            proauth_sim::telemetry::count("adversary/wipes", 1);
         }
     }
     fn deliver(&mut self, sent: &[Envelope], _v: &NetView<'_>) -> Vec<Envelope> {
@@ -78,7 +82,8 @@ fn parse_args() -> HashMap<String, String> {
             "parallel" | "verbose" => {
                 out.insert(key.to_owned(), "true".to_owned());
             }
-            "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary" => {
+            "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary"
+            | "trace" => {
                 let Some(value) = args.next() else {
                     eprintln!("--{key} needs a value");
                     usage()
@@ -146,6 +151,18 @@ fn main() {
     cfg.total_rounds = schedule.unit_rounds * units;
     cfg.seed = seed;
     cfg.parallel = args.contains_key("parallel");
+    if let Some(path) = args.get("trace") {
+        cfg.telemetry = match proauth_sim::Telemetry::with_trace_path(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                exit(2);
+            }
+        };
+    }
+    // Keep a handle for the post-run metrics report (the config moves into
+    // the runner).
+    let telemetry = cfg.telemetry.clone();
 
     let group = Group::new(group_id);
     let make_node = |id: NodeId| {
@@ -241,10 +258,7 @@ fn main() {
             result.final_operational[id.idx()],
         );
     }
-    println!(
-        "\ntraffic: {} messages sent, {} delivered, {} bytes",
-        result.stats.messages_sent, result.stats.messages_delivered, result.stats.bytes_sent
-    );
+    println!("\ntraffic: {}", result.stats);
     if !limit_note.is_empty() {
         println!("adversary: {limit_note}");
     }
@@ -267,6 +281,14 @@ fn main() {
     println!("\nunit timeline:");
     for summary in proauth_sim::report::unit_summaries(&result, &schedule) {
         print!("{summary}");
+    }
+
+    if let Some(metrics) = proauth_sim::report::render_metrics(&telemetry) {
+        println!("\nmetrics:");
+        print!("{metrics}");
+        if let Some(path) = args.get("trace") {
+            println!("trace written to {path}");
+        }
     }
 
     if verbose {
