@@ -17,6 +17,16 @@ PROAUTH_THREADS=4 cargo test -q
 
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Fixed-seed chaos smoke: the degradation ramp must demonstrate the (s,t)
+# boundary (sub-budget guarantees hold, over-budget degrades with alarms)
+# on both engines — the sweep is bit-deterministic across pool sizes.
+PROAUTH_THREADS=1 cargo run -q --release -p proauth-examples --bin proauth -- chaos --n 5 --units 3 --seed 42
+PROAUTH_THREADS=4 cargo run -q --release -p proauth-examples --bin proauth -- chaos --n 5 --units 3 --seed 42
+
+# Long chaos soak (release): the same boundary contract over a longer
+# horizon and several seeds, with a hard bound on re-certification latency.
+cargo test -q -p proauth-tests --release --test chaos_soak -- --ignored
+
 # Envelope-budget regression at n = 32 (release: the legacy Θ(n³) ablation
 # inside is minutes-long in debug builds): evidence bundling must keep
 # refresh traffic O(n²·fanout) and beat the pre-bundle encoding ≥10×.

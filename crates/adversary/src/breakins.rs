@@ -173,6 +173,7 @@ mod tests {
             time: proauth_sim::clock::TimeView::at(&sched, round),
             n: 3,
             broken: &[false; 3],
+            crashed: &[false; 3],
             operational: &[true; 3],
             last_delivered: &[],
             broken_inboxes: &[],

@@ -10,14 +10,20 @@
 //! * [`breakins`] — mobile break-in schedules with memory-corruption modes;
 //! * [`impersonation`] — the key-theft and certification-hijack attacks the
 //!   awareness property exists to expose;
-//! * [`limits`] — per-unit impairment accounting.
+//! * [`limits`] — per-unit impairment accounting;
+//! * [`sweep`] — the degradation sweep driver: ramp chaos intensity across
+//!   the `(s,t)` boundary and report graceful degradation.
 
 pub mod breakins;
 pub mod impersonation;
 pub mod limits;
 pub mod strategies;
+pub mod sweep;
 
 pub use breakins::{CorruptMode, MobileBreakins, Visit};
 pub use impersonation::{forge_app_message, Hijacker, KeyThief};
 pub use limits::LimitObserver;
-pub use strategies::{Composed, Injector, LinkCutter, RandomDropper, Replayer};
+pub use sweep::{run_sweep, Intensity, SweepConfig, SweepPoint};
+pub use strategies::{
+    Composed, Delayer, Duplicator, Injector, LinkCutter, RandomDropper, Reorderer, Replayer,
+};

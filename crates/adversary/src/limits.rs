@@ -47,9 +47,13 @@ impl<A> LimitObserver<A> {
     fn record(&mut self, view: &NetView<'_>) {
         let entry = self.per_unit.entry(view.time.unit).or_default();
         for id in NodeId::all(view.n) {
-            if (view.broken[id.idx()] || !view.operational[id.idx()]) && entry.insert(id.0) {
+            let impaired = view.broken[id.idx()]
+                || view.crashed[id.idx()]
+                || !view.operational[id.idx()];
+            if impaired && entry.insert(id.0) {
                 // Def. 7 budget consumption: a node newly counted against
-                // this unit's `t` bound.
+                // this unit's `t` bound (crash-stopped rounds are charged
+                // like broken ones).
                 telemetry::count("adversary/impairments", 1);
             }
         }
@@ -98,6 +102,7 @@ mod tests {
             time: proauth_sim::clock::TimeView::at(&sched, 3),
             n: 3,
             broken: &broken,
+            crashed: &[false, false, false],
             operational: &ops,
             last_delivered: &[],
             broken_inboxes: &[],
@@ -112,6 +117,7 @@ mod tests {
             time: proauth_sim::clock::TimeView::at(&sched, 12),
             n: 3,
             broken: &none,
+            crashed: &[false, false, false],
             operational: &ops_ok,
             last_delivered: &[],
             broken_inboxes: &[],

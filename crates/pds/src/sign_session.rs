@@ -615,6 +615,98 @@ mod tests {
     }
 
     #[test]
+    fn chaotic_delivery_garbles_partial_then_retry_excludes_and_signs_fresh() {
+        // The network tampers with everything node 1 sends (its partials
+        // arrive garbled, its SignDone never arrives) and delivers the rest
+        // chaotically: every message duplicated, each tick's batch reversed.
+        // Public verifiability must pin the blame on signer 1 exactly, and
+        // the retry must run with FRESH nonces — reusing attempt-0 nonces
+        // would leak shares.
+        let (group, keys) = dkg_keys(5, 2, 108);
+        let t = 2;
+        let mut rng = StdRng::seed_from_u64(4000);
+        let sid = sid_for(b"chaos", 1);
+        let pk = keys[0].public_key.clone();
+        let mut sessions: BTreeMap<u32, SignSession> = BTreeMap::new();
+        let mut in_flight: Vec<(u32, AlsMsg)> = Vec::new();
+        for p in [1u32, 2, 3, 4] {
+            let (s, init) =
+                SignSession::start(&group, p, t, sid, b"chaos".to_vec(), 1, true, &mut rng);
+            sessions.insert(p, s);
+            in_flight.push((p, init.unwrap()));
+        }
+        let mut transcript: Vec<(u32, AlsMsg)> = Vec::new();
+        for _ in 0..6 {
+            let mut chaotic: Vec<(u32, AlsMsg)> = Vec::new();
+            for (i, (from, msg)) in std::mem::take(&mut in_flight).into_iter().enumerate() {
+                let msg = match (from, msg) {
+                    (1, AlsMsg::SignPartial { sid, attempt, .. }) => AlsMsg::SignPartial {
+                        sid,
+                        attempt,
+                        z: BigUint::from_u64(0xBAD),
+                    },
+                    (1, AlsMsg::SignDone { .. }) => continue,
+                    (_, msg) => msg,
+                };
+                if i % 2 == 0 {
+                    chaotic.push((from, msg.clone()));
+                }
+                chaotic.push((from, msg));
+            }
+            chaotic.reverse();
+            for (from, msg) in &chaotic {
+                for (&p, s) in sessions.iter_mut() {
+                    if p != *from {
+                        s.handle(&group, &pk, *from, msg);
+                    }
+                }
+            }
+            transcript.extend(chaotic);
+            for (&p, s) in sessions.iter_mut() {
+                for m in s.tick(&group, Some(&keys[(p - 1) as usize]), &pk, &mut rng) {
+                    in_flight.push((p, m));
+                }
+            }
+        }
+
+        // Everyone except the tampered node completes with a valid signature.
+        let vk = VerifyKey::from_element(&group, pk.clone()).unwrap();
+        for s in sessions.values().filter(|s| s.me != 1) {
+            assert!(s.is_done(), "session at {} done after retry", s.me);
+            assert!(vk.verify(&signing_payload(b"chaos", 1), s.result().unwrap()));
+        }
+
+        // The retry ran, and exactly the tampered signer was excluded from
+        // the attempt-1 signer set.
+        let attempt1_partials: BTreeSet<u32> = transcript
+            .iter()
+            .filter(|(_, m)| matches!(m, AlsMsg::SignPartial { attempt: 1, .. }))
+            .map(|(from, _)| *from)
+            .collect();
+        assert_eq!(attempt1_partials, BTreeSet::from([2, 3, 4]));
+
+        // Fresh nonces: each retry commitment differs from the same signer's
+        // attempt-0 commitment.
+        for signer in [2u32, 3, 4] {
+            let init_nonce = transcript
+                .iter()
+                .find_map(|(from, m)| match m {
+                    AlsMsg::SignInit { nonce, .. } if *from == signer => Some(nonce.clone()),
+                    _ => None,
+                })
+                .unwrap();
+            let retry_nonce = transcript
+                .iter()
+                .find_map(|(from, m)| match m {
+                    AlsMsg::SignRetryNonce { nonce, .. } if *from == signer => Some(nonce.clone()),
+                    _ => None,
+                })
+                .expect("retry nonce broadcast");
+            assert_ne!(init_nonce, retry_nonce, "signer {signer} reused a nonce");
+        }
+    }
+
+    #[test]
     fn forged_done_rejected() {
         let (group, keys) = dkg_keys(4, 1, 107);
         let mut rng = StdRng::seed_from_u64(3000);

@@ -18,13 +18,22 @@ use crate::clock::TimeView;
 use crate::message::{Envelope, NodeId};
 use std::any::Any;
 
-/// Break-in / leave decisions for one round.
+/// Break-in / leave / crash decisions for one round.
 #[derive(Debug, Clone, Default)]
 pub struct BreakPlan {
     /// Nodes to break into at the start of this round.
     pub break_into: Vec<NodeId>,
     /// Nodes to leave (release) at the start of this round.
     pub leave: Vec<NodeId>,
+    /// Nodes to crash-stop at the start of this round. A crashed node does
+    /// not execute, its pending inbox is discarded (a crash is *not* a
+    /// break-in: nothing is diverted to the adversary), and its rounds are
+    /// charged to the (s,t) budget like a broken node's.
+    pub crash: Vec<NodeId>,
+    /// Nodes to restart at the start of this round. A restarted node comes
+    /// back as a *fresh* instance — all volatile state lost, ROM intact — and
+    /// re-certifies via the §4.2 share-recovery / refresh path.
+    pub restart: Vec<NodeId>,
 }
 
 impl BreakPlan {
@@ -37,16 +46,40 @@ impl BreakPlan {
     pub fn break_into(nodes: impl IntoIterator<Item = NodeId>) -> Self {
         BreakPlan {
             break_into: nodes.into_iter().collect(),
-            leave: Vec::new(),
+            ..Self::default()
         }
     }
 
     /// Leaves the given nodes.
     pub fn leave(nodes: impl IntoIterator<Item = NodeId>) -> Self {
         BreakPlan {
-            break_into: Vec::new(),
             leave: nodes.into_iter().collect(),
+            ..Self::default()
         }
+    }
+
+    /// Crash-stops the given nodes.
+    pub fn crash(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        BreakPlan {
+            crash: nodes.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Restarts the given nodes (from wiped volatile state).
+    pub fn restart(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        BreakPlan {
+            restart: nodes.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Merges another plan into this one (used by strategy combinators).
+    pub fn merge(&mut self, other: BreakPlan) {
+        self.break_into.extend(other.break_into);
+        self.leave.extend(other.leave);
+        self.crash.extend(other.crash);
+        self.restart.extend(other.restart);
     }
 }
 
@@ -62,6 +95,9 @@ pub struct NetView<'a> {
     pub n: usize,
     /// Which nodes are currently broken.
     pub broken: &'a [bool],
+    /// Which nodes are currently crash-stopped (not executing; kept separate
+    /// from `broken` — a crashed node's inbox is discarded, not diverted).
+    pub crashed: &'a [bool],
     /// Which nodes are currently `s`-operational (runner's ground truth).
     pub operational: &'a [bool],
     /// Messages delivered at the end of the previous round (the traffic the
@@ -164,6 +200,7 @@ mod tests {
             time: crate::clock::TimeView::at(&crate::clock::Schedule::new(10, 2, 2), 0),
             n: 2,
             broken: &[false, false],
+            crashed: &[false, false],
             operational: &[true, true],
             last_delivered: &[],
             broken_inboxes: &[],

@@ -1,0 +1,504 @@
+//! Deterministic chaos engine: compiled fault schedules, crash–restart
+//! orchestration, and chaotic delivery.
+//!
+//! The paper's protocols are built to survive transient faults — break-ins,
+//! lost state, `s`-disconnection — so the harness must be able to *produce*
+//! those faults on demand. This module compiles a seed into a
+//! [`FaultSchedule`] (node crash-stops, including crashes aimed at the Fig-1
+//! refreshment-phase boundaries where mid-refresh state loss hurts most) and
+//! wraps any adversary in a [`ChaosNet`] that executes the schedule, restarts
+//! crashed nodes after a configurable outage, and — in the UL model, whose
+//! adversary owns delivery — delays, duplicates, and reorders traffic.
+//!
+//! Everything is a pure function of the configuration and the seed:
+//! schedules are precompiled, per-round randomness is derived by hashing
+//! `(seed, round)` rather than streamed, and all decisions run on the engine
+//! thread. Same seed ⇒ bit-identical [`crate::runner::SimResult`] and trace
+//! across serial and pooled execution, like every other adversary.
+//!
+//! Crash semantics (vs break-ins, Definitions 4–7): a crashed node does not
+//! execute and its pending traffic is *discarded*, not diverted — the
+//! adversary gains nothing from a crash except the outage. A restarted node
+//! comes back as a freshly constructed instance: volatile state (key shares,
+//! sessions, counters) is gone, the ROM survives. It then recovers via the
+//! §4.2 path — share recovery inside the next refreshment phase and
+//! re-certification at its end. Crashed rounds are charged against the
+//! `(s,t)` budget exactly like broken rounds, so Definition 7 stays the
+//! ground truth for "did the adversary stay within its allowance".
+
+use crate::adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
+use crate::clock::{Phase, Schedule, TimeView};
+use crate::message::{Envelope, NodeId};
+use crate::process::{Process, RoundCtx, SetupCtx};
+use proauth_primitives::sha256;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Fault-intensity knobs for the chaos engine. The default is calm (no
+/// faults); a sweep driver scales these across the `(s,t)` boundary.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Per-node per-round crash probability (background crashes).
+    pub crash_p: f64,
+    /// Probability of crashing one extra node at each refreshment-phase
+    /// boundary (the first round of Part I and of Part II) — the rounds
+    /// where losing volatile state interacts worst with the Fig-1 schedule.
+    pub boundary_crash_p: f64,
+    /// Rounds a crashed node stays down before [`ChaosNet`] restarts it
+    /// (`None` = crashed nodes never come back).
+    pub restart_after: Option<u64>,
+    /// Cap on simultaneously crashed nodes when compiling the schedule.
+    /// Keeping this ≤ the run's `t` keeps the schedule inside the
+    /// Definition-7 budget; raising it past `t` drives the run over the
+    /// boundary on purpose.
+    pub max_down: usize,
+    /// Rounds the schedule compiler presumes a crash victim stays *impaired*
+    /// (counted against `max_down`); defaults to the restart outage. A
+    /// restarted node is still non-operational until it re-certifies at the
+    /// next refresh end, so a schedule that must provably respect a
+    /// Definition-7 budget should cover that tail (outage + up to two
+    /// units).
+    pub presumed_down: Option<u64>,
+    /// Per-message one-round delay probability (UL only).
+    pub delay_p: f64,
+    /// Per-message duplication probability (UL only).
+    pub dup_p: f64,
+    /// Shuffle each round's delivered set (UL only).
+    pub reorder: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            crash_p: 0.0,
+            boundary_crash_p: 0.0,
+            restart_after: None,
+            max_down: usize::MAX,
+            presumed_down: None,
+            delay_p: 0.0,
+            dup_p: 0.0,
+            reorder: false,
+        }
+    }
+}
+
+/// Derives the deterministic per-round chaos RNG. Keyed, not streamed: the
+/// behaviour at round `w` is a pure function of `(seed, w)`.
+fn chaos_rng(seed: u64, round: u64, tag: &str) -> StdRng {
+    let digest = sha256::hash_parts(
+        "proauth/sim/chaos-rng",
+        &[tag.as_bytes(), &seed.to_be_bytes(), &round.to_be_bytes()],
+    );
+    StdRng::from_seed(digest)
+}
+
+/// A precompiled crash schedule: which nodes crash-stop at which round.
+///
+/// Restarts are *not* part of the schedule — [`ChaosNet`] issues them
+/// reactively from the observed crashed set, so panic-induced crashes (a
+/// node step that died on its own) get the same restart treatment as
+/// scheduled ones.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    crashes: BTreeMap<u64, Vec<NodeId>>,
+}
+
+impl FaultSchedule {
+    /// Compiles `cfg` + `seed` into a deterministic crash schedule for a run
+    /// of `total_rounds` rounds over `n` nodes under `schedule`.
+    ///
+    /// The compiler tracks a presumed outage window per node
+    /// (`restart_after` rounds, or forever) and never exceeds
+    /// `cfg.max_down` simultaneous crashes, so the schedule's pressure on
+    /// the `(s,t)` budget is controlled by configuration, not luck.
+    pub fn compile(
+        cfg: &ChaosConfig,
+        n: usize,
+        total_rounds: u64,
+        schedule: &Schedule,
+        seed: u64,
+    ) -> Self {
+        let mut crashes: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+        // Presumed first round each node is back up (schedule-local view;
+        // the +1 mirrors ChaosNet observing the crash one round later).
+        let down_span = cfg.presumed_down.or(cfg.restart_after).map(|d| d + 1);
+        let mut up_at = vec![0u64; n];
+        for round in 0..total_rounds {
+            let mut rng = chaos_rng(seed, round, "schedule");
+            let mut down_now = up_at.iter().filter(|&&u| u > round).count();
+            // In budget-proof mode (`presumed_down` set) every victim must
+            // have time to restart *and* re-certify before the run ends, so
+            // stop scheduling crashes whose presumed impairment would spill
+            // past the final round.
+            let in_horizon = cfg.presumed_down.is_none()
+                || down_span.is_some_and(|s| round + s <= total_rounds);
+            let mut crash = |id: NodeId,
+                             up_at: &mut Vec<u64>,
+                             down_now: &mut usize| {
+                up_at[id.idx()] = down_span.map_or(u64::MAX, |s| round + s);
+                *down_now += 1;
+                crashes.entry(round).or_default().push(id);
+            };
+            // Phase-boundary crash: one victim at the start of refresh
+            // Part I / Part II, chosen among currently-up nodes.
+            let boundary = matches!(
+                schedule.phase_of(round),
+                Phase::RefreshPart1 { step: 0 } | Phase::RefreshPart2 { step: 0 }
+            );
+            if boundary
+                && in_horizon
+                && down_now < cfg.max_down
+                && cfg.boundary_crash_p > 0.0
+                && rng.gen::<f64>() < cfg.boundary_crash_p
+            {
+                let up: Vec<NodeId> = NodeId::all(n)
+                    .filter(|id| up_at[id.idx()] <= round)
+                    .collect();
+                if let Some(&id) = up.choose(&mut rng) {
+                    crash(id, &mut up_at, &mut down_now);
+                }
+            }
+            // Background crashes: independent per node, budget-capped.
+            if cfg.crash_p > 0.0 && in_horizon {
+                for id in NodeId::all(n) {
+                    if up_at[id.idx()] > round || down_now >= cfg.max_down {
+                        continue;
+                    }
+                    if rng.gen::<f64>() < cfg.crash_p {
+                        crash(id, &mut up_at, &mut down_now);
+                    }
+                }
+            }
+        }
+        FaultSchedule { crashes }
+    }
+
+    /// Nodes scheduled to crash at `round`.
+    pub fn crashes_at(&self, round: u64) -> &[NodeId] {
+        self.crashes.get(&round).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total scheduled crash events.
+    pub fn total_crashes(&self) -> usize {
+        self.crashes.values().map(Vec::len).sum()
+    }
+}
+
+/// Wraps an adversary with the chaos engine: executes a [`FaultSchedule`],
+/// restarts crashed nodes (scheduled *or* panic-induced) after
+/// `restart_after` rounds, and — under the UL model — delays, duplicates,
+/// and reorders the inner adversary's deliveries.
+///
+/// Under the AL model only the crash/restart plan applies: the AL adversary
+/// has no power over honest delivery, so the delivery knobs are ignored.
+pub struct ChaosNet<A> {
+    /// The wrapped adversary (its plan and delivery run first).
+    pub inner: A,
+    cfg: ChaosConfig,
+    schedule: FaultSchedule,
+    seed: u64,
+    /// Messages held back by the delay knob, delivered next round.
+    held: Vec<Envelope>,
+    /// Round each node was first *observed* crashed; drives restarts.
+    crashed_since: Vec<Option<u64>>,
+}
+
+impl<A> ChaosNet<A> {
+    /// Wraps `inner` with a precompiled schedule.
+    pub fn new(inner: A, cfg: ChaosConfig, schedule: FaultSchedule, n: usize, seed: u64) -> Self {
+        ChaosNet {
+            inner,
+            cfg,
+            schedule,
+            seed,
+            held: Vec::new(),
+            crashed_since: vec![None; n],
+        }
+    }
+
+    /// Compiles the schedule from `cfg` and wraps `inner` in one step.
+    pub fn compile(
+        inner: A,
+        cfg: ChaosConfig,
+        n: usize,
+        total_rounds: u64,
+        schedule: &Schedule,
+        seed: u64,
+    ) -> Self {
+        let compiled = FaultSchedule::compile(&cfg, n, total_rounds, schedule, seed);
+        Self::new(inner, cfg, compiled, n, seed)
+    }
+
+    /// The chaos engine's own plan for this round: scheduled crashes plus
+    /// reactive restarts for any node observed crashed long enough —
+    /// including nodes the engine crashed because their step panicked.
+    fn chaos_plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let round = view.time.round;
+        let mut plan = BreakPlan::none();
+        plan.crash.extend_from_slice(self.schedule.crashes_at(round));
+        for id in NodeId::all(view.n) {
+            let idx = id.idx();
+            if view.crashed[idx] {
+                let since = *self.crashed_since[idx].get_or_insert(round);
+                if let Some(delay) = self.cfg.restart_after {
+                    if round >= since + delay {
+                        plan.restart.push(id);
+                    }
+                }
+            } else {
+                self.crashed_since[idx] = None;
+            }
+        }
+        plan
+    }
+
+    /// Applies the UL delivery knobs (delay, duplicate, reorder) to the
+    /// round's delivered set.
+    fn chaos_deliver(&mut self, delivered: Vec<Envelope>, round: u64) -> Vec<Envelope> {
+        let calm = self.cfg.delay_p == 0.0 && self.cfg.dup_p == 0.0 && !self.cfg.reorder;
+        if calm && self.held.is_empty() {
+            return delivered;
+        }
+        let mut rng = chaos_rng(self.seed, round, "deliver");
+        let mut out = std::mem::take(&mut self.held);
+        for e in delivered {
+            if self.cfg.delay_p > 0.0 && rng.gen::<f64>() < self.cfg.delay_p {
+                self.held.push(e);
+                continue;
+            }
+            let dup = self.cfg.dup_p > 0.0 && rng.gen::<f64>() < self.cfg.dup_p;
+            out.push(e.clone());
+            if dup {
+                out.push(e);
+            }
+        }
+        if self.cfg.reorder {
+            out.shuffle(&mut rng);
+        }
+        out
+    }
+}
+
+impl<A: UlAdversary> UlAdversary for ChaosNet<A> {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let mut p = self.inner.plan(view);
+        p.merge(self.chaos_plan(view));
+        p
+    }
+
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn std::any::Any, time: &TimeView) {
+        self.inner.corrupt(node, state, time);
+    }
+
+    fn deliver(&mut self, sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        let mid = self.inner.deliver(sent, view);
+        self.chaos_deliver(mid, view.time.round)
+    }
+
+    fn output(&mut self) -> Vec<String> {
+        self.inner.output()
+    }
+}
+
+impl<A: AlAdversary> AlAdversary for ChaosNet<A> {
+    fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+        let mut p = self.inner.plan(view);
+        p.merge(self.chaos_plan(view));
+        p
+    }
+
+    fn corrupt(&mut self, node: NodeId, state: &mut dyn std::any::Any, time: &TimeView) {
+        self.inner.corrupt(node, state, time);
+    }
+
+    fn broken_sends(&mut self, honest_sent: &[Envelope], view: &NetView<'_>) -> Vec<Envelope> {
+        self.inner.broken_sends(honest_sent, view)
+    }
+
+    fn output(&mut self) -> Vec<String> {
+        self.inner.output()
+    }
+}
+
+/// Test hook: a process wrapper that panics on one configured `(node,
+/// round)` step, for exercising the engine's panic→crash conversion. The
+/// inner process is fully transparent otherwise (including `state_mut`, so
+/// adversary downcasts still reach the real node state).
+pub struct PanicOn<P> {
+    inner: P,
+    node: NodeId,
+    round: u64,
+}
+
+impl<P> PanicOn<P> {
+    /// Wraps `inner`; the wrapper panics when `node` executes `round`.
+    pub fn at(inner: P, node: NodeId, round: u64) -> Self {
+        PanicOn { inner, node, round }
+    }
+}
+
+impl<P: Process> Process for PanicOn<P> {
+    fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>) {
+        self.inner.on_setup_round(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        assert!(
+            !(ctx.me == self.node && ctx.time.round == self.round),
+            "chaos: injected panic ({} at round {})",
+            self.node,
+            self.round
+        );
+        self.inner.on_round(ctx);
+    }
+
+    fn state_mut(&mut self) -> &mut dyn std::any::Any {
+        self.inner.state_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FaithfulUl;
+    use crate::runner::{run_ul, SimConfig};
+    use std::any::Any;
+
+    /// Counts what it hears; crashes lose the count (volatile state).
+    struct Counter {
+        heard: u64,
+    }
+
+    impl Process for Counter {
+        fn on_setup_round(&mut self, _ctx: &mut SetupCtx<'_>) {}
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            self.heard += ctx.inbox.len() as u64;
+            ctx.send_all(vec![0x01]);
+        }
+        fn state_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn cfg(n: usize, rounds: u64) -> SimConfig {
+        let mut c = SimConfig::new(n, 1, Schedule::new(10, 2, 2));
+        c.total_rounds = rounds;
+        c.setup_rounds = 1;
+        c
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_budget_capped() {
+        let chaos = ChaosConfig {
+            crash_p: 0.08,
+            boundary_crash_p: 0.5,
+            restart_after: Some(4),
+            max_down: 2,
+            ..ChaosConfig::default()
+        };
+        let sched = Schedule::new(10, 2, 2);
+        let a = FaultSchedule::compile(&chaos, 6, 40, &sched, 77);
+        let b = FaultSchedule::compile(&chaos, 6, 40, &sched, 77);
+        assert_eq!(a.crashes, b.crashes);
+        assert!(a.total_crashes() > 0, "intensity this high must crash");
+        // The compiler's own outage presumption never exceeds max_down.
+        let mut up_at = [0u64; 6];
+        for round in 0..40 {
+            for id in a.crashes_at(round) {
+                up_at[id.idx()] = round + 5;
+            }
+            let down = up_at.iter().filter(|&&u| u > round).count();
+            assert!(down <= 2, "round {round}: {down} down");
+        }
+        // A different seed produces a different schedule.
+        let c = FaultSchedule::compile(&chaos, 6, 40, &sched, 78);
+        assert_ne!(a.crashes, c.crashes);
+    }
+
+    #[test]
+    fn crash_discards_state_and_restart_rejoins() {
+        // One scheduled crash of node 2 at round 3, restart after 2 rounds.
+        let mut schedule = FaultSchedule::default();
+        schedule.crashes.insert(3, vec![NodeId(2)]);
+        let chaos = ChaosConfig {
+            restart_after: Some(2),
+            ..ChaosConfig::default()
+        };
+        let mut adv = ChaosNet::new(FaithfulUl, chaos, schedule, 3, 0);
+        let result = run_ul(cfg(3, 20), |_| Counter { heard: 0 }, &mut adv);
+        // Crashed rounds are charged: node 2 down from round 3 until the
+        // restart lands (observed crashed at 4, restarted at plan of 6).
+        assert_eq!(result.stats.crashes, 1);
+        assert_eq!(result.stats.restarts, 1);
+        assert_eq!(result.stats.panics, 0);
+        let down = result.stats.crashed_rounds[NodeId(2).idx()];
+        assert_eq!(down, 3, "rounds 3,4,5 spent crashed");
+        // While down it sent nothing: 2 peers × 3 rounds missing.
+        assert_eq!(result.stats.messages_sent, 3 * 2 * 20 - 6);
+        // The crash is charged to ground truth: node 2 lost s-operational
+        // status (UL impairment lines fired) and rejoined at a refresh end.
+        let evs: Vec<_> = result.outputs[NodeId(2).idx()]
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert!(evs.contains(&crate::message::OutputEvent::Compromised));
+        assert!(evs.contains(&crate::message::OutputEvent::Recovered));
+    }
+
+    #[test]
+    fn chaotic_delivery_preserves_multiset_per_link() {
+        // Delay + dup + reorder never forge or modify: every delivered
+        // envelope matches something sent on the same link.
+        let chaos = ChaosConfig {
+            delay_p: 0.3,
+            dup_p: 0.3,
+            reorder: true,
+            ..ChaosConfig::default()
+        };
+        let mut adv = ChaosNet::new(FaithfulUl, chaos, FaultSchedule::default(), 4, 9);
+        let mut c = cfg(4, 15);
+        c.record_transcript = true;
+        let result = run_ul(c, |_| Counter { heard: 0 }, &mut adv);
+        assert_eq!(result.stats.messages_modified, 0);
+        let t = result.transcript.expect("transcript");
+        for rec in &t {
+            for env in &rec.delivered {
+                assert!(
+                    t.iter().any(|r| r
+                        .sent
+                        .iter()
+                        .any(|s| s.from == env.from && s.to == env.to && s.payload == env.payload)),
+                    "delivered envelope was never sent"
+                );
+            }
+        }
+        // Duplication actually fired.
+        assert!(result.stats.messages_injected > 0, "duplicates count as injected");
+    }
+
+    #[test]
+    fn panicking_step_becomes_crash_and_run_continues() {
+        let run = |parallel: bool| {
+            let mut c = cfg(3, 12);
+            c.parallel = parallel;
+            run_ul(
+                c,
+                |_| PanicOn::at(Counter { heard: 0 }, NodeId(2), 4),
+                &mut FaithfulUl,
+            )
+        };
+        let serial = run(false);
+        assert_eq!(serial.stats.panics, 1);
+        assert_eq!(serial.stats.crashes, 1);
+        assert_eq!(serial.stats.restarts, 0);
+        // Crashed from its panicking round 4 to the end of the run.
+        assert_eq!(serial.stats.crashed_rounds[NodeId(2).idx()], 8);
+        // The run completed: the other nodes kept sending every round.
+        assert_eq!(serial.stats.messages_sent, 3 * 2 * 12 - 2 * 8);
+        // The pool engine converts the panic identically.
+        let pooled = run(true);
+        assert_eq!(serial, pooled);
+    }
+}

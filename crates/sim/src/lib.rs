@@ -7,6 +7,8 @@
 //! * [`message`] — envelopes, node ids, output events (the "global output");
 //! * [`process`] — the node programming interface, including ROM;
 //! * [`adversary`] — the AL and UL mobile-adversary interfaces;
+//! * [`chaos`] — deterministic fault injection: compiled crash/restart
+//!   schedules, chaotic delivery, and the panic→crash test hook;
 //! * [`reliability`] — link reliability (Def. 4) and `s`-operational
 //!   tracking (Defs. 5–6) from ground truth;
 //! * [`pool`] — the persistent worker pool behind the parallel round engine;
@@ -24,6 +26,7 @@
 //! `r_{i,w}` formalization.
 
 pub mod adversary;
+pub mod chaos;
 pub mod clock;
 pub mod message;
 pub mod pool;
@@ -35,6 +38,7 @@ pub mod runner;
 pub use proauth_telemetry as telemetry;
 
 pub use adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
+pub use chaos::{ChaosConfig, ChaosNet, FaultSchedule, PanicOn};
 pub use clock::{Phase, Schedule, TimeView};
 pub use message::{Envelope, NodeId, OutputEvent, OutputLog, Payload};
 pub use pool::WorkerPool;

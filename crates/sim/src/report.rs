@@ -48,7 +48,7 @@ impl fmt::Display for ThroughputSummary {
 impl fmt::Display for SimStats {
     /// The operator-facing traffic line, including the adversary-side
     /// counters (drops / injections / modifications from the per-round
-    /// delivery diff).
+    /// delivery diff) and, when any fired, the chaos-side crash accounting.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -59,7 +59,15 @@ impl fmt::Display for SimStats {
             self.messages_dropped,
             self.messages_injected,
             self.messages_modified,
-        )
+        )?;
+        if self.crashes > 0 || self.restarts > 0 {
+            write!(
+                f,
+                "; chaos: {} crashes ({} from panics), {} restarts",
+                self.crashes, self.panics, self.restarts
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -130,6 +138,27 @@ pub fn render_metrics(tele: &Telemetry) -> Option<String> {
                 fmt_ns(h.mean_ns()),
                 fmt_ns(h.quantile_ns(0.5)),
                 fmt_ns(h.quantile_ns(0.99)),
+            );
+        }
+    }
+
+    if !snap.value_hists.is_empty() {
+        // Unitless distributions (e.g. recovery latency in rounds); the
+        // quantiles are power-of-2 bucket upper bounds.
+        let _ = writeln!(
+            out,
+            "\n{:28} {:>8} {:>9} {:>9} {:>9}",
+            "distribution", "count", "mean", "p50", "p99"
+        );
+        for (name, h) in &snap.value_hists {
+            let q = |q| h.quantile_bounded(&proauth_telemetry::HIST_BOUNDS_VALUE, q);
+            let _ = writeln!(
+                out,
+                "{name:28} {:>8} {:>9} {:>9} {:>9}",
+                h.total,
+                h.mean_ns(),
+                q(0.5),
+                q(0.99),
             );
         }
     }
@@ -343,6 +372,24 @@ mod tests {
         assert!(text.contains("adversary/max_impaired = 3"));
         assert!(text.contains("crypto/verify_ns"));
         assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn render_metrics_value_distributions() {
+        let tele = Telemetry::enabled();
+        tele.observe_value("engine/recovery_rounds", 11);
+        tele.observe_value("engine/recovery_rounds", 3);
+        let text = render_metrics(&tele).expect("rendered");
+        assert!(text.contains("distribution"));
+        assert!(text.contains("engine/recovery_rounds"));
+        // p50 lands on the power-of-2 bucket bound of the observation 3 → 4,
+        // p99 on that of 11 → 16.
+        let row = text
+            .lines()
+            .find(|l| l.starts_with("engine/recovery_rounds"))
+            .expect("row");
+        assert!(row.contains('4'));
+        assert!(row.contains("16"));
     }
 
     #[test]

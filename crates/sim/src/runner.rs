@@ -129,6 +129,8 @@ pub struct RoundRecord {
     pub delivered: Vec<Envelope>,
     /// Broken set during the round.
     pub broken: Vec<bool>,
+    /// Crash-stopped set during the round.
+    pub crashed: Vec<bool>,
     /// Operational set after the round.
     pub operational: Vec<bool>,
 }
@@ -152,10 +154,19 @@ pub struct SimStats {
     pub messages_modified: u64,
     /// Total payload bytes sent by honest nodes.
     pub bytes_sent: u64,
+    /// Crash-stop events (scheduled crashes plus panics converted to
+    /// crashes).
+    pub crashes: u64,
+    /// Node steps that panicked and were converted into crashes.
+    pub panics: u64,
+    /// Restart events (crashed nodes brought back as fresh instances).
+    pub restarts: u64,
     /// Alerts emitted, per node.
     pub alerts: Vec<u64>,
     /// Rounds each node spent broken.
     pub broken_rounds: Vec<u64>,
+    /// Rounds each node spent crash-stopped.
+    pub crashed_rounds: Vec<u64>,
     /// Rounds each node spent non-operational (post-start).
     pub non_operational_rounds: Vec<u64>,
 }
@@ -278,6 +289,9 @@ struct NodeSlot<'a, P> {
     input: Option<Vec<u8>>,
     outbox: Vec<OutboxEntry>,
     alerts: u64,
+    /// Set when the node's step panicked; the engine converts this into a
+    /// crash-stop during the merge.
+    panicked: bool,
     /// Telemetry shard (present iff telemetry is on): installed as the
     /// thread-local recording scope while the node executes, merged by the
     /// engine in `NodeId` order afterwards.
@@ -303,22 +317,38 @@ fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlo
     // scanned, instead of re-filtering the node's whole output log (which
     // made long runs quadratic in total events).
     let out_start = slot.output.len();
-    let mut ctx = RoundCtx {
-        time,
-        me: slot.id,
-        n,
-        inbox: &slot.inbox,
-        rom: slot.rom,
-        rng: &mut rng,
-        input: slot.input.as_deref(),
-        outbox: &mut slot.outbox,
-        output: slot.output,
+    // A panicking node step must not abort the run: it is caught here —
+    // shared by the serial path and the pool jobs, so both behave
+    // identically — and converted into a crash-stop by the engine. The
+    // node's partial round (output events, outbox) is discarded, as a
+    // crashed machine's un-sent messages would be.
+    let panicked = {
+        let mut ctx = RoundCtx {
+            time,
+            me: slot.id,
+            n,
+            inbox: &slot.inbox,
+            rom: slot.rom,
+            rng: &mut rng,
+            input: slot.input.as_deref(),
+            outbox: &mut slot.outbox,
+            output: slot.output,
+        };
+        let node = &mut *slot.node;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| node.on_round(&mut ctx)))
+            .is_err()
     };
-    slot.node.on_round(&mut ctx);
-    slot.alerts = slot.output[out_start..]
-        .iter()
-        .filter(|(_, e)| *e == OutputEvent::Alert)
-        .count() as u64;
+    if panicked {
+        slot.output.truncate(out_start);
+        slot.outbox.clear();
+        slot.alerts = 0;
+        slot.panicked = true;
+    } else {
+        slot.alerts = slot.output[out_start..]
+            .iter()
+            .filter(|(_, e)| *e == OutputEvent::Alert)
+            .count() as u64;
+    }
     if scoped {
         slot.shard = telemetry::install(prev);
     }
@@ -329,12 +359,27 @@ fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlo
 const POOLED_GROUND_TRUTH_MIN_N: usize = 24;
 
 /// Internal engine shared by [`run_al`] and [`run_ul`].
-struct Engine<P> {
+struct Engine<'f, P> {
     cfg: SimConfig,
     model: Model,
     nodes: Vec<P>,
+    /// Node factory, retained so restarted nodes come back as *fresh*
+    /// instances — all volatile state lost, ROM intact (§4.2 recovery).
+    make_node: Box<dyn FnMut(NodeId) -> P + 'f>,
     roms: Vec<Rom>,
     broken: Vec<bool>,
+    /// Crash-stopped set: these nodes do not execute and their pending
+    /// traffic is discarded (not diverted — a crash is not a break-in).
+    crashed: Vec<bool>,
+    /// Scratch: `broken ∨ crashed`, the impairment fed to the ground-truth
+    /// computations so crashed rounds are charged to the (s,t) budget
+    /// (`link_reliability` treats silent links as trivially reliable, so a
+    /// crashed node must be marked explicitly).
+    impaired_buf: Vec<bool>,
+    /// Round each node's current `broken ∨ crashed` spell began; cleared on
+    /// the first round the node is both released and s-operational again.
+    /// Drives the recovery-latency histogram.
+    impaired_since: Vec<Option<u64>>,
     tracker: OperationalTracker,
     /// Deliveries pending for the next round, per node. The per-node `Vec`s
     /// are recycled every round (taken as a slot's inbox, cleared, returned)
@@ -366,16 +411,21 @@ struct Engine<P> {
     phase_timer: PhaseTimer,
 }
 
-impl<P: Process + Send> Engine<P> {
-    fn new(cfg: SimConfig, model: Model, mut make_node: impl FnMut(NodeId) -> P) -> Self {
+impl<'f, P: Process + Send> Engine<'f, P> {
+    fn new(cfg: SimConfig, model: Model, make_node: impl FnMut(NodeId) -> P + 'f) -> Self {
         let n = cfg.n;
-        let nodes: Vec<P> = NodeId::all(n).map(&mut make_node).collect();
+        let mut make_node: Box<dyn FnMut(NodeId) -> P + 'f> = Box::new(make_node);
+        let nodes: Vec<P> = NodeId::all(n).map(&mut *make_node).collect();
         Engine {
             tracker: OperationalTracker::with_rule(n, cfg.s, cfg.rule),
             model,
             nodes,
+            make_node,
             roms: vec![Rom::new(); n],
             broken: vec![false; n],
+            crashed: vec![false; n],
+            impaired_buf: Vec::with_capacity(n),
+            impaired_since: vec![None; n],
             pending: vec![Vec::new(); n],
             outboxes: vec![Vec::new(); n],
             sent_buf: Vec::new(),
@@ -384,6 +434,7 @@ impl<P: Process + Send> Engine<P> {
             stats: SimStats {
                 alerts: vec![0; n],
                 broken_rounds: vec![0; n],
+                crashed_rounds: vec![0; n],
                 non_operational_rounds: vec![0; n],
                 ..SimStats::default()
             },
@@ -502,6 +553,38 @@ impl<P: Process + Send> Engine<P> {
                 .telemetry
                 .add("adversary/leaves", plan.leave.len() as u64);
         }
+        // Apply crash / restart plan. A crash-stop halts the node without
+        // giving the adversary anything; a restart replaces the instance with
+        // a freshly constructed one (volatile state lost, ROM preserved), so
+        // the node re-certifies via the share-recovery / refresh path.
+        for id in &plan.crash {
+            if !self.crashed[id.idx()] {
+                self.crashed[id.idx()] = true;
+                self.stats.crashes += 1;
+                if tele_on {
+                    self.cfg.telemetry.add("adversary/crashes", 1);
+                    self.cfg.telemetry.emit_event("node_crash", |ev| {
+                        ev.u64("round", round)
+                            .u64("node", u64::from(id.0))
+                            .str("cause", "scheduled");
+                    });
+                }
+            }
+        }
+        for id in &plan.restart {
+            if self.crashed[id.idx()] {
+                self.crashed[id.idx()] = false;
+                self.stats.restarts += 1;
+                self.nodes[id.idx()] = (self.make_node)(*id);
+                self.pending[id.idx()].clear();
+                if tele_on {
+                    self.cfg.telemetry.add("adversary/restarts", 1);
+                    self.cfg.telemetry.emit_event("node_restart", |ev| {
+                        ev.u64("round", round).u64("node", u64::from(id.0));
+                    });
+                }
+            }
+        }
         // Engine-side recording scope: adversary callbacks (corrupt, the
         // deliver boundary) run on this thread outside any node scope.
         // Node jobs save/restore it (see `exec_slot`), so the publisher
@@ -524,6 +607,9 @@ impl<P: Process + Send> Engine<P> {
             if self.broken[id.idx()] {
                 corrupt(id, self.nodes[id.idx()].state_mut(), &time);
                 self.stats.broken_rounds[id.idx()] += 1;
+            }
+            if self.crashed[id.idx()] {
+                self.stats.crashed_rounds[id.idx()] += 1;
             }
         }
 
@@ -554,6 +640,13 @@ impl<P: Process + Send> Engine<P> {
                     self.pending[idx] = inbox; // keep the (now empty) buffer
                     continue;
                 }
+                if self.crashed[idx] {
+                    // Crash ≠ break-in: pending traffic is lost, not
+                    // diverted to the adversary.
+                    inbox.clear();
+                    self.pending[idx] = inbox;
+                    continue;
+                }
                 let input = input_fn(id, round);
                 slots.push(NodeSlot {
                     id,
@@ -564,6 +657,7 @@ impl<P: Process + Send> Engine<P> {
                     input,
                     outbox: std::mem::take(&mut self.outboxes[idx]),
                     alerts: 0,
+                    panicked: false,
                     shard: self.shards[idx].take(),
                 });
             }
@@ -585,6 +679,25 @@ impl<P: Process + Send> Engine<P> {
             self.sent_buf.clear();
             for mut slot in slots {
                 let idx = slot.id.idx();
+                if slot.panicked {
+                    // The step panicked: record the node as crash-stopped
+                    // (its partial round was already discarded in
+                    // `exec_slot`). It rejoins only if the adversary
+                    // restarts it, and its rounds are charged to the (s,t)
+                    // budget from this round on.
+                    self.crashed[idx] = true;
+                    self.stats.panics += 1;
+                    self.stats.crashes += 1;
+                    self.stats.crashed_rounds[idx] += 1;
+                    if tele_on {
+                        self.cfg.telemetry.add("engine/panics", 1);
+                        self.cfg.telemetry.emit_event("node_crash", |ev| {
+                            ev.u64("round", round)
+                                .u64("node", u64::from(slot.id.0))
+                                .str("cause", "panic");
+                        });
+                    }
+                }
                 self.stats.alerts[idx] += slot.alerts;
                 round_alerts += slot.alerts;
                 if let Some(shard) = slot.shard.as_mut() {
@@ -611,6 +724,7 @@ impl<P: Process + Send> Engine<P> {
                 time,
                 n,
                 broken: &self.broken,
+                crashed: &self.crashed,
                 operational: self.tracker.operational(),
                 last_delivered: &self.last_delivered,
                 broken_inboxes: &broken_inboxes,
@@ -634,16 +748,22 @@ impl<P: Process + Send> Engine<P> {
         }
 
         // Ground truth: reliability + operational set. Both are row-/node-
-        // parallel; only worth the handshake at larger n.
+        // parallel; only worth the handshake at larger n. Crashed nodes are
+        // merged into the impairment the ground truth sees: a silent node's
+        // links would otherwise count as trivially reliable, and Definition-7
+        // accounting must charge crashed rounds like broken ones.
+        self.impaired_buf.clear();
+        self.impaired_buf
+            .extend(self.broken.iter().zip(&self.crashed).map(|(b, c)| *b || *c));
         let pooled_truth = n >= POOLED_GROUND_TRUTH_MIN_N;
         let reliability: PairMatrix = match self.pool.as_mut() {
             Some(pool) if pooled_truth => {
-                link_reliability_pooled(n, &self.sent_buf, &delivered, &self.broken, pool)
+                link_reliability_pooled(n, &self.sent_buf, &delivered, &self.impaired_buf, pool)
             }
-            _ => link_reliability(n, &self.sent_buf, &delivered, &self.broken),
+            _ => link_reliability(n, &self.sent_buf, &delivered, &self.impaired_buf),
         };
         self.tracker.on_round_pooled(
-            &self.broken,
+            &self.impaired_buf,
             &reliability,
             self.cfg.schedule.in_refresh(round),
             self.cfg.schedule.is_refresh_end(round),
@@ -655,10 +775,11 @@ impl<P: Process + Send> Engine<P> {
         );
 
         // "Compromised"/"recovered" output lines. In the UL model these track
-        // loss of s-operational status (§2.2); in the AL model, break-ins.
+        // loss of s-operational status (§2.2); in the AL model, break-ins
+        // (and crash-stops, which equally halt the program).
         for id in NodeId::all(n) {
             let impaired = match self.model {
-                Model::Al => self.broken[id.idx()],
+                Model::Al => self.impaired_buf[id.idx()],
                 Model::Ul => !self.tracker.is_operational(id),
             };
             if impaired && !self.prev_impaired[id.idx()] {
@@ -670,6 +791,21 @@ impl<P: Process + Send> Engine<P> {
                 self.stats.non_operational_rounds[id.idx()] += 1;
             }
             self.prev_impaired[id.idx()] = impaired;
+            // Recovery latency: rounds from the start of a broken/crashed
+            // spell until the node is released *and* s-operational again
+            // (re-certified at a refresh end). Engine-thread registry write,
+            // so the histogram is identical across worker counts.
+            if self.impaired_buf[id.idx()] {
+                if self.impaired_since[id.idx()].is_none() {
+                    self.impaired_since[id.idx()] = Some(round);
+                }
+            } else if self.tracker.is_operational(id) {
+                if let Some(start) = self.impaired_since[id.idx()].take() {
+                    self.cfg
+                        .telemetry
+                        .observe_value("engine/recovery_rounds", round - start);
+                }
+            }
         }
 
         if let Some(t) = &mut self.transcript {
@@ -678,6 +814,7 @@ impl<P: Process + Send> Engine<P> {
                 sent: self.sent_buf.clone(),
                 delivered: delivered.clone(),
                 broken: self.broken.clone(),
+                crashed: self.crashed.clone(),
                 operational: self.tracker.operational().to_vec(),
             });
         }
@@ -702,6 +839,7 @@ impl<P: Process + Send> Engine<P> {
             let wall_ns = round_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
             self.cfg.telemetry.observe_ns("engine/round_ns", wall_ns);
             let broken_count = self.broken.iter().filter(|b| **b).count() as u64;
+            let crashed_count = self.crashed.iter().filter(|c| **c).count() as u64;
             let sent_count = self.stats.messages_sent - sent_before;
             self.cfg.telemetry.emit_event("round_end", |ev| {
                 ev.u64("round", round)
@@ -712,6 +850,7 @@ impl<P: Process + Send> Engine<P> {
                     .u64("modified", modified)
                     .u64("alerts", round_alerts)
                     .u64("broken", broken_count)
+                    .u64("crashed", crashed_count)
                     .u64("wall_ns", wall_ns);
             });
             // Unit boundary: every shard has merged at the barrier, so the
@@ -777,6 +916,7 @@ pub fn run_al_with_inputs<P: Process + Send, A: AlAdversary>(
                 time,
                 n: engine.cfg.n,
                 broken: &engine.broken,
+                crashed: &engine.crashed,
                 operational: engine.tracker.operational(),
                 last_delivered: &engine.last_delivered,
                 broken_inboxes: &[],
@@ -837,6 +977,7 @@ pub fn run_ul_with_inputs<P: Process + Send, A: UlAdversary>(
                 time,
                 n: engine.cfg.n,
                 broken: &engine.broken,
+                crashed: &engine.crashed,
                 operational: engine.tracker.operational(),
                 last_delivered: &engine.last_delivered,
                 broken_inboxes: &[],

@@ -48,19 +48,26 @@ impl Process for Chatter {
 }
 
 /// Active UL adversary: rotates break-ins through the nodes, wipes broken
-/// memory, drops a deterministic subset of messages, and injects traffic in
-/// broken nodes' names.
+/// memory, crash-stops and restarts a second victim, drops a deterministic
+/// subset of messages, and injects traffic in broken nodes' names.
 struct Chaos;
 
 fn rotating_target(round: u64, n: usize) -> NodeId {
     NodeId((round / 8 % n as u64) as u32 + 1)
 }
 
+/// A second victim, offset from the break-in target, for crash–restart.
+fn crash_target(round: u64, n: usize) -> NodeId {
+    NodeId::from_idx((rotating_target(round, n).idx() + 3) % n)
+}
+
 impl Chaos {
     fn chaos_plan(view: &NetView<'_>) -> BreakPlan {
         match view.time.round % 8 {
             1 => BreakPlan::break_into([rotating_target(view.time.round, view.n)]),
+            2 => BreakPlan::crash([crash_target(view.time.round, view.n)]),
             5 => BreakPlan::leave([rotating_target(view.time.round, view.n)]),
+            6 => BreakPlan::restart([crash_target(view.time.round, view.n)]),
             _ => BreakPlan::none(),
         }
     }
@@ -244,5 +251,30 @@ fn transcripts_identical_when_recorded() {
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.broken, b.broken);
         assert_eq!(a.operational, b.operational);
+    }
+}
+
+#[test]
+fn panicking_node_is_deterministic_across_pool_sizes() {
+    // A node step that panics is caught and converted into a crash-stop by
+    // the engine — in the slot, before results merge — so a panic must be
+    // exactly as deterministic as any other fault, for every pool size.
+    use proauth_sim::chaos::PanicOn;
+    let n = 8;
+    let make = |_: NodeId| PanicOn::at(Chatter { counter: 0 }, NodeId(4), 9);
+    for seed in [0u64, 5, 13] {
+        let serial = run_ul(cfg(seed, n, false, 0), make, &mut Chaos);
+        assert_eq!(serial.stats.panics, 1, "seed {seed}: panic converted");
+        assert!(serial.stats.crashes >= 1);
+        assert!(serial.stats.crashed_rounds[NodeId(4).idx()] > 0);
+        for threads in [1usize, 2, 8] {
+            let pooled = run_ul(cfg(seed, n, true, threads), make, &mut Chaos);
+            assert_identical(
+                &serial,
+                &pooled,
+                &format!("panic seed {seed} threads {threads}"),
+            );
+            assert_eq!(serial.stats, pooled.stats);
+        }
     }
 }

@@ -42,8 +42,12 @@ mod scope;
 
 pub use event::{strip_wall_fields, EventBuf, Field};
 pub use phase::{PhaseTimer, PHASE_NORMAL, PHASE_REFRESH1, PHASE_REFRESH2};
-pub use registry::{Histogram, MetricsSnapshot, Registry, Shard, UnitMetrics, HIST_BOUNDS_NS};
-pub use scope::{count, gauge_max, hot, install, observe_ns, scope_active, timed, trace};
+pub use registry::{
+    Histogram, MetricsSnapshot, Registry, Shard, UnitMetrics, HIST_BOUNDS_NS, HIST_BOUNDS_VALUE,
+};
+pub use scope::{
+    count, gauge_max, hot, install, observe_ns, observe_value, scope_active, timed, trace,
+};
 pub use sink::{memory_contents, Sink};
 
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -211,6 +215,13 @@ impl Telemetry {
     pub fn observe_ns(&self, name: &'static str, ns: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.observe_ns(name, ns);
+        }
+    }
+
+    /// Records a unitless value observation (e.g. rounds) directly.
+    pub fn observe_value(&self, name: &'static str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.observe_value(name, v);
         }
     }
 

@@ -36,11 +36,18 @@ pub const HIST_BOUNDS_NS: [u64; 12] = [
     1_048_576_000,
 ];
 
-/// A fixed-bucket latency histogram (nanoseconds). The last bucket counts
-/// overflow beyond [`HIST_BOUNDS_NS`].
+/// Bucket upper bounds for unitless **value** histograms (e.g. recovery
+/// latency measured in rounds): powers of 2 from 1 to 2048. Same fixed-layout
+/// principle as [`HIST_BOUNDS_NS`], different scale.
+pub const HIST_BOUNDS_VALUE: [u64; 12] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// A fixed-bucket histogram. Latency histograms bucket by [`HIST_BOUNDS_NS`]
+/// (nanoseconds); value histograms by [`HIST_BOUNDS_VALUE`] (unitless, e.g.
+/// rounds). The last bucket counts overflow beyond the bounds.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
-    /// Per-bucket counts; index `i` counts observations `<= HIST_BOUNDS_NS[i]`,
+    /// Per-bucket counts; index `i` counts observations `<= bounds[i]`,
     /// the final slot counts the rest.
     pub counts: [u64; HIST_BOUNDS_NS.len() + 1],
     /// Total number of observations.
@@ -50,15 +57,20 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Records one observation.
-    pub fn observe(&mut self, ns: u64) {
-        let idx = HIST_BOUNDS_NS
+    /// Records one observation bucketed by `bounds`.
+    pub fn observe_bounded(&mut self, bounds: &[u64], v: u64) {
+        let idx = bounds
             .iter()
-            .position(|&b| ns <= b)
-            .unwrap_or(HIST_BOUNDS_NS.len());
+            .position(|&b| v <= b)
+            .unwrap_or(bounds.len());
         self.counts[idx] += 1;
         self.total += 1;
-        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.sum_ns = self.sum_ns.saturating_add(v);
+    }
+
+    /// Records one latency observation (ns buckets).
+    pub fn observe(&mut self, ns: u64) {
+        self.observe_bounded(&HIST_BOUNDS_NS, ns);
     }
 
     /// Adds another histogram into this one.
@@ -70,9 +82,10 @@ impl Histogram {
         self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
     }
 
-    /// Approximate quantile: the upper bound of the bucket containing the
-    /// `q`-quantile observation (`u64::MAX`-capped for the overflow bucket).
-    pub fn quantile_ns(&self, q: f64) -> u64 {
+    /// Approximate quantile under the given bounds: the upper bound of the
+    /// bucket containing the `q`-quantile observation (`u64::MAX`-capped for
+    /// the overflow bucket).
+    pub fn quantile_bounded(&self, bounds: &[u64], q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
@@ -81,10 +94,15 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return HIST_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+                return bounds.get(i).copied().unwrap_or(u64::MAX);
             }
         }
         u64::MAX
+    }
+
+    /// Approximate latency quantile (ns buckets).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.quantile_bounded(&HIST_BOUNDS_NS, q)
     }
 
     /// Mean observation in ns (0 when empty).
@@ -107,6 +125,7 @@ pub struct Shard {
     counters: BTreeMap<&'static str, u64>,
     maxes: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Histogram>,
+    value_hists: BTreeMap<&'static str, Histogram>,
     events: String,
 }
 
@@ -133,6 +152,16 @@ impl Shard {
         self.hists.entry(name).or_default().observe(ns);
     }
 
+    /// Records a unitless value observation (e.g. rounds). Unlike latency
+    /// histograms these carry deterministic simulation quantities, so merges
+    /// stay commutative and results identical across worker counts.
+    pub fn observe_value(&mut self, name: &'static str, v: u64) {
+        self.value_hists
+            .entry(name)
+            .or_default()
+            .observe_bounded(&HIST_BOUNDS_VALUE, v);
+    }
+
     /// Appends a trace event, stamped with the shard's (node, round) context.
     pub fn trace(&mut self, kind: &str, fill: impl FnOnce(&mut EventBuf)) {
         let mut ev = EventBuf::new(kind);
@@ -149,6 +178,7 @@ impl Shard {
         self.counters.is_empty()
             && self.maxes.is_empty()
             && self.hists.is_empty()
+            && self.value_hists.is_empty()
             && self.events.is_empty()
     }
 
@@ -175,6 +205,13 @@ impl Shard {
             }
             self.hists.clear();
         }
+        if !self.value_hists.is_empty() {
+            let mut h = lock(&registry.value_hists);
+            for (name, hist) in &self.value_hists {
+                h.entry(name).or_default().merge(hist);
+            }
+            self.value_hists.clear();
+        }
         std::mem::take(&mut self.events)
     }
 }
@@ -191,6 +228,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     maxes: Mutex<BTreeMap<&'static str, u64>>,
     hists: Mutex<BTreeMap<&'static str, Histogram>>,
+    value_hists: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl Registry {
@@ -211,6 +249,14 @@ impl Registry {
         lock(&self.hists).entry(name).or_default().observe(ns);
     }
 
+    /// Records a unitless value observation directly (engine-thread use).
+    pub fn observe_value(&self, name: &'static str, v: u64) {
+        lock(&self.value_hists)
+            .entry(name)
+            .or_default()
+            .observe_bounded(&HIST_BOUNDS_VALUE, v);
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         lock(&self.counters).get(name).copied().unwrap_or(0)
@@ -222,6 +268,7 @@ impl Registry {
             counters: lock(&self.counters).clone(),
             maxes: lock(&self.maxes).clone(),
             hists: lock(&self.hists).clone(),
+            value_hists: lock(&self.value_hists).clone(),
         }
     }
 }
@@ -235,6 +282,8 @@ pub struct MetricsSnapshot {
     pub maxes: BTreeMap<&'static str, u64>,
     /// Histograms by name.
     pub hists: BTreeMap<&'static str, Histogram>,
+    /// Unitless value histograms by name (bucketed on [`HIST_BOUNDS_VALUE`]).
+    pub value_hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl MetricsSnapshot {

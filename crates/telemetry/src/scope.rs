@@ -100,6 +100,15 @@ pub fn observe_ns(name: &'static str, ns: u64) {
     with_scope(|sh| sh.observe_ns(name, ns));
 }
 
+/// Records a unitless value observation (e.g. rounds) into the ambient scope.
+#[inline]
+pub fn observe_value(name: &'static str, v: u64) {
+    if !hot() {
+        return;
+    }
+    with_scope(|sh| sh.observe_value(name, v));
+}
+
 /// Runs `f`, recording its wall-clock duration under `name` when a scope is
 /// active. When telemetry is disabled this is exactly a call to `f` behind
 /// one branch — no clock is read.

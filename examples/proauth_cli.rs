@@ -6,6 +6,14 @@
 //!
 //! ```text
 //! cargo run -p proauth-examples --bin proauth -- [options]
+//! cargo run -p proauth-examples --bin proauth -- chaos [options]
+//!
+//! The `chaos` subcommand runs the degradation sweep instead of a single
+//! scenario: the standard intensity ramp (calm / sub-budget / over-budget)
+//! across the (s,t) boundary, one full ULS run per point. Exit code 0 means
+//! the boundary was demonstrated (sub-budget guarantees held, over-budget
+//! degraded loudly), 1 means it was not. `chaos` takes --n --t --units
+//! --normal --seed.
 //!
 //! Options:
 //!   --n <int>            nodes (default 5)
@@ -24,7 +32,7 @@
 //!   --verbose            print every output event
 //! ```
 
-use proauth_adversary::{Hijacker, LimitObserver, LinkCutter, Replayer};
+use proauth_adversary::{run_sweep, Hijacker, LimitObserver, LinkCutter, Replayer, SweepConfig};
 use proauth_core::authenticator::HeartbeatApp;
 use proauth_core::awareness;
 use proauth_core::uls::{uls_schedule, AuthMode, UlsConfig, UlsNode, SETUP_ROUNDS};
@@ -70,9 +78,9 @@ fn usage() -> ! {
     exit(2)
 }
 
-fn parse_args() -> HashMap<String, String> {
+fn parse_args(args: impl IntoIterator<Item = String>) -> HashMap<String, String> {
     let mut out = HashMap::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let Some(key) = arg.strip_prefix("--") else {
             eprintln!("unexpected argument: {arg}");
@@ -109,9 +117,56 @@ fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default:
     }
 }
 
+/// The `chaos` subcommand: run the standard degradation ramp and report
+/// whether the (s,t) boundary showed up where the paper says it should.
+fn chaos_main(args: &HashMap<String, String>) -> ! {
+    let n: usize = get(args, "n", 5);
+    let t: usize = get(args, "t", (n - 1) / 2);
+    let units: u64 = get(args, "units", 4);
+    let normal: u64 = get(args, "normal", 8);
+    let seed: u64 = get(args, "seed", 0);
+    if n < 2 * t + 1 {
+        eprintln!("need n >= 2t+1 (got n={n}, t={t})");
+        exit(2);
+    }
+    if !normal.is_multiple_of(2) {
+        eprintln!("--normal must be even");
+        exit(2);
+    }
+    println!("proauth chaos sweep: n={n} t={t} units={units} normal={normal} seed={seed}");
+    println!("impairment budget: t={t} nodes per unit (Definition 7)\n");
+
+    let cfg = SweepConfig::boundary_ramp(n, t, units, normal, seed);
+    let points = run_sweep(&cfg);
+    let mut demonstrated = true;
+    for p in &points {
+        println!("{p}");
+        // Sub-budget points must uphold every guarantee; over-budget points
+        // must degrade *loudly* — a silent pass past the boundary means the
+        // accounting is broken.
+        if p.intended_sub_budget != p.healthy() || p.intended_sub_budget == p.alarm() {
+            demonstrated = false;
+        }
+    }
+    println!();
+    if demonstrated {
+        println!(
+            "boundary demonstrated: sub-budget guarantees held, over-budget degraded with alarms"
+        );
+        exit(0)
+    }
+    println!("boundary NOT demonstrated (see points above)");
+    exit(1)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let args = parse_args();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("chaos") {
+        raw.remove(0);
+        chaos_main(&parse_args(raw));
+    }
+    let args = parse_args(raw);
     let n: usize = get(&args, "n", 5);
     let t: usize = get(&args, "t", (n - 1) / 2);
     let units: u64 = get(&args, "units", 3);
@@ -159,6 +214,14 @@ fn main() {
                 exit(2);
             }
         };
+    } else if let Ok(path) = std::env::var(proauth_sim::telemetry::TRACE_ENV) {
+        // SimConfig::new already resolved PROAUTH_TRACE; the library falls
+        // back to no tracing when the path is unwritable, but for the CLI a
+        // requested-and-unusable trace is a hard error, not a silent run.
+        if !path.is_empty() && !cfg.telemetry.is_on() {
+            eprintln!("cannot open trace file {path} (from PROAUTH_TRACE)");
+            exit(2);
+        }
     }
     // Keep a handle for the post-run metrics report (the config moves into
     // the runner).

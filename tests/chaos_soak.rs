@@ -1,0 +1,86 @@
+//! Degradation sweep across the (s,t) boundary, end to end.
+//!
+//! `chaos_smoke_sweep` is the tier-1 guard: a small fixed-seed ramp that
+//! must show the boundary — the sub-budget point upholds every guarantee,
+//! the over-budget point completes but degrades loudly. The `#[ignore]`d
+//! soak runs the same contract over a longer horizon with latency bounds;
+//! ci.sh runs it in release.
+
+use proauth_adversary::sweep::{run_sweep, SweepConfig};
+
+const N: usize = 5;
+const T: usize = 2;
+const NORMAL: u64 = 8;
+
+fn check_boundary(points: &[proauth_adversary::SweepPoint], t: usize) {
+    for p in points {
+        println!("{p}");
+    }
+    let calm = &points[0];
+    assert!(calm.healthy(), "calm control point must be clean: {calm}");
+    assert_eq!(calm.crashes, 0);
+
+    let sub = points
+        .iter()
+        .find(|p| p.label == "sub-budget")
+        .expect("ramp has a sub-budget point");
+    // Below the budget the paper's guarantees hold outright: the compiled
+    // schedule kept impairment ≤ t, nobody forged, and every crash victim
+    // re-certified (all nodes operational at the end).
+    assert!(sub.crashes > 0, "sub-budget point must actually inject faults");
+    assert!(sub.restarts > 0, "crash victims must restart");
+    assert!(
+        sub.max_impaired <= t,
+        "sub-budget schedule exceeded the budget: {sub}"
+    );
+    assert!(sub.healthy(), "sub-budget guarantees violated: {sub}");
+    assert!(
+        sub.recoveries > 0,
+        "sub-budget crash victims must complete recovery spells"
+    );
+
+    let over = points
+        .iter()
+        .find(|p| p.label == "over-budget")
+        .expect("ramp has an over-budget point");
+    // Past the boundary the run must still complete (reaching this line is
+    // the no-panic/no-hang check) and must NOT silently claim health.
+    assert!(over.crashes > 0);
+    assert!(
+        over.max_impaired > t,
+        "over-budget point failed to cross the boundary: {over}"
+    );
+    assert!(over.alarm(), "over-budget degradation must raise an alarm: {over}");
+}
+
+#[test]
+fn chaos_smoke_sweep() {
+    let cfg = SweepConfig::boundary_ramp(N, T, 3, NORMAL, 42);
+    let points = run_sweep(&cfg);
+    assert_eq!(points.len(), 3);
+    check_boundary(&points, T);
+}
+
+/// Long soak: same boundary contract over twice the horizon, several seeds,
+/// plus a hard bound on re-certification latency. Run with
+/// `cargo test --release -p proauth-tests --test chaos_soak -- --ignored`.
+#[test]
+#[ignore]
+fn chaos_soak_sweep() {
+    for seed in [7u64, 42, 1997] {
+        let cfg = SweepConfig::boundary_ramp(N, T, 6, NORMAL, seed);
+        let points = run_sweep(&cfg);
+        check_boundary(&points, T);
+        let sub = points.iter().find(|p| p.label == "sub-budget").unwrap();
+        // A crash victim is re-certified at the next refresh end after its
+        // restart: worst case just over two units. The histogram quantile
+        // reports a power-of-two bucket bound, so assert against the bucket
+        // that contains two units.
+        let two_units = 2 * (NORMAL + 36); // uls_schedule: part1 20 + part2 16
+        let bound = two_units.next_power_of_two();
+        assert!(
+            sub.recovery_p99_rounds <= bound,
+            "seed {seed}: recovery latency unbounded: {sub}"
+        );
+    }
+}

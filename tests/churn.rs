@@ -188,3 +188,91 @@ fn isolation_without_breakin_costs_only_the_victim() {
         .count();
     assert!(accepted_mid > 0);
 }
+
+/// Crash-stop `target` at `crash_at` (volatile state lost) and restart it as
+/// a blank instance at `restart_at`.
+struct CrashRestart {
+    target: NodeId,
+    crash_at: u64,
+    restart_at: u64,
+}
+
+impl proauth_sim::adversary::UlAdversary for CrashRestart {
+    fn plan(&mut self, view: &proauth_sim::adversary::NetView<'_>) -> proauth_sim::adversary::BreakPlan {
+        use proauth_sim::adversary::BreakPlan;
+        if view.time.round == self.crash_at {
+            BreakPlan::crash([self.target])
+        } else if view.time.round == self.restart_at {
+            BreakPlan::restart([self.target])
+        } else {
+            BreakPlan::none()
+        }
+    }
+    fn deliver(
+        &mut self,
+        sent: &[proauth_sim::message::Envelope],
+        _view: &proauth_sim::adversary::NetView<'_>,
+    ) -> Vec<proauth_sim::message::Envelope> {
+        sent.to_vec()
+    }
+}
+
+#[test]
+fn crash_during_refresh_recovers_share_without_corrupting_joint_key() {
+    // Node 3 crash-stops in the middle of refresh Part II of unit 1 — mid
+    // zero-sharing share update — and loses all volatile state, including
+    // whatever partial update it held. It restarts a few rounds later as a
+    // blank instance and takes the §4.2 recovery path at the next refresh.
+    let sched = uls_schedule(NORMAL);
+    let part2_mid = sched.unit_rounds + sched.part1_rounds + sched.part2_rounds / 2;
+    let mut adv = LimitObserver::new(CrashRestart {
+        target: NodeId(3),
+        crash_at: part2_mid,
+        restart_at: part2_mid + 4,
+    });
+    let result = run_ul(cfg(3, 206), make_node, &mut adv);
+    assert_eq!(result.stats.crashes, 1);
+    assert_eq!(result.stats.restarts, 1);
+    assert!(result.stats.crashed_rounds[NodeId(3).idx()] > 0);
+    // One crash victim stays within the (s,t) budget throughout.
+    assert!(adv.max_impaired() <= T, "max impaired {}", adv.max_impaired());
+
+    // Losing one mid-update share must not corrupt the joint key: the other
+    // nodes finish the refresh and authenticated traffic flows among them
+    // for the rest of unit 1...
+    let unit2 = 2 * sched.unit_rounds;
+    let accepted_among_others = result
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != NodeId(3).idx())
+        .flat_map(|(_, l)| l.iter())
+        .filter(|(round, ev)| {
+            *round > part2_mid
+                && *round < unit2
+                && matches!(ev, OutputEvent::Accepted { from, .. } if *from != NodeId(3))
+        })
+        .count();
+    assert!(accepted_among_others > 0, "survivors keep serving in unit 1");
+    // ...and no forgery ever becomes possible.
+    assert!(IdealChecker::new(T)
+        .check_no_forgery(&result.outputs, &[])
+        .is_empty());
+
+    // The restarted node recovers its share at the unit-2 refresh: it ends
+    // operational and its messages are accepted again afterwards.
+    assert!(result.final_operational.iter().all(|&b| b));
+    let recovered_at = unit2 + sched.refresh_rounds();
+    let accepted_from_3_late = result
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| *idx != NodeId(3).idx())
+        .flat_map(|(_, l)| l.iter())
+        .filter(|(round, ev)| {
+            *round > recovered_at
+                && matches!(ev, OutputEvent::Accepted { from, .. } if *from == NodeId(3))
+        })
+        .count();
+    assert!(accepted_from_3_late > 0, "node 3 re-certified and heard from");
+}

@@ -1,7 +1,9 @@
 //! Golden-trace snapshot: the flight recorder's JSONL event sequence is a
 //! pure function of `(config, seed, adversary)` — the engine variant must
 //! not show through. One fixed scenario (n = 13, an active adversary mixing
-//! break-ins with random drops) is run on the serial engine and on worker
+//! break-ins and random drops with a chaos layer of scheduled
+//! crash–restarts and chaotic delivery) is run on the serial engine and on
+//! worker
 //! pools of 1 and 4 threads; after stripping the `wall_*` fields (the only
 //! nondeterministic bytes, by design) the three traces must be
 //! **byte-identical**, and so must the three `SimResult`s.
@@ -14,6 +16,7 @@ use proauth_core::authenticator::HeartbeatApp;
 use proauth_core::uls::{uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
 use proauth_crypto::group::{Group, GroupId};
 use proauth_sim::adversary::{BreakPlan, NetView, UlAdversary};
+use proauth_sim::chaos::{ChaosConfig, ChaosNet};
 use proauth_sim::clock::TimeView;
 use proauth_sim::message::{Envelope, NodeId};
 use proauth_sim::runner::{run_ul, SimConfig, SimResult};
@@ -60,18 +63,38 @@ fn run_traced(parallel: bool, threads: usize) -> (SimResult, String) {
         let c = UlsConfig::new(group.clone(), N, T);
         UlsNode::new(c, id, HeartbeatApp::default())
     };
-    let mut adv = ActiveAdversary {
-        breakins: MobileBreakins::rotating(
-            N,
-            2,
-            UNITS,
-            schedule.unit_rounds,
-            4,
-            6,
-            CorruptMode::Wipe,
-        ),
-        dropper: RandomDropper::new(0.02, 0xD20),
+    // Chaos on top of the break-ins and drops: scheduled crash–restarts plus
+    // chaotic delivery (delay, duplication, reordering). Every knob at once —
+    // the trace must still be a pure function of (config, seed, adversary).
+    let chaos = ChaosConfig {
+        crash_p: 0.01,
+        boundary_crash_p: 0.5,
+        restart_after: Some(6),
+        max_down: 2,
+        presumed_down: None,
+        delay_p: 0.02,
+        dup_p: 0.02,
+        reorder: true,
     };
+    let mut adv = ChaosNet::compile(
+        ActiveAdversary {
+            breakins: MobileBreakins::rotating(
+                N,
+                2,
+                UNITS,
+                schedule.unit_rounds,
+                4,
+                6,
+                CorruptMode::Wipe,
+            ),
+            dropper: RandomDropper::new(0.02, 0xD20),
+        },
+        chaos,
+        N,
+        cfg.total_rounds,
+        &schedule,
+        0xC405,
+    );
     let result = run_ul(cfg, make_node, &mut adv);
     let raw = memory_contents(&buf);
     (result, strip_wall_fields(&raw))
@@ -120,4 +143,17 @@ fn golden_trace_is_engine_invariant() {
         "wipes recorded in unit_end counters"
     );
     assert!(serial_result.stats.messages_dropped > 0, "dropper was live");
+
+    // The chaos layer was live too, and its events are part of the golden
+    // sequence: scheduled crashes, restarts, and delivery faults.
+    assert!(serial_result.stats.crashes > 0, "chaos crashed somebody");
+    assert!(serial_result.stats.restarts > 0, "and restarted them");
+    assert!(
+        serial_trace.contains("{\"ev\":\"node_crash\","),
+        "crashes recorded in the trace"
+    );
+    assert!(
+        serial_trace.contains("{\"ev\":\"node_restart\","),
+        "restarts recorded in the trace"
+    );
 }
