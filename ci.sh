@@ -35,3 +35,12 @@ cargo test -q -p proauth-core --release --test envelope_budget -- --ignored
 # One full refresh unit at n = 64 (was infeasible pre-bundling); records
 # throughput and peak RSS.
 PROAUTH_E11=n64 cargo bench -p proauth-bench --bench e11_system_throughput
+
+# E13 signing-service smoke on both engine legs: the open-loop workload,
+# session table, nonce pool, and batch-verify window must hold their
+# throughput floor (4·signed ≥ 3·offered) and flip pool hit/miss counters
+# with preprocessing on/off. The full release ablation grid — preprocessing
+# × batch window × n, the ≥2× headline behind BENCH_e13.json — runs with
+# PROAUTH_E13=full (optionally CRITERION_JSON=BENCH_e13.json to re-emit it).
+PROAUTH_THREADS=1 cargo bench -p proauth-bench --bench e13_signing_service
+PROAUTH_THREADS=4 cargo bench -p proauth-bench --bench e13_signing_service

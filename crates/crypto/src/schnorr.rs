@@ -76,6 +76,22 @@ impl VerifyKey {
         }
     }
 
+    /// Constructs a verify key from an element **already known** to be a
+    /// valid group member — e.g. a DKG joint public key (a product of
+    /// Feldman-validated commitments) or a key that previously went through
+    /// [`VerifyKey::from_element`]. Skips the subgroup-membership
+    /// exponentiation, which costs a full modpow per call and dominates hot
+    /// paths that reconstruct the key every round.
+    ///
+    /// Callers must not pass untrusted wire data here.
+    pub fn from_element_trusted(group: &Group, y: BigUint) -> Self {
+        debug_assert!(group.contains(&y));
+        VerifyKey {
+            group: group.clone(),
+            y,
+        }
+    }
+
     /// The underlying group element `y = g^x`.
     pub fn element(&self) -> &BigUint {
         &self.y
@@ -95,8 +111,9 @@ impl VerifyKey {
     ///
     /// `R' = g^s · y^{q−e}` is computed as one interleaved
     /// multi-exponentiation: the `g` term comes squaring-free from the
-    /// generator's comb table, and `y` is promoted to its own table by the
-    /// group's hot-base cache once the key verifies a second signature.
+    /// generator's comb table, and `y` rides its own comb table whenever the
+    /// key was promoted — by [`batch_verify`], by [`Group::promote`] during a
+    /// preprocessing window, or by earlier plain exponentiations.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
         if sig.e >= *self.group.q() || sig.s >= *self.group.q() {
             return false;
@@ -130,16 +147,15 @@ impl VerifyKey {
 /// combination batch: each check must *recompute* its own `R'` and hash it,
 /// so the exponentiations cannot be merged across signatures (contrast
 /// [`crate::thresh::batch_verify_partials`], where the commitment `R` is
-/// transmitted). What *does* amortize is the per-base work: the first
-/// verification promotes `y` into the group's hot-base table cache, making
-/// every subsequent check in the batch squaring-free on both terms. The
-/// certificate-heavy call sites (ULS evidence windows, certificate
-/// adoption) verify dozens of signatures under the same `v_cert`, which is
-/// exactly this shape.
+/// transmitted). What *does* amortize is the per-base work: the batch
+/// promotes `y` into the group's table cache up front, making every check
+/// in the batch squaring-free on both terms. The certificate-heavy call
+/// sites (ULS evidence windows, certificate adoption) verify dozens of
+/// signatures under the same `v_cert`, which is exactly this shape.
 pub fn batch_verify(vk: &VerifyKey, items: &[(&[u8], &Signature)]) -> bool {
-    // Touch the key's table deliberately so even a 2-item batch amortizes.
+    // Promote the key's table deliberately so even a small batch amortizes.
     if items.len() >= 2 {
-        let _ = vk.group.exp(&vk.y, &BigUint::one());
+        vk.group.promote(&vk.y);
     }
     items.iter().all(|(msg, sig)| vk.verify(msg, sig))
 }

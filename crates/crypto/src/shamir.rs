@@ -173,6 +173,55 @@ pub fn lagrange_coeff_at(group: &Group, indices: &[u32], j: u32, x0: u32) -> Big
     num.mul_mod(&den_inv, q)
 }
 
+/// All Lagrange coefficients `λ_j(0)` for the index set at once, with one
+/// modular inversion total (Montgomery's batch-inversion trick on the
+/// per-index denominators) instead of one per coefficient. Bit-identical to
+/// calling [`lagrange_coeff_at_zero`] per index.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or contains repeats.
+pub fn lagrange_coeffs_at_zero(group: &Group, indices: &[u32]) -> Vec<(u32, BigUint)> {
+    assert!(!indices.is_empty(), "empty index set");
+    let q = group.q();
+    let to_s = |v: u32| BigUint::from_u64(v as u64).rem(q);
+    // Numerator and denominator per index.
+    let mut nums = Vec::with_capacity(indices.len());
+    let mut dens = Vec::with_capacity(indices.len());
+    for &j in indices {
+        let xj = to_s(j);
+        let mut num = BigUint::one();
+        let mut den = BigUint::one();
+        for &m in indices {
+            if m == j {
+                continue;
+            }
+            let xm = to_s(m);
+            num = num.mul_mod(&BigUint::zero().sub_mod(&xm, q), q);
+            den = den.mul_mod(&xj.sub_mod(&xm, q), q);
+        }
+        nums.push(num);
+        dens.push(den);
+    }
+    // Batch inversion: prefix products, one inverse, unwind backwards.
+    let mut prefix = Vec::with_capacity(dens.len());
+    let mut acc = BigUint::one();
+    for d in &dens {
+        prefix.push(acc.clone());
+        acc = acc.mul_mod(d, q);
+    }
+    let mut inv_acc = group
+        .scalar_inv(&acc)
+        .expect("distinct indices below q give nonzero denominators");
+    let mut out = vec![(0u32, BigUint::zero()); indices.len()];
+    for k in (0..indices.len()).rev() {
+        let den_inv = inv_acc.mul_mod(&prefix[k], q);
+        inv_acc = inv_acc.mul_mod(&dens[k], q);
+        out[k] = (indices[k], nums[k].mul_mod(&den_inv, q));
+    }
+    out
+}
+
 /// Reconstructs `f(0)` from `(index, share)` points.
 ///
 /// # Panics
@@ -231,6 +280,18 @@ mod tests {
         // 3 shares of a degree-3 polynomial: interpolation yields garbage
         // (w.h.p. not the secret).
         assert_ne!(interpolate_at_zero(&group, &shares), secret);
+    }
+
+    #[test]
+    fn batched_coefficients_match_per_index() {
+        let (group, _) = setup();
+        for indices in [vec![1u32, 2, 3], vec![4, 9, 2, 13, 7], vec![5]] {
+            let batched = lagrange_coeffs_at_zero(&group, &indices);
+            assert_eq!(batched.len(), indices.len());
+            for (j, lambda) in &batched {
+                assert_eq!(*lambda, lagrange_coeff_at_zero(&group, &indices, *j));
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use proauth_telemetry as telemetry;
 use proauth_crypto::dkg::{self, KeyShare, ReceivedDealing};
 use proauth_crypto::group::Group;
 use proauth_crypto::schnorr::{Signature, VerifyKey};
+use proauth_crypto::thresh::{NoncePool, SignerPrecomp};
 use proauth_primitives::bigint::BigUint;
 use proauth_primitives::wire::{Decode, Encode, InternedBlob};
 use proauth_sim::message::NodeId;
@@ -38,17 +39,46 @@ pub struct AlsConfig {
     /// Threshold: `t+1` signers produce a signature; at most `t` may be
     /// broken per time unit (`n ≥ 2t + 1`).
     pub t: usize,
+    /// Cap on concurrently live sign sessions per node; requests beyond it
+    /// are rejected for the round (open-loop back-pressure).
+    pub max_sessions: usize,
+    /// Sessions older than this many ticks are garbage-collected as failed
+    /// (a session normally completes in ≤ 5 ticks).
+    pub session_max_age: u32,
+    /// Capacity of the preprocessed [`NoncePool`]; `0` disables
+    /// preprocessing (every nonce is generated online).
+    pub nonce_pool: usize,
+    /// Responder-side batch-verification window: completed signatures are
+    /// verified in amortized flushes of up to this many items. `≤ 1` turns
+    /// amortization off (per-item verification). Also gates the in-session
+    /// RLC partial batching.
+    pub verify_window: usize,
 }
 
 impl AlsConfig {
-    /// Validates and builds a config.
+    /// Validates and builds a config with the default service knobs
+    /// (64 concurrent sessions, age-16 GC, a 32-nonce preprocessing pool,
+    /// and an 8-item verify window).
     ///
     /// # Panics
     ///
     /// Panics unless `n ≥ 2t + 1` (Remark 4 of the paper).
     pub fn new(group: Group, n: usize, t: usize) -> Self {
         assert!(n > 2 * t, "PDS requires n >= 2t+1");
-        AlsConfig { group, n, t }
+        AlsConfig {
+            group,
+            n,
+            t,
+            max_sessions: 64,
+            session_max_age: 16,
+            nonce_pool: 32,
+            verify_window: 8,
+        }
+    }
+
+    /// Whether in-session partial verification should run batch-first.
+    pub fn batch_partials(&self) -> bool {
+        self.verify_window > 1
     }
 }
 
@@ -72,11 +102,21 @@ pub struct AlsPds {
     refresh_failed: bool,
     /// Dealings received during setup.
     setup_inbox: Vec<ReceivedDealing>,
+    /// Preprocessed signing nonces (`None` when `cfg.nonce_pool == 0`).
+    /// Volatile secret state: wiped on break-in, refilled under the refresh
+    /// schedule.
+    nonce_pool: Option<NoncePool>,
+    /// Preprocessed Lagrange coefficients per signer set (`None` when
+    /// preprocessing is disabled). Public data — survives break-ins, warmed
+    /// during the same offline windows as the nonce pool.
+    lagrange: Option<SignerPrecomp>,
 }
 
 impl AlsPds {
     /// Creates the state machine for node `me`.
     pub fn new(cfg: AlsConfig, me: NodeId) -> Self {
+        let nonce_pool = (cfg.nonce_pool > 0).then(|| NoncePool::new(cfg.nonce_pool));
+        let lagrange = (cfg.nonce_pool > 0).then(SignerPrecomp::new);
         AlsPds {
             cfg,
             me: me.0,
@@ -89,6 +129,33 @@ impl AlsPds {
             refresh: None,
             refresh_failed: false,
             setup_inbox: Vec::new(),
+            nonce_pool,
+            lagrange,
+        }
+    }
+
+    /// Offline-window preprocessing beyond the nonce pool, all public data:
+    /// memoizes the Lagrange coefficients for the signer set the next
+    /// normal phase will fix absent faults (the lowest `t+1` indices), and
+    /// promotes the share keys and joint public key into the group's
+    /// fixed-base table cache so the online verification multi-exps run
+    /// squaring-free from the first session. Retries against other signer
+    /// sets memoize on first use instead. No-op when preprocessing is off,
+    /// which is what keeps the E13 ablation's baseline leg honest.
+    fn warm_offline(&mut self) {
+        let expected: Vec<u32> = (1..=self.cfg.t as u32 + 1).collect();
+        if let Some(pre) = &mut self.lagrange {
+            if pre.warm(&self.cfg.group, &expected) {
+                telemetry::count("pds/lagrange_warmed", 1);
+            }
+            if let Some(key) = &self.key {
+                for x in &key.share_keys {
+                    self.cfg.group.promote(x);
+                }
+            }
+            if let Some(pk) = &self.public_key {
+                self.cfg.group.promote(pk);
+            }
         }
     }
 
@@ -109,13 +176,31 @@ impl AlsPds {
             .unwrap_or(false)
     }
 
-    /// Break-in corruption: erase all volatile key material.
+    /// Break-in corruption: erase all volatile key material — including the
+    /// preprocessed nonce pool, whose secret scalars would otherwise let the
+    /// adversary solve later partials for the share.
     pub fn corrupt_wipe(&mut self) {
         self.key = None;
         self.public_key = None;
         self.sessions.clear();
         self.pending_requests.clear();
         self.refresh = None;
+        if let Some(pool) = &mut self.nonce_pool {
+            pool.wipe();
+        }
+        // `self.lagrange` is deliberately NOT cleared: Lagrange coefficients
+        // are public functions of the signer indices, so a break-in learns
+        // nothing from them and recovery keeps the warm cache.
+    }
+
+    /// The preprocessed nonce pool, if preprocessing is enabled (tests).
+    pub fn nonce_pool(&self) -> Option<&NoncePool> {
+        self.nonce_pool.as_ref()
+    }
+
+    /// The joint public key as a group element, once known.
+    pub fn public_key_element(&self) -> Option<&BigUint> {
+        self.public_key.as_ref()
     }
 
     /// Break-in corruption: overwrite the share with garbage (the node is
@@ -187,17 +272,23 @@ impl AlsPds {
         let done: Vec<Sid> = self
             .sessions
             .iter()
-            .filter(|(_, s)| s.is_done() || s.is_failed())
+            .filter(|(_, s)| s.is_done() || s.is_failed() || s.age() > self.cfg.session_max_age)
             .map(|(sid, _)| *sid)
             .collect();
         for sid in done {
             let session = self.sessions.remove(&sid).expect("present");
-            if let Some(sig) = session.result() {
-                self.completed.push(SignatureRecord {
-                    msg: session.msg.clone(),
-                    unit: session.unit,
-                    sig: sig.clone(),
-                });
+            match session.result() {
+                Some(sig) => {
+                    telemetry::count("pds/sign_completed", 1);
+                    telemetry::observe_value("pds/sign_latency_rounds", u64::from(session.age()));
+                    self.completed.push(SignatureRecord {
+                        msg: session.msg.clone(),
+                        unit: session.unit,
+                        sig: sig.clone(),
+                    });
+                }
+                None if session.is_failed() => telemetry::count("pds/sign_failed", 1),
+                None => telemetry::count("pds/sign_expired", 1),
             }
         }
     }
@@ -260,6 +351,13 @@ impl AlPds for AlsPds {
                 self.public_key = Some(key.public_key.clone());
                 self.key = Some(key);
                 self.setup_inbox.clear();
+                // Preprocess the first pool of signing nonces and the
+                // expected signer set's Lagrange coefficients while the
+                // adversary is still offline (setup is adversary-free).
+                if let Some(pool) = &mut self.nonce_pool {
+                    pool.refill(&self.cfg.group, rng);
+                }
+                self.warm_offline();
                 Vec::new()
             }
             _ => Vec::new(),
@@ -341,28 +439,57 @@ impl AlPds for AlsPds {
                                 }
                             }
                         }
+                        // Refresh is the scheduled offline window: top the
+                        // preprocessed nonce pool back up for the coming
+                        // normal phase (strict no-reuse accounting is inside
+                        // the pool).
+                        if let Some(pool) = &mut self.nonce_pool {
+                            let added = pool.refill(&self.cfg.group, rng) as u64;
+                            if added > 0 {
+                                telemetry::count("pds/nonce_refilled", added);
+                            }
+                        }
+                        self.warm_offline();
                     }
                 }
             }
             PdsPhase::Normal => {
-                // Start sessions for pending requests.
+                // Start sessions for pending requests, up to the concurrent
+                // session cap. The session table keys by sid, so many
+                // sessions progress independently in the same round.
                 let usable = self.key_usable();
+                let batch_partials = self.cfg.batch_partials();
                 for (msg, unit) in std::mem::take(&mut self.pending_requests) {
                     let sid = sid_for(&msg, unit);
                     if self.sessions.contains_key(&sid) {
                         continue;
                     }
+                    if self.sessions.len() >= self.cfg.max_sessions {
+                        telemetry::count("pds/sign_rejected", 1);
+                        continue;
+                    }
                     telemetry::count("pds/sign_started", 1);
-                    let (session, init) = SignSession::start(
-                        &self.cfg.group,
-                        self.me,
-                        self.cfg.t,
-                        sid,
-                        msg,
-                        unit,
-                        usable,
-                        rng,
-                    );
+                    // Online fast path: the attempt-0 nonce comes from the
+                    // preprocessed pool when one is available.
+                    let nonce = if usable {
+                        let pooled = self.nonce_pool.as_mut().and_then(NoncePool::take);
+                        telemetry::count(
+                            if pooled.is_some() {
+                                "pds/nonce_pool_hit"
+                            } else {
+                                "pds/nonce_pool_miss"
+                            },
+                            1,
+                        );
+                        Some(pooled.unwrap_or_else(|| {
+                            proauth_crypto::thresh::generate_nonce(&self.cfg.group, rng)
+                        }))
+                    } else {
+                        None
+                    };
+                    let (mut session, init) =
+                        SignSession::start_with_nonce(self.me, self.cfg.t, sid, msg, unit, nonce);
+                    session.set_batch_partials(batch_partials);
                     self.sessions.insert(sid, session);
                     if let Some(init) = init {
                         out.extend(self.expand(Dest::All, init));
@@ -374,6 +501,11 @@ impl AlPds for AlsPds {
                     let key = if self.key_usable() { self.key.clone() } else { None };
                     let sids: Vec<Sid> = self.sessions.keys().copied().collect();
                     let mut broadcasts: Vec<AlsMsg> = Vec::new();
+                    // The pool and coefficient cache move out of `self` for
+                    // the loop so each session tick can borrow them mutably
+                    // alongside the table.
+                    let mut pool = self.nonce_pool.take();
+                    let mut lagrange = self.lagrange.take();
                     for sid in sids {
                         // Sessions created this very round should not tick yet
                         // (their inits have not even been sent).
@@ -387,15 +519,19 @@ impl AlPds for AlsPds {
                                 session.bump_age();
                                 continue;
                             }
-                            broadcasts.extend(session.tick(
+                            broadcasts.extend(session.tick_with(
                                 &self.cfg.group,
                                 key.as_ref(),
                                 &pk,
+                                pool.as_mut(),
+                                lagrange.as_mut(),
                                 rng,
                             ));
                             session.bump_age();
                         }
                     }
+                    self.nonce_pool = pool;
+                    self.lagrange = lagrange;
                     for msg in broadcasts {
                         out.extend(self.expand(Dest::All, msg));
                     }

@@ -25,7 +25,7 @@ use crate::msg::{signing_payload, AlsMsg, Sid};
 use proauth_crypto::dkg::KeyShare;
 use proauth_crypto::group::Group;
 use proauth_crypto::schnorr::{Signature, VerifyKey};
-use proauth_crypto::thresh::{self, Nonce};
+use proauth_crypto::thresh::{self, Nonce, NoncePool, SignerPrecomp};
 use proauth_primitives::bigint::BigUint;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -71,6 +71,13 @@ pub struct SignSession {
     retry_nonces: BTreeMap<u32, BigUint>,
     /// Signers excluded for cheating or missing messages.
     excluded: BTreeSet<u32>,
+    /// Every nonce commitment accepted per signer across all attempts
+    /// (big-endian bytes). A retry nonce colliding with any of these is
+    /// nonce reuse — cheating, since `k` reuse across challenges leaks the
+    /// share — and gets the signer excluded.
+    seen_commitments: BTreeMap<u32, BTreeSet<Vec<u8>>>,
+    /// Whether partial verification runs batch-first (RLC) or per-signer.
+    batch_partials: bool,
     /// My nonce for the current attempt.
     my_nonce: Option<Nonce>,
     /// The completed signature, if any.
@@ -95,6 +102,22 @@ impl SignSession {
         has_share: bool,
         rng: &mut R,
     ) -> (Self, Option<AlsMsg>) {
+        let nonce = has_share.then(|| thresh::generate_nonce(group, rng));
+        Self::start_with_nonce(me, t, sid, msg, unit, nonce)
+    }
+
+    /// Like [`SignSession::start`], but with the attempt-0 nonce supplied by
+    /// the caller — typically popped from a preprocessed
+    /// [`NoncePool`] so session start does no exponentiation.
+    /// `None` means the node holds no share and only listens.
+    pub fn start_with_nonce(
+        me: u32,
+        t: usize,
+        sid: Sid,
+        msg: Vec<u8>,
+        unit: u64,
+        nonce: Option<Nonce>,
+    ) -> (Self, Option<AlsMsg>) {
         let mut session = SignSession {
             sid,
             msg,
@@ -106,15 +129,17 @@ impl SignSession {
             partials: BTreeMap::new(),
             retry_nonces: BTreeMap::new(),
             excluded: BTreeSet::new(),
+            seen_commitments: BTreeMap::new(),
+            batch_partials: true,
             my_nonce: None,
             result: None,
             age: 0,
         };
-        if !has_share {
+        let Some(nonce) = nonce else {
             return (session, None);
-        }
-        let nonce = thresh::generate_nonce(group, rng);
+        };
         session.inits.insert(me, nonce.commitment.clone());
+        session.note_commitment(me, &nonce.commitment);
         let init = AlsMsg::SignInit {
             sid,
             msg: session.msg.clone(),
@@ -123,6 +148,24 @@ impl SignSession {
         };
         session.my_nonce = Some(nonce);
         (session, Some(init))
+    }
+
+    /// Switches between RLC batch-first partial verification (the default)
+    /// and per-signer verification only.
+    pub fn set_batch_partials(&mut self, on: bool) {
+        self.batch_partials = on;
+    }
+
+    /// Signers excluded so far (cheating, silence, or nonce reuse).
+    pub fn excluded(&self) -> &BTreeSet<u32> {
+        &self.excluded
+    }
+
+    fn note_commitment(&mut self, signer: u32, commitment: &BigUint) {
+        self.seen_commitments
+            .entry(signer)
+            .or_default()
+            .insert(commitment.to_bytes_be());
     }
 
     /// Logical ticks since creation.
@@ -154,8 +197,20 @@ impl SignSession {
     pub fn handle(&mut self, group: &Group, public_key: &BigUint, from: u32, msg: &AlsMsg) {
         match msg {
             AlsMsg::SignInit { nonce, .. }
-                if matches!(self.state, State::AwaitInits) && group.contains(nonce) => {
-                    self.inits.entry(from).or_insert_with(|| nonce.clone());
+                // No subgroup-membership modpow here (it used to cost every
+                // receiver one full exponentiation per init): membership is
+                // implied by the partial-check equation `g^{z_i} = R_i ·
+                // X_i^{e·λ_i}` — its left side is a subgroup member and
+                // `X_i` is Feldman-validated, so an off-subgroup `R_i` can
+                // never satisfy it and its sender is identified and
+                // excluded at evaluation like any other cheater.
+                if matches!(self.state, State::AwaitInits) => {
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        self.inits.entry(from)
+                    {
+                        slot.insert(nonce.clone());
+                        self.note_commitment(from, nonce);
+                    }
                 }
             AlsMsg::SignPartial { attempt, z, .. } => {
                 if let State::AwaitPartials {
@@ -170,12 +225,37 @@ impl SignSession {
                 }
             }
             AlsMsg::SignRetryNonce { attempt, nonce, .. } => {
-                if let State::AwaitRetryNonces { attempt: cur, active } = &self.state {
-                    if *attempt == *cur && active.contains(&from) && group.contains(nonce) {
-                        self.retry_nonces
-                            .entry(from)
-                            .or_insert_with(|| nonce.clone());
-                    }
+                let expected = matches!(
+                    &self.state,
+                    State::AwaitRetryNonces { attempt: cur, active }
+                        if *attempt == *cur && active.contains(&from)
+                );
+                if !expected || !group.contains(nonce) || self.excluded.contains(&from) {
+                    return;
+                }
+                if self.retry_nonces.get(&from) == Some(nonce) {
+                    return; // duplicate delivery of the accepted nonce
+                }
+                // Nonce hygiene: a "fresh" retry nonce matching any
+                // commitment this signer already used in the session is
+                // reuse — it would put one `k` under two challenges, which
+                // solves for the share. Treat it as cheating, not as a
+                // nonce to accept.
+                let bytes = nonce.to_bytes_be();
+                let reused = self
+                    .seen_commitments
+                    .get(&from)
+                    .is_some_and(|seen| seen.contains(&bytes));
+                if reused {
+                    self.excluded.insert(from);
+                    self.retry_nonces.remove(&from);
+                    return;
+                }
+                if let std::collections::btree_map::Entry::Vacant(slot) =
+                    self.retry_nonces.entry(from)
+                {
+                    slot.insert(nonce.clone());
+                    self.note_commitment(from, nonce);
                 }
             }
             AlsMsg::SignDone { e, s, .. }
@@ -184,11 +264,13 @@ impl SignSession {
                         e: e.clone(),
                         s: s.clone(),
                     };
-                    if let Some(vk) = VerifyKey::from_element(group, public_key.clone()) {
-                        if vk.verify(&signing_payload(&self.msg, self.unit), &sig) {
-                            self.result = Some(sig);
-                            self.state = State::Done;
-                        }
+                    // The caller's public key is the adopted DKG output
+                    // (subgroup member by construction), so skip the
+                    // membership modpow on this per-delivery path.
+                    let vk = VerifyKey::from_element_trusted(group, public_key.clone());
+                    if vk.verify(&signing_payload(&self.msg, self.unit), &sig) {
+                        self.result = Some(sig);
+                        self.state = State::Done;
                     }
                 }
             _ => {}
@@ -203,15 +285,35 @@ impl SignSession {
         public_key: &BigUint,
         rng: &mut R,
     ) -> Vec<AlsMsg> {
+        self.tick_with(group, key, public_key, None, None, rng)
+    }
+
+    /// Like [`SignSession::tick`], but draws any retry nonce from `pool`
+    /// first (falling back to fresh generation when the pool is `None` or
+    /// empty) and reads Lagrange coefficients from `lagrange` (falling back
+    /// to inline computation). Both are the preprocessing levers: with them
+    /// warmed during the refresh window, the online tick is mostly
+    /// multi-exponentiation.
+    pub fn tick_with<R: rand::RngCore>(
+        &mut self,
+        group: &Group,
+        key: Option<&KeyShare>,
+        public_key: &BigUint,
+        pool: Option<&mut NoncePool>,
+        lagrange: Option<&mut SignerPrecomp>,
+        rng: &mut R,
+    ) -> Vec<AlsMsg> {
         match std::mem::replace(&mut self.state, State::Failed) {
-            State::AwaitInits => self.fix_signer_set(group, key),
+            State::AwaitInits => self.fix_signer_set(group, key, lagrange),
             State::AwaitPartials {
                 attempt,
                 active,
                 nonces,
-            } => self.evaluate_partials(group, key, public_key, attempt, active, nonces, rng),
+            } => self.evaluate_partials(
+                group, key, public_key, attempt, active, nonces, pool, lagrange, rng,
+            ),
             State::AwaitRetryNonces { attempt, active } => {
-                self.emit_retry_partials(group, key, public_key, attempt, active)
+                self.emit_retry_partials(group, key, public_key, attempt, active, lagrange)
             }
             done_or_failed => {
                 self.state = done_or_failed;
@@ -221,7 +323,12 @@ impl SignSession {
     }
 
     /// Tick T+1: the signer set is whatever inits arrived.
-    fn fix_signer_set(&mut self, group: &Group, key: Option<&KeyShare>) -> Vec<AlsMsg> {
+    fn fix_signer_set(
+        &mut self,
+        group: &Group,
+        key: Option<&KeyShare>,
+        lagrange: Option<&mut SignerPrecomp>,
+    ) -> Vec<AlsMsg> {
         let signers: Vec<u32> = self.inits.keys().copied().collect();
         if signers.len() < self.t + 1 {
             self.state = State::Failed;
@@ -233,7 +340,7 @@ impl SignSession {
             .map(|i| (*i, self.inits[i].clone()))
             .collect();
         self.partials.clear();
-        let out = self.my_partial(group, key, 0, &active, &nonces);
+        let out = self.my_partial(group, key, 0, &active, &nonces, lagrange);
         self.state = State::AwaitPartials {
             attempt: 0,
             active,
@@ -250,6 +357,7 @@ impl SignSession {
         attempt: u32,
         active: &[u32],
         nonces: &BTreeMap<u32, BigUint>,
+        lagrange: Option<&mut SignerPrecomp>,
     ) -> Vec<AlsMsg> {
         let (Some(key), Some(nonce)) = (key, self.my_nonce.as_ref()) else {
             return Vec::new();
@@ -265,7 +373,12 @@ impl SignSession {
             &key.public_key,
             &signing_payload(&self.msg, self.unit),
         );
-        let z = thresh::partial_sign(group, key, active, nonce, &e);
+        let z = match lagrange
+            .and_then(|p| p.coeffs(group, active).get(&self.me).cloned())
+        {
+            Some(lambda) => thresh::partial_sign_with_coeff(group, key, &lambda, nonce, &e),
+            None => thresh::partial_sign(group, key, active, nonce, &e),
+        };
         self.partials.insert(self.me, z.clone());
         vec![AlsMsg::SignPartial {
             sid: self.sid,
@@ -284,6 +397,8 @@ impl SignSession {
         attempt: u32,
         active: Vec<u32>,
         nonces: BTreeMap<u32, BigUint>,
+        pool: Option<&mut NoncePool>,
+        mut lagrange: Option<&mut SignerPrecomp>,
         rng: &mut R,
     ) -> Vec<AlsMsg> {
         // Verify partials against public data; identify cheaters/missing.
@@ -294,11 +409,8 @@ impl SignSession {
             let commitments: Vec<BigUint> = active.iter().map(|i| nonces[i].clone()).collect();
             let r = thresh::combine_nonces(group, &commitments);
             let e = thresh::challenge(group, &r, public_key, &signing_payload(&self.msg, self.unit));
+            let mut optimistic = false;
             if let Some(keys) = share_keys.as_ref() {
-                // Batch-first: one random-linear-combination check covers
-                // every partial that arrived. Only when the batch rejects do
-                // we fall back to per-signer verification, which is what
-                // pinpoints the cheaters to exclude on retry.
                 let mut checks: Vec<thresh::PartialCheck<'_>> = Vec::new();
                 for &i in &active {
                     match self.partials.get(&i) {
@@ -311,16 +423,37 @@ impl SignSession {
                         None => bad.push(i),
                     }
                 }
-                if thresh::batch_verify_partials(group, &active, &e, &checks) {
+                if self.batch_partials && bad.is_empty() {
+                    // Optimistic combine: with every partial present, the
+                    // full verification of the combined signature below is
+                    // itself the batched partial check — one two-term
+                    // multi-exp covers all t+1 partials, so the per-signer
+                    // checks (and even a random-linear-combination batch
+                    // over them, which still pays a fresh Straus chain per
+                    // transient `R_i`) would be pure overhead on the honest
+                    // path. On mismatch the exact per-signer fallback below
+                    // pinpoints whom to exclude, so robustness is unchanged
+                    // — a cheater merely costs this one extra pass.
                     good.extend(checks.iter().map(|c| c.z_i.clone()));
+                    optimistic = true;
                 } else {
+                    // A partial is missing, or batching is off: per-signer
+                    // checks pinpoint whom to exclude.
+                    let coeffs = lagrange
+                        .as_deref_mut()
+                        .map(|p| p.coeffs(group, &active).clone());
                     for c in &checks {
-                        if thresh::verify_partial(
+                        let lambda = match coeffs.as_ref().and_then(|m| m.get(&c.signer)) {
+                            Some(l) => l.clone(),
+                            None => proauth_crypto::shamir::lagrange_coeff_at_zero(
+                                group, &active, c.signer,
+                            ),
+                        };
+                        if thresh::verify_partial_preverified(
                             group,
-                            &active,
-                            c.signer,
                             c.share_key,
                             c.nonce_commitment,
+                            &lambda,
                             &e,
                             c.z_i,
                         ) {
@@ -335,20 +468,62 @@ impl SignSession {
             }
             if bad.is_empty() && good.len() == active.len() {
                 let sig = thresh::combine_partials(group, &e, &good);
-                // Final check before declaring success.
-                if let Some(vk) = VerifyKey::from_element(group, public_key.clone()) {
-                    if vk.verify(&signing_payload(&self.msg, self.unit), &sig) {
-                        let done = AlsMsg::SignDone {
-                            sid: self.sid,
-                            e: sig.e.clone(),
-                            s: sig.s.clone(),
-                        };
-                        self.result = Some(sig);
-                        self.state = State::Done;
-                        return vec![done];
+                // Final check before declaring success. The public key is
+                // the adopted DKG output, a subgroup member by construction,
+                // so the trusted constructor skips the membership modpow
+                // this path used to pay once per evaluation.
+                let vk = VerifyKey::from_element_trusted(group, public_key.clone());
+                if vk.verify(&signing_payload(&self.msg, self.unit), &sig) {
+                    let done = AlsMsg::SignDone {
+                        sid: self.sid,
+                        e: sig.e.clone(),
+                        s: sig.s.clone(),
+                    };
+                    self.result = Some(sig);
+                    self.state = State::Done;
+                    return vec![done];
+                }
+                // The optimistic path combined unverified partials and the
+                // signature does not check out: someone cheated. Exact
+                // per-signer checks pinpoint whom to exclude — their
+                // equation implies subgroup membership of the commitment
+                // (see the `SignInit` handler), so whoever passes is
+                // genuinely good.
+                if optimistic {
+                    if let Some(keys) = share_keys.as_ref() {
+                        good.clear();
+                        let coeffs = lagrange
+                            .as_mut()
+                            .map(|p| p.coeffs(group, &active).clone());
+                        for &i in &active {
+                            let Some(z) = self.partials.get(&i) else {
+                                bad.push(i);
+                                continue;
+                            };
+                            let lambda = match coeffs.as_ref().and_then(|m| m.get(&i)) {
+                                Some(l) => l.clone(),
+                                None => proauth_crypto::shamir::lagrange_coeff_at_zero(
+                                    group, &active, i,
+                                ),
+                            };
+                            if thresh::verify_partial_preverified(
+                                group,
+                                &keys[(i - 1) as usize],
+                                &nonces[&i],
+                                &lambda,
+                                &e,
+                                z,
+                            ) {
+                                good.push(z.clone());
+                            } else {
+                                bad.push(i);
+                            }
+                        }
                     }
                 }
-                bad = active.clone(); // inconsistent state: restart fully
+                if bad.is_empty() {
+                    bad = active.clone(); // truly inconsistent: restart fully
+                }
             }
         } else {
             bad = active.clone();
@@ -376,8 +551,11 @@ impl SignSession {
         self.partials.clear();
         let mut out = Vec::new();
         if active.contains(&self.me) && key.is_some() {
-            let nonce = thresh::generate_nonce(group, rng);
+            let nonce = pool
+                .and_then(NoncePool::take)
+                .unwrap_or_else(|| thresh::generate_nonce(group, rng));
             self.retry_nonces.insert(self.me, nonce.commitment.clone());
+            self.note_commitment(self.me, &nonce.commitment);
             out.push(AlsMsg::SignRetryNonce {
                 sid: self.sid,
                 attempt: next_attempt,
@@ -400,6 +578,7 @@ impl SignSession {
         _public_key: &BigUint,
         attempt: u32,
         active: Vec<u32>,
+        lagrange: Option<&mut SignerPrecomp>,
     ) -> Vec<AlsMsg> {
         let nonces = std::mem::take(&mut self.retry_nonces);
         if !active.iter().all(|i| nonces.contains_key(i)) {
@@ -409,7 +588,7 @@ impl SignSession {
             return Vec::new();
         }
         self.partials.clear();
-        let out = self.my_partial(group, key, attempt, &active, &nonces);
+        let out = self.my_partial(group, key, attempt, &active, &nonces, lagrange);
         self.state = State::AwaitPartials {
             attempt,
             active,
@@ -703,6 +882,179 @@ mod tests {
                 })
                 .expect("retry nonce broadcast");
             assert_ne!(init_nonce, retry_nonce, "signer {signer} reused a nonce");
+        }
+    }
+
+    /// Drives 4 sessions with node 2's partials garbled (forcing a retry
+    /// with active = {1, 3, 4}) and `tamper` applied to every message in
+    /// flight. Returns the final sessions.
+    fn drive_retry_with(
+        tamper: impl Fn(u32, AlsMsg, &[(u32, AlsMsg)]) -> AlsMsg,
+    ) -> (Group, BTreeMap<u32, SignSession>) {
+        let (group, keys) = dkg_keys(5, 2, 109);
+        let mut rng = StdRng::seed_from_u64(5000);
+        let sid = sid_for(b"reuse", 1);
+        let pk = keys[0].public_key.clone();
+        let mut sessions: BTreeMap<u32, SignSession> = BTreeMap::new();
+        let mut in_flight: Vec<(u32, AlsMsg)> = Vec::new();
+        let mut transcript: Vec<(u32, AlsMsg)> = Vec::new();
+        for p in [1u32, 2, 3, 4] {
+            let (s, init) =
+                SignSession::start(&group, p, 2, sid, b"reuse".to_vec(), 1, true, &mut rng);
+            sessions.insert(p, s);
+            in_flight.push((p, init.unwrap()));
+        }
+        for _ in 0..6 {
+            let batch: Vec<(u32, AlsMsg)> = std::mem::take(&mut in_flight)
+                .into_iter()
+                .filter_map(|(from, msg)| {
+                    let msg = match (from, msg) {
+                        // Node 2 "cheats" on attempt 0 (its outbound partial
+                        // is garbled) → excluded on retry. Its local session
+                        // still completes honestly, so its SignDone gossip is
+                        // suppressed too — the point is to observe the retry.
+                        (2, AlsMsg::SignPartial { sid, attempt: 0, .. }) => AlsMsg::SignPartial {
+                            sid,
+                            attempt: 0,
+                            z: BigUint::from_u64(0xBAD),
+                        },
+                        (2, AlsMsg::SignDone { .. }) => return None,
+                        (from, msg) => tamper(from, msg, &transcript),
+                    };
+                    Some((from, msg))
+                })
+                .collect();
+            // Deliver every message twice: duplication is the network's
+            // prerogative and must never read as cheating.
+            for (from, msg) in batch.iter().chain(batch.iter()) {
+                for (&p, s) in sessions.iter_mut() {
+                    if p != *from {
+                        s.handle(&group, &pk, *from, msg);
+                    }
+                }
+            }
+            transcript.extend(batch);
+            for (&p, s) in sessions.iter_mut() {
+                for m in s.tick(&group, Some(&keys[(p - 1) as usize]), &pk, &mut rng) {
+                    in_flight.push((p, m));
+                }
+            }
+        }
+        (group, sessions)
+    }
+
+    #[test]
+    fn reused_retry_nonce_is_cheating_not_accepted() {
+        // Node 1's retry nonce is replaced with its own attempt-0 init
+        // commitment: a reused nonce. Honest nodes must exclude node 1 (the
+        // session fails for lack of a consistent retry set) rather than
+        // silently accept the reuse and complete.
+        let (_, sessions) = drive_retry_with(|from, msg, transcript| match (from, &msg) {
+            (1, AlsMsg::SignRetryNonce { sid, attempt, .. }) => {
+                let init_nonce = transcript
+                    .iter()
+                    .find_map(|(f, m)| match m {
+                        AlsMsg::SignInit { nonce, .. } if *f == 1 => Some(nonce.clone()),
+                        _ => None,
+                    })
+                    .expect("node 1's init in transcript");
+                AlsMsg::SignRetryNonce {
+                    sid: *sid,
+                    attempt: *attempt,
+                    nonce: init_nonce,
+                }
+            }
+            _ => msg,
+        });
+        for s in sessions.values().filter(|s| s.me != 1 && s.me != 2) {
+            assert!(s.is_failed(), "node {} must not complete on reuse", s.me);
+            assert!(
+                s.excluded().contains(&1),
+                "node {} must flag the reuser",
+                s.me
+            );
+        }
+    }
+
+    #[test]
+    fn honest_retry_after_cheater_succeeds_and_dup_nonces_are_idempotent() {
+        // Same scenario without the substitution — and every retry nonce
+        // delivered twice. Duplicate delivery of the SAME commitment is the
+        // network's doing, not reuse; the retry must complete.
+        let (group, sessions) = drive_retry_with(|_, msg, _| msg);
+        let (_, keys) = dkg_keys(5, 2, 109);
+        let vk = VerifyKey::from_element(&group, keys[0].public_key.clone()).unwrap();
+        for s in sessions.values().filter(|s| s.me != 2) {
+            assert!(s.is_done(), "node {} done after honest retry", s.me);
+            assert!(vk.verify(&signing_payload(b"reuse", 1), s.result().unwrap()));
+            assert_eq!(s.excluded(), &BTreeSet::from([2]));
+        }
+    }
+
+    #[test]
+    fn pooled_nonces_drive_session_start_and_retry() {
+        // Sessions started from a preprocessed pool, with the retry nonce
+        // also pool-drawn, behave exactly like rng-backed sessions.
+        let (group, keys) = dkg_keys(5, 2, 110);
+        let mut rng = StdRng::seed_from_u64(6000);
+        let sid = sid_for(b"pooled", 1);
+        let pk = keys[0].public_key.clone();
+        let mut pools: BTreeMap<u32, NoncePool> = (1..=4u32)
+            .map(|p| {
+                let mut pool = NoncePool::new(4);
+                pool.refill(&group, &mut rng);
+                (p, pool)
+            })
+            .collect();
+        let mut sessions: BTreeMap<u32, SignSession> = BTreeMap::new();
+        let mut in_flight: Vec<(u32, AlsMsg)> = Vec::new();
+        for p in 1..=4u32 {
+            let nonce = pools.get_mut(&p).unwrap().take();
+            let (s, init) =
+                SignSession::start_with_nonce(p, 2, sid, b"pooled".to_vec(), 1, nonce);
+            sessions.insert(p, s);
+            in_flight.push((p, init.unwrap()));
+        }
+        for _ in 0..6 {
+            let batch: Vec<(u32, AlsMsg)> = std::mem::take(&mut in_flight)
+                .into_iter()
+                .map(|(from, msg)| match (from, msg) {
+                    // Node 1 garbles attempt 0: forces a pool-drawn retry.
+                    (1, AlsMsg::SignPartial { sid, attempt: 0, .. }) => (
+                        1,
+                        AlsMsg::SignPartial {
+                            sid,
+                            attempt: 0,
+                            z: BigUint::from_u64(0xBAD),
+                        },
+                    ),
+                    other => other,
+                })
+                .collect();
+            for (from, msg) in &batch {
+                for (&p, s) in sessions.iter_mut() {
+                    if p != *from {
+                        s.handle(&group, &pk, *from, msg);
+                    }
+                }
+            }
+            for (&p, s) in sessions.iter_mut() {
+                let pool = pools.get_mut(&p);
+                for m in
+                    s.tick_with(&group, Some(&keys[(p - 1) as usize]), &pk, pool, None, &mut rng)
+                {
+                    in_flight.push((p, m));
+                }
+            }
+        }
+        let vk = VerifyKey::from_element(&group, pk).unwrap();
+        for s in sessions.values().filter(|s| s.me != 1) {
+            assert!(s.is_done(), "pooled session at {} done", s.me);
+            assert!(vk.verify(&signing_payload(b"pooled", 1), s.result().unwrap()));
+        }
+        // Retry signers drew their fresh nonce from the pool: 2 spent each.
+        for p in [2u32, 3, 4] {
+            assert_eq!(pools[&p].spent_count(), 2, "node {p} pool accounting");
         }
     }
 

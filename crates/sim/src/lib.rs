@@ -34,6 +34,7 @@ pub mod process;
 pub mod reliability;
 pub mod report;
 pub mod runner;
+pub mod workload;
 
 pub use proauth_telemetry as telemetry;
 
@@ -46,6 +47,7 @@ pub use process::{Process, Rom, RoundCtx, SetupCtx};
 pub use reliability::{OperationalRule, OperationalTracker, PairMatrix};
 pub use proauth_telemetry::Telemetry;
 pub use report::{render_metrics, unit_summaries, NodeUnitSummary, ThroughputSummary, UnitSummary};
+pub use workload::{ClientBatch, ClientOp, Workload, WorkloadConfig};
 pub use runner::{
     run_al, run_al_with_inputs, run_ul, run_ul_with_inputs, RoundRecord, SimConfig, SimResult,
     SimStats,

@@ -131,13 +131,14 @@ pub fn render_metrics(tele: &Telemetry) -> Option<String> {
             "latency", "count", "mean", "p50", "p99"
         );
         for (name, h) in &snap.hists {
+            let qs = h.quantiles_ns(&[0.5, 0.99]);
             let _ = writeln!(
                 out,
                 "{name:28} {:>8} {:>9} {:>9} {:>9}",
                 h.total,
                 fmt_ns(h.mean_ns()),
-                fmt_ns(h.quantile_ns(0.5)),
-                fmt_ns(h.quantile_ns(0.99)),
+                fmt_ns(qs[0]),
+                fmt_ns(qs[1]),
             );
         }
     }
@@ -151,14 +152,14 @@ pub fn render_metrics(tele: &Telemetry) -> Option<String> {
             "distribution", "count", "mean", "p50", "p99"
         );
         for (name, h) in &snap.value_hists {
-            let q = |q| h.quantile_bounded(&proauth_telemetry::HIST_BOUNDS_VALUE, q);
+            let qs = h.quantiles_value(&[0.5, 0.99]);
             let _ = writeln!(
                 out,
                 "{name:28} {:>8} {:>9} {:>9} {:>9}",
                 h.total,
                 h.mean_ns(),
-                q(0.5),
-                q(0.99),
+                qs[0],
+                qs[1],
             );
         }
     }

@@ -1,0 +1,332 @@
+//! Open-loop client workload: an external stream of sign/verify requests
+//! driven through the per-round input channel (`x_{i,w}` of §3.1), so the
+//! adversary and chaos layers apply to service traffic exactly as to
+//! protocol traffic.
+//!
+//! The generator is **stateless per call**: the operation list for a round
+//! is a pure function of `(seed, round)`, so any engine (serial or worker
+//! pool, any thread count) sampling inputs in any per-round order sees
+//! identical requests — the determinism property the golden tests pin.
+//!
+//! Semantics of the mix:
+//!
+//! * **sign** operations are broadcast to *every* node in the same round —
+//!   the AL-model ideal process requires all intended signers to be asked
+//!   within one time unit, and the session layer drops messages for unknown
+//!   session ids;
+//! * **verify** operations land on one node each (any single responder can
+//!   check a signature against the ROM public key);
+//! * **refresh** is deliberately *not* a client operation: proactive
+//!   refresh is time-triggered by the schedule (Fig. 1), so the workload's
+//!   refresh exposure is controlled by running the workload across unit
+//!   boundaries, not by issuing requests.
+//!
+//! Arrivals are open-loop Poisson: the client does not wait for
+//! completions, so overload shows up as queueing (and, past the session
+//! cap, explicit rejections) rather than as a throttled offered load.
+
+use crate::message::NodeId;
+use proauth_primitives::wire::{Reader, Writer};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Wire magic distinguishing an encoded [`ClientBatch`] from a legacy raw
+/// "sign these bytes" input.
+const MAGIC: &[u8; 4] = b"PAWL";
+/// Cap on operations sampled for a single round (keeps the Poisson sampler
+/// total and a hostile rate from allocating unboundedly).
+const MAX_OPS_PER_ROUND: usize = 64;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Ask the service to threshold-sign `msg` in the current unit.
+    Sign {
+        /// Message bytes to sign.
+        msg: Vec<u8>,
+    },
+    /// Ask the responder to verify a recently produced signature.
+    Verify,
+}
+
+/// A round's worth of client operations for one node, as delivered on the
+/// external input channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientBatch {
+    /// Operations in issue order.
+    pub ops: Vec<ClientOp>,
+}
+
+impl ClientBatch {
+    /// Encodes the batch with a magic prefix so receivers can distinguish
+    /// it from legacy raw sign inputs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(MAGIC);
+        w.put_u16(self.ops.len().min(u16::MAX as usize) as u16);
+        for op in self.ops.iter().take(u16::MAX as usize) {
+            match op {
+                ClientOp::Sign { msg } => {
+                    w.put_u8(1);
+                    w.put_bytes(msg);
+                }
+                ClientOp::Verify => w.put_u8(2),
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a batch; `None` when `bytes` is not magic-prefixed (legacy
+    /// raw input) or is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return None;
+        }
+        let mut r = Reader::new(&bytes[MAGIC.len()..]);
+        let count = r.get_u16().ok()?;
+        let mut ops = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match r.get_u8().ok()? {
+                1 => ops.push(ClientOp::Sign {
+                    msg: r.get_bytes().ok()?,
+                }),
+                2 => ops.push(ClientOp::Verify),
+                _ => return None,
+            }
+        }
+        (r.remaining() == 0).then_some(ClientBatch { ops })
+    }
+}
+
+/// Workload shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Seed of the request stream (independent of the simulation seed).
+    pub seed: u64,
+    /// Mean arrivals per round across the whole network, in milli-ops
+    /// (2500 = 2.5 ops/round on average).
+    pub rate_millis: u64,
+    /// Relative weight of sign operations in the mix.
+    pub sign_weight: u32,
+    /// Relative weight of verify operations in the mix.
+    pub verify_weight: u32,
+    /// Length in bytes of generated sign messages (the round and op index
+    /// are stamped in, so messages are unique regardless of length).
+    pub msg_len: usize,
+    /// First physical round that may carry operations.
+    pub start_round: u64,
+    /// First round past the active window (`u64::MAX` = never stop).
+    pub stop_round: u64,
+}
+
+impl WorkloadConfig {
+    /// A sign-heavy default stream: ~`rate_millis`/1000 ops per round,
+    /// 3:1 sign:verify, 24-byte messages, active from round 0 forever.
+    pub fn with_rate(seed: u64, rate_millis: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            rate_millis,
+            sign_weight: 3,
+            verify_weight: 1,
+            msg_len: 24,
+            start_round: 0,
+            stop_round: u64::MAX,
+        }
+    }
+}
+
+/// The open-loop generator. Feed [`Workload::input`] to
+/// `run_al_with_inputs`/`run_ul_with_inputs` as the per-round input
+/// function.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    cfg: WorkloadConfig,
+    n: usize,
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, round)` into an rng seed.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Workload {
+    /// A workload over an `n`-node network.
+    pub fn new(cfg: WorkloadConfig, n: usize) -> Self {
+        assert!(n > 0, "workload needs at least one node");
+        assert!(
+            cfg.sign_weight + cfg.verify_weight > 0,
+            "degenerate op mix"
+        );
+        Workload { cfg, n }
+    }
+
+    /// Samples the number of arrivals this round (Poisson via Knuth's
+    /// product method, capped at [`MAX_OPS_PER_ROUND`]).
+    fn arrivals(&self, rng: &mut StdRng) -> usize {
+        let lambda = self.cfg.rate_millis as f64 / 1000.0;
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l || k >= MAX_OPS_PER_ROUND {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// The full operation list for `round`: each op together with its
+    /// destination (`None` = broadcast to all nodes).
+    fn round_ops(&self, round: u64) -> Vec<(Option<NodeId>, ClientOp)> {
+        if round < self.cfg.start_round || round >= self.cfg.stop_round {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.cfg.seed ^ mix(round.wrapping_add(1))));
+        let count = self.arrivals(&mut rng);
+        let total = self.cfg.sign_weight + self.cfg.verify_weight;
+        (0..count)
+            .map(|idx| {
+                if rng.next_u32() % total < self.cfg.sign_weight {
+                    // Unique, reproducible message: round/op stamp + filler.
+                    let mut msg = vec![0u8; self.cfg.msg_len.max(12)];
+                    msg[..8].copy_from_slice(&round.to_be_bytes());
+                    msg[8..12].copy_from_slice(&(idx as u32).to_be_bytes());
+                    rng.fill_bytes(&mut msg[12..]);
+                    (None, ClientOp::Sign { msg })
+                } else {
+                    let node = NodeId(1 + (rng.next_u32() % self.n as u32));
+                    (Some(node), ClientOp::Verify)
+                }
+            })
+            .collect()
+    }
+
+    /// The encoded input for `(node, round)`, or `None` when the node has
+    /// no operations this round. Pure in `(node, round)` — safe under any
+    /// engine's sampling order.
+    pub fn input(&self, node: NodeId, round: u64) -> Option<Vec<u8>> {
+        let ops: Vec<ClientOp> = self
+            .round_ops(round)
+            .into_iter()
+            .filter(|(dest, _)| dest.is_none() || *dest == Some(node))
+            .map(|(_, op)| op)
+            .collect();
+        (!ops.is_empty()).then(|| ClientBatch { ops }.to_bytes())
+    }
+
+    /// Total sign operations the stream issues in `[0, rounds)` — the
+    /// offered sign load, for benchmark accounting.
+    pub fn offered_signs(&self, rounds: u64) -> usize {
+        (0..rounds)
+            .map(|r| {
+                self.round_ops(r)
+                    .iter()
+                    .filter(|(_, op)| matches!(op, ClientOp::Sign { .. }))
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrips_and_rejects_legacy() {
+        let batch = ClientBatch {
+            ops: vec![
+                ClientOp::Sign { msg: b"abc".to_vec() },
+                ClientOp::Verify,
+                ClientOp::Sign { msg: vec![] },
+            ],
+        };
+        let bytes = batch.to_bytes();
+        assert_eq!(ClientBatch::from_bytes(&bytes), Some(batch));
+        assert_eq!(ClientBatch::from_bytes(b"hello world"), None);
+        assert_eq!(ClientBatch::from_bytes(b""), None);
+        // Truncated batches are malformed, not misparsed.
+        assert_eq!(ClientBatch::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn inputs_are_deterministic_and_sign_ops_broadcast() {
+        let w = Workload::new(WorkloadConfig::with_rate(42, 3000), 5);
+        for round in 0..50 {
+            let per_node: Vec<Option<Vec<u8>>> = (1..=5u32)
+                .map(|i| w.input(NodeId(i), round))
+                .collect();
+            // Re-sampling is bit-identical.
+            for (i, prev) in per_node.iter().enumerate() {
+                assert_eq!(*prev, w.input(NodeId(1 + i as u32), round));
+            }
+            // Every sign op appears at every node.
+            let signs = |bytes: &Option<Vec<u8>>| -> Vec<Vec<u8>> {
+                bytes
+                    .as_deref()
+                    .and_then(ClientBatch::from_bytes)
+                    .map(|b| {
+                        b.ops
+                            .into_iter()
+                            .filter_map(|op| match op {
+                                ClientOp::Sign { msg } => Some(msg),
+                                ClientOp::Verify => None,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            let first = signs(&per_node[0]);
+            for other in &per_node[1..] {
+                assert_eq!(first, signs(other), "sign ops broadcast, round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_controls_volume_and_window_bounds_it() {
+        let mut cfg = WorkloadConfig::with_rate(7, 2000);
+        cfg.start_round = 10;
+        cfg.stop_round = 20;
+        let w = Workload::new(cfg, 3);
+        assert_eq!(w.offered_signs(10), 0, "quiet before start_round");
+        let active = w.offered_signs(20);
+        assert!(active > 0, "ops inside the window");
+        assert_eq!(w.offered_signs(100), active, "quiet after stop_round");
+
+        let heavy = Workload::new(WorkloadConfig::with_rate(7, 8000), 3);
+        let light = Workload::new(WorkloadConfig::with_rate(7, 500), 3);
+        assert!(
+            heavy.offered_signs(100) > light.offered_signs(100),
+            "rate knob is monotone"
+        );
+    }
+
+    #[test]
+    fn verify_ops_land_on_single_nodes() {
+        let mut cfg = WorkloadConfig::with_rate(3, 4000);
+        cfg.sign_weight = 0;
+        cfg.verify_weight = 1;
+        let w = Workload::new(cfg, 4);
+        let mut seen = 0usize;
+        for round in 0..40 {
+            let total: usize = (1..=4u32)
+                .filter_map(|i| w.input(NodeId(i), round))
+                .map(|b| ClientBatch::from_bytes(&b).expect("batch").ops.len())
+                .sum();
+            seen += total;
+            assert_eq!(
+                total,
+                w.round_ops(round).len(),
+                "each verify op delivered exactly once"
+            );
+        }
+        assert!(seen > 0);
+    }
+}

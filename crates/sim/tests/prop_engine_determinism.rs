@@ -34,6 +34,13 @@ impl Process for Chatter {
         self.counter = self
             .counter
             .wrapping_add(ctx.inbox.iter().map(|e| e.payload.len() as u64).sum());
+        // External inputs (the client workload channel) must be just as
+        // engine-invariant as inbox traffic.
+        if let Some(input) = ctx.input {
+            self.counter = input
+                .iter()
+                .fold(self.counter, |c, &b| c.wrapping_mul(31).wrapping_add(b as u64));
+        }
         let tag = (ctx.rng.next_u64() % 251) as u8;
         let rom = ctx.rom.read("tag").map_or(0, |v| v[0]);
         ctx.send_all(vec![tag, (self.counter % 256) as u8, rom]);
@@ -227,6 +234,56 @@ fn ul_results_and_traces_identical_with_telemetry_on() {
             assert_eq!(
                 serial_trace, pooled_trace,
                 "seed {seed} threads {threads}: trace diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn results_identical_with_workload_generator_active() {
+    // The open-loop client workload feeds per-(node, round) inputs into the
+    // engine; with chaos still active, serial and every pool size must stay
+    // bit-identical — in both models.
+    use proauth_sim::runner::{run_al_with_inputs, run_ul_with_inputs};
+    use proauth_sim::workload::{Workload, WorkloadConfig};
+    let n = 8;
+    for seed in [0u64, 3, 11] {
+        let wl = Workload::new(WorkloadConfig::with_rate(seed ^ 0xB00B5, 2_500), n);
+        let inputs = |id: NodeId, round: u64| wl.input(id, round);
+        let serial_al = run_al_with_inputs(
+            cfg(seed, n, false, 0),
+            |_| Chatter { counter: 0 },
+            &mut Chaos,
+            inputs,
+        );
+        let serial_ul = run_ul_with_inputs(
+            cfg(seed, n, false, 0),
+            |_| Chatter { counter: 0 },
+            &mut Chaos,
+            inputs,
+        );
+        for threads in [1usize, 8] {
+            let pooled_al = run_al_with_inputs(
+                cfg(seed, n, true, threads),
+                |_| Chatter { counter: 0 },
+                &mut Chaos,
+                inputs,
+            );
+            assert_identical(
+                &serial_al,
+                &pooled_al,
+                &format!("workload al seed {seed} threads {threads}"),
+            );
+            let pooled_ul = run_ul_with_inputs(
+                cfg(seed, n, true, threads),
+                |_| Chatter { counter: 0 },
+                &mut Chaos,
+                inputs,
+            );
+            assert_identical(
+                &serial_ul,
+                &pooled_ul,
+                &format!("workload ul seed {seed} threads {threads}"),
             );
         }
     }

@@ -105,6 +105,22 @@ impl Histogram {
         self.quantile_bounded(&HIST_BOUNDS_NS, q)
     }
 
+    /// Several quantiles at once under the given bounds — the one-stop
+    /// extraction reports use instead of hand-rolling p50/p95/p99 pulls.
+    pub fn quantiles(&self, bounds: &[u64], qs: &[f64]) -> Vec<u64> {
+        qs.iter().map(|&q| self.quantile_bounded(bounds, q)).collect()
+    }
+
+    /// Several latency quantiles (ns buckets).
+    pub fn quantiles_ns(&self, qs: &[f64]) -> Vec<u64> {
+        self.quantiles(&HIST_BOUNDS_NS, qs)
+    }
+
+    /// Several value quantiles ([`HIST_BOUNDS_VALUE`] buckets, e.g. rounds).
+    pub fn quantiles_value(&self, qs: &[f64]) -> Vec<u64> {
+        self.quantiles(&HIST_BOUNDS_VALUE, qs)
+    }
+
     /// Mean observation in ns (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.total).unwrap_or(0)
@@ -325,6 +341,11 @@ mod tests {
         assert_eq!(*h.counts.last().unwrap(), 1); // overflow
         assert_eq!(h.quantile_ns(0.5), 4_000);
         assert_eq!(h.quantile_ns(1.0), u64::MAX);
+        assert_eq!(
+            h.quantiles_ns(&[0.5, 0.95, 1.0]),
+            vec![4_000, u64::MAX, u64::MAX]
+        );
+        assert_eq!(Histogram::default().quantiles_value(&[0.5, 0.99]), vec![0, 0]);
         assert_eq!(h.mean_ns(), (100 + 200 + 2_000 + 2_000 + 3_000_000_000u64) / 5);
     }
 

@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run -p proauth-examples --bin proauth -- [options]
 //! cargo run -p proauth-examples --bin proauth -- chaos [options]
+//! cargo run -p proauth-examples --bin proauth -- service [options]
 //!
 //! The `chaos` subcommand runs the degradation sweep instead of a single
 //! scenario: the standard intensity ramp (calm / sub-budget / over-budget)
@@ -14,6 +15,17 @@
 //! the boundary was demonstrated (sub-budget guarantees held, over-budget
 //! degraded loudly), 1 means it was not. `chaos` takes --n --t --units
 //! --normal --seed.
+//!
+//! The `service` subcommand runs the ALS layer as a signing service: an
+//! open-loop client workload (Poisson-like arrivals, 3:1 sign:verify) drives
+//! concurrent sign sessions, and the run reports completion, online/sustained
+//! signatures per second, and latency quantiles from telemetry. `service`
+//! takes --n --t --units --seed --group, plus:
+//!   --rate <int>         mean offered ops per round, in milli-ops
+//!                        (default 2000 = 2 ops/round)
+//!   --window <int>       batch-verify window; 1 disables amortization
+//!                        (default 8)
+//!   --preprocess         enable nonce preprocessing + Lagrange precompute
 //!
 //! Options:
 //!   --n <int>            nodes (default 5)
@@ -87,11 +99,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> HashMap<String, String>
             usage()
         };
         match key {
-            "parallel" | "verbose" => {
+            "parallel" | "verbose" | "preprocess" => {
                 out.insert(key.to_owned(), "true".to_owned());
             }
             "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary"
-            | "trace" => {
+            | "trace" | "rate" | "window" => {
                 let Some(value) = args.next() else {
                     eprintln!("--{key} needs a value");
                     usage()
@@ -159,12 +171,117 @@ fn chaos_main(args: &HashMap<String, String>) -> ! {
     exit(1)
 }
 
+/// The `service` subcommand: drive the ALS layer with the open-loop client
+/// workload and report signing-as-a-service throughput and latency.
+fn service_main(args: &HashMap<String, String>) -> ! {
+    use proauth_pds::als::{AlsConfig, AlsPds};
+    use proauth_pds::als_node::AlsProcess;
+    use proauth_sim::adversary::PassiveAl;
+    use proauth_sim::clock::Schedule;
+    use proauth_sim::runner::run_al_with_inputs;
+    use proauth_sim::workload::{Workload, WorkloadConfig};
+    use std::collections::BTreeSet;
+
+    let n: usize = get(args, "n", 5);
+    let t: usize = get(args, "t", (n - 1) / 2);
+    let units: u64 = get(args, "units", 2);
+    let seed: u64 = get(args, "seed", 0);
+    let rate: u64 = get(args, "rate", 2_000);
+    let window: usize = get(args, "window", 8);
+    let preprocess = args.contains_key("preprocess");
+    if n < 2 * t + 1 {
+        eprintln!("need n >= 2t+1 (got n={n}, t={t})");
+        exit(2);
+    }
+    let group_id = match args.get("group").map(String::as_str) {
+        None | Some("toy64") => GroupId::Toy64,
+        Some("s256") => GroupId::S256,
+        Some("s512") => GroupId::S512,
+        Some("s1024") => GroupId::S1024,
+        Some(other) => {
+            eprintln!("unknown group {other}");
+            usage()
+        }
+    };
+    println!(
+        "proauth signing service: n={n} t={t} units={units} group={group_id} \
+         rate={rate}m ops/round window={window} preprocess={preprocess} seed={seed}\n"
+    );
+
+    let schedule = Schedule::new(20, 1, 8);
+    let mut cfg = SimConfig::new(n, t, schedule);
+    cfg.setup_rounds = 2;
+    cfg.total_rounds = schedule.unit_rounds * units;
+    cfg.seed = seed;
+    cfg.parallel = args.contains_key("parallel");
+    let telemetry = proauth_sim::Telemetry::enabled();
+    cfg.telemetry = telemetry.clone();
+
+    let workload = Workload::new(WorkloadConfig::with_rate(seed ^ 0xE13, rate), n);
+    let offered = workload.offered_signs(cfg.total_rounds);
+    let group = Group::new(group_id);
+    let start = std::time::Instant::now();
+    let result = run_al_with_inputs(
+        cfg,
+        |id| {
+            let mut c = AlsConfig::new(group.clone(), n, t);
+            c.nonce_pool = if preprocess { 64 } else { 0 };
+            c.verify_window = window;
+            AlsProcess::new(AlsPds::new(c, id))
+        },
+        &mut PassiveAl,
+        |id, round| workload.input(id, round),
+    );
+    let elapsed = start.elapsed();
+
+    let mut distinct: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
+    for node_log in &result.outputs {
+        for (_, ev) in node_log {
+            if let OutputEvent::Signed { msg, unit } = ev {
+                distinct.insert((msg.clone(), *unit));
+            }
+        }
+    }
+    let signed = distinct.len();
+    let snap = telemetry.snapshot().expect("telemetry enabled");
+    let normal_ns = snap.hists.get("phase/normal_ns").map_or(0, |h| h.sum_ns);
+    println!("signed {signed} of {offered} offered sign requests");
+    if normal_ns > 0 {
+        println!(
+            "online throughput:    {:.1} sig/s of normal-phase engine time",
+            signed as f64 * 1e9 / normal_ns as f64
+        );
+    }
+    if !elapsed.is_zero() {
+        println!(
+            "sustained throughput: {:.1} sig/s wall-clock (setup + refresh included)",
+            signed as f64 / elapsed.as_secs_f64()
+        );
+    }
+    if let Some(h) = snap.value_hists.get("pds/sign_latency_rounds") {
+        let q = h.quantiles_value(&[0.5, 0.95, 0.99]);
+        println!(
+            "sign latency (rounds): p50 {}  p95 {}  p99 {}",
+            q[0], q[1], q[2]
+        );
+    }
+    if let Some(metrics) = proauth_sim::report::render_metrics(&telemetry) {
+        println!("\nmetrics:");
+        print!("{metrics}");
+    }
+    exit(0)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("chaos") {
         raw.remove(0);
         chaos_main(&parse_args(raw));
+    }
+    if raw.first().map(String::as_str) == Some("service") {
+        raw.remove(0);
+        service_main(&parse_args(raw));
     }
     let args = parse_args(raw);
     let n: usize = get(&args, "n", 5);
