@@ -36,6 +36,25 @@ cargo test -q -p proauth-core --release --test envelope_budget -- --ignored
 # throughput and peak RSS.
 PROAUTH_E11=n64 cargo bench -p proauth-bench --bench e11_system_throughput
 
+# §6 hierarchy smoke on both engine legs: cluster-local ULS stacks under
+# the top-level PDS — setup, steady-state heartbeat co-signing across a
+# refresh, authenticated cross-cluster transit with replay rejection, and
+# representative crash → deterministic re-election with the joint key
+# unchanged. Bit-determinism across pool sizes is asserted inside.
+PROAUTH_THREADS=1 cargo test -q -p proauth-tests --release --test hierarchy
+PROAUTH_THREADS=4 cargo test -q -p proauth-tests --release --test hierarchy
+
+# The §6 headline asserted end to end (release): the hierarchy at n = 64
+# sends ≥3× fewer envelopes than the feasible flat configuration over an
+# identical refresh-bearing horizon.
+cargo test -q -p proauth-tests --release --test hierarchy -- --ignored
+
+# E7 smoke: partition arithmetic tables plus one end-to-end hierarchy run
+# at n = 64. The full grid — flat n = 64 comparator and hierarchy runs at
+# n = 128 / 256, the numbers behind BENCH_e7.json — runs with
+# PROAUTH_E7=full (optionally CRITERION_JSON=BENCH_e7.json to re-emit it).
+cargo bench -p proauth-bench --bench e7_partition
+
 # E13 signing-service smoke on both engine legs: the open-loop workload,
 # session table, nonce pool, and batch-verify window must hold their
 # throughput floor (4·signed ≥ 3·offered) and flip pool hit/miss counters

@@ -9,11 +9,17 @@ use proauth_sim::message::{Envelope, NodeId};
 use proauth_telemetry as telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Wraps an adversary and records the impaired-node sets per unit.
+/// Wraps an adversary and records the impaired-node sets per unit — and,
+/// when a §6 cluster topology is supplied, per `(unit, cluster)`, so
+/// hierarchical experiments can verify the *two-level* budget: no unit in
+/// which a majority of clusters lost a majority of members.
 pub struct LimitObserver<A> {
     /// The wrapped adversary.
     pub inner: A,
     per_unit: BTreeMap<u64, BTreeSet<u32>>,
+    /// §6 topology for per-cluster accounting (1-based global ids).
+    clusters: Option<Vec<Vec<u32>>>,
+    per_unit_cluster: BTreeMap<(u64, usize), BTreeSet<u32>>,
 }
 
 impl<A> LimitObserver<A> {
@@ -22,6 +28,19 @@ impl<A> LimitObserver<A> {
         LimitObserver {
             inner,
             per_unit: BTreeMap::new(),
+            clusters: None,
+            per_unit_cluster: BTreeMap::new(),
+        }
+    }
+
+    /// Wraps `inner` with per-cluster accounting over the given §6 topology
+    /// (same shape as `SimConfig::clusters`).
+    pub fn with_clusters(inner: A, clusters: Vec<Vec<u32>>) -> Self {
+        LimitObserver {
+            inner,
+            per_unit: BTreeMap::new(),
+            clusters: Some(clusters),
+            per_unit_cluster: BTreeMap::new(),
         }
     }
 
@@ -44,6 +63,39 @@ impl<A> LimitObserver<A> {
             .collect()
     }
 
+    /// Nodes of `cluster` impaired at any point during `unit` (0 unless
+    /// constructed via [`LimitObserver::with_clusters`]).
+    pub fn cluster_impaired_in_unit(&self, unit: u64, cluster: usize) -> usize {
+        self.per_unit_cluster
+            .get(&(unit, cluster))
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// Clusters that lost a member *majority* during `unit` — the two-level
+    /// scheme's unit of damage (a compromised cluster can betray its local
+    /// PDS and its top-level slot).
+    pub fn compromised_clusters_in_unit(&self, unit: u64) -> usize {
+        let Some(clusters) = &self.clusters else {
+            return 0;
+        };
+        clusters
+            .iter()
+            .enumerate()
+            .filter(|(c, members)| 2 * self.cluster_impaired_in_unit(unit, *c) > members.len())
+            .count()
+    }
+
+    /// The worst per-unit count of majority-compromised clusters over the
+    /// run. The hierarchical construction's guarantees hold iff this stays
+    /// ≤ `⌊k/2⌋` (no unit in which a cluster majority fell).
+    pub fn max_compromised_clusters(&self) -> usize {
+        self.per_unit
+            .keys()
+            .map(|&u| self.compromised_clusters_in_unit(u))
+            .max()
+            .unwrap_or(0)
+    }
+
     fn record(&mut self, view: &NetView<'_>) {
         let entry = self.per_unit.entry(view.time.unit).or_default();
         for id in NodeId::all(view.n) {
@@ -58,6 +110,20 @@ impl<A> LimitObserver<A> {
             }
         }
         telemetry::gauge_max("adversary/max_impaired", entry.len() as u64);
+        if let Some(clusters) = &self.clusters {
+            let unit = view.time.unit;
+            for (c, members) in clusters.iter().enumerate() {
+                let slot = self.per_unit_cluster.entry((unit, c)).or_default();
+                for &m in members {
+                    let idx = (m - 1) as usize;
+                    if view.broken[idx] || view.crashed[idx] || !view.operational[idx] {
+                        slot.insert(m);
+                    }
+                }
+            }
+            let compromised = self.compromised_clusters_in_unit(unit) as u64;
+            telemetry::gauge_max("adversary/max_compromised_clusters", compromised);
+        }
     }
 }
 
@@ -82,6 +148,12 @@ impl<A: UlAdversary> UlAdversary for LimitObserver<A> {
             "limit-observer: max impaired per unit = {}",
             self.max_impaired()
         ));
+        if self.clusters.is_some() {
+            out.push(format!(
+                "limit-observer: max majority-compromised clusters per unit = {}",
+                self.max_compromised_clusters()
+            ));
+        }
         out
     }
 }
@@ -125,5 +197,36 @@ mod tests {
         let _ = obs.deliver(&[], &view2);
         assert_eq!(obs.impaired_in_unit(1), 0);
         assert_eq!(obs.per_unit_counts(), vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn cluster_accounting_counts_majorities() {
+        // Clusters {1,2,3} and {4,5,6}: breaking 2 of the first cluster
+        // compromises it; one impaired node in the second does not.
+        let clusters = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let mut obs = LimitObserver::with_clusters(FaithfulUl, clusters);
+        let sched = Schedule::new(10, 2, 2);
+        let broken = [true, true, false, false, false, false];
+        let ops = [false, false, true, true, true, false];
+        let view = NetView {
+            time: proauth_sim::clock::TimeView::at(&sched, 3),
+            n: 6,
+            broken: &broken,
+            crashed: &[false; 6],
+            operational: &ops,
+            last_delivered: &[],
+            broken_inboxes: &[],
+        };
+        let _ = obs.deliver(&[], &view);
+        assert_eq!(obs.cluster_impaired_in_unit(0, 0), 2);
+        assert_eq!(obs.cluster_impaired_in_unit(0, 1), 1);
+        assert_eq!(obs.compromised_clusters_in_unit(0), 1);
+        assert_eq!(obs.max_compromised_clusters(), 1);
+        // The flat accounting still sees all three impairments.
+        assert_eq!(obs.impaired_in_unit(0), 3);
+        let lines = obs.output();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("majority-compromised clusters per unit = 1")));
     }
 }

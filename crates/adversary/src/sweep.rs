@@ -260,6 +260,7 @@ fn run_point(cfg: &SweepConfig, intensity: &Intensity) -> SweepPoint {
         delay_p: intensity.delay_p,
         dup_p: intensity.dup_p,
         reorder: intensity.reorder,
+        target: None,
     };
     let mut adv = LimitObserver::new(ChaosNet::compile(
         FaithfulUl,

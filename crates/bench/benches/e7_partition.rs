@@ -11,13 +11,219 @@
 //! * the *random-adversary* compromise probability as the corrupted
 //!   fraction sweeps (Monte Carlo);
 //! * the per-refresh message cost of a neighborhood vs the flat network
-//!   (each cluster refreshes internally: O(n·√n) total vs O(n²)).
+//!   (each cluster refreshes internally: O(n·√n) total vs O(n²));
+//! * (E7d) the construction **end to end**: full refresh-bearing
+//!   `proauth_core::hier` runs — cluster-local ULS stacks under the
+//!   top-level PDS — timed and envelope-counted. The default run covers
+//!   the hierarchy at n = 64; `PROAUTH_E7=full` adds the flat n = 64
+//!   comparator (the feasible t = 3 / relaxed-fan-out config — the
+//!   max-threshold flat refresh is the very Θ(n²·t) blow-up §6 avoids)
+//!   and pushes the hierarchy to n = 128 and n = 256, sizes no flat
+//!   configuration completes here. Each row is appended to the
+//!   `CRITERION_JSON` file when set; regenerate the recorded baseline with
+//!   `PROAUTH_E7=full CRITERION_JSON=BENCH_e7.json cargo bench --bench
+//!   e7_partition`.
 
 use proauth_bench::{pct, print_table};
+use proauth_core::authenticator::NullApp;
+use proauth_core::disperse::DisperseMode;
+use proauth_core::hier::{heartbeat_msg, HierConfig, HierNode, HIER_SETUP_ROUNDS};
 use proauth_core::partition::{flat_min_breakins, Partition};
+use proauth_core::uls::{uls_schedule, UlsConfig, UlsNode, SETUP_ROUNDS};
+use proauth_crypto::group::{Group, GroupId};
+use proauth_sim::adversary::FaithfulUl;
+use proauth_sim::message::{NodeId, OutputEvent};
+use proauth_sim::runner::{run_ul, SimConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Normal-phase rounds per unit for the end-to-end runs — matches the
+/// hierarchy integration tests (long enough for the top-level heartbeat
+/// sign session to complete every unit).
+const E2E_NORMAL: u64 = 12;
+/// Two units, so unit 1 carries a full refresh (unit 0 never does).
+const E2E_UNITS: u64 = 2;
+const E2E_SEED: u64 = 87;
+
+struct E2eRun {
+    scheme: &'static str,
+    n: usize,
+    clusters: usize,
+    t_local: usize,
+    rounds: u64,
+    messages: u64,
+    heartbeats: u64,
+    elapsed: Duration,
+}
+
+impl E2eRun {
+    fn row(&self) -> Vec<String> {
+        let rps = self.rounds as f64 / self.elapsed.as_secs_f64();
+        vec![
+            self.scheme.to_string(),
+            self.n.to_string(),
+            self.clusters.to_string(),
+            self.t_local.to_string(),
+            self.rounds.to_string(),
+            self.messages.to_string(),
+            self.heartbeats.to_string(),
+            format!("{:.1}", self.elapsed.as_secs_f64()),
+            format!("{rps:.1}"),
+        ]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"id\": \"e7/e2e/{}-n{}\", \"elapsed_ns\": {}, \"messages\": {}, \
+             \"rounds_per_sec\": {:.1}}}",
+            self.scheme,
+            self.n,
+            self.elapsed.as_nanos(),
+            self.messages,
+            self.rounds as f64 / self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
+/// One refresh-bearing two-level run: every cluster runs its local ULS
+/// stack, representatives run the top-level PDS and jointly sign the
+/// per-unit heartbeat. Panics if any unit's heartbeat went unsigned — a
+/// timing row for a broken run would be worse than no row.
+fn run_hier(n: usize) -> E2eRun {
+    let hcfg = HierConfig::new(Group::new(GroupId::Toy64), n);
+    let clusters = hcfg.partition.cluster_count();
+    let t_local = hcfg.partition.cluster_threshold(0);
+    let mut cfg = SimConfig::new(n, 1, uls_schedule(E2E_NORMAL));
+    cfg.setup_rounds = HIER_SETUP_ROUNDS;
+    cfg.total_rounds = cfg.schedule.unit_rounds * E2E_UNITS;
+    cfg.seed = E2E_SEED;
+    cfg.clusters = Some(hcfg.partition.clusters.clone());
+    let rounds = cfg.total_rounds;
+    let start = Instant::now();
+    let result = run_ul(
+        cfg,
+        |id| HierNode::new(hcfg.clone(), id, NullApp),
+        &mut FaithfulUl,
+    );
+    let elapsed = start.elapsed();
+    let heartbeats: u64 = (1..=n as u32)
+        .map(|i| {
+            result
+                .events_of(NodeId(i))
+                .iter()
+                .filter(|(_, ev)| {
+                    matches!(ev, OutputEvent::Signed { msg, unit } if *msg == heartbeat_msg(*unit))
+                })
+                .count() as u64
+        })
+        .sum();
+    assert!(
+        heartbeats >= (clusters * E2E_UNITS as usize) as u64,
+        "hier n={n}: every representative must co-sign every unit's heartbeat \
+         (got {heartbeats} signatures for {clusters} clusters)"
+    );
+    E2eRun {
+        scheme: "hier",
+        n,
+        clusters,
+        t_local,
+        rounds,
+        messages: result.stats.messages_sent,
+        heartbeats,
+        elapsed,
+    }
+}
+
+/// The flat comparator at its *feasible* configuration: t = 3 with the §6
+/// relaxed 2t+1 fan-out (the E11 champion config). This deliberately
+/// flatters the flat scheme — a tolerance-matched t = n/2−1 full-DISPERSE
+/// refresh does not complete at n = 64 on this host.
+fn run_flat(n: usize, t: usize) -> E2eRun {
+    let group = Group::new(GroupId::Toy64);
+    let mut cfg = SimConfig::new(n, 1, uls_schedule(E2E_NORMAL));
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = cfg.schedule.unit_rounds * E2E_UNITS;
+    cfg.seed = E2E_SEED;
+    let rounds = cfg.total_rounds;
+    let start = Instant::now();
+    let result = run_ul(
+        cfg,
+        |id| {
+            let mut c = UlsConfig::new(group.clone(), n, t);
+            if n >= 32 {
+                c.disperse = DisperseMode::Relaxed { fanout: 2 * t + 1 };
+            }
+            UlsNode::new(c, id, NullApp)
+        },
+        &mut FaithfulUl,
+    );
+    let elapsed = start.elapsed();
+    E2eRun {
+        scheme: "flat",
+        n,
+        clusters: 1,
+        t_local: t,
+        rounds,
+        messages: result.stats.messages_sent,
+        heartbeats: 0,
+        elapsed,
+    }
+}
+
+/// E7d: run the construction for real and tabulate envelope counts and
+/// wall-clock. `PROAUTH_E7=full` unlocks the big sizes.
+fn e2e() {
+    let full = std::env::var("PROAUTH_E7").as_deref() == Ok("full");
+    let mut runs = vec![run_hier(64)];
+    if full {
+        runs.push(run_flat(64, 3));
+        runs.push(run_hier(128));
+        runs.push(run_hier(256));
+    }
+    print_table(
+        if full {
+            "E7d — end-to-end refresh-bearing runs (2 units, toy group, seed 87): \
+             flat n = 64 vs the hierarchy at n = 64 / 128 / 256"
+        } else {
+            "E7d — end-to-end hierarchy run (2 units, toy group, seed 87; \
+             PROAUTH_E7=full adds flat n = 64 and hier n = 128 / 256)"
+        },
+        &[
+            "scheme",
+            "n",
+            "clusters",
+            "t local",
+            "rounds",
+            "messages",
+            "heartbeats",
+            "secs",
+            "rounds/s",
+        ],
+        &runs.iter().map(E2eRun::row).collect::<Vec<_>>(),
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            for run in &runs {
+                let _ = writeln!(file, "{}", run.json());
+            }
+        }
+    }
+    if full {
+        let hier64 = runs.iter().find(|r| r.scheme == "hier" && r.n == 64);
+        let flat64 = runs.iter().find(|r| r.scheme == "flat" && r.n == 64);
+        if let (Some(h), Some(f)) = (hier64, flat64) {
+            println!(
+                "\nflat/hier envelope ratio at n = 64: {:.1}x (flat {} vs hier {})",
+                f.messages as f64 / h.messages as f64,
+                f.messages,
+                h.messages,
+            );
+        }
+    }
+}
 
 fn main() {
     // Table 1: optimal adversary budgets.
@@ -117,4 +323,6 @@ fn main() {
          until ~40% corruption (E7b), and the partition cuts refresh traffic by ≈ √n (E7c).\n\
          This is the security/performance trade-off §6 describes."
     );
+
+    e2e();
 }

@@ -1,0 +1,1000 @@
+//! The §6 two-level hierarchy, end to end.
+//!
+//! Every `≈√n` cluster runs its own complete cluster-local ULS stack — DKG,
+//! per-unit key certification, proactive share refresh, signing service —
+//! addressed with cluster-local ids and isolated by a per-cluster PDS
+//! session-id scope. On top, one *representative* per cluster participates
+//! in a top-level PDS over the `k = cluster_count` representatives, whose
+//! joint key is burned into every node's ROM at the end of setup.
+//!
+//! This turns the flat scheme's `Θ(n²)` refresh traffic into
+//! `k · Θ((n/k)²) + Θ(k²) = Θ(n·√n)` — the scalability trade the paper
+//! sketches, at the cost of tolerating only `≈ n/4` *adversarially placed*
+//! break-ins (see [`crate::partition`]).
+//!
+//! ## Transport and authentication
+//!
+//! [`HierNode`] is one [`Process`] per physical node, multiplexing four
+//! lanes over the global network ([`HierWire`]):
+//!
+//! * **Local** — inner ULS traffic, forwarded verbatim between same-cluster
+//!   members (global ↔ cluster-local id translation at the boundary). The
+//!   inner stack authenticates it end to end; the hierarchy layer only
+//!   refuses envelopes claiming a sender outside the cluster.
+//! * **Top** — top-level PDS messages between representatives. The payload
+//!   rides CERTIFY under the sender's *cluster-local* per-unit key and is
+//!   verified against the **sender cluster's** PDS verification key from the
+//!   ROM table, so a broken representative can disturb at most its own
+//!   cluster's top-level slot — exactly the failure the top threshold
+//!   `t_top = ⌊(k−1)/2⌋` absorbs. Sends are addressed to *every* member of
+//!   the destination cluster (robust to re-election); only the current
+//!   representative processes them.
+//! * **Beat** — the representative's certified heartbeat to its own cluster
+//!   every [`BEAT_PERIOD`] rounds, carrying its election `attempt`. Members
+//!   that miss beats for [`BEAT_TIMEOUT`] rounds advance the attempt counter
+//!   and deterministically elect [`Partition::representative`]`(c, attempt)`
+//!   — no election protocol, the member list cycle is the election. A newly
+//!   promoted representative joins the top PDS share-less
+//!   ([`AlsPds::recovering`]) and receives a share through Herzberg recovery
+//!   at the next refresh; the top-level *public* key never changes, so the
+//!   cluster's external identity is stable across any number of re-elections.
+//! * **Transit** — direct cross-cluster application traffic: certified with
+//!   the sender's cluster-local key, destination bound to the recipient's
+//!   *global* id, verified against the sender cluster's key from ROM.
+//!
+//! Every certified lane inherits the flat scheme's replay protection: the
+//! signature binds `(m, i, j, u, w)` and receivers require `w = round − 1`
+//! (direct delivery is one hop, unlike AUTH-SEND's two). Payload tag bytes
+//! (`M_TOP`/`M_BEAT`/`M_TRANSIT`) domain-separate the lanes so a message
+//! certified for one cannot be replayed into another.
+
+use crate::authenticator::AlProtocol;
+use crate::certify::{certify, ver_cert, DestCheck};
+use crate::partition::Partition;
+use crate::uls::{AuthMode, UlsConfig, UlsNode, PART1_ROUNDS, PART2_ROUNDS, SETUP_ROUNDS};
+use crate::wire::CertifiedMsg;
+use crate::disperse::DisperseMode;
+use proauth_crypto::group::Group;
+use proauth_pds::als::{AlsConfig, AlsPds};
+use proauth_pds::api::{AlPds, PdsPhase, PdsTime};
+use proauth_primitives::bigint::BigUint;
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use proauth_sim::clock::Phase;
+use proauth_sim::message::{Envelope, NodeId, OutputEvent, Payload};
+use proauth_sim::process::{Process, Rom, RoundCtx, SetupCtx};
+use proauth_telemetry as telemetry;
+use std::collections::BTreeMap;
+
+/// Setup rounds a hierarchical network needs: the inner ULS setup, then
+/// three rounds of top-level DKG + ROM-table dissemination.
+pub const HIER_SETUP_ROUNDS: u64 = SETUP_ROUNDS + 3;
+
+/// A representative heartbeats its cluster every this many rounds.
+pub const BEAT_PERIOD: u64 = 2;
+
+/// Rounds without a valid beat before a member advances the election
+/// attempt (4 missed beats at [`BEAT_PERIOD`] = 2).
+pub const BEAT_TIMEOUT: u64 = 8;
+
+/// ROM key holding the top-level PDS verification key.
+pub const ROM_V_TOP: &str = "hier/v_top";
+
+/// ROM key holding the table of per-cluster PDS verification keys.
+pub const ROM_CLUSTER_CERTS: &str = "hier/cluster_certs";
+
+/// Payload tags domain-separating the certified lanes.
+const M_TOP: u8 = 1;
+const M_BEAT: u8 = 2;
+const M_TRANSIT: u8 = 3;
+
+/// The PDS session-id scope of cluster `c`'s inner instance.
+pub fn cluster_scope(cluster: usize) -> Vec<u8> {
+    format!("hier/c{cluster}").into_bytes()
+}
+
+/// The PDS session-id scope of the top-level instance.
+pub fn top_scope() -> Vec<u8> {
+    b"hier/top".to_vec()
+}
+
+/// The per-unit liveness statement the representatives jointly sign.
+pub fn heartbeat_msg(unit: u64) -> Vec<u8> {
+    let mut v = b"hier/heartbeat/".to_vec();
+    v.extend_from_slice(&unit.to_be_bytes());
+    v
+}
+
+/// Tags a runner input as a cross-cluster transit send: deliver `payload`
+/// to the node with global id `dest`, authenticated through the hierarchy.
+pub fn transit_input(dest: NodeId, payload: &[u8]) -> Vec<u8> {
+    let mut v = vec![3u8];
+    v.extend_from_slice(&dest.0.to_be_bytes());
+    v.extend_from_slice(payload);
+    v
+}
+
+fn beat_payload(attempt: u64) -> Vec<u8> {
+    let mut v = vec![M_BEAT];
+    v.extend_from_slice(&attempt.to_be_bytes());
+    v
+}
+
+fn parse_beat(m: &[u8]) -> Option<u64> {
+    if m.len() == 9 && m[0] == M_BEAT {
+        Some(u64::from_be_bytes(m[1..9].try_into().ok()?))
+    } else {
+        None
+    }
+}
+
+/// Physical payloads of the hierarchical runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierWire {
+    /// Cluster-local inner ULS traffic (opaque to the hierarchy layer).
+    Local(Vec<u8>),
+    /// Top-level PDS transport from `cluster`'s representative.
+    Top {
+        /// The sender's cluster index.
+        cluster: u32,
+        /// The certified carrier (`m` starts with `M_TOP`).
+        msg: CertifiedMsg,
+    },
+    /// Representative heartbeat within a cluster (`m` = `M_BEAT` + attempt).
+    Beat {
+        /// The certified carrier.
+        msg: CertifiedMsg,
+    },
+    /// Direct cross-cluster application traffic from a member of `cluster`.
+    Transit {
+        /// The sender's cluster index.
+        cluster: u32,
+        /// The certified carrier (`m` starts with `M_TRANSIT`).
+        msg: CertifiedMsg,
+    },
+    /// Setup only: a top-level DKG dealing between initial representatives.
+    SetupDeal(Vec<u8>),
+    /// Setup only: broadcast of a cluster's PDS verification key.
+    SetupCert {
+        /// The cluster the key belongs to.
+        cluster: u32,
+        /// The key bytes.
+        v_cert: Vec<u8>,
+    },
+    /// Setup only: broadcast of the aggregated top-level verification key.
+    SetupTop {
+        /// The key bytes.
+        v_top: Vec<u8>,
+    },
+}
+
+impl Encode for HierWire {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HierWire::Local(bytes) => {
+                w.put_u8(1);
+                bytes.encode(w);
+            }
+            HierWire::Top { cluster, msg } => {
+                w.put_u8(2);
+                w.put_u32(*cluster);
+                msg.encode(w);
+            }
+            HierWire::Beat { msg } => {
+                w.put_u8(3);
+                msg.encode(w);
+            }
+            HierWire::Transit { cluster, msg } => {
+                w.put_u8(4);
+                w.put_u32(*cluster);
+                msg.encode(w);
+            }
+            HierWire::SetupDeal(bytes) => {
+                w.put_u8(5);
+                bytes.encode(w);
+            }
+            HierWire::SetupCert { cluster, v_cert } => {
+                w.put_u8(6);
+                w.put_u32(*cluster);
+                v_cert.encode(w);
+            }
+            HierWire::SetupTop { v_top } => {
+                w.put_u8(7);
+                v_top.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for HierWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            1 => Ok(HierWire::Local(Vec::<u8>::decode(r)?)),
+            2 => Ok(HierWire::Top {
+                cluster: r.get_u32()?,
+                msg: CertifiedMsg::decode(r)?,
+            }),
+            3 => Ok(HierWire::Beat {
+                msg: CertifiedMsg::decode(r)?,
+            }),
+            4 => Ok(HierWire::Transit {
+                cluster: r.get_u32()?,
+                msg: CertifiedMsg::decode(r)?,
+            }),
+            5 => Ok(HierWire::SetupDeal(Vec::<u8>::decode(r)?)),
+            6 => Ok(HierWire::SetupCert {
+                cluster: r.get_u32()?,
+                v_cert: Vec::<u8>::decode(r)?,
+            }),
+            7 => Ok(HierWire::SetupTop {
+                v_top: Vec::<u8>::decode(r)?,
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Static parameters of a hierarchical deployment.
+#[derive(Debug, Clone)]
+pub struct HierConfig {
+    /// The Schnorr group (shared by every PDS instance).
+    pub group: Group,
+    /// The cluster topology.
+    pub partition: Partition,
+    /// DISPERSE fan-out policy of the inner cluster stacks.
+    pub disperse: DisperseMode,
+    /// Steady-state authentication mode of the inner cluster stacks.
+    pub auth_mode: AuthMode,
+}
+
+impl HierConfig {
+    /// The standard √n topology over `n` nodes.
+    pub fn new(group: Group, n: usize) -> Self {
+        HierConfig {
+            group,
+            partition: Partition::sqrt(n),
+            disperse: DisperseMode::Full,
+            auth_mode: AuthMode::default(),
+        }
+    }
+
+    /// Total network size.
+    pub fn n(&self) -> usize {
+        self.partition.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+/// One physical node of the two-level construction: an inner cluster-local
+/// [`UlsNode`], plus (when this node is its cluster's current
+/// representative) a top-level [`AlsPds`] share.
+pub struct HierNode<A: AlProtocol> {
+    cfg: HierConfig,
+    me: NodeId,
+    cluster: usize,
+    me_local: NodeId,
+    members: Vec<u32>,
+    /// The cluster-local ULS stack (public for tests and break-in
+    /// strategies).
+    pub inner: UlsNode<A>,
+    /// The top-level PDS share — `Some` iff this node currently believes
+    /// itself representative.
+    pub top: Option<AlsPds>,
+    /// Election attempt counter (see [`Partition::representative`]).
+    attempt: u64,
+    /// Round of the last valid beat (sent or received); `None` until the
+    /// first post-setup round so a restarted node never times out its
+    /// representative on stale state.
+    last_beat: Option<u64>,
+    /// Last unit we requested the top-level heartbeat signature for.
+    heartbeat_unit: Option<u64>,
+    /// Verified top-level PDS messages buffered until the next top tick.
+    top_inbox: Vec<(NodeId, Vec<u8>)>,
+    /// Lazily decoded ROM table of per-cluster verification keys.
+    cert_table: Option<Vec<BigUint>>,
+    /// Lazily decoded ROM copy of the top-level verification key.
+    v_top_cache: Option<BigUint>,
+    /// Setup scratch: collected per-cluster verification keys.
+    setup_certs: BTreeMap<u32, Vec<u8>>,
+    /// Setup scratch: the broadcast top-level key.
+    setup_v_top: Option<Vec<u8>>,
+    /// Re-elections this node has observed (instrumentation).
+    pub reelections: u64,
+}
+
+impl<A: AlProtocol> HierNode<A> {
+    /// Creates the node with global id `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not covered by the partition.
+    pub fn new(cfg: HierConfig, me: NodeId, app: A) -> Self {
+        let cluster = cfg
+            .partition
+            .cluster_of(me.0)
+            .expect("node must be in the partition");
+        let members = cfg.partition.clusters[cluster].clone();
+        let me_local = NodeId(
+            members
+                .iter()
+                .position(|&g| g == me.0)
+                .expect("member of own cluster") as u32
+                + 1,
+        );
+        let m = members.len();
+        let mut inner_cfg = UlsConfig::new(
+            cfg.group.clone(),
+            m,
+            cfg.partition.cluster_threshold(cluster),
+        )
+        .scoped(cluster_scope(cluster));
+        inner_cfg.disperse = cfg.disperse;
+        inner_cfg.auth_mode = cfg.auth_mode;
+        let inner = UlsNode::new(inner_cfg, me_local, app);
+        HierNode {
+            me,
+            cluster,
+            me_local,
+            members,
+            inner,
+            top: None,
+            attempt: 0,
+            last_beat: None,
+            heartbeat_unit: None,
+            top_inbox: Vec::new(),
+            cert_table: None,
+            v_top_cache: None,
+            setup_certs: BTreeMap::new(),
+            setup_v_top: None,
+            reelections: 0,
+            cfg,
+        }
+    }
+
+    /// This node's cluster index.
+    pub fn cluster(&self) -> usize {
+        self.cluster
+    }
+
+    /// This node's cluster-local id.
+    pub fn me_local(&self) -> NodeId {
+        self.me_local
+    }
+
+    /// Whether this node currently serves as its cluster's representative.
+    pub fn is_representative(&self) -> bool {
+        self.top.is_some()
+    }
+
+    /// The current election attempt.
+    pub fn attempt(&self) -> u64 {
+        self.attempt
+    }
+
+    /// Break-in: wipe all volatile secrets (inner stack and top share).
+    pub fn corrupt_wipe(&mut self) {
+        self.inner.corrupt_wipe();
+        if let Some(top) = &mut self.top {
+            top.corrupt_wipe();
+            top.mark_share_lost();
+        }
+        self.top_inbox.clear();
+    }
+
+    fn top_cfg(&self) -> AlsConfig {
+        let k = self.cfg.partition.cluster_count();
+        AlsConfig::new(self.cfg.group.clone(), k, k.saturating_sub(1) / 2).scoped(top_scope())
+    }
+
+    /// The cluster-local id of a same-cluster global id.
+    fn local_of(&self, global: NodeId) -> Option<NodeId> {
+        self.members
+            .iter()
+            .position(|&g| g == global.0)
+            .map(|p| NodeId(p as u32 + 1))
+    }
+
+    /// The global id of `local` within `cluster`.
+    fn global_of(&self, cluster: usize, local: u32) -> Option<u32> {
+        self.cfg
+            .partition
+            .clusters
+            .get(cluster)?
+            .get((local as usize).checked_sub(1)?)
+            .copied()
+    }
+
+    /// `cluster`'s PDS verification key from the ROM table.
+    fn cluster_cert(&mut self, rom: &Rom, cluster: usize) -> Option<BigUint> {
+        if self.cert_table.is_none() {
+            let bytes = rom.read(ROM_CLUSTER_CERTS)?;
+            let mut r = Reader::new(bytes);
+            let k = r.get_u16().ok()? as usize;
+            let mut table = Vec::with_capacity(k);
+            for _ in 0..k {
+                table.push(BigUint::from_bytes_be(&r.get_bytes().ok()?));
+            }
+            self.cert_table = Some(table);
+        }
+        self.cert_table.as_ref()?.get(cluster).cloned()
+    }
+
+    /// The top-level verification key from ROM.
+    fn v_top(&mut self, rom: &Rom) -> Option<BigUint> {
+        if self.v_top_cache.is_none() {
+            self.v_top_cache = rom.read(ROM_V_TOP).map(BigUint::from_bytes_be);
+        }
+        self.v_top_cache.clone()
+    }
+
+    /// Verified top-level transport addressed to this cluster.
+    fn on_top_msg(&mut self, rom: &Rom, cluster: u32, msg: CertifiedMsg, auth_unit: u64, w: u64) {
+        if self.top.is_none() {
+            return; // only the current representative serves the top level
+        }
+        let c = cluster as usize;
+        if c == self.cluster || msg.m.first() != Some(&M_TOP) {
+            return;
+        }
+        // The sender must be a real member of the claimed cluster; the
+        // certificate chain then binds its key to that cluster's PDS.
+        if self.global_of(c, msg.i).is_none() {
+            return;
+        }
+        let Some(v_cert) = self.cluster_cert(rom, c) else {
+            return;
+        };
+        let dest = DestCheck::Me(NodeId(self.cluster as u32 + 1));
+        if !ver_cert(&self.cfg.group, dest, NodeId(msg.i), auth_unit, w, &msg, &v_cert) {
+            return;
+        }
+        self.top_inbox.push((NodeId(cluster + 1), msg.m[1..].to_vec()));
+    }
+
+    /// A heartbeat from this cluster's (claimed) representative.
+    fn on_beat(&mut self, rom: &Rom, round: u64, msg: CertifiedMsg, auth_unit: u64, w: u64) {
+        let Some(attempt) = parse_beat(&msg.m) else {
+            return;
+        };
+        if attempt < self.attempt {
+            return; // stale: an already-deposed representative
+        }
+        let rep_global = self
+            .cfg
+            .partition
+            .representative(self.cluster, attempt as usize);
+        let Some(rep_local) = self.local_of(NodeId(rep_global)) else {
+            return;
+        };
+        if msg.i != rep_local.0 || rep_global == self.me.0 {
+            return; // not from the attempt's designated representative
+        }
+        let Some(v_cert) = self.cluster_cert(rom, self.cluster) else {
+            return;
+        };
+        let dest = DestCheck::Me(NodeId(self.cluster as u32 + 1));
+        if !ver_cert(&self.cfg.group, dest, NodeId(msg.i), auth_unit, w, &msg, &v_cert) {
+            return;
+        }
+        if attempt > self.attempt {
+            self.attempt = attempt;
+            if self.top.is_some() {
+                // Deposed: a later representative took over while this node
+                // was broken or partitioned. The top share is abandoned —
+                // Herzberg refresh reconstitutes the polynomial without it.
+                self.top = None;
+                telemetry::count("hier/deposed", 1);
+            }
+        }
+        self.last_beat = Some(round);
+    }
+
+    /// Direct cross-cluster traffic addressed to this node.
+    fn on_transit(
+        &mut self,
+        rom: &Rom,
+        cluster: u32,
+        msg: CertifiedMsg,
+        auth_unit: u64,
+        w: u64,
+    ) -> Option<OutputEvent> {
+        let c = cluster as usize;
+        if msg.m.first() != Some(&M_TRANSIT) {
+            return None;
+        }
+        let from_global = self.global_of(c, msg.i)?;
+        let v_cert = self.cluster_cert(rom, c)?;
+        if !ver_cert(
+            &self.cfg.group,
+            DestCheck::Me(self.me),
+            NodeId(msg.i),
+            auth_unit,
+            w,
+            &msg,
+            &v_cert,
+        ) {
+            return None;
+        }
+        telemetry::count("hier/transit_accepted", 1);
+        Some(OutputEvent::Accepted {
+            from: NodeId(from_global),
+            msg: msg.m[1..].to_vec(),
+        })
+    }
+
+    /// The top-level tick (if any) for this round, on the same cadence as
+    /// the inner stack's PDS ticks.
+    fn top_phase(time: &proauth_sim::clock::TimeView) -> Option<PdsPhase> {
+        match time.phase {
+            Phase::Normal => {
+                let riu = time.round_in_unit;
+                let parity = if time.unit == 0 {
+                    riu.is_multiple_of(2)
+                } else {
+                    (riu - (PART1_ROUNDS + PART2_ROUNDS)).is_multiple_of(2)
+                };
+                parity.then_some(PdsPhase::Normal)
+            }
+            Phase::RefreshPart2 { step } if step.is_multiple_of(2) && step / 2 <= 6 => {
+                Some(PdsPhase::Refresh { step: step / 2 })
+            }
+            _ => None,
+        }
+    }
+
+    /// Representative duties: beats, top-level ticks, heartbeat signatures.
+    fn rep_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let round = ctx.time.round;
+        // Beat the cluster: proof of life that suppresses re-election. Sent
+        // after the inner tick so the carrier keys match the auth unit the
+        // receivers will check at round + 1.
+        if round.is_multiple_of(BEAT_PERIOD) {
+            let m = beat_payload(self.attempt);
+            let j = NodeId(self.cluster as u32 + 1);
+            if let Some(keys) = self.inner.local_keys() {
+                if let Some(cmsg) = certify(keys, &m, self.me_local, j, round, ctx.rng) {
+                    let wrapped: Payload = HierWire::Beat { msg: cmsg }.to_bytes().into();
+                    let to: Vec<NodeId> = self
+                        .members
+                        .iter()
+                        .filter(|&&g| g != self.me.0)
+                        .map(|&g| NodeId(g))
+                        .collect();
+                    ctx.send_many(to, wrapped);
+                    telemetry::count("hier/beat_sent", 1);
+                }
+            }
+            self.last_beat = Some(round);
+        }
+        let Some(phase) = Self::top_phase(&ctx.time) else {
+            return;
+        };
+        let unit = ctx.time.unit;
+        if phase == PdsPhase::Normal && self.heartbeat_unit != Some(unit) {
+            // First normal tick of the unit: every representative requests
+            // the same liveness statement, forming one top-level session.
+            self.heartbeat_unit = Some(unit);
+            if let Some(top) = &mut self.top {
+                top.request_sign(heartbeat_msg(unit), unit);
+            }
+        }
+        let v_top = self.v_top(ctx.rom);
+        let inbox = std::mem::take(&mut self.top_inbox);
+        let (outs, completed, refresh_failed) = {
+            let Some(top) = self.top.as_mut() else {
+                return;
+            };
+            if let Some(pk) = v_top.clone() {
+                top.set_public_key(pk);
+            }
+            let outs = top.on_logical_round(PdsTime { unit, phase }, &inbox, ctx.rng);
+            let completed = top.take_completed();
+            let failed = phase == (PdsPhase::Refresh { step: 6 }) && top.refresh_failed();
+            (outs, completed, failed)
+        };
+        // Top transport: certify each envelope with the cluster-local key
+        // and address every member of the destination cluster, so delivery
+        // survives a re-election on the far side.
+        if self.inner.local_keys().is_some() {
+            for env in outs {
+                let dest_cluster = (env.to.0 as usize).saturating_sub(1);
+                let m = [&[M_TOP][..], env.payload.as_bytes()].concat();
+                let Some(keys) = self.inner.local_keys() else {
+                    break;
+                };
+                let Some(cmsg) = certify(keys, &m, self.me_local, env.to, round, ctx.rng) else {
+                    break;
+                };
+                let wrapped: Payload = HierWire::Top {
+                    cluster: self.cluster as u32,
+                    msg: cmsg,
+                }
+                .to_bytes()
+                .into();
+                let to: Vec<NodeId> = self
+                    .cfg
+                    .partition
+                    .clusters
+                    .get(dest_cluster)
+                    .map(|ms| ms.iter().map(|&g| NodeId(g)).collect())
+                    .unwrap_or_default();
+                telemetry::count("hier/top_envelopes", to.len() as u64);
+                ctx.send_many(to, wrapped);
+            }
+        }
+        for rec in completed {
+            let ok = v_top
+                .as_ref()
+                .map(|pk| AlsPds::verify(&self.cfg.group, pk, &rec.msg, rec.unit, &rec.sig))
+                .unwrap_or(false);
+            if ok {
+                telemetry::count("hier/top_signed", 1);
+                ctx.emit(OutputEvent::Signed {
+                    msg: rec.msg,
+                    unit: rec.unit,
+                });
+            }
+        }
+        if refresh_failed {
+            telemetry::count("hier/top_refresh_failed", 1);
+            ctx.emit(OutputEvent::Alert);
+        }
+    }
+
+    /// Follower duties: time out a quiet representative.
+    fn follower_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let round = ctx.time.round;
+        let last = self.last_beat.unwrap_or(round);
+        if round.saturating_sub(last) <= BEAT_TIMEOUT {
+            return;
+        }
+        // The representative went quiet: advance to the next in the cycle.
+        // Every member that observed the same silence elects the same
+        // successor without communicating.
+        self.attempt += 1;
+        self.last_beat = Some(round);
+        self.reelections += 1;
+        telemetry::count("hier/reelections", 1);
+        let rep = self
+            .cfg
+            .partition
+            .representative(self.cluster, self.attempt as usize);
+        if rep == self.me.0 {
+            // Promoted: join the top-level PDS share-less. Herzberg recovery
+            // hands this node a share at the next refresh, and the joint key
+            // in ROM never changes, so the cluster's external identity is
+            // stable across the hand-off.
+            let Some(v_top) = self.v_top(ctx.rom) else {
+                return;
+            };
+            self.top = Some(AlsPds::recovering(
+                self.top_cfg(),
+                NodeId(self.cluster as u32 + 1),
+                v_top,
+            ));
+            telemetry::count("hier/promoted", 1);
+        }
+    }
+
+    /// Certify and send one cross-cluster transit payload.
+    fn send_transit(&mut self, ctx: &mut RoundCtx<'_>, dest: NodeId, payload: Vec<u8>) {
+        if dest == self.me || dest.0 == 0 || dest.0 > self.cfg.n() as u32 {
+            return;
+        }
+        let m = [&[M_TRANSIT][..], &payload[..]].concat();
+        let Some(keys) = self.inner.local_keys() else {
+            return; // certless: cannot authenticate cross-cluster either
+        };
+        let Some(cmsg) = certify(keys, &m, self.me_local, dest, ctx.time.round, ctx.rng) else {
+            return;
+        };
+        ctx.emit(OutputEvent::Sent {
+            to: dest,
+            msg: payload,
+        });
+        ctx.send(
+            dest,
+            HierWire::Transit {
+                cluster: self.cluster as u32,
+                msg: cmsg,
+            }
+            .to_bytes(),
+        );
+        telemetry::count("hier/transit_sent", 1);
+    }
+}
+
+impl<A: AlProtocol> Process for HierNode<A> {
+    fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>) {
+        let r = ctx.setup_round;
+        if r < SETUP_ROUNDS {
+            // Inner ULS setup, cluster by cluster: translate ids at the
+            // boundary, share the writable ROM (the inner stack burns its
+            // cluster's `v_cert` there).
+            let local_inbox: Vec<Envelope> = ctx
+                .inbox
+                .iter()
+                .filter_map(|env| match HierWire::from_bytes(&env.payload) {
+                    Ok(HierWire::Local(bytes)) => {
+                        let from = self.local_of(env.from)?;
+                        Some(Envelope::new(from, self.me_local, bytes))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let m = self.members.len();
+            let me_local = self.me_local;
+            let inner = &mut self.inner;
+            let ((), outs) = ctx.nested(me_local, m, &local_inbox, |c| inner.on_setup_round(c));
+            for entry in outs {
+                let wrapped: Payload = HierWire::Local(entry.payload.to_vec()).to_bytes().into();
+                for &to in &entry.to {
+                    if let Some(g) = self.global_of(self.cluster, to.0) {
+                        if g != self.me.0 {
+                            ctx.send(NodeId(g), wrapped.clone());
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        match r - SETUP_ROUNDS {
+            0 => {
+                // Initial representatives start the top-level DKG and
+                // broadcast their cluster's verification key for the ROM
+                // table everyone burns at the end of setup.
+                if self.cfg.partition.representative(self.cluster, 0) == self.me.0 {
+                    let mut top = AlsPds::new(self.top_cfg(), NodeId(self.cluster as u32 + 1));
+                    for env in top.on_setup_round(0, &[], ctx.rng) {
+                        let dest_cluster = (env.to.0 as usize).saturating_sub(1);
+                        let rep = self.cfg.partition.representative(dest_cluster, 0);
+                        ctx.send(
+                            NodeId(rep),
+                            HierWire::SetupDeal(env.payload.to_vec()).to_bytes(),
+                        );
+                    }
+                    self.top = Some(top);
+                    if let Some(vc) = ctx.rom.read("v_cert") {
+                        let msg = HierWire::SetupCert {
+                            cluster: self.cluster as u32,
+                            v_cert: vc.to_vec(),
+                        }
+                        .to_bytes();
+                        ctx.send_all(msg);
+                    }
+                }
+            }
+            1 => {
+                // Representatives aggregate the top-level key and broadcast
+                // it; everyone collects the per-cluster key table.
+                let mut deals: Vec<(NodeId, Vec<u8>)> = Vec::new();
+                for env in ctx.inbox {
+                    match HierWire::from_bytes(&env.payload) {
+                        Ok(HierWire::SetupDeal(bytes)) => {
+                            if let Some(c) = self.cfg.partition.cluster_of(env.from.0) {
+                                deals.push((NodeId(c as u32 + 1), bytes));
+                            }
+                        }
+                        Ok(HierWire::SetupCert { cluster, v_cert }) => {
+                            self.setup_certs.entry(cluster).or_insert(v_cert);
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(top) = &mut self.top {
+                    deals.sort_by_key(|(from, _)| from.0);
+                    let _ = top.on_setup_round(1, &deals, ctx.rng);
+                    if let Some(pk) = top.public_key() {
+                        self.setup_v_top = Some(pk.clone());
+                        ctx.send_all(HierWire::SetupTop { v_top: pk }.to_bytes());
+                    }
+                }
+            }
+            _ => {
+                // Final round: burn the top-level key and the cluster key
+                // table into ROM. Setup is adversary-free, so first-value
+                // collection is sound and every node burns the same data.
+                for env in ctx.inbox {
+                    match HierWire::from_bytes(&env.payload) {
+                        Ok(HierWire::SetupTop { v_top }) => {
+                            self.setup_v_top.get_or_insert(v_top);
+                        }
+                        Ok(HierWire::SetupCert { cluster, v_cert }) => {
+                            self.setup_certs.entry(cluster).or_insert(v_cert);
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(vc) = ctx.rom.read("v_cert") {
+                    let vc = vc.to_vec();
+                    self.setup_certs.insert(self.cluster as u32, vc);
+                }
+                let k = self.cfg.partition.cluster_count();
+                let mut w = Writer::new();
+                w.put_u16(k as u16);
+                for c in 0..k as u32 {
+                    w.put_bytes(self.setup_certs.get(&c).map_or(&[][..], Vec::as_slice));
+                }
+                ctx.rom.write(ROM_CLUSTER_CERTS, w.into_bytes());
+                if let Some(v_top) = self.setup_v_top.take() {
+                    ctx.rom.write(ROM_V_TOP, v_top);
+                }
+                self.setup_certs.clear();
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let round = ctx.time.round;
+        let auth_unit = ctx.time.auth_unit;
+        if self.last_beat.is_none() {
+            // First round after construction (or a crash-restart): start the
+            // beat timer now, so a restarted node re-synchronizes with the
+            // live election instead of racing ahead on a zeroed clock.
+            self.last_beat = Some(round);
+        }
+
+        // External input: tags 1 (sign) and 2 (app) pass through to the
+        // inner stack; tag 3 is a cross-cluster transit send.
+        let mut inner_input: Option<&[u8]> = None;
+        let mut transit: Option<(NodeId, Vec<u8>)> = None;
+        if let Some(input) = ctx.input {
+            match input.split_first() {
+                Some((&1, _)) | Some((&2, _)) => inner_input = Some(input),
+                Some((&3, rest)) if rest.len() >= 4 => {
+                    let dest = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+                    transit = Some((NodeId(dest), rest[4..].to_vec()));
+                }
+                _ => {}
+            }
+        }
+
+        // Demultiplex the physical inbox into the hierarchy's lanes. Direct
+        // lanes are one hop: a message certified at round w arrives at
+        // w + 1.
+        let expected_w = round.saturating_sub(1);
+        let inbox = ctx.inbox;
+        let rom = ctx.rom;
+        let mut local_inbox: Vec<Envelope> = Vec::new();
+        for env in inbox {
+            let Ok(wire) = HierWire::from_bytes(&env.payload) else {
+                continue;
+            };
+            match wire {
+                HierWire::Local(bytes) => {
+                    // Same-cluster senders only; the inner stack performs
+                    // all authentication beyond that.
+                    if let Some(from) = self.local_of(env.from) {
+                        if from != self.me_local {
+                            local_inbox.push(Envelope::new(from, self.me_local, bytes));
+                        }
+                    }
+                }
+                HierWire::Top { cluster, msg } => {
+                    self.on_top_msg(rom, cluster, msg, auth_unit, expected_w);
+                }
+                HierWire::Beat { msg } => {
+                    self.on_beat(rom, round, msg, auth_unit, expected_w);
+                }
+                HierWire::Transit { cluster, msg } => {
+                    if let Some(ev) = self.on_transit(rom, cluster, msg, auth_unit, expected_w) {
+                        ctx.emit(ev);
+                    }
+                }
+                // Setup-only variants are meaningless after setup.
+                _ => {}
+            }
+        }
+
+        // The cluster-local ULS stack, in a nested sub-network context.
+        let m = self.members.len();
+        let me_local = self.me_local;
+        let inner = &mut self.inner;
+        let ((), outs) = ctx.nested(me_local, m, &local_inbox, inner_input, |c| {
+            inner.on_round(c);
+        });
+        for entry in outs {
+            let wrapped: Payload = HierWire::Local(entry.payload.to_vec()).to_bytes().into();
+            let to: Vec<NodeId> = entry
+                .to
+                .iter()
+                .filter_map(|t| self.global_of(self.cluster, t.0))
+                .filter(|&g| g != self.me.0)
+                .map(NodeId)
+                .collect();
+            ctx.send_many(to, wrapped);
+        }
+
+        // Representative duties / follower timeout, after the inner tick so
+        // carriers are certified with the keys in force at delivery time.
+        if self.top.is_some() {
+            self.rep_round(ctx);
+        } else {
+            self.follower_round(ctx);
+        }
+
+        if let Some((dest, payload)) = transit {
+            self.send_transit(ctx, dest, payload);
+        }
+    }
+
+    fn state_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proauth_crypto::schnorr::Signature;
+
+    fn sig(n: u64) -> Signature {
+        Signature {
+            e: BigUint::from_u64(n),
+            s: BigUint::from_u64(n + 1),
+        }
+    }
+
+    fn certified() -> CertifiedMsg {
+        CertifiedMsg {
+            m: beat_payload(7),
+            i: 2,
+            j: 1,
+            u: 3,
+            w: 44,
+            sig: sig(5),
+            vk: vec![7, 8],
+            cert: sig(9),
+        }
+    }
+
+    #[test]
+    fn hier_wire_roundtrips() {
+        let msgs = vec![
+            HierWire::Local(vec![1, 2, 3]),
+            HierWire::Top {
+                cluster: 4,
+                msg: certified(),
+            },
+            HierWire::Beat { msg: certified() },
+            HierWire::Transit {
+                cluster: 0,
+                msg: certified(),
+            },
+            HierWire::SetupDeal(vec![9]),
+            HierWire::SetupCert {
+                cluster: 2,
+                v_cert: vec![1],
+            },
+            HierWire::SetupTop { v_top: vec![5, 6] },
+        ];
+        for m in msgs {
+            assert_eq!(HierWire::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+        assert!(HierWire::from_bytes(&[99]).is_err());
+        assert!(HierWire::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn beat_payload_parses() {
+        assert_eq!(parse_beat(&beat_payload(0)), Some(0));
+        assert_eq!(parse_beat(&beat_payload(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_beat(&[M_BEAT]), None);
+        assert_eq!(parse_beat(&[M_TOP, 0, 0, 0, 0, 0, 0, 0, 1]), None);
+        assert_eq!(parse_beat(b""), None);
+    }
+
+    #[test]
+    fn transit_input_layout() {
+        let v = transit_input(NodeId(7), b"hi");
+        assert_eq!(v[0], 3);
+        assert_eq!(u32::from_be_bytes(v[1..5].try_into().unwrap()), 7);
+        assert_eq!(&v[5..], b"hi");
+    }
+
+    #[test]
+    fn scopes_are_distinct() {
+        assert_ne!(cluster_scope(0), cluster_scope(1));
+        assert_ne!(cluster_scope(0), top_scope());
+        assert!(!heartbeat_msg(1).is_empty());
+        assert_ne!(heartbeat_msg(1), heartbeat_msg(2));
+    }
+}

@@ -15,7 +15,10 @@
 //!   model by plugging it into [`uls::UlsNode`];
 //! * [`awareness`] — internal/external views and impersonation detection
 //!   (Definitions 10–11);
-//! * [`partition`] — the §6 two-level scalability scheme.
+//! * [`partition`] — the §6 two-level scalability scheme (topology and
+//!   break-in arithmetic);
+//! * [`hier`] — the §6 scheme end to end: cluster-local ULS stacks under a
+//!   top-level PDS over cluster representatives.
 //!
 //! ## Quick start
 //!
@@ -27,6 +30,7 @@ pub mod authenticator;
 pub mod awareness;
 pub mod certify;
 pub mod disperse;
+pub mod hier;
 pub mod pa;
 pub mod partition;
 pub mod uls;
@@ -35,6 +39,9 @@ pub mod wire;
 pub use authenticator::{AlProtocol, AppCtx, GrowSetApp, HeartbeatApp, NullApp};
 pub use certify::{certify, ver_cert, DestCheck, LocalKeys};
 pub use disperse::{DisperseLayer, DisperseMode};
+pub use hier::{
+    heartbeat_msg, transit_input, HierConfig, HierNode, HierWire, HIER_SETUP_ROUNDS,
+};
 pub use pa::PaInstance;
 pub use uls::{
     app_input, sign_input, uls_schedule, AuthMode, UlsConfig, UlsNode, PART1_ROUNDS,

@@ -31,10 +31,36 @@ impl Partition {
         Partition { clusters }
     }
 
-    /// The square-root partition the paper suggests.
+    /// Splits `1..=n` into exactly `k` contiguous clusters whose sizes
+    /// differ by at most one (the first `n mod k` clusters get the extra
+    /// node). Unlike [`Partition::contiguous`], this never produces a
+    /// degenerate tail cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n` (an empty cluster has no PDS).
+    pub fn balanced(n: usize, k: usize) -> Self {
+        assert!(k > 0, "at least one cluster");
+        assert!(k <= n, "no empty clusters: k = {k} > n = {n}");
+        let (base, extra) = (n / k, n % k);
+        let mut clusters = Vec::with_capacity(k);
+        let mut next = 1u32;
+        for c in 0..k {
+            let size = base + usize::from(c < extra);
+            clusters.push((next..next + size as u32).collect());
+            next += size as u32;
+        }
+        Partition { clusters }
+    }
+
+    /// The square-root partition the paper suggests: `round(√n)` clusters of
+    /// near-equal size. On non-perfect-square `n` the sizes differ by at
+    /// most one — no tiny tail cluster whose local majority would be cheap
+    /// to break.
     pub fn sqrt(n: usize) -> Self {
-        let size = (n as f64).sqrt().round().max(1.0) as usize;
-        Self::contiguous(n, size)
+        assert!(n > 0);
+        let k = ((n as f64).sqrt().round() as usize).clamp(1, n);
+        Self::balanced(n, k)
     }
 
     /// Number of clusters.
@@ -45,6 +71,36 @@ impl Partition {
     /// The cluster containing `node`.
     pub fn cluster_of(&self, node: u32) -> Option<usize> {
         self.clusters.iter().position(|c| c.contains(&node))
+    }
+
+    /// Whether the partition covers `1..=n` exactly once — the invariant the
+    /// hierarchical runner and per-cluster ground truth both require.
+    pub fn covers(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &m in self.clusters.iter().flatten() {
+            let Some(slot) = (m as usize).checked_sub(1).and_then(|i| seen.get_mut(i)) else {
+                return false;
+            };
+            if std::mem::replace(slot, true) {
+                return false;
+            }
+        }
+        self.clusters.iter().all(|c| !c.is_empty()) && seen.iter().all(|&s| s)
+    }
+
+    /// The cluster's representative after `attempt` failed predecessors:
+    /// the member list is cycled deterministically, so every node that
+    /// observes the same failure count elects the same representative
+    /// without communicating. Attempt 0 is the lowest member id.
+    pub fn representative(&self, cluster: usize, attempt: usize) -> u32 {
+        let members = &self.clusters[cluster];
+        members[attempt % members.len()]
+    }
+
+    /// The local-PDS threshold of a cluster: `t_c = ⌊(|c| − 1) / 2⌋`, the
+    /// largest `t` with `|c| ≥ 2t + 1`.
+    pub fn cluster_threshold(&self, cluster: usize) -> usize {
+        (self.clusters[cluster].len() - 1) / 2
     }
 
     /// Whether a cluster is *compromised*: more than half its members broken
@@ -148,6 +204,29 @@ mod tests {
         let p = Partition::sqrt(100);
         assert_eq!(p.min_breakins_to_compromise(), 36);
         assert_eq!(flat_min_breakins(100), 51);
+    }
+
+    #[test]
+    fn balanced_sqrt_has_no_tiny_tail() {
+        // Old behaviour chunked n = 10 into 3+3+3+1: a singleton cluster
+        // whose "majority" is a single break-in. Balanced gives 4+3+3.
+        let p = Partition::sqrt(10);
+        assert_eq!(p.cluster_count(), 3);
+        let sizes: Vec<usize> = p.clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert!(p.covers(10));
+        assert!(!p.covers(9));
+        assert!(!p.covers(11));
+    }
+
+    #[test]
+    fn representative_cycles_deterministically() {
+        let p = Partition::balanced(10, 3);
+        assert_eq!(p.representative(1, 0), 5);
+        assert_eq!(p.representative(1, 1), 6);
+        assert_eq!(p.representative(1, 3), 5); // wraps at cluster size
+        assert_eq!(p.cluster_threshold(0), 1); // |c| = 4 → t = 1
+        assert_eq!(p.cluster_threshold(1), 1); // |c| = 3 → t = 1
     }
 
     #[test]

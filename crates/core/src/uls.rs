@@ -128,6 +128,11 @@ pub struct UlsConfig {
     /// envelopes per refresh instead of Θ(n²) — and exists only as an
     /// ablation knob for the complexity experiments.
     pub bundle_evidence: bool,
+    /// PDS session-id scope (see [`proauth_pds::msg::sid_for_scoped`]).
+    /// Empty (the default) keeps the flat scheme's sids bit-for-bit; the
+    /// hierarchical runner scopes each cluster so concurrent cluster-local
+    /// PDS instances can never route each other's sessions.
+    pub sid_scope: Vec<u8>,
 }
 
 impl UlsConfig {
@@ -141,7 +146,14 @@ impl UlsConfig {
             disperse: DisperseMode::Full,
             auth_mode: AuthMode::default(),
             bundle_evidence: true,
+            sid_scope: Vec::new(),
         }
+    }
+
+    /// Scopes this instance's PDS session ids (builder style).
+    pub fn scoped(mut self, scope: impl Into<Vec<u8>>) -> Self {
+        self.sid_scope = scope.into();
+        self
     }
 }
 
@@ -192,7 +204,10 @@ pub struct UlsNode<A: AlProtocol> {
 impl<A: AlProtocol> UlsNode<A> {
     /// Creates a node.
     pub fn new(cfg: UlsConfig, me: NodeId, app: A) -> Self {
-        let pds = AlsPds::new(AlsConfig::new(cfg.group.clone(), cfg.n, cfg.t), me);
+        let pds = AlsPds::new(
+            AlsConfig::new(cfg.group.clone(), cfg.n, cfg.t).scoped(cfg.sid_scope.clone()),
+            me,
+        );
         let disperse = DisperseLayer::new(me, cfg.n, cfg.disperse);
         UlsNode {
             me,

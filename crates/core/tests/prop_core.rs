@@ -4,6 +4,7 @@
 //! cheater behaviour, and CERTIFY/VER-CERT binding.
 
 use proauth_core::certify::{certify, ver_cert, DestCheck, LocalKeys};
+use proauth_core::partition::{flat_min_breakins, Partition};
 use proauth_core::disperse::{DisperseLayer, DisperseMode};
 use proauth_core::pa::PaInstance;
 use proauth_core::wire::{Blob, CertifiedMsg, DisperseMsg, Inner, UlsWire};
@@ -158,6 +159,55 @@ proptest! {
             prop_assert!(honest_outputs.is_empty()
                 || honest_outputs.iter().any(|v| v == b"h"));
         }
+    }
+
+    #[test]
+    fn partitions_cover_all_nodes_without_empty_clusters(
+        n in 1usize..300,
+        cluster_size in 1usize..40,
+    ) {
+        for p in [
+            Partition::contiguous(n, cluster_size),
+            Partition::sqrt(n),
+            Partition::balanced(n, cluster_size.min(n)),
+        ] {
+            prop_assert!(p.covers(n), "covers 1..={n}: {:?}", p.clusters);
+            prop_assert!(p.clusters.iter().all(|c| !c.is_empty()));
+            // Every node maps back to the cluster that lists it.
+            for (c, members) in p.clusters.iter().enumerate() {
+                for &m in members {
+                    prop_assert_eq!(p.cluster_of(m), Some(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_partition_is_balanced_on_non_squares(n in 2usize..300) {
+        let p = Partition::sqrt(n);
+        let sizes: Vec<usize> = p.clusters.iter().map(Vec::len).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "n = {n}: sizes {sizes:?}");
+        // Cluster count tracks √n (the paper's shape claim).
+        let k = p.cluster_count() as f64;
+        prop_assert!(k >= (n as f64).sqrt() - 1.0 && k <= (n as f64).sqrt() + 1.0);
+    }
+
+    #[test]
+    fn min_breakins_bounded_by_cluster_majorities(n in 3usize..300) {
+        // An optimal adversary still has to take a majority in a majority of
+        // clusters; with balanced clusters that is at least the flat bound
+        // of the smallest cluster, and at least a quarter of the network
+        // minus the rounding slack of one node per attacked cluster.
+        let p = Partition::sqrt(n);
+        let smallest = p.clusters.iter().map(Vec::len).min().unwrap();
+        let need = p.min_breakins_to_compromise();
+        prop_assert!(need >= flat_min_breakins(smallest));
+        let k = p.cluster_count();
+        prop_assert!(need >= (k / 2 + 1) * (smallest / 2 + 1));
+        prop_assert!(need > n / 4, "n = {n}: {need} break-ins ≤ n/4");
+        // And it never exceeds what compromising every node would take.
+        prop_assert!(need <= n);
     }
 
     #[test]

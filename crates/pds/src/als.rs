@@ -15,7 +15,7 @@
 //! wraps the very same machine in `AUTH-SEND` (Theorem 14's construction).
 
 use crate::api::{AlPds, PdsEnvelope, PdsPhase, PdsTime, SignatureRecord};
-use crate::msg::{sid_for, signing_payload, AlsMsg, Sid};
+use crate::msg::{sid_for_scoped, signing_payload, AlsMsg, Sid};
 use crate::refresh_session::{Dest, RefreshSession};
 use crate::sign_session::SignSession;
 use proauth_telemetry as telemetry;
@@ -53,6 +53,10 @@ pub struct AlsConfig {
     /// amortization off (per-item verification). Also gates the in-session
     /// RLC partial batching.
     pub verify_window: usize,
+    /// Instance scope mixed into every session id, isolating concurrent PDS
+    /// instances (per-cluster locals and the top level of the §6 hierarchy)
+    /// from one another. Empty = the flat, unscoped instance.
+    pub sid_scope: Vec<u8>,
 }
 
 impl AlsConfig {
@@ -73,7 +77,15 @@ impl AlsConfig {
             session_max_age: 16,
             nonce_pool: 32,
             verify_window: 8,
+            sid_scope: Vec::new(),
         }
+    }
+
+    /// The same config scoped to one PDS instance of a multi-instance
+    /// deployment (see [`AlsConfig::sid_scope`]).
+    pub fn scoped(mut self, scope: impl Into<Vec<u8>>) -> Self {
+        self.sid_scope = scope.into();
+        self
     }
 
     /// Whether in-session partial verification should run batch-first.
@@ -132,6 +144,33 @@ impl AlsPds {
             nonce_pool,
             lagrange,
         }
+    }
+
+    /// Creates the state machine for a node joining an *already keyed*
+    /// instance without a share — a restarted or newly promoted member (the
+    /// hierarchy's re-elected representatives enter the top-level PDS this
+    /// way). The node knows the joint public key from trusted storage,
+    /// participates in refresh as a share-lost party, and recovers a share
+    /// through Herzberg recovery at the next refresh.
+    pub fn recovering(cfg: AlsConfig, me: NodeId, public_key: BigUint) -> Self {
+        let mut pds = Self::new(cfg, me);
+        pds.public_key = Some(public_key);
+        pds.share_lost = true;
+        pds
+    }
+
+    /// Client-triggered preprocessing refresh: tops the nonce pool back up
+    /// and re-warms the public precomputation *outside* the scheduled
+    /// offline window. Deliberately does not touch key shares — proactive
+    /// share refresh stays under the schedule's control.
+    pub fn preprocess(&mut self, rng: &mut StdRng) {
+        if let Some(pool) = &mut self.nonce_pool {
+            let added = pool.refill(&self.cfg.group, rng) as u64;
+            if added > 0 {
+                telemetry::count("pds/nonce_refilled", added);
+            }
+        }
+        self.warm_offline();
     }
 
     /// Offline-window preprocessing beyond the nonce pool, all public data:
@@ -460,7 +499,7 @@ impl AlPds for AlsPds {
                 let usable = self.key_usable();
                 let batch_partials = self.cfg.batch_partials();
                 for (msg, unit) in std::mem::take(&mut self.pending_requests) {
-                    let sid = sid_for(&msg, unit);
+                    let sid = sid_for_scoped(&self.cfg.sid_scope, &msg, unit);
                     if self.sessions.contains_key(&sid) {
                         continue;
                     }

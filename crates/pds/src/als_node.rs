@@ -153,6 +153,10 @@ impl AlsProcess {
                     self.flush_window(ctx);
                 }
             }
+            ClientOp::Refresh => {
+                telemetry::count("pds/client_refresh", 1);
+                self.pds.preprocess(ctx.rng);
+            }
         }
     }
 

@@ -14,6 +14,17 @@ pub fn sid_for(msg: &[u8], unit: u64) -> Sid {
     sha256::hash_parts("proauth/pds/sid", &[msg, &unit.to_be_bytes()])
 }
 
+/// Computes a session id bound to an instance scope, so concurrent PDS
+/// instances (per-cluster locals and the top level of the §6 hierarchy)
+/// signing the same `(msg, unit)` cannot cross-feed sessions. The empty
+/// scope is the flat instance and matches [`sid_for`] bit-for-bit.
+pub fn sid_for_scoped(scope: &[u8], msg: &[u8], unit: u64) -> Sid {
+    if scope.is_empty() {
+        return sid_for(msg, unit);
+    }
+    sha256::hash_parts("proauth/pds/sid/scoped", &[scope, msg, &unit.to_be_bytes()])
+}
+
 /// The canonical bytes actually signed for `(msg, unit)` — the time-unit
 /// binding the ideal process requires (§3.1: the database stores `(m, u)`).
 pub fn signing_payload(msg: &[u8], unit: u64) -> Vec<u8> {

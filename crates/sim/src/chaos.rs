@@ -61,6 +61,12 @@ pub struct ChaosConfig {
     /// Definition-7 budget should cover that tail (outage + up to two
     /// units).
     pub presumed_down: Option<u64>,
+    /// Restrict compiled crashes to these nodes (`None` = whole network).
+    /// The §6 hierarchy uses this to aim chaos at a single cluster — e.g.
+    /// its representative and members — while the rest of the system stays
+    /// calm, so per-cluster Definition-7 budgets can be exercised in
+    /// isolation.
+    pub target: Option<Vec<NodeId>>,
     /// Per-message one-round delay probability (UL only).
     pub delay_p: f64,
     /// Per-message duplication probability (UL only).
@@ -77,6 +83,7 @@ impl Default for ChaosConfig {
             restart_after: None,
             max_down: usize::MAX,
             presumed_down: None,
+            target: None,
             delay_p: 0.0,
             dup_p: 0.0,
             reorder: false,
@@ -147,6 +154,8 @@ impl FaultSchedule {
                 schedule.phase_of(round),
                 Phase::RefreshPart1 { step: 0 } | Phase::RefreshPart2 { step: 0 }
             );
+            let eligible =
+                |id: NodeId| cfg.target.as_ref().is_none_or(|t| t.contains(&id));
             if boundary
                 && in_horizon
                 && down_now < cfg.max_down
@@ -154,7 +163,7 @@ impl FaultSchedule {
                 && rng.gen::<f64>() < cfg.boundary_crash_p
             {
                 let up: Vec<NodeId> = NodeId::all(n)
-                    .filter(|id| up_at[id.idx()] <= round)
+                    .filter(|&id| up_at[id.idx()] <= round && eligible(id))
                     .collect();
                 if let Some(&id) = up.choose(&mut rng) {
                     crash(id, &mut up_at, &mut down_now);
@@ -163,7 +172,7 @@ impl FaultSchedule {
             // Background crashes: independent per node, budget-capped.
             if cfg.crash_p > 0.0 && in_horizon {
                 for id in NodeId::all(n) {
-                    if up_at[id.idx()] > round || down_now >= cfg.max_down {
+                    if up_at[id.idx()] > round || down_now >= cfg.max_down || !eligible(id) {
                         continue;
                     }
                     if rng.gen::<f64>() < cfg.crash_p {
@@ -173,6 +182,13 @@ impl FaultSchedule {
             }
         }
         FaultSchedule { crashes }
+    }
+
+    /// Adds an explicit crash event — scenario scripting on top of (or
+    /// instead of) the compiled schedule, e.g. "crash the representative of
+    /// cluster 2 at the first round of refresh Part II".
+    pub fn push(&mut self, round: u64, node: NodeId) {
+        self.crashes.entry(round).or_default().push(node);
     }
 
     /// Nodes scheduled to crash at `round`.

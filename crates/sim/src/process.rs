@@ -109,6 +109,36 @@ impl<'a> RoundCtx<'a> {
     pub fn sent_count(&self) -> usize {
         self.outbox.iter().map(OutboxEntry::fanout).sum()
     }
+
+    /// Runs `f` inside a derived context for a *sub-network* — the §6
+    /// two-level construction runs a cluster-local protocol instance inside
+    /// each node, addressing `n` cluster-local ids instead of the global
+    /// network. The child shares this round's time, ROM, randomness, and
+    /// output log, but collects its sends into a private outbox that the
+    /// caller translates (local → global ids, wire framing) before
+    /// forwarding. Returns `f`'s result and the child's outbox.
+    pub fn nested<R>(
+        &mut self,
+        me: NodeId,
+        n: usize,
+        inbox: &[Envelope],
+        input: Option<&[u8]>,
+        f: impl FnOnce(&mut RoundCtx<'_>) -> R,
+    ) -> (R, Vec<OutboxEntry>) {
+        let mut outbox = Vec::new();
+        let r = f(&mut RoundCtx {
+            time: self.time,
+            me,
+            n,
+            inbox,
+            rom: self.rom,
+            rng: self.rng,
+            input,
+            outbox: &mut outbox,
+            output: self.output,
+        });
+        (r, outbox)
+    }
 }
 
 /// Context for the adversary-free set-up phase. Like [`RoundCtx`] but with a
@@ -147,6 +177,30 @@ impl<'a> SetupCtx<'a> {
             to,
             payload: payload.into(),
         });
+    }
+
+    /// Setup-phase counterpart of [`RoundCtx::nested`]: runs `f` with a
+    /// derived setup context for a cluster-local sub-network. The child
+    /// shares the writable ROM and randomness; its sends are returned for
+    /// the caller to translate and forward.
+    pub fn nested<R>(
+        &mut self,
+        me: NodeId,
+        n: usize,
+        inbox: &[Envelope],
+        f: impl FnOnce(&mut SetupCtx<'_>) -> R,
+    ) -> (R, Vec<OutboxEntry>) {
+        let mut outbox = Vec::new();
+        let r = f(&mut SetupCtx {
+            setup_round: self.setup_round,
+            me,
+            n,
+            inbox,
+            rom: self.rom,
+            rng: self.rng,
+            outbox: &mut outbox,
+        });
+        (r, outbox)
     }
 }
 

@@ -344,6 +344,115 @@ impl OperationalTracker {
     }
 }
 
+/// Per-cluster Definition-4/5 ground truth for the §6 two-level topology:
+/// one [`OperationalTracker`] per cluster, each judging its members against
+/// the *cluster-local* links only.
+///
+/// In the hierarchical construction a node's protocol obligations run over
+/// its √n-cluster (its PDS peers and its representative), so the honest
+/// notion of "s-operational" is cluster-local: a node disconnected from the
+/// rest of the system but well-connected inside its cluster keeps operating,
+/// and conversely, links to other clusters cannot save a node its own
+/// cluster can no longer reach. The per-cluster disconnection bound is
+/// `max(1, min(s, ⌊(m_c−1)/2⌋))` for a cluster of `m_c` members — the
+/// cluster-local analogue of the run's `s`, capped by what a PDS of that
+/// size can tolerate.
+#[derive(Debug, Clone)]
+pub struct ClusterTrackers {
+    /// Cluster membership (1-based global node ids).
+    clusters: Vec<Vec<u32>>,
+    trackers: Vec<OperationalTracker>,
+    /// Global operational view, rebuilt from the per-cluster trackers.
+    operational: Vec<bool>,
+}
+
+impl ClusterTrackers {
+    /// Builds one tracker per cluster over an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clusters do not cover `1..=n` exactly once.
+    pub fn new(clusters: Vec<Vec<u32>>, n: usize, s: usize, rule: OperationalRule) -> Self {
+        let mut seen = vec![false; n];
+        for &m in clusters.iter().flatten() {
+            assert!(m >= 1 && m as usize <= n, "cluster member {m} out of range");
+            assert!(!seen[(m - 1) as usize], "node {m} in two clusters");
+            seen[(m - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "clusters must cover every node");
+        let trackers = clusters
+            .iter()
+            .map(|members| {
+                let m = members.len();
+                let s_c = s.min(m.saturating_sub(1) / 2).max(1);
+                OperationalTracker::with_rule(m, s_c, rule)
+            })
+            .collect();
+        ClusterTrackers {
+            clusters,
+            trackers,
+            operational: vec![true; n],
+        }
+    }
+
+    /// The global operational set, stitched from the per-cluster trackers.
+    pub fn operational(&self) -> &[bool] {
+        &self.operational
+    }
+
+    /// Whether node `i` is operational within its cluster.
+    pub fn is_operational(&self, i: NodeId) -> bool {
+        self.operational[i.idx()]
+    }
+
+    /// Operational members of cluster `c` (for per-cluster reporting).
+    pub fn cluster_operational_count(&self, c: usize) -> usize {
+        self.trackers[c].count()
+    }
+
+    /// Members of cluster `c`.
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.clusters[c].len()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Processes one round: restricts the global `broken` set and link
+    /// [`PairMatrix`] to each cluster's members and advances that cluster's
+    /// tracker. Clusters are small (≈√n), so this runs serially.
+    pub fn on_round(
+        &mut self,
+        broken: &[bool],
+        reliable: &PairMatrix,
+        in_refresh: bool,
+        refresh_end: bool,
+    ) {
+        for (c, members) in self.clusters.iter().enumerate() {
+            let m = members.len();
+            let mut local_broken = vec![false; m];
+            let mut local_rel = PairMatrix::filled(m, true);
+            for (i, &gi) in members.iter().enumerate() {
+                local_broken[i] = broken[(gi - 1) as usize];
+                for (j, &gj) in members.iter().enumerate().skip(i + 1) {
+                    local_rel.set(
+                        NodeId::from_idx(i),
+                        NodeId::from_idx(j),
+                        reliable.get(NodeId(gi), NodeId(gj)),
+                    );
+                }
+            }
+            self.trackers[c].on_round(&local_broken, &local_rel, in_refresh, refresh_end);
+            let ops = self.trackers[c].operational();
+            for (i, &gi) in members.iter().enumerate() {
+                self.operational[(gi - 1) as usize] = ops[i];
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,7 +47,8 @@ use crate::message::{Envelope, NodeId, OutboxEntry, OutputEvent, OutputLog};
 use crate::pool::{self, WorkerPool};
 use crate::process::{Process, Rom, RoundCtx, SetupCtx};
 use crate::reliability::{
-    link_reliability, link_reliability_pooled, OperationalRule, OperationalTracker, PairMatrix,
+    link_reliability, link_reliability_pooled, ClusterTrackers, OperationalRule,
+    OperationalTracker, PairMatrix,
 };
 use proauth_primitives::sha256;
 use proauth_telemetry::{self as telemetry, PhaseTimer, Shard, Telemetry};
@@ -97,6 +98,13 @@ pub struct SimConfig {
     /// per-node shards are merged in `NodeId` order, so results *and* traces
     /// (minus `wall_*` fields) are bit-identical across worker counts.
     pub telemetry: Telemetry,
+    /// Optional §6 cluster topology (1-based global node ids per cluster;
+    /// must cover `1..=n` exactly once). When set, Definition-4/5 ground
+    /// truth runs *per cluster* ([`ClusterTrackers`]): a node's operational
+    /// status is judged against its cluster-local links only, matching the
+    /// hierarchical construction where protocol obligations are cluster-
+    /// scoped. `None` (the default) keeps the flat tracker.
+    pub clusters: Option<Vec<Vec<u32>>>,
 }
 
 impl SimConfig {
@@ -114,6 +122,49 @@ impl SimConfig {
             parallel: pool::env_threads().is_some(),
             threads: 0,
             telemetry: Telemetry::from_env(),
+            clusters: None,
+        }
+    }
+}
+
+/// The engine's Definition-4/5 ground truth: the flat tracker, or the
+/// per-cluster trackers of the §6 two-level topology. Either way the engine
+/// only ever asks for the (global) operational view and feeds one round of
+/// impairment + link reliability at a time.
+enum GroundTruth {
+    Flat(OperationalTracker),
+    Clustered(ClusterTrackers),
+}
+
+impl GroundTruth {
+    fn operational(&self) -> &[bool] {
+        match self {
+            GroundTruth::Flat(t) => t.operational(),
+            GroundTruth::Clustered(t) => t.operational(),
+        }
+    }
+
+    fn is_operational(&self, id: NodeId) -> bool {
+        match self {
+            GroundTruth::Flat(t) => t.is_operational(id),
+            GroundTruth::Clustered(t) => t.is_operational(id),
+        }
+    }
+
+    fn on_round_pooled(
+        &mut self,
+        broken: &[bool],
+        reliable: &PairMatrix,
+        in_refresh: bool,
+        refresh_end: bool,
+        pool: Option<&mut WorkerPool>,
+    ) {
+        match self {
+            GroundTruth::Flat(t) => t.on_round_pooled(broken, reliable, in_refresh, refresh_end, pool),
+            // Clusters are ≈√n-sized: the per-cluster induction is too small
+            // to be worth the pool handshake, and serial execution keeps it
+            // trivially identical across worker counts.
+            GroundTruth::Clustered(t) => t.on_round(broken, reliable, in_refresh, refresh_end),
         }
     }
 }
@@ -380,7 +431,10 @@ struct Engine<'f, P> {
     /// the first round the node is both released and s-operational again.
     /// Drives the recovery-latency histogram.
     impaired_since: Vec<Option<u64>>,
-    tracker: OperationalTracker,
+    tracker: GroundTruth,
+    /// Precomputed per-cluster telemetry keys (empty unless clustered and
+    /// telemetry is on — avoids per-round formatting).
+    cluster_tele_keys: Vec<&'static str>,
     /// Deliveries pending for the next round, per node. The per-node `Vec`s
     /// are recycled every round (taken as a slot's inbox, cleared, returned)
     /// so steady state allocates no inbox buffers at all.
@@ -416,8 +470,24 @@ impl<'f, P: Process + Send> Engine<'f, P> {
         let n = cfg.n;
         let mut make_node: Box<dyn FnMut(NodeId) -> P + 'f> = Box::new(make_node);
         let nodes: Vec<P> = NodeId::all(n).map(&mut *make_node).collect();
+        let tracker = match &cfg.clusters {
+            Some(clusters) => GroundTruth::Clustered(ClusterTrackers::new(
+                clusters.clone(),
+                n,
+                cfg.s,
+                cfg.rule,
+            )),
+            None => GroundTruth::Flat(OperationalTracker::with_rule(n, cfg.s, cfg.rule)),
+        };
+        let cluster_tele_keys = match (&cfg.clusters, cfg.telemetry.is_on()) {
+            (Some(clusters), true) => (0..clusters.len())
+                .map(|c| telemetry::intern_name(&format!("engine/cluster{c}/non_op_rounds")))
+                .collect(),
+            _ => Vec::new(),
+        };
         Engine {
-            tracker: OperationalTracker::with_rule(n, cfg.s, cfg.rule),
+            tracker,
+            cluster_tele_keys,
             model,
             nodes,
             make_node,
@@ -773,6 +843,14 @@ impl<'f, P: Process + Send> Engine<'f, P> {
                 None
             },
         );
+        if tele_on && !self.cluster_tele_keys.is_empty() {
+            if let GroundTruth::Clustered(ct) = &self.tracker {
+                for (c, key) in self.cluster_tele_keys.iter().enumerate() {
+                    let non_op = ct.cluster_size(c) - ct.cluster_operational_count(c);
+                    self.cfg.telemetry.add(key, non_op as u64);
+                }
+            }
+        }
 
         // "Compromised"/"recovered" output lines. In the UL model these track
         // loss of s-operational status (§2.2); in the AL model, break-ins

@@ -50,6 +50,25 @@ pub use scope::{
 };
 pub use sink::{memory_contents, Sink};
 
+/// Interns a dynamically-built metric name (e.g. the per-cluster keys of the
+/// §6 hierarchy: `"engine/cluster3/non_op_rounds"`) into a process-lifetime
+/// string usable with the `&'static str` metric APIs. Each unique name leaks
+/// exactly once per process; intended for small bounded key families
+/// (clusters, phases), never for unbounded identifiers.
+pub fn intern_name(name: &str) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::OnceLock;
+    static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let map = INTERNED.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = lock(map);
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    map.insert(name.to_owned(), leaked);
+    leaked
+}
+
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Environment variable naming the JSONL trace file for a run.

@@ -25,6 +25,8 @@
 //!                        (default 2000 = 2 ops/round)
 //!   --window <int>       batch-verify window; 1 disables amortization
 //!                        (default 8)
+//!   --mix <spec>         op mix, e.g. sign=8,verify=1,refresh=0.01
+//!                        (default sign=3,verify=1)
 //!   --preprocess         enable nonce preprocessing + Lagrange precompute
 //!
 //! Options:
@@ -37,6 +39,11 @@
 //!   --auth <mode>        sign | mac (default sign)
 //!   --adversary <name>   none | drop:<pct> | replay | isolate:<node> |
 //!                        wipe:<node> | hijack:<node> (default none)
+//!   --clusters           run the §6 two-level hierarchy (√n clusters, each
+//!                        with its own PDS, top-level PDS over
+//!                        representatives) instead of the flat scheme;
+//!                        supports adversary none | drop:<pct> | replay |
+//!                        isolate:<node>
 //!   --trace <path>       write a JSONL flight-recorder trace to <path>
 //!                        (also enables the metrics report; PROAUTH_TRACE=path
 //!                        works too)
@@ -99,11 +106,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> HashMap<String, String>
             usage()
         };
         match key {
-            "parallel" | "verbose" | "preprocess" => {
+            "parallel" | "verbose" | "preprocess" | "clusters" => {
                 out.insert(key.to_owned(), "true".to_owned());
             }
             "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary"
-            | "trace" | "rate" | "window" => {
+            | "trace" | "rate" | "window" | "mix" => {
                 let Some(value) = args.next() else {
                     eprintln!("--{key} needs a value");
                     usage()
@@ -188,6 +195,7 @@ fn service_main(args: &HashMap<String, String>) -> ! {
     let seed: u64 = get(args, "seed", 0);
     let rate: u64 = get(args, "rate", 2_000);
     let window: usize = get(args, "window", 8);
+    let mix = args.get("mix").cloned();
     let preprocess = args.contains_key("preprocess");
     if n < 2 * t + 1 {
         eprintln!("need n >= 2t+1 (got n={n}, t={t})");
@@ -205,7 +213,8 @@ fn service_main(args: &HashMap<String, String>) -> ! {
     };
     println!(
         "proauth signing service: n={n} t={t} units={units} group={group_id} \
-         rate={rate}m ops/round window={window} preprocess={preprocess} seed={seed}\n"
+         rate={rate}m ops/round window={window} mix={} preprocess={preprocess} seed={seed}\n",
+        mix.as_deref().unwrap_or("sign=3,verify=1")
     );
 
     let schedule = Schedule::new(20, 1, 8);
@@ -217,7 +226,17 @@ fn service_main(args: &HashMap<String, String>) -> ! {
     let telemetry = proauth_sim::Telemetry::enabled();
     cfg.telemetry = telemetry.clone();
 
-    let workload = Workload::new(WorkloadConfig::with_rate(seed ^ 0xE13, rate), n);
+    let wcfg = match &mix {
+        None => WorkloadConfig::with_rate(seed ^ 0xE13, rate),
+        Some(spec) => match WorkloadConfig::with_mix(seed ^ 0xE13, rate, spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bad --mix: {e}");
+                exit(2);
+            }
+        },
+    };
+    let workload = Workload::new(wcfg, n);
     let offered = workload.offered_signs(cfg.total_rounds);
     let group = Group::new(group_id);
     let start = std::time::Instant::now();
@@ -289,7 +308,6 @@ fn main() {
     let units: u64 = get(&args, "units", 3);
     let normal: u64 = get(&args, "normal", 12);
     let seed: u64 = get(&args, "seed", 0);
-    let verbose = args.contains_key("verbose");
     if n < 2 * t + 1 {
         eprintln!("need n >= 2t+1 (got n={n}, t={t})");
         exit(2);
@@ -317,29 +335,17 @@ fn main() {
         }
     };
 
+    if args.contains_key("clusters") {
+        hier_main(&args, group_id, auth_mode);
+    }
+
     let schedule = uls_schedule(normal);
     let mut cfg = SimConfig::new(n, t, schedule);
     cfg.setup_rounds = SETUP_ROUNDS;
     cfg.total_rounds = schedule.unit_rounds * units;
     cfg.seed = seed;
     cfg.parallel = args.contains_key("parallel");
-    if let Some(path) = args.get("trace") {
-        cfg.telemetry = match proauth_sim::Telemetry::with_trace_path(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot open trace file {path}: {e}");
-                exit(2);
-            }
-        };
-    } else if let Ok(path) = std::env::var(proauth_sim::telemetry::TRACE_ENV) {
-        // SimConfig::new already resolved PROAUTH_TRACE; the library falls
-        // back to no tracing when the path is unwritable, but for the CLI a
-        // requested-and-unusable trace is a hard error, not a silent run.
-        if !path.is_empty() && !cfg.telemetry.is_on() {
-            eprintln!("cannot open trace file {path} (from PROAUTH_TRACE)");
-            exit(2);
-        }
-    }
+    apply_trace(&args, &mut cfg);
     // Keep a handle for the post-run metrics report (the config moves into
     // the runner).
     let telemetry = cfg.telemetry.clone();
@@ -424,7 +430,143 @@ fn main() {
         usage()
     }
 
-    // ------- report -------
+    print_report(&args, n, &schedule, &telemetry, &result, &limit_note);
+}
+
+/// Applies `--trace` / `PROAUTH_TRACE` to the config (a requested-and-
+/// unusable trace is a hard error for the CLI, not a silent run).
+fn apply_trace(args: &HashMap<String, String>, cfg: &mut SimConfig) {
+    if let Some(path) = args.get("trace") {
+        cfg.telemetry = match proauth_sim::Telemetry::with_trace_path(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                exit(2);
+            }
+        };
+    } else if let Ok(path) = std::env::var(proauth_sim::telemetry::TRACE_ENV) {
+        // SimConfig::new already resolved PROAUTH_TRACE; the library falls
+        // back to no tracing when the path is unwritable.
+        if !path.is_empty() && !cfg.telemetry.is_on() {
+            eprintln!("cannot open trace file {path} (from PROAUTH_TRACE)");
+            exit(2);
+        }
+    }
+}
+
+/// The `--clusters` scenario: the §6 two-level hierarchy — √n clusters, each
+/// running its own cluster-local ULS stack, a top-level PDS over the cluster
+/// representatives, and inter-cluster traffic certified through the
+/// authenticator.
+fn hier_main(args: &HashMap<String, String>, group_id: GroupId, auth_mode: AuthMode) -> ! {
+    use proauth_core::hier::{heartbeat_msg, HierConfig, HierNode, HIER_SETUP_ROUNDS};
+
+    let n: usize = get(args, "n", 16);
+    let units: u64 = get(args, "units", 3);
+    let normal: u64 = get(args, "normal", 12);
+    let seed: u64 = get(args, "seed", 0);
+    if !normal.is_multiple_of(2) {
+        eprintln!("--normal must be even");
+        exit(2);
+    }
+    let mut hcfg = HierConfig::new(Group::new(group_id), n);
+    hcfg.auth_mode = auth_mode;
+    let k = hcfg.partition.cluster_count();
+
+    let schedule = uls_schedule(normal);
+    let mut cfg = SimConfig::new(n, 1, schedule);
+    cfg.setup_rounds = HIER_SETUP_ROUNDS;
+    cfg.total_rounds = schedule.unit_rounds * units;
+    cfg.seed = seed;
+    cfg.parallel = args.contains_key("parallel");
+    cfg.clusters = Some(hcfg.partition.clusters.clone());
+    apply_trace(args, &mut cfg);
+    let telemetry = cfg.telemetry.clone();
+
+    println!(
+        "proauth hierarchy: n={n} clusters={k} group={group_id} auth={auth_mode:?} \
+         units={units} seed={seed}"
+    );
+    for (c, members) in hcfg.partition.clusters.iter().enumerate() {
+        println!(
+            "  cluster {c}: nodes {}..{} (t={}, representative {})",
+            members.first().unwrap(),
+            members.last().unwrap(),
+            hcfg.partition.cluster_threshold(c),
+            hcfg.partition.representative(c, 0),
+        );
+    }
+    let adversary_spec = args
+        .get("adversary")
+        .cloned()
+        .unwrap_or_else(|| "none".to_owned());
+    println!("adversary: {adversary_spec}\n");
+
+    let make_node = |id: NodeId| HierNode::new(hcfg.clone(), id, HeartbeatApp::default());
+    let result: SimResult;
+    let mut limit_note = String::new();
+    if adversary_spec == "none" {
+        result = run_ul(cfg, make_node, &mut FaithfulUl);
+    } else if let Some(pct) = adversary_spec.strip_prefix("drop:") {
+        let p: f64 = pct.parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
+        let mut adv = proauth_adversary::RandomDropper::new(p, seed ^ 0xD20);
+        result = run_ul(cfg, make_node, &mut adv);
+    } else if adversary_spec == "replay" {
+        let mut adv = Replayer::new(6);
+        result = run_ul(cfg, make_node, &mut adv);
+    } else if let Some(node) = adversary_spec.strip_prefix("isolate:") {
+        let victim: u32 = node.parse().unwrap_or_else(|_| usage());
+        if victim == 0 || victim as usize > n {
+            eprintln!("node id out of range: {victim}");
+            exit(2);
+        }
+        let from = schedule.unit_rounds;
+        let mut adv = LimitObserver::with_clusters(
+            LinkCutter::isolate(NodeId(victim), n).during(from, 2 * schedule.unit_rounds),
+            hcfg.partition.clusters.clone(),
+        );
+        result = run_ul(cfg, make_node, &mut adv);
+        limit_note = format!(
+            "max impaired per unit: {}, majority-compromised clusters: {}",
+            adv.max_impaired(),
+            adv.max_compromised_clusters()
+        );
+    } else {
+        eprintln!("--clusters supports adversary none | drop:<pct> | replay | isolate:<node>");
+        exit(2);
+    }
+
+    // Per-cluster liveness: which units each cluster co-signed the
+    // top-level heartbeat for (any member — robust to re-elections).
+    println!("top-level heartbeat signatures per cluster:");
+    for (c, members) in hcfg.partition.clusters.iter().enumerate() {
+        let mut units_signed: Vec<u64> = members
+            .iter()
+            .flat_map(|&m| result.events_of(NodeId(m)))
+            .filter_map(|(_, ev)| match ev {
+                OutputEvent::Signed { msg, unit } if *msg == heartbeat_msg(*unit) => Some(*unit),
+                _ => None,
+            })
+            .collect();
+        units_signed.sort_unstable();
+        units_signed.dedup();
+        println!("  cluster {c}: units {units_signed:?}");
+    }
+    println!();
+
+    print_report(args, n, &schedule, &telemetry, &result, &limit_note);
+    exit(0)
+}
+
+/// The common post-run report shared by the flat and hierarchy scenarios.
+fn print_report(
+    args: &HashMap<String, String>,
+    n: usize,
+    schedule: &proauth_sim::clock::Schedule,
+    telemetry: &proauth_sim::Telemetry,
+    result: &SimResult,
+    limit_note: &str,
+) {
     println!("per-node summary:");
     for id in NodeId::all(n) {
         let log = &result.outputs[id.idx()];
@@ -444,12 +586,12 @@ fn main() {
     }
 
     // Awareness analysis.
-    let imps = awareness::find_impersonations(&result.outputs, &schedule, |_, _| false);
+    let imps = awareness::find_impersonations(&result.outputs, schedule, |_, _| false);
     let uncovered = awareness::unalerted_impersonations(
         &result.outputs,
-        &schedule,
+        schedule,
         |_, _| false,
-        |node, unit| result.alerted_in_unit(node, unit, &schedule),
+        |node, unit| result.alerted_in_unit(node, unit, schedule),
     );
     println!(
         "awareness: {} impersonation incidents, {} NOT covered by same-unit alerts",
@@ -459,11 +601,11 @@ fn main() {
 
     // Unit-by-unit operator view.
     println!("\nunit timeline:");
-    for summary in proauth_sim::report::unit_summaries(&result, &schedule) {
+    for summary in proauth_sim::report::unit_summaries(result, schedule) {
         print!("{summary}");
     }
 
-    if let Some(metrics) = proauth_sim::report::render_metrics(&telemetry) {
+    if let Some(metrics) = proauth_sim::report::render_metrics(telemetry) {
         println!("\nmetrics:");
         print!("{metrics}");
         if let Some(path) = args.get("trace") {
@@ -471,7 +613,7 @@ fn main() {
         }
     }
 
-    if verbose {
+    if args.contains_key("verbose") {
         println!("\nfull event log:");
         for id in NodeId::all(n) {
             for (round, ev) in &result.outputs[id.idx()] {

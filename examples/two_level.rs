@@ -16,6 +16,12 @@
 //! * breaking a *majority of one cluster* hands the adversary that
 //!   neighborhood's key — fewer total break-ins than the flat scheme
 //!   tolerates — while the other clusters stay sound.
+//!
+//! This example runs each neighborhood as a *separate* simulation to keep
+//! the chain of trust inspectable step by step. The construction as one
+//! live network — nested cluster stacks, representative re-election,
+//! authenticated cross-cluster transit — is `proauth_core::hier`
+//! (`proauth --clusters`, DESIGN §3g, `tests/hierarchy.rs`).
 
 use proauth_core::authenticator::HeartbeatApp;
 use proauth_core::partition::{flat_min_breakins, Partition};

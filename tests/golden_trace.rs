@@ -72,6 +72,7 @@ fn run_traced(parallel: bool, threads: usize) -> (SimResult, String) {
         restart_after: Some(6),
         max_down: 2,
         presumed_down: None,
+        target: None,
         delay_p: 0.02,
         dup_p: 0.02,
         reorder: true,
