@@ -55,6 +55,16 @@ cargo test -q -p proauth-tests --release --test hierarchy -- --ignored
 # PROAUTH_E7=full (optionally CRITERION_JSON=BENCH_e7.json to re-emit it).
 cargo bench -p proauth-bench --bench e7_partition
 
+# Daemon smoke: n = 5 real node processes plus the chaos proxy over Unix
+# sockets, 2 units (so one full proactive refresh) with delay/dup/reorder
+# within budget, verified against the in-process engine (--check: certified
+# keys equal, zero forgeries, every node completes every round) and bounded
+# by a hard timeout so a wedged socket loop fails the gate instead of
+# hanging it. Clean shutdown is part of the check: the orchestrator reaps
+# every child and exits nonzero if any hung or died.
+timeout 300 cargo run -q --release -p proauth-examples --bin proauth -- \
+    daemon --n 5 --units 2 --delay 20 --dup 5 --reorder 5 --round-ms 2000 --check
+
 # E13 signing-service smoke on both engine legs: the open-loop workload,
 # session table, nonce pool, and batch-verify window must hold their
 # throughput floor (4·signed ≥ 3·offered) and flip pool hit/miss counters

@@ -257,6 +257,75 @@ fn ablation() {
     );
 }
 
+/// Part 3: the §6 two-level hierarchy, serial vs pool engine, one timed run
+/// per row. Cluster-local PDS work is what the pool parallelises best (√n
+/// independent clusters per round), so this is the configuration where the
+/// pool engine should earn its keep on a multi-core host — and the rounds/s
+/// figure a user sizing a hierarchy deployment actually needs.
+fn hierarchy() {
+    use proauth_core::hier::{HierConfig, HierNode, HIER_SETUP_ROUNDS};
+
+    let mut rows = Vec::new();
+    let mut json_lines = Vec::new();
+    for n in [16usize, 64] {
+        for engine in [Engine::Serial, Engine::Pool(4)] {
+            let schedule = uls_schedule(8);
+            let mut cfg = SimConfig::new(n, 1, schedule);
+            cfg.setup_rounds = HIER_SETUP_ROUNDS;
+            cfg.total_rounds = schedule.unit_rounds * 2;
+            cfg.seed = 87;
+            match engine {
+                Engine::Serial => cfg.parallel = false,
+                Engine::Pool(w) => {
+                    cfg.parallel = true;
+                    cfg.threads = w;
+                }
+            }
+            let mut hcfg = HierConfig::new(Group::new(GroupId::Toy64), n);
+            hcfg.auth_mode = AuthMode::SessionMac;
+            cfg.clusters = Some(hcfg.partition.clusters.clone());
+            let clusters = hcfg.partition.cluster_count();
+            let total_rounds = cfg.total_rounds;
+            let start = Instant::now();
+            let result = run_ul(
+                cfg,
+                |id| HierNode::new(hcfg.clone(), id, HeartbeatApp::default()),
+                &mut FaithfulUl,
+            );
+            let elapsed = start.elapsed();
+            let tp = ThroughputSummary::from_run(&result.stats, total_rounds, elapsed);
+            let label = engine.label();
+            rows.push(vec![
+                n.to_string(),
+                clusters.to_string(),
+                label.clone(),
+                result.stats.messages_sent.to_string(),
+                format!("{:.1}", tp.rounds_per_sec),
+                format!("{:.0}", tp.msgs_per_sec),
+            ]);
+            json_lines.push(format!(
+                "{{\"id\": \"e11/hier/n{n}/{label}\", \"elapsed_ns\": {}, \
+                 \"rounds_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}}}",
+                elapsed.as_nanos(),
+                tp.rounds_per_sec,
+                tp.msgs_per_sec,
+            ));
+        }
+    }
+    print_table(
+        "E11 — two-level hierarchy throughput (2 units, session-MAC, toy group)",
+        &["n", "clusters", "engine", "messages", "rounds/s", "msgs/s"],
+        &rows,
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            for line in &json_lines {
+                let _ = writeln!(file, "{line}");
+            }
+        }
+    }
+}
+
 fn main() {
     // `PROAUTH_E11=n64`: the n = 64 refresh only (the vendored criterion
     // shim has no CLI filtering; CI uses this to keep the run bounded).
@@ -269,4 +338,5 @@ fn main() {
         .measurement_time(Duration::from_secs(2));
     bench_units(&mut criterion);
     ablation();
+    hierarchy();
 }

@@ -1,0 +1,335 @@
+//! The transport-agnostic protocol core: one node step, independent of the
+//! engine that drives it.
+//!
+//! Both execution backends — the in-process round engine ([`crate::runner`])
+//! and the multi-process socket daemon ([`crate::net`]) — advance a node the
+//! same way: derive the per-(node, round) randomness, hand the node its inbox
+//! and ROM through a [`RoundCtx`], convert a panicking step into a
+//! crash-stop, and collect the outbox plus freshly appended output events.
+//! This module owns that step, so the two backends cannot drift: a node
+//! driven over sockets produces bit-identical outputs to the same node inside
+//! the simulator, given the same seed and delivery order.
+//!
+//! [`NodeDriver`] is the step-in/step-out interface an engine consumes;
+//! [`ProcessDriver`] adapts any [`Process`] (the node programs in `core` /
+//! `pds` are already pure state machines) by owning its state, ROM, and
+//! output log.
+
+use crate::clock::TimeView;
+use crate::message::{Envelope, NodeId, OutboxEntry, OutputEvent, OutputLog};
+use crate::process::{Process, Rom, RoundCtx, SetupCtx};
+use proauth_primitives::sha256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives the deterministic per-(node, round) RNG — the paper's `r_{i,w}`,
+/// seeded outside corruptible node state. Every backend must use this exact
+/// derivation for results to be comparable across engines.
+pub fn round_rng(seed: u64, node: u32, round: u64, tag: &str) -> StdRng {
+    let digest = sha256::hash_parts(
+        "proauth/sim/rng",
+        &[
+            tag.as_bytes(),
+            &seed.to_be_bytes(),
+            &node.to_be_bytes(),
+            &round.to_be_bytes(),
+        ],
+    );
+    StdRng::from_seed(digest)
+}
+
+/// What one round step produced, beyond the outbox the caller supplied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Alerts among the events appended this round.
+    pub alerts: u64,
+    /// The step panicked: the partial round (events, outbox) was discarded
+    /// and the node must be treated as crash-stopped from this round on.
+    pub panicked: bool,
+}
+
+/// Executes one adversary-free setup round of `node` into `outbox`.
+///
+/// Shared by the simulator's setup loop and the daemon's setup barrier: same
+/// randomness derivation, same context construction. Setup is faithful by
+/// model (§2.1), so there is no panic conversion — a panicking setup is a
+/// programming error and propagates.
+#[allow(clippy::too_many_arguments)]
+pub fn step_setup<P: Process>(
+    seed: u64,
+    setup_round: u64,
+    me: NodeId,
+    n: usize,
+    node: &mut P,
+    rom: &mut Rom,
+    inbox: &[Envelope],
+    outbox: &mut Vec<OutboxEntry>,
+) {
+    let mut rng = round_rng(seed, me.0, setup_round, "setup");
+    let mut ctx = SetupCtx {
+        setup_round,
+        me,
+        n,
+        inbox,
+        rom,
+        rng: &mut rng,
+        outbox,
+    };
+    node.on_setup_round(&mut ctx);
+}
+
+/// Executes one post-setup round of `node` into `outbox`, appending events to
+/// `output`.
+///
+/// Semantics shared by every backend:
+///
+/// * randomness is `round_rng(seed, me, round, "round")`;
+/// * a panicking step is caught and reported instead of aborting the run —
+///   the node's partial round (output events, outbox) is discarded, as a
+///   crashed machine's un-sent messages would be;
+/// * alerts are counted incrementally over the events appended this round
+///   only (long runs stay linear in total events).
+#[allow(clippy::too_many_arguments)]
+pub fn step_round<P: Process>(
+    seed: u64,
+    time: TimeView,
+    me: NodeId,
+    n: usize,
+    node: &mut P,
+    rom: &Rom,
+    output: &mut OutputLog,
+    inbox: &[Envelope],
+    input: Option<&[u8]>,
+    outbox: &mut Vec<OutboxEntry>,
+) -> StepReport {
+    let mut rng = round_rng(seed, me.0, time.round, "round");
+    let out_start = output.len();
+    let panicked = {
+        let mut ctx = RoundCtx {
+            time,
+            me,
+            n,
+            inbox,
+            rom,
+            rng: &mut rng,
+            input,
+            outbox,
+            output,
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| node.on_round(&mut ctx)))
+            .is_err()
+    };
+    if panicked {
+        output.truncate(out_start);
+        outbox.clear();
+        return StepReport {
+            alerts: 0,
+            panicked: true,
+        };
+    }
+    let alerts = output[out_start..]
+        .iter()
+        .filter(|(_, e)| *e == OutputEvent::Alert)
+        .count() as u64;
+    StepReport {
+        alerts,
+        panicked: false,
+    }
+}
+
+/// The step-in/step-out interface an engine drives a node through.
+///
+/// An engine (in-process or socket daemon) owns delivery, pacing, and the
+/// adversary boundary; the driver owns everything node-local — program state,
+/// ROM, output log, randomness derivation. `setup_step` / `round_step` take
+/// the round's deliveries in and hand the node's transmissions out.
+pub trait NodeDriver {
+    /// This node's id.
+    fn id(&self) -> NodeId;
+
+    /// Executes one adversary-free setup round.
+    fn setup_step(&mut self, setup_round: u64, inbox: &[Envelope]) -> Vec<OutboxEntry>;
+
+    /// Executes one post-setup round.
+    fn round_step(
+        &mut self,
+        time: TimeView,
+        inbox: &[Envelope],
+        input: Option<&[u8]>,
+    ) -> (Vec<OutboxEntry>, StepReport);
+
+    /// The node's ROM (frozen after setup).
+    fn rom(&self) -> &Rom;
+
+    /// The node's full output log so far.
+    fn output(&self) -> &OutputLog;
+
+    /// Events appended since the previous call (for engines that stream the
+    /// output log incrementally, like the daemon's reporter connection).
+    fn drain_new_events(&mut self) -> Vec<(u64, OutputEvent)>;
+}
+
+/// Adapts any [`Process`] into a [`NodeDriver`] by owning its state, ROM,
+/// and output log.
+pub struct ProcessDriver<P> {
+    node: P,
+    me: NodeId,
+    n: usize,
+    seed: u64,
+    rom: Rom,
+    output: OutputLog,
+    /// Index into `output` up to which events have been drained.
+    drained: usize,
+}
+
+impl<P: Process> ProcessDriver<P> {
+    /// Wraps `node` as node `me` of an `n`-node network under `seed`.
+    pub fn new(node: P, me: NodeId, n: usize, seed: u64) -> Self {
+        ProcessDriver {
+            node,
+            me,
+            n,
+            seed,
+            rom: Rom::new(),
+            output: OutputLog::new(),
+            drained: 0,
+        }
+    }
+
+    /// The wrapped node (e.g. for state inspection in tests).
+    pub fn node(&self) -> &P {
+        &self.node
+    }
+
+    /// Consumes the driver, returning the node's ROM and output log.
+    pub fn into_parts(self) -> (Rom, OutputLog) {
+        (self.rom, self.output)
+    }
+}
+
+impl<P: Process> NodeDriver for ProcessDriver<P> {
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn setup_step(&mut self, setup_round: u64, inbox: &[Envelope]) -> Vec<OutboxEntry> {
+        let mut outbox = Vec::new();
+        step_setup(
+            self.seed,
+            setup_round,
+            self.me,
+            self.n,
+            &mut self.node,
+            &mut self.rom,
+            inbox,
+            &mut outbox,
+        );
+        outbox
+    }
+
+    fn round_step(
+        &mut self,
+        time: TimeView,
+        inbox: &[Envelope],
+        input: Option<&[u8]>,
+    ) -> (Vec<OutboxEntry>, StepReport) {
+        let mut outbox = Vec::new();
+        let report = step_round(
+            self.seed,
+            time,
+            self.me,
+            self.n,
+            &mut self.node,
+            &self.rom,
+            &mut self.output,
+            inbox,
+            input,
+            &mut outbox,
+        );
+        // A panicked step discarded its partial events; keep the drain
+        // cursor consistent with the truncated log.
+        self.drained = self.drained.min(self.output.len());
+        (outbox, report)
+    }
+
+    fn rom(&self) -> &Rom {
+        &self.rom
+    }
+
+    fn output(&self) -> &OutputLog {
+        &self.output
+    }
+
+    fn drain_new_events(&mut self) -> Vec<(u64, OutputEvent)> {
+        let new = self.output[self.drained..].to_vec();
+        self.drained = self.output.len();
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Schedule;
+    use std::any::Any;
+
+    struct Echo {
+        seen: u64,
+    }
+
+    impl Process for Echo {
+        fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>) {
+            if ctx.setup_round == 0 {
+                ctx.rom.write("tag", vec![ctx.me.0 as u8]);
+                ctx.send_all(vec![0x5e]);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            self.seen += ctx.inbox.len() as u64;
+            ctx.send_all(vec![ctx.time.round as u8]);
+            ctx.emit(OutputEvent::Custom(format!("r{}", ctx.time.round)));
+            if ctx.time.round == 3 {
+                panic!("boom");
+            }
+        }
+        fn state_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn process_driver_steps_and_streams() {
+        let sched = Schedule::new(10, 2, 2);
+        let mut d = ProcessDriver::new(Echo { seen: 0 }, NodeId(1), 3, 7);
+        let out = d.setup_step(0, &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fanout(), 2);
+        assert_eq!(d.rom().read("tag"), Some(&[1u8][..]));
+
+        let (out, rep) = d.round_step(TimeView::at(&sched, 0), &[], None);
+        assert!(!rep.panicked);
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.drain_new_events().len(), 1);
+        assert!(d.drain_new_events().is_empty());
+
+        // Round 3 panics: partial round discarded, reported as crash.
+        let (_, _) = d.round_step(TimeView::at(&sched, 1), &[], None);
+        let (out, rep) = d.round_step(TimeView::at(&sched, 3), &[], None);
+        assert!(rep.panicked);
+        assert!(out.is_empty());
+        // The panicked round's event was truncated away.
+        assert_eq!(d.drain_new_events().len(), 1); // round 1's event only
+    }
+
+    #[test]
+    fn driver_rng_matches_engine_rng() {
+        // The step functions must use the exact engine derivation; guard the
+        // tag strings against drift.
+        use rand::RngCore;
+        let mut a = round_rng(9, 2, 5, "round");
+        let mut b = round_rng(9, 2, 5, "round");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = round_rng(9, 2, 5, "setup");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

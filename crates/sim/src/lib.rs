@@ -28,7 +28,9 @@
 pub mod adversary;
 pub mod chaos;
 pub mod clock;
+pub mod driver;
 pub mod message;
+pub mod net;
 pub mod pool;
 pub mod process;
 pub mod reliability;
@@ -40,6 +42,7 @@ pub use proauth_telemetry as telemetry;
 
 pub use adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
 pub use chaos::{ChaosConfig, ChaosNet, FaultSchedule, PanicOn};
+pub use driver::{NodeDriver, ProcessDriver, StepReport};
 pub use clock::{Phase, Schedule, TimeView};
 pub use message::{Envelope, NodeId, OutputEvent, OutputLog, Payload};
 pub use pool::WorkerPool;

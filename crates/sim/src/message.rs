@@ -1,5 +1,6 @@
 //! Messages, node identifiers, and per-round outputs.
 
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
 use std::fmt;
 use std::sync::Arc;
 
@@ -157,6 +158,93 @@ pub enum OutputEvent {
 
 /// One node's timestamped output log.
 pub type OutputLog = Vec<(u64, OutputEvent)>;
+
+impl Encode for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u32()? {
+            0 => Err(WireError::InvalidTag(0)),
+            id => Ok(NodeId(id)),
+        }
+    }
+}
+
+// Canonical encoding of output events, so the daemon backend can stream a
+// node's output log over the wire and the collector can reassemble the exact
+// `OutputLog` the in-process engine would have produced.
+impl Encode for OutputEvent {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            OutputEvent::Compromised => w.put_u8(0),
+            OutputEvent::Recovered => w.put_u8(1),
+            OutputEvent::Alert => w.put_u8(2),
+            OutputEvent::SignRequested { msg, unit } => {
+                w.put_u8(3);
+                w.put_bytes(msg);
+                w.put_u64(*unit);
+            }
+            OutputEvent::Signed { msg, unit } => {
+                w.put_u8(4);
+                w.put_bytes(msg);
+                w.put_u64(*unit);
+            }
+            OutputEvent::Verified { msg } => {
+                w.put_u8(5);
+                w.put_bytes(msg);
+            }
+            OutputEvent::Accepted { from, msg } => {
+                w.put_u8(6);
+                from.encode(w);
+                w.put_bytes(msg);
+            }
+            OutputEvent::Sent { to, msg } => {
+                w.put_u8(7);
+                to.encode(w);
+                w.put_bytes(msg);
+            }
+            OutputEvent::Custom(s) => {
+                w.put_u8(8);
+                s.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for OutputEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => OutputEvent::Compromised,
+            1 => OutputEvent::Recovered,
+            2 => OutputEvent::Alert,
+            3 => OutputEvent::SignRequested {
+                msg: r.get_bytes()?,
+                unit: r.get_u64()?,
+            },
+            4 => OutputEvent::Signed {
+                msg: r.get_bytes()?,
+                unit: r.get_u64()?,
+            },
+            5 => OutputEvent::Verified {
+                msg: r.get_bytes()?,
+            },
+            6 => OutputEvent::Accepted {
+                from: NodeId::decode(r)?,
+                msg: r.get_bytes()?,
+            },
+            7 => OutputEvent::Sent {
+                to: NodeId::decode(r)?,
+                msg: r.get_bytes()?,
+            },
+            8 => OutputEvent::Custom(String::decode(r)?),
+            t => return Err(WireError::InvalidTag(t)),
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {

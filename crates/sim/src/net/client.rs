@@ -1,0 +1,287 @@
+//! The collector: gathers each node process's streamed output events and
+//! end-of-run report into one place, mirroring the surface the in-process
+//! engine's `SimResult` provides — per-node output logs, per-node ROMs, and
+//! aggregate statistics — plus the daemon-only *goodput* figure (accepted
+//! application payload bytes per wall-clock second).
+
+use super::msg::{NetMsg, NodeReport};
+use super::peer::{AddrPlan, Conn, NetListener};
+use super::poll;
+use crate::message::{NodeId, OutputEvent, OutputLog};
+use crate::process::Rom;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::{Duration, Instant};
+
+/// Collector deployment parameters.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Number of node processes expected to report.
+    pub n: usize,
+    /// Address plan (the collector listens at `plan.collector()`).
+    pub plan: AddrPlan,
+    /// Scenario digest; Hellos with a different `run_id` are rejected.
+    pub run_id: u64,
+    /// Exit with an error if nothing arrives for this long.
+    pub idle_timeout_ms: u64,
+}
+
+/// Everything a finished daemon deployment produced, assembled from the
+/// per-node streams. The shape deliberately parallels `SimResult`: output
+/// logs and ROMs indexed by node, so outcome comparison against an
+/// in-process run is direct equality.
+#[derive(Debug, Clone)]
+pub struct DaemonOutcome {
+    /// Per-node output logs, rebuilt from the event stream (index = node idx).
+    pub outputs: Vec<OutputLog>,
+    /// Per-node ROMs as frozen at end of setup, from the final reports.
+    pub roms: Vec<Rom>,
+    /// Per-node final reports.
+    pub reports: Vec<NodeReport>,
+    /// Wall-clock duration from first Hello to last Bye.
+    pub wall: Duration,
+}
+
+impl DaemonOutcome {
+    /// Total application payload bytes accepted as authentic across all
+    /// nodes (the numerator of goodput).
+    pub fn accepted_bytes(&self) -> u64 {
+        self.outputs
+            .iter()
+            .flatten()
+            .map(|(_, e)| match e {
+                OutputEvent::Accepted { msg, .. } => msg.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Authenticated goodput: accepted payload bytes per wall-clock second.
+    pub fn goodput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.accepted_bytes() as f64 / secs
+    }
+
+    /// Count of events matching `f` across all nodes.
+    pub fn count_events(&self, f: impl Fn(&OutputEvent) -> bool) -> u64 {
+        self.outputs
+            .iter()
+            .flatten()
+            .filter(|(_, e)| f(e))
+            .count() as u64
+    }
+
+    /// Rounds per wall-clock second, taken from the maximum reported round
+    /// count (all nodes execute the same schedule).
+    pub fn rounds_per_sec(&self) -> f64 {
+        let rounds = self.reports.iter().map(|r| r.rounds).max().unwrap_or(0);
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        rounds as f64 / secs
+    }
+}
+
+/// The collector process body.
+pub struct Collector {
+    cfg: CollectorConfig,
+    listener: NetListener,
+    conns: Vec<Option<Conn>>,
+    limbo: Vec<Conn>,
+    outputs: Vec<OutputLog>,
+    reports: Vec<Option<NodeReport>>,
+    done: Vec<bool>,
+}
+
+impl Collector {
+    /// Binds the collector endpoint. Bind *before* launching nodes so their
+    /// report dials never race it.
+    pub fn bind(cfg: CollectorConfig) -> io::Result<Self> {
+        let listener = NetListener::bind(&cfg.plan.collector())?;
+        let n = cfg.n;
+        Ok(Collector {
+            cfg,
+            listener,
+            conns: (0..n).map(|_| None).collect(),
+            limbo: Vec::new(),
+            outputs: vec![Vec::new(); n],
+            reports: vec![None; n],
+            done: vec![false; n],
+        })
+    }
+
+    /// Gathers until every node sent its report and Bye (or the idle timeout
+    /// hits). Returns the assembled outcome.
+    pub fn run(mut self) -> io::Result<DaemonOutcome> {
+        let idle = Duration::from_millis(self.cfg.idle_timeout_ms);
+        let start = Instant::now();
+        let mut last_traffic = Instant::now();
+        while !self.done.iter().all(|&d| d) {
+            if last_traffic.elapsed() > idle {
+                let missing: Vec<usize> = self
+                    .done
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| !d)
+                    .map(|(i, _)| i + 1)
+                    .collect();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("collector idle {}ms; nodes missing: {missing:?}", self.cfg.idle_timeout_ms),
+                ));
+            }
+            if self.pump()? {
+                last_traffic = Instant::now();
+            }
+        }
+        let wall = start.elapsed();
+        let roms = self
+            .reports
+            .iter()
+            .map(|r| match r {
+                Some(rep) => Rom::from_entries(
+                    rep.rom_keys
+                        .iter()
+                        .cloned()
+                        .zip(rep.rom_values.iter().cloned()),
+                ),
+                None => Rom::new(),
+            })
+            .collect();
+        Ok(DaemonOutcome {
+            outputs: self.outputs,
+            roms,
+            reports: self
+                .reports
+                .into_iter()
+                .map(Option::unwrap_or_default)
+                .collect(),
+            wall,
+        })
+    }
+
+    /// One poll iteration; returns whether any traffic moved.
+    fn pump(&mut self) -> io::Result<bool> {
+        let mut fds: Vec<(RawFd, bool)> = Vec::new();
+        enum Slot {
+            Node(usize),
+            Limbo,
+            Listener,
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        for (idx, conn) in self.conns.iter().enumerate() {
+            if let Some(c) = conn {
+                if !c.closed {
+                    fds.push((c.raw_fd(), false));
+                    slots.push(Slot::Node(idx));
+                }
+            }
+        }
+        for (k, c) in self.limbo.iter().enumerate() {
+            if !c.closed {
+                fds.push((c.raw_fd(), false));
+                slots.push(Slot::Limbo);
+                let _ = k;
+            }
+        }
+        fds.push((self.listener.raw_fd(), false));
+        slots.push(Slot::Listener);
+
+        let ready = poll::poll(&fds, Some(50))?;
+        let mut moved = false;
+        let mut inbound: Vec<(usize, NetMsg)> = Vec::new();
+        for (slot, r) in slots.iter().zip(&ready) {
+            match slot {
+                Slot::Node(idx) => {
+                    let conn = self.conns[*idx].as_mut().expect("slot maps live conn");
+                    if r.readable || r.hangup {
+                        for m in conn.recv() {
+                            inbound.push((*idx, m));
+                        }
+                        // EOF after the report is a normal departure.
+                        if conn.closed && self.reports[*idx].is_some() {
+                            self.done[*idx] = true;
+                        }
+                    }
+                }
+                Slot::Limbo => {}
+                Slot::Listener => {
+                    if r.readable {
+                        while let Some(stream) = self.listener.accept()? {
+                            self.limbo.push(Conn::new(stream));
+                            moved = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.adopt_identified();
+        for (idx, msg) in inbound {
+            moved = true;
+            self.ingest(idx, msg);
+        }
+        Ok(moved)
+    }
+
+    /// Claims limbo connections whose Hello arrived.
+    fn adopt_identified(&mut self) {
+        let mut k = 0;
+        while k < self.limbo.len() {
+            let msgs = self.limbo[k].recv();
+            let mut hello_from: Option<u32> = None;
+            let mut rest: Vec<NetMsg> = Vec::new();
+            for m in msgs {
+                match m {
+                    NetMsg::Hello { node, run_id } => {
+                        if run_id == self.cfg.run_id && node >= 1 && node as usize <= self.cfg.n {
+                            hello_from = Some(node);
+                        }
+                    }
+                    other => rest.push(other),
+                }
+            }
+            if let Some(node) = hello_from {
+                let conn = self.limbo.remove(k);
+                let idx = NodeId(node).idx();
+                self.conns[idx] = Some(conn);
+                for m in rest {
+                    self.ingest(idx, m);
+                }
+            } else {
+                if self.limbo[k].closed {
+                    self.limbo.remove(k);
+                    continue;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// Consumes one message from the node at `idx`.
+    fn ingest(&mut self, idx: usize, msg: NetMsg) {
+        match msg {
+            NetMsg::Event { node, round, event } => {
+                // Trust the connection's identity over the frame's claim.
+                let _ = node;
+                self.outputs[idx].push((round, event));
+            }
+            NetMsg::Report(report) => {
+                self.reports[idx] = Some(report);
+            }
+            NetMsg::Bye { .. } => {
+                self.done[idx] = true;
+            }
+            // Protocol traffic never reaches the collector.
+            _ => {}
+        }
+    }
+}
+
+/// Convenience: bind and run in one call.
+pub fn collect(cfg: CollectorConfig) -> io::Result<DaemonOutcome> {
+    Collector::bind(cfg)?.run()
+}

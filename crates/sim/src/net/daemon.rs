@@ -1,0 +1,731 @@
+//! The multi-process engine backend: one OS process per node, speaking
+//! [`NetMsg`] frames over TCP or Unix sockets.
+//!
+//! Execution mirrors the in-process engine's semantics exactly:
+//!
+//! * **setup** uses hard barriers (every peer's [`NetMsg::SetupMark`] must
+//!   arrive) — the set-up phase is adversary-free and faithful by model, and
+//!   stream FIFO ordering guarantees a mark implies its round's messages;
+//! * **rounds** use soft barriers with wall-clock pacing on the Fig-1
+//!   schedule: a node advances when every live peer's [`NetMsg::RoundMark`]
+//!   has arrived (but not before `min_round_ms`), or when `round_ms`
+//!   expires — so faithful runs go at network speed while chaos and
+//!   partition runs stay bounded;
+//! * **inbox order** reproduces the simulator's merge: deliveries sorted by
+//!   `(round, sender, seq)` equal "senders in `NodeId` order, each sender's
+//!   outbox in send order", which is why a faithful daemon run is
+//!   bit-identical to `run_ul` under the same seed;
+//! * frames that miss their nominal round (adversary delay, pacing slip)
+//!   deliver in a later round — exactly the UL adversary's prerogative.
+
+use super::msg::{NetMsg, NodeReport};
+use super::peer::{AddrPlan, Conn, NetListener, NetStream};
+use super::poll;
+use crate::clock::{Schedule, TimeView};
+use crate::driver::NodeDriver;
+use crate::message::{Envelope, NodeId};
+use std::collections::BTreeMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::{Duration, Instant};
+
+/// Deployment parameters of one node process.
+#[derive(Debug, Clone)]
+pub struct NodeNetConfig {
+    /// This node.
+    pub me: NodeId,
+    /// Network size.
+    pub n: usize,
+    /// Master seed (must match every peer's).
+    pub seed: u64,
+    /// Address plan shared by the whole deployment.
+    pub plan: AddrPlan,
+    /// Route all protocol traffic through the chaos proxy instead of a full
+    /// mesh.
+    pub via_proxy: bool,
+    /// Dial the collector and stream events/report to it.
+    pub report: bool,
+    /// Round/unit layout (Fig. 1).
+    pub schedule: Schedule,
+    /// Adversary-free setup rounds.
+    pub setup_rounds: u64,
+    /// Post-setup rounds to execute.
+    pub total_rounds: u64,
+    /// Hard wall-clock deadline per round, ms. Rounds never take longer.
+    pub round_ms: u64,
+    /// Pacing floor per round, ms (0 = advance as soon as marks allow).
+    pub min_round_ms: u64,
+    /// Budget for connection establishment and setup barriers, ms.
+    pub connect_timeout_ms: u64,
+    /// Scenario digest; every process of a deployment must agree.
+    pub run_id: u64,
+}
+
+impl NodeNetConfig {
+    /// A default deployment config for node `me` of `n` under `plan`.
+    pub fn new(me: NodeId, n: usize, plan: AddrPlan, schedule: Schedule) -> Self {
+        NodeNetConfig {
+            me,
+            n,
+            seed: 0,
+            plan,
+            via_proxy: false,
+            report: false,
+            schedule,
+            setup_rounds: 8,
+            total_rounds: schedule.unit_rounds * 2,
+            round_ms: 250,
+            min_round_ms: 0,
+            connect_timeout_ms: 30_000,
+            run_id: 0,
+        }
+    }
+}
+
+/// Protocol traffic buffered by the round it was sent in.
+#[derive(Default)]
+struct RoundBuffer {
+    /// `(round, from, seq, payload)` entries not yet delivered.
+    msgs: BTreeMap<u64, Vec<(NodeId, u32, Vec<u8>)>>,
+    /// Received marks per round.
+    marks: BTreeMap<u64, Vec<bool>>,
+}
+
+/// The peer fabric: a full mesh of per-peer connections, or one connection
+/// to the routing (chaos) proxy.
+enum Fabric {
+    Mesh {
+        /// Connection per node index; `me`'s slot stays `None`.
+        conns: Vec<Option<Conn>>,
+        listener: NetListener,
+        /// Accepted but not yet identified (no Hello read) connections.
+        limbo: Vec<Conn>,
+    },
+    Proxy { conn: Conn },
+}
+
+/// One node process's engine loop. Drives a [`NodeDriver`] from sockets.
+pub struct NodeLoop<'d> {
+    cfg: NodeNetConfig,
+    driver: &'d mut dyn NodeDriver,
+    fabric: Fabric,
+    collector: Option<Conn>,
+    buf: RoundBuffer,
+    setup_msgs: BTreeMap<u64, Vec<(NodeId, u32, Vec<u8>)>>,
+    setup_marks: BTreeMap<u64, Vec<bool>>,
+    /// Peers that sent Bye or whose connection died and could not be
+    /// re-established; their marks are considered satisfied.
+    departed: Vec<bool>,
+    /// Last reconnect attempt per peer (rate-limits redials).
+    last_redial: Vec<Option<Instant>>,
+    report: NodeReport,
+}
+
+impl<'d> NodeLoop<'d> {
+    /// Establishes the fabric (dial low peers, accept high peers — or dial
+    /// the proxy) and the collector connection.
+    pub fn connect(cfg: NodeNetConfig, driver: &'d mut dyn NodeDriver) -> io::Result<Self> {
+        let deadline = Instant::now() + Duration::from_millis(cfg.connect_timeout_ms);
+        let hello = NetMsg::Hello {
+            node: cfg.me.0,
+            run_id: cfg.run_id,
+        };
+        let fabric = if cfg.via_proxy {
+            let mut conn = Conn::new(NetStream::dial(&cfg.plan.proxy(), deadline)?);
+            conn.send(&hello);
+            Fabric::Proxy { conn }
+        } else {
+            let listener = NetListener::bind(&cfg.plan.node(cfg.me.0))?;
+            let mut conns: Vec<Option<Conn>> = (0..cfg.n).map(|_| None).collect();
+            // Dial every lower-numbered peer (their listeners bind before any
+            // dial can matter; retry covers start-order races).
+            for j in 1..cfg.me.0 {
+                let mut conn = Conn::new(NetStream::dial(&cfg.plan.node(j), deadline)?);
+                conn.send(&hello);
+                conns[NodeId(j).idx()] = Some(conn);
+            }
+            Fabric::Mesh {
+                conns,
+                listener,
+                limbo: Vec::new(),
+            }
+        };
+        let collector = if cfg.report {
+            let mut conn = Conn::new(NetStream::dial(&cfg.plan.collector(), deadline)?);
+            conn.send(&hello);
+            Some(conn)
+        } else {
+            None
+        };
+        let n = cfg.n;
+        let me = cfg.me.0;
+        let mut this = NodeLoop {
+            cfg,
+            driver,
+            fabric,
+            collector,
+            buf: RoundBuffer::default(),
+            setup_msgs: BTreeMap::new(),
+            setup_marks: BTreeMap::new(),
+            departed: vec![false; n],
+            last_redial: vec![None; n],
+            report: NodeReport {
+                node: me,
+                ..NodeReport::default()
+            },
+        };
+        // Mesh: wait for every higher-numbered peer to dial in and identify.
+        if !this.cfg.via_proxy {
+            while !this.mesh_complete() {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("node {}: peers did not all connect", this.cfg.me),
+                    ));
+                }
+                this.pump(Some(50))?;
+            }
+        }
+        Ok(this)
+    }
+
+    fn mesh_complete(&self) -> bool {
+        match &self.fabric {
+            Fabric::Mesh { conns, .. } => {
+                NodeId::all(self.cfg.n)
+                    .filter(|&j| j != self.cfg.me)
+                    .all(|j| conns[j.idx()].is_some())
+            }
+            Fabric::Proxy { .. } => true,
+        }
+    }
+
+    /// Sends `msg` toward node `to` (directly or via the proxy).
+    fn send_to(&mut self, to: NodeId, msg: &NetMsg) {
+        match &mut self.fabric {
+            Fabric::Mesh { conns, .. } => {
+                if let Some(conn) = conns[to.idx()].as_mut() {
+                    conn.send(msg);
+                }
+            }
+            Fabric::Proxy { conn } => conn.send(msg),
+        }
+    }
+
+    /// Sends a barrier mark to every peer. Through the proxy one frame
+    /// suffices (the proxy fans marks out); a mesh sends one per connection.
+    fn broadcast(&mut self, msg: &NetMsg) {
+        match &mut self.fabric {
+            Fabric::Mesh { conns, .. } => {
+                for conn in conns.iter_mut().flatten() {
+                    conn.send(msg);
+                }
+            }
+            Fabric::Proxy { conn } => conn.send(msg),
+        }
+    }
+
+    /// One poll iteration: flush pending writes, accept/identify inbound
+    /// connections, read and dispatch every available message.
+    fn pump(&mut self, timeout_ms: Option<u64>) -> io::Result<()> {
+        // Build the poll set: (fd, want_write) for every live descriptor.
+        let mut fds: Vec<(RawFd, bool)> = Vec::new();
+        enum Slot {
+            Peer(usize),
+            Limbo,
+            Listener,
+            Collector,
+            ProxyConn,
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        match &self.fabric {
+            Fabric::Mesh {
+                conns,
+                listener,
+                limbo,
+            } => {
+                for (idx, conn) in conns.iter().enumerate() {
+                    if let Some(c) = conn {
+                        if !c.closed {
+                            fds.push((c.raw_fd(), c.wants_write()));
+                            slots.push(Slot::Peer(idx));
+                        }
+                    }
+                }
+                for (k, c) in limbo.iter().enumerate() {
+                    if !c.closed {
+                        fds.push((c.raw_fd(), false));
+                        slots.push(Slot::Limbo);
+                let _ = k;
+                    }
+                }
+                fds.push((listener.raw_fd(), false));
+                slots.push(Slot::Listener);
+            }
+            Fabric::Proxy { conn } => {
+                if !conn.closed {
+                    fds.push((conn.raw_fd(), conn.wants_write()));
+                    slots.push(Slot::ProxyConn);
+                }
+            }
+        }
+        if let Some(c) = &self.collector {
+            if !c.closed && c.wants_write() {
+                fds.push((c.raw_fd(), true));
+                slots.push(Slot::Collector);
+            }
+        }
+        let ready = poll::poll(&fds, timeout_ms)?;
+
+        let mut inbound: Vec<NetMsg> = Vec::new();
+        let mut accepted: Vec<Conn> = Vec::new();
+        match &mut self.fabric {
+            Fabric::Mesh {
+                conns,
+                listener,
+                limbo,
+            } => {
+                for (slot, r) in slots.iter().zip(&ready) {
+                    match slot {
+                        Slot::Peer(idx) => {
+                            let conn = conns[*idx].as_mut().expect("slot maps live conn");
+                            if r.writable {
+                                let _ = conn.flush();
+                            }
+                            if r.readable || r.hangup {
+                                inbound.extend(conn.recv());
+                            }
+                        }
+                        Slot::Limbo => {
+                            // Identification reads happen in
+                            // `adopt_identified` so the Hello is not consumed
+                            // here; the poll wake-up is all that's needed.
+                        }
+                        Slot::Listener => {
+                            if r.readable {
+                                while let Some(stream) = listener.accept()? {
+                                    accepted.push(Conn::new(stream));
+                                }
+                            }
+                        }
+                        Slot::Collector | Slot::ProxyConn => {}
+                    }
+                }
+                limbo.extend(accepted);
+            }
+            Fabric::Proxy { conn } => {
+                for (slot, r) in slots.iter().zip(&ready) {
+                    if matches!(slot, Slot::ProxyConn) {
+                        if r.writable {
+                            let _ = conn.flush();
+                        }
+                        if r.readable || r.hangup {
+                            inbound.extend(conn.recv());
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(c) = self.collector.as_mut() {
+            if !c.closed && c.wants_write() {
+                let _ = c.flush();
+            }
+        }
+        for msg in inbound {
+            self.dispatch(msg);
+        }
+        self.adopt_identified();
+        Ok(())
+    }
+
+    /// Moves limbo connections that have sent their Hello into their peer
+    /// slot (the Hello was consumed by `dispatch`, which records the claimed
+    /// id in `pending_adoptions` via the limbo scan below).
+    fn adopt_identified(&mut self) {
+        let mut to_dispatch: Vec<NetMsg> = Vec::new();
+        let mut adopted: Vec<usize> = Vec::new();
+        if let Fabric::Mesh { conns, limbo, .. } = &mut self.fabric {
+            // A limbo conn is adopted once its decoder yielded a Hello; since
+            // dispatch() cannot know which conn a message came from, Hello
+            // handling happens here: drain each limbo conn's already-decoded
+            // messages looking for the Hello, then re-queue the rest.
+            let mut k = 0;
+            while k < limbo.len() {
+                let msgs = limbo[k].recv();
+                let mut hello_from: Option<u32> = None;
+                let mut rest: Vec<NetMsg> = Vec::new();
+                for m in msgs {
+                    match m {
+                        NetMsg::Hello { node, run_id } => {
+                            if run_id == self.cfg.run_id && node >= 1 && node as usize <= self.cfg.n
+                            {
+                                hello_from = Some(node);
+                            }
+                        }
+                        other => rest.push(other),
+                    }
+                }
+                if let Some(node) = hello_from {
+                    let conn = limbo.remove(k);
+                    let idx = NodeId(node).idx();
+                    conns[idx] = Some(conn);
+                    adopted.push(idx);
+                    to_dispatch.extend(rest);
+                } else {
+                    if limbo[k].closed {
+                        limbo.remove(k);
+                        continue;
+                    }
+                    // No Hello yet; leave it in limbo (any pre-Hello traffic
+                    // from a conforming peer is impossible, drop `rest`).
+                    k += 1;
+                }
+            }
+        }
+        for idx in adopted {
+            self.departed[idx] = false;
+        }
+        for m in to_dispatch {
+            self.dispatch(m);
+        }
+    }
+
+    /// Routes one received message into the right buffer.
+    fn dispatch(&mut self, msg: NetMsg) {
+        let n = self.cfg.n;
+        match msg {
+            NetMsg::Hello { .. } => {} // mesh adoption handles these in limbo
+            NetMsg::Setup {
+                setup_round,
+                seq,
+                from,
+                to,
+                payload,
+            } => {
+                if to == self.cfg.me && from.idx() < n {
+                    self.setup_msgs
+                        .entry(setup_round)
+                        .or_default()
+                        .push((from, seq, payload));
+                }
+            }
+            NetMsg::SetupMark { setup_round, from } => {
+                if from.idx() < n {
+                    self.setup_marks
+                        .entry(setup_round)
+                        .or_insert_with(|| vec![false; n])[from.idx()] = true;
+                }
+            }
+            NetMsg::Round {
+                round,
+                seq,
+                from,
+                to,
+                payload,
+            } => {
+                if to == self.cfg.me && from.idx() < n {
+                    self.buf
+                        .msgs
+                        .entry(round)
+                        .or_default()
+                        .push((from, seq, payload));
+                }
+            }
+            NetMsg::RoundMark { round, from } => {
+                if from.idx() < n {
+                    self.buf.marks.entry(round).or_insert_with(|| vec![false; n])[from.idx()] =
+                        true;
+                }
+            }
+            NetMsg::Bye { node } => {
+                if node >= 1 && node as usize <= n {
+                    self.departed[NodeId(node).idx()] = true;
+                }
+            }
+            // Collector-bound traffic never reaches a node.
+            NetMsg::Event { .. } | NetMsg::Report(_) => {}
+        }
+    }
+
+    /// Whether every live peer's mark for `marks[round]` is present.
+    fn marks_complete(&self, marks: &BTreeMap<u64, Vec<bool>>, round: u64) -> bool {
+        let row = marks.get(&round);
+        NodeId::all(self.cfg.n)
+            .filter(|&j| j != self.cfg.me)
+            .all(|j| {
+                self.departed[j.idx()]
+                    || self.conn_dead(j)
+                    || row.map(|r| r[j.idx()]).unwrap_or(false)
+            })
+    }
+
+    /// A peer with no live connection cannot deliver a mark; treating it as
+    /// departed keeps a crashed peer from stalling every round to the
+    /// deadline.
+    fn conn_dead(&self, j: NodeId) -> bool {
+        match &self.fabric {
+            Fabric::Mesh { conns, .. } => {
+                conns[j.idx()].as_ref().map(|c| c.closed).unwrap_or(true)
+            }
+            Fabric::Proxy { conn } => conn.closed,
+        }
+    }
+
+    /// Attempts to re-establish closed dial-side connections (rate-limited;
+    /// the accept side heals via the listener instead).
+    fn maybe_reconnect(&mut self) {
+        let now = Instant::now();
+        let hello = NetMsg::Hello {
+            node: self.cfg.me.0,
+            run_id: self.cfg.run_id,
+        };
+        let redial_after = Duration::from_millis(500);
+        match &mut self.fabric {
+            Fabric::Mesh { conns, .. } => {
+                for j in 1..self.cfg.me.0 {
+                    let idx = NodeId(j).idx();
+                    let dead = conns[idx].as_ref().map(|c| c.closed).unwrap_or(true);
+                    if !dead || self.departed[idx] {
+                        continue;
+                    }
+                    let due = self.last_redial[idx]
+                        .map(|t| now.duration_since(t) >= redial_after)
+                        .unwrap_or(true);
+                    if !due {
+                        continue;
+                    }
+                    self.last_redial[idx] = Some(now);
+                    if let Ok(stream) = NetStream::dial(&self.cfg.plan.node(j), now) {
+                        let mut conn = Conn::new(stream);
+                        conn.send(&hello);
+                        conns[idx] = Some(conn);
+                    }
+                }
+            }
+            Fabric::Proxy { conn } => {
+                if conn.closed {
+                    let due = self.last_redial[0]
+                        .map(|t| now.duration_since(t) >= redial_after)
+                        .unwrap_or(true);
+                    if due {
+                        self.last_redial[0] = Some(now);
+                        if let Ok(stream) = NetStream::dial(&self.cfg.plan.proxy(), now) {
+                            let mut c = Conn::new(stream);
+                            c.send(&hello);
+                            *conn = c;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the full deployment: setup barriers, paced rounds, final report.
+    /// Returns this node's report (also sent to the collector when one is
+    /// connected).
+    pub fn run(mut self, mut input_fn: impl FnMut(NodeId, u64) -> Option<Vec<u8>>) -> io::Result<NodeReport> {
+        self.run_setup()?;
+        let total = self.cfg.total_rounds;
+        for round in 0..total {
+            self.run_round(round, &mut input_fn)?;
+        }
+        self.report.rounds = total;
+        let rom = self.driver.rom();
+        self.report.rom_keys = rom.entries().map(|(k, _)| k.to_owned()).collect();
+        self.report.rom_values = rom.entries().map(|(_, v)| v.to_vec()).collect();
+        if let Some(c) = self.collector.as_mut() {
+            c.send(&NetMsg::Report(self.report.clone()));
+            c.send(&NetMsg::Bye {
+                node: self.cfg.me.0,
+            });
+            c.flush_blocking(Duration::from_secs(5));
+        }
+        let bye = NetMsg::Bye {
+            node: self.cfg.me.0,
+        };
+        self.broadcast(&bye);
+        match &mut self.fabric {
+            Fabric::Mesh { conns, .. } => {
+                for conn in conns.iter_mut().flatten() {
+                    conn.flush_blocking(Duration::from_millis(500));
+                }
+            }
+            Fabric::Proxy { conn } => conn.flush_blocking(Duration::from_millis(500)),
+        }
+        Ok(self.report)
+    }
+
+    fn run_setup(&mut self) -> io::Result<()> {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.connect_timeout_ms);
+        let me = self.cfg.me;
+        for sr in 0..self.cfg.setup_rounds {
+            // Inbox: everything sent in the previous setup round, in the
+            // engine's merge order.
+            let mut entries = if sr == 0 {
+                Vec::new()
+            } else {
+                self.setup_msgs.remove(&(sr - 1)).unwrap_or_default()
+            };
+            entries.sort_by_key(|a| (a.0, a.1));
+            let inbox: Vec<Envelope> = entries
+                .into_iter()
+                .map(|(from, _, payload)| Envelope::new(from, me, payload))
+                .collect();
+            self.report.received += inbox.len() as u64;
+            let outbox = self.driver.setup_step(sr, &inbox);
+            let mut seq = 0u32;
+            for entry in &outbox {
+                for env in entry.envelopes() {
+                    self.report.sent += 1;
+                    self.report.bytes_sent += env.payload.len() as u64;
+                    let msg = NetMsg::Setup {
+                        setup_round: sr,
+                        seq,
+                        from: env.from,
+                        to: env.to,
+                        payload: env.payload.to_vec(),
+                    };
+                    self.send_to(env.to, &msg);
+                    seq += 1;
+                }
+            }
+            self.broadcast(&NetMsg::SetupMark {
+                setup_round: sr,
+                from: me,
+            });
+            // Hard barrier: setup is faithful, every peer must mark.
+            while !self.marks_complete_setup(sr) {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("node {me}: setup round {sr} barrier timed out"),
+                    ));
+                }
+                self.pump(Some(50))?;
+            }
+            self.setup_marks.remove(&sr);
+        }
+        Ok(())
+    }
+
+    fn marks_complete_setup(&self, sr: u64) -> bool {
+        let row = self.setup_marks.get(&sr);
+        NodeId::all(self.cfg.n)
+            .filter(|&j| j != self.cfg.me)
+            .all(|j| row.map(|r| r[j.idx()]).unwrap_or(false))
+    }
+
+    fn run_round(
+        &mut self,
+        round: u64,
+        input_fn: &mut impl FnMut(NodeId, u64) -> Option<Vec<u8>>,
+    ) -> io::Result<()> {
+        let me = self.cfg.me;
+        let round_start = Instant::now();
+        // Deliveries: everything sent in an earlier round and not yet
+        // delivered. Frames older than the immediately preceding round were
+        // delayed past their nominal delivery — count them.
+        let eligible: Vec<u64> = self
+            .buf
+            .msgs
+            .range(..round)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut entries: Vec<(u64, NodeId, u32, Vec<u8>)> = Vec::new();
+        for k in eligible {
+            if round > 0 && k < round - 1 {
+                self.report.late_frames +=
+                    self.buf.msgs.get(&k).map(|v| v.len() as u64).unwrap_or(0);
+            }
+            for (from, seq, payload) in self.buf.msgs.remove(&k).unwrap_or_default() {
+                entries.push((k, from, seq, payload));
+            }
+        }
+        entries.sort_by_key(|a| (a.0, a.1, a.2));
+        let inbox: Vec<Envelope> = entries
+            .into_iter()
+            .map(|(_, from, _, payload)| Envelope::new(from, me, payload))
+            .collect();
+        self.report.received += inbox.len() as u64;
+
+        let input = input_fn(me, round);
+        let time = TimeView::at(&self.cfg.schedule, round);
+        let (outbox, step) = self.driver.round_step(time, &inbox, input.as_deref());
+        if step.panicked {
+            return Err(io::Error::other(format!(
+                "node {me}: step panicked at round {round}"
+            )));
+        }
+        self.report.alerts += step.alerts;
+        let mut seq = 0u32;
+        for entry in &outbox {
+            for env in entry.envelopes() {
+                self.report.sent += 1;
+                self.report.bytes_sent += env.payload.len() as u64;
+                let msg = NetMsg::Round {
+                    round,
+                    seq,
+                    from: env.from,
+                    to: env.to,
+                    payload: env.payload.to_vec(),
+                };
+                self.send_to(env.to, &msg);
+                seq += 1;
+            }
+        }
+        self.broadcast(&NetMsg::RoundMark { round, from: me });
+
+        // Stream freshly emitted events to the collector.
+        if self.collector.is_some() {
+            let events = self.driver.drain_new_events();
+            if let Some(c) = self.collector.as_mut() {
+                for (r, event) in events {
+                    c.send(&NetMsg::Event {
+                        node: me,
+                        round: r,
+                        event,
+                    });
+                }
+            }
+        }
+
+        // Soft barrier: marks from every live peer, bounded by the deadline,
+        // floored by the pacing minimum.
+        let hard_deadline = round_start + Duration::from_millis(self.cfg.round_ms);
+        let floor = round_start + Duration::from_millis(self.cfg.min_round_ms);
+        loop {
+            let now = Instant::now();
+            if now >= hard_deadline {
+                if !self.marks_complete(&self.buf.marks, round) {
+                    self.report.mark_timeouts += 1;
+                }
+                break;
+            }
+            if self.marks_complete(&self.buf.marks, round) && now >= floor {
+                break;
+            }
+            self.maybe_reconnect();
+            let wait_until = if self.marks_complete(&self.buf.marks, round) {
+                floor
+            } else {
+                hard_deadline
+            };
+            let ms = wait_until
+                .saturating_duration_since(now)
+                .as_millis()
+                .clamp(1, 50) as u64;
+            self.pump(Some(ms))?;
+        }
+        self.buf.marks.remove(&round);
+        Ok(())
+    }
+}
+
+/// Convenience: connect and run in one call.
+pub fn run_node(
+    cfg: NodeNetConfig,
+    driver: &mut dyn NodeDriver,
+    input_fn: impl FnMut(NodeId, u64) -> Option<Vec<u8>>,
+) -> io::Result<NodeReport> {
+    NodeLoop::connect(cfg, driver)?.run(input_fn)
+}

@@ -1,0 +1,161 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! A frame is a `u32` big-endian length followed by that many payload bytes
+//! (a [`crate::net::msg::NetMsg`] in the canonical `primitives::wire`
+//! encoding). The length covers the payload only, and is capped at
+//! [`MAX_FRAME`]: a peer announcing more is malformed (or adversarial) and
+//! the connection must be dropped — the decoder reports it as an error and
+//! never allocates for it. Truncated input is simply "not yet a frame";
+//! garbage bytes surface either here (oversized length) or at the `NetMsg`
+//! decode layer (invalid tag / bad length), never as a panic.
+
+use std::fmt;
+
+/// Maximum frame payload size. Generous for protocol traffic (the largest
+/// legitimate frames are DISPERSE bundles well under a mebibyte) while
+/// keeping a garbage length prefix from looking like a 4 GiB allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Framing violation: the stream cannot be resynchronized and must be closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The announced payload length.
+        announced: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { announced } => {
+                write!(f, "frame length {announced} exceeds cap {MAX_FRAME}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame (length prefix + payload) onto the end of `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME`] — sending an unreceivable frame
+/// is a programming error, not a runtime condition.
+pub fn encode_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME, "frame payload exceeds MAX_FRAME");
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Incremental frame decoder: feed arbitrary byte chunks in, take complete
+/// frames out. Tolerates any chunking (one byte at a time, many frames per
+/// chunk, frames split across chunks).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted away lazily so a
+    /// burst of small frames does not memmove per frame.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact when the consumed prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes" (truncated input is never an
+    /// error); `Err` means the stream is malformed and must be closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Oversized`] when a length prefix exceeds
+    /// [`MAX_FRAME`].
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let header = &self.buf[self.pos..self.pos + 4];
+        let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized { announced: len });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_across_chunk_boundaries() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2; 1000], vec![3, 4, 5]];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            encode_frame(&mut stream, p);
+        }
+        // Feed one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(&[*b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn truncated_is_not_an_error() {
+        let mut stream = Vec::new();
+        encode_frame(&mut stream, &[9u8; 50]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..30]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.push(&stream[30..]);
+        assert_eq!(dec.next_frame().unwrap(), Some(vec![9u8; 50]));
+    }
+
+    #[test]
+    fn oversized_rejected_without_allocation() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+}

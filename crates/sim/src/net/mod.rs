@@ -1,0 +1,43 @@
+//! Real-network daemon mode: the socket-backed engine.
+//!
+//! The in-process round engine ([`crate::runner`]) and this module are two
+//! backends of the same protocol core ([`crate::driver`]). Here each node is
+//! a separate OS process speaking length-prefixed [`msg::NetMsg`] frames —
+//! canonical `primitives::wire` encoding — over TCP or Unix-domain sockets,
+//! multiplexed by a hand-rolled `poll(2)` loop ([`poll`], zero dependencies).
+//!
+//! Module map:
+//!
+//! * [`frame`] — length-prefixed frame codec with a streaming decoder;
+//! * [`msg`] — the wire vocabulary (`Hello`, `Setup`, `Round`, marks,
+//!   events, reports, `Bye`);
+//! * [`poll`] — the `poll(2)` readiness loop;
+//! * [`peer`] — address plans, listeners, and framed non-blocking
+//!   connections with reconnect support;
+//! * [`daemon`] — the node process main loop (setup barriers, paced rounds);
+//! * [`proxy`] — the chaos proxy: deterministic delay/duplicate/reorder/
+//!   partition on real packets;
+//! * [`client`] — the collector that reassembles a `SimResult`-shaped
+//!   outcome (output logs, ROMs, reports, goodput) from the streams.
+//!
+//! Determinism carries over from the simulator: protocol payloads are the
+//! same bytes, randomness is the same per-(node, round) derivation, and
+//! inbox order is reproduced by sorting deliveries on `(round, sender, seq)`
+//! — so a faithful daemon run reaches outcomes bit-identical to `run_ul`
+//! under the same seed, and a chaos run stays within the UL adversary's
+//! legal actions (delay, duplication, reordering).
+
+pub mod client;
+pub mod daemon;
+pub mod frame;
+pub mod msg;
+pub mod peer;
+pub mod poll;
+pub mod proxy;
+
+pub use client::{collect, Collector, CollectorConfig, DaemonOutcome};
+pub use daemon::{run_node, NodeLoop, NodeNetConfig};
+pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
+pub use msg::{NetMsg, NodeReport};
+pub use peer::{AddrPlan, Conn, Endpoint, NetListener, NetStream};
+pub use proxy::{run_proxy, ChaosNetSpec, Partition, Proxy, ProxyConfig, ProxyStats};

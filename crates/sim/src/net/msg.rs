@@ -1,0 +1,337 @@
+//! The daemon wire vocabulary: every frame payload is one [`NetMsg`] in the
+//! canonical `primitives::wire` encoding.
+//!
+//! Protocol traffic ([`NetMsg::Setup`], [`NetMsg::Round`]) carries the same
+//! opaque payload bytes the in-process engine moves between nodes, tagged
+//! with `(round, seq)` so a receiver can reproduce the engine's inbox order
+//! exactly: deliveries sorted by (round, sender, seq) match the simulator's
+//! "senders in `NodeId` order, each sender's outbox in send order" merge.
+//! Marks are the soft round barrier; events and reports stream each node's
+//! output log and final state to the collector.
+
+use crate::message::{NodeId, OutputEvent};
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// One frame's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetMsg {
+    /// First frame on every connection: who is dialing, and a digest of the
+    /// scenario configuration so mismatched invocations fail fast instead of
+    /// hanging on divergent schedules.
+    Hello {
+        /// The dialing node (0 = the chaos proxy, collector-bound dials use
+        /// their node id).
+        node: u32,
+        /// Scenario digest; peers reject a Hello whose `run_id` differs.
+        run_id: u64,
+    },
+    /// A setup-phase protocol message (faithful delivery by model).
+    Setup {
+        /// Setup round it was sent in.
+        setup_round: u64,
+        /// Index in the sender's expanded outbox this round (inbox ordering).
+        seq: u32,
+        /// Claimed sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Opaque protocol payload.
+        payload: Vec<u8>,
+    },
+    /// Setup barrier: the sender has transmitted all its `setup_round`
+    /// messages (TCP/Unix streams are FIFO, so the mark arriving implies the
+    /// messages arrived).
+    SetupMark {
+        /// Completed setup round.
+        setup_round: u64,
+        /// Sender.
+        from: NodeId,
+    },
+    /// A post-setup protocol message.
+    Round {
+        /// Round it was sent in (delivered the following round, or later if
+        /// the adversary delays it).
+        round: u64,
+        /// Index in the sender's expanded outbox this round.
+        seq: u32,
+        /// Claimed sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Opaque protocol payload.
+        payload: Vec<u8>,
+    },
+    /// Soft round barrier: the sender has transmitted all its round-`round`
+    /// messages. Receivers advance when every live peer's mark has arrived
+    /// or the wall-clock deadline expires, whichever is first.
+    RoundMark {
+        /// Completed round.
+        round: u64,
+        /// Sender.
+        from: NodeId,
+    },
+    /// One output-log event, streamed node → collector as it is emitted.
+    Event {
+        /// Emitting node.
+        node: NodeId,
+        /// Round the event was logged at.
+        round: u64,
+        /// The event.
+        event: OutputEvent,
+    },
+    /// A node's end-of-run report to the collector.
+    Report(NodeReport),
+    /// Clean-shutdown marker; the sender closes after this.
+    Bye {
+        /// Departing node.
+        node: u32,
+    },
+}
+
+/// A node's final accounting, shipped to the collector in one frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Reporting node.
+    pub node: u32,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Protocol envelopes sent.
+    pub sent: u64,
+    /// Protocol envelopes received.
+    pub received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Alerts emitted.
+    pub alerts: u64,
+    /// Frames that arrived after their nominal delivery round (adversary
+    /// delay, or pacing pressure) and were delivered in a later round.
+    pub late_frames: u64,
+    /// Rounds advanced on deadline expiry instead of a complete mark set.
+    pub mark_timeouts: u64,
+    /// The node's ROM as frozen at the end of setup (key-ordered).
+    pub rom_keys: Vec<String>,
+    /// ROM values, parallel to `rom_keys`.
+    pub rom_values: Vec<Vec<u8>>,
+}
+
+impl Encode for NodeReport {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.node);
+        w.put_u64(self.rounds);
+        w.put_u64(self.sent);
+        w.put_u64(self.received);
+        w.put_u64(self.bytes_sent);
+        w.put_u64(self.alerts);
+        w.put_u64(self.late_frames);
+        w.put_u64(self.mark_timeouts);
+        self.rom_keys.encode(w);
+        self.rom_values.encode(w);
+    }
+}
+
+impl Decode for NodeReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let report = NodeReport {
+            node: r.get_u32()?,
+            rounds: r.get_u64()?,
+            sent: r.get_u64()?,
+            received: r.get_u64()?,
+            bytes_sent: r.get_u64()?,
+            alerts: r.get_u64()?,
+            late_frames: r.get_u64()?,
+            mark_timeouts: r.get_u64()?,
+            rom_keys: Vec::<String>::decode(r)?,
+            rom_values: Vec::<Vec<u8>>::decode(r)?,
+        };
+        if report.rom_keys.len() != report.rom_values.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(report)
+    }
+}
+
+impl Encode for NetMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            NetMsg::Hello { node, run_id } => {
+                w.put_u8(1);
+                w.put_u32(*node);
+                w.put_u64(*run_id);
+            }
+            NetMsg::Setup {
+                setup_round,
+                seq,
+                from,
+                to,
+                payload,
+            } => {
+                w.put_u8(2);
+                w.put_u64(*setup_round);
+                w.put_u32(*seq);
+                from.encode(w);
+                to.encode(w);
+                w.put_bytes(payload);
+            }
+            NetMsg::SetupMark { setup_round, from } => {
+                w.put_u8(3);
+                w.put_u64(*setup_round);
+                from.encode(w);
+            }
+            NetMsg::Round {
+                round,
+                seq,
+                from,
+                to,
+                payload,
+            } => {
+                w.put_u8(4);
+                w.put_u64(*round);
+                w.put_u32(*seq);
+                from.encode(w);
+                to.encode(w);
+                w.put_bytes(payload);
+            }
+            NetMsg::RoundMark { round, from } => {
+                w.put_u8(5);
+                w.put_u64(*round);
+                from.encode(w);
+            }
+            NetMsg::Event { node, round, event } => {
+                w.put_u8(6);
+                node.encode(w);
+                w.put_u64(*round);
+                event.encode(w);
+            }
+            NetMsg::Report(report) => {
+                w.put_u8(7);
+                report.encode(w);
+            }
+            NetMsg::Bye { node } => {
+                w.put_u8(8);
+                w.put_u32(*node);
+            }
+        }
+    }
+}
+
+impl Decode for NetMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            1 => NetMsg::Hello {
+                node: r.get_u32()?,
+                run_id: r.get_u64()?,
+            },
+            2 => NetMsg::Setup {
+                setup_round: r.get_u64()?,
+                seq: r.get_u32()?,
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
+                payload: r.get_bytes()?,
+            },
+            3 => NetMsg::SetupMark {
+                setup_round: r.get_u64()?,
+                from: NodeId::decode(r)?,
+            },
+            4 => NetMsg::Round {
+                round: r.get_u64()?,
+                seq: r.get_u32()?,
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
+                payload: r.get_bytes()?,
+            },
+            5 => NetMsg::RoundMark {
+                round: r.get_u64()?,
+                from: NodeId::decode(r)?,
+            },
+            6 => NetMsg::Event {
+                node: NodeId::decode(r)?,
+                round: r.get_u64()?,
+                event: OutputEvent::decode(r)?,
+            },
+            7 => NetMsg::Report(NodeReport::decode(r)?),
+            8 => NetMsg::Bye { node: r.get_u32()? },
+            t => return Err(WireError::InvalidTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netmsg_roundtrip() {
+        let msgs = vec![
+            NetMsg::Hello { node: 3, run_id: 99 },
+            NetMsg::Setup {
+                setup_round: 2,
+                seq: 7,
+                from: NodeId(1),
+                to: NodeId(4),
+                payload: vec![1, 2, 3],
+            },
+            NetMsg::SetupMark {
+                setup_round: 2,
+                from: NodeId(1),
+            },
+            NetMsg::Round {
+                round: 40,
+                seq: 0,
+                from: NodeId(5),
+                to: NodeId(2),
+                payload: vec![],
+            },
+            NetMsg::RoundMark {
+                round: 40,
+                from: NodeId(5),
+            },
+            NetMsg::Event {
+                node: NodeId(2),
+                round: 41,
+                event: OutputEvent::Accepted {
+                    from: NodeId(5),
+                    msg: b"hb:5:40".to_vec(),
+                },
+            },
+            NetMsg::Report(NodeReport {
+                node: 2,
+                rounds: 72,
+                sent: 1000,
+                received: 990,
+                bytes_sent: 123456,
+                alerts: 0,
+                late_frames: 3,
+                mark_timeouts: 1,
+                rom_keys: vec!["v_cert".into()],
+                rom_values: vec![vec![9; 32]],
+            }),
+            NetMsg::Bye { node: 2 },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(NetMsg::from_bytes(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(NetMsg::from_bytes(&[]).is_err());
+        assert!(NetMsg::from_bytes(&[0]).is_err());
+        assert!(NetMsg::from_bytes(&[99, 1, 2]).is_err());
+        // Valid prefix + trailing garbage is rejected (strict decode).
+        let mut bytes = NetMsg::Bye { node: 1 }.to_bytes();
+        bytes.push(0);
+        assert!(NetMsg::from_bytes(&bytes).is_err());
+        // NodeId 0 is never valid on the wire.
+        let bad = NetMsg::SetupMark {
+            setup_round: 0,
+            from: NodeId(1),
+        }
+        .to_bytes()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| if i >= 9 { 0 } else { *b }) // zero the from field
+        .collect::<Vec<u8>>();
+        assert!(NetMsg::from_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! A minimal `poll(2)` readiness loop.
+//!
+//! The offline workspace has no `libc` crate and no async runtime, so the
+//! daemon's event loop is a direct FFI declaration of `poll(2)` (zero-dep,
+//! like the telemetry crate). One syscall per loop iteration multiplexes all
+//! peer sockets, the listener, and the wall-clock round deadline (via the
+//! poll timeout) — ample for the tens of descriptors a node or proxy holds.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable readiness (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (`POLLERR`, always polled).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (`POLLHUP`, always polled).
+pub const POLLHUP: i16 = 0x010;
+
+#[cfg(unix)]
+mod sys {
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        /// `poll(2)`. `nfds_t` is `c_ulong` on every Unix we target.
+        pub fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: core::ffi::c_int)
+            -> core::ffi::c_int;
+    }
+}
+
+/// One descriptor's readiness after a [`poll`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Readiness {
+    /// Data (or an incoming connection) can be read.
+    pub readable: bool,
+    /// The socket can accept more outgoing bytes.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored; drain then drop it.
+    pub hangup: bool,
+}
+
+/// Polls `fds` — `(descriptor, also_wait_writable)` pairs — for up to
+/// `timeout_ms` (`None` = block indefinitely). Returns one [`Readiness`] per
+/// input descriptor, in order. A zero-length `fds` with a timeout is a
+/// portable sleep.
+///
+/// # Errors
+///
+/// Propagates the OS error; `EINTR` is retried internally with a coarsely
+/// adjusted remaining timeout.
+#[cfg(unix)]
+pub fn poll(fds: &[(RawFd, bool)], timeout_ms: Option<u64>) -> io::Result<Vec<Readiness>> {
+    let mut pollfds: Vec<sys::PollFd> = fds
+        .iter()
+        .map(|&(fd, want_write)| sys::PollFd {
+            fd,
+            events: POLLIN | if want_write { POLLOUT } else { 0 },
+            revents: 0,
+        })
+        .collect();
+    let deadline = timeout_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    loop {
+        let timeout: core::ffi::c_int = match deadline {
+            None => -1,
+            Some(d) => {
+                let left = d.saturating_duration_since(std::time::Instant::now());
+                left.as_millis().min(i32::MAX as u128) as core::ffi::c_int
+            }
+        };
+        let rc = unsafe {
+            sys::poll(
+                pollfds.as_mut_ptr(),
+                pollfds.len() as core::ffi::c_ulong,
+                timeout,
+            )
+        };
+        if rc >= 0 {
+            return Ok(pollfds
+                .iter()
+                .map(|p| Readiness {
+                    readable: p.revents & POLLIN != 0,
+                    writable: p.revents & POLLOUT != 0,
+                    hangup: p.revents & (POLLERR | POLLHUP) != 0,
+                })
+                .collect());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Ok(vec![Readiness::default(); pollfds.len()]);
+            }
+        }
+    }
+}
+
+/// Non-Unix hosts have no daemon mode; the in-process engine remains the
+/// only backend there.
+#[cfg(not(unix))]
+pub fn poll(_fds: &[(RawFd, bool)], _timeout_ms: Option<u64>) -> io::Result<Vec<Readiness>> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "daemon mode requires poll(2)",
+    ))
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_reports_readable_pipe() {
+        let (mut tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+        // Nothing written yet: not readable within 10 ms.
+        let r = poll(&[(rx.as_raw_fd(), false)], Some(10)).unwrap();
+        assert!(!r[0].readable);
+        tx.write_all(b"x").unwrap();
+        let r = poll(&[(rx.as_raw_fd(), false)], Some(1000)).unwrap();
+        assert!(r[0].readable);
+        // Writable side of a fresh socket is immediately writable.
+        let r = poll(&[(tx.as_raw_fd(), true)], Some(10)).unwrap();
+        assert!(r[0].writable);
+    }
+
+    #[test]
+    fn empty_poll_is_a_sleep() {
+        let start = std::time::Instant::now();
+        let r = poll(&[], Some(20)).unwrap();
+        assert!(r.is_empty());
+        assert!(start.elapsed().as_millis() >= 15);
+    }
+}

@@ -44,6 +44,20 @@ impl Rom {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Iterates entries in key order (the map is ordered, so this is a
+    /// canonical enumeration — suitable for hashing or wire transfer).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Rebuilds a ROM from `(key, value)` pairs (the daemon's collector uses
+    /// this to reassemble the per-node ROMs a `SimResult` carries).
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, Vec<u8>)>) -> Self {
+        Rom {
+            entries: entries.into_iter().collect(),
+        }
+    }
 }
 
 /// Everything a process can see and do in one communication round.

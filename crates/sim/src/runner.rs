@@ -43,17 +43,15 @@
 
 use crate::adversary::{AlAdversary, BreakPlan, NetView, UlAdversary};
 use crate::clock::{Phase, Schedule, TimeView};
+use crate::driver;
 use crate::message::{Envelope, NodeId, OutboxEntry, OutputEvent, OutputLog};
 use crate::pool::{self, WorkerPool};
-use crate::process::{Process, Rom, RoundCtx, SetupCtx};
+use crate::process::{Process, Rom};
 use crate::reliability::{
     link_reliability, link_reliability_pooled, ClusterTrackers, OperationalRule,
     OperationalTracker, PairMatrix,
 };
-use proauth_primitives::sha256;
 use proauth_telemetry::{self as telemetry, PhaseTimer, Shard, Telemetry};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Simulation parameters shared by both models.
@@ -220,6 +218,76 @@ pub struct SimStats {
     pub crashed_rounds: Vec<u64>,
     /// Rounds each node spent non-operational (post-start).
     pub non_operational_rounds: Vec<u64>,
+    /// Per-unit Definition-7 scoreboard, one entry per (possibly partial)
+    /// time unit in round order. Flat runs carry only the global counts;
+    /// hierarchy runs add the per-cluster breakdown and the two-level
+    /// budget verdict.
+    pub unit_scores: Vec<UnitScore>,
+}
+
+/// Definition-7 accounting for one time unit: how many *distinct* nodes the
+/// adversary impaired (broke or crashed) during the unit, and how many lost
+/// s-operational status. In hierarchy runs the same counts are also scored
+/// per cluster, because the budget that matters there is two-level: each
+/// cluster's PDS tolerates `⌊(m_c−1)/2⌋` corrupt members, and the top-level
+/// PDS over representatives tolerates `⌊(k−1)/2⌋` majority-compromised
+/// clusters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitScore {
+    /// The unit index.
+    pub unit: u64,
+    /// Distinct nodes broken or crashed at any round of the unit.
+    pub impaired: u64,
+    /// Distinct nodes non-operational at any round of the unit.
+    pub non_operational: u64,
+    /// Per-cluster breakdown (empty in flat runs).
+    pub clusters: Vec<ClusterUnitScore>,
+}
+
+/// One cluster's share of a [`UnitScore`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterUnitScore {
+    /// Cluster size `m_c`.
+    pub size: u64,
+    /// Distinct members broken or crashed at any round of the unit.
+    pub impaired: u64,
+    /// Distinct members non-operational at any round of the unit.
+    pub non_operational: u64,
+}
+
+impl ClusterUnitScore {
+    /// Whether the impairment exceeded the cluster PDS's threshold
+    /// `⌊(m_c−1)/2⌋` — past it, the cluster's shares (and so its
+    /// representative) must be presumed adversarial for the unit.
+    pub fn majority_compromised(&self) -> bool {
+        self.impaired > self.size.saturating_sub(1) / 2
+    }
+}
+
+impl UnitScore {
+    /// Flat Definition-7 verdict: at most `t` distinct break-ins this unit.
+    pub fn within_flat_budget(&self, t: usize) -> bool {
+        self.impaired <= t as u64
+    }
+
+    /// Number of clusters whose local PDS threshold was exceeded.
+    pub fn majority_compromised_clusters(&self) -> u64 {
+        self.clusters
+            .iter()
+            .filter(|c| c.majority_compromised())
+            .count() as u64
+    }
+
+    /// Two-level Definition-7 verdict for hierarchy runs: a unit is within
+    /// budget when the clusters that blew their local threshold are few
+    /// enough for the top-level PDS over representatives to outvote them —
+    /// at most `⌊(k−1)/2⌋` of `k` clusters. (With no clusters configured
+    /// this degenerates to `true`; use [`UnitScore::within_flat_budget`]
+    /// for flat runs.)
+    pub fn within_two_level_budget(&self) -> bool {
+        let k = self.clusters.len() as u64;
+        self.majority_compromised_clusters() <= k.saturating_sub(1) / 2
+    }
 }
 
 /// The result of a simulation run: the paper's "global output" plus ground
@@ -254,20 +322,6 @@ impl SimResult {
             .iter()
             .any(|(round, ev)| *ev == OutputEvent::Alert && schedule.unit_of(*round) == unit)
     }
-}
-
-/// Derives the deterministic per-(node, round) RNG.
-fn round_rng(seed: u64, node: u32, round: u64, tag: &str) -> StdRng {
-    let digest = sha256::hash_parts(
-        "proauth/sim/rng",
-        &[
-            tag.as_bytes(),
-            &seed.to_be_bytes(),
-            &node.to_be_bytes(),
-            &round.to_be_bytes(),
-        ],
-    );
-    StdRng::from_seed(digest)
 }
 
 /// Per-round adversary interference, reconstructed by diffing the honest
@@ -349,8 +403,12 @@ struct NodeSlot<'a, P> {
     shard: Option<Shard>,
 }
 
-/// Executes one node's round into its slot. Free function so the serial path
-/// and the pool jobs share the exact same code.
+/// Executes one node's round into its slot. The protocol step itself —
+/// randomness derivation, context construction, panic→crash conversion,
+/// incremental alert accounting — is [`driver::step_round`], shared verbatim
+/// with the socket daemon; this wrapper only adds the engine's telemetry
+/// shard plumbing. Free function so the serial path and the pool jobs share
+/// the exact same code.
 fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlot<'_, P>) {
     // Install the slot's telemetry shard as this thread's recording scope,
     // saving whatever was there: the publisher thread participates in pool
@@ -363,43 +421,20 @@ fn exec_slot<P: Process>(seed: u64, time: TimeView, n: usize, slot: &mut NodeSlo
     } else {
         None
     };
-    let mut rng = round_rng(seed, slot.id.0, time.round, "round");
-    // Incremental alert accounting: only events appended *this round* are
-    // scanned, instead of re-filtering the node's whole output log (which
-    // made long runs quadratic in total events).
-    let out_start = slot.output.len();
-    // A panicking node step must not abort the run: it is caught here —
-    // shared by the serial path and the pool jobs, so both behave
-    // identically — and converted into a crash-stop by the engine. The
-    // node's partial round (output events, outbox) is discarded, as a
-    // crashed machine's un-sent messages would be.
-    let panicked = {
-        let mut ctx = RoundCtx {
-            time,
-            me: slot.id,
-            n,
-            inbox: &slot.inbox,
-            rom: slot.rom,
-            rng: &mut rng,
-            input: slot.input.as_deref(),
-            outbox: &mut slot.outbox,
-            output: slot.output,
-        };
-        let node = &mut *slot.node;
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| node.on_round(&mut ctx)))
-            .is_err()
-    };
-    if panicked {
-        slot.output.truncate(out_start);
-        slot.outbox.clear();
-        slot.alerts = 0;
-        slot.panicked = true;
-    } else {
-        slot.alerts = slot.output[out_start..]
-            .iter()
-            .filter(|(_, e)| *e == OutputEvent::Alert)
-            .count() as u64;
-    }
+    let report = driver::step_round(
+        seed,
+        time,
+        slot.id,
+        n,
+        slot.node,
+        slot.rom,
+        slot.output,
+        &slot.inbox,
+        slot.input.as_deref(),
+        &mut slot.outbox,
+    );
+    slot.alerts = report.alerts;
+    slot.panicked = report.panicked;
     if scoped {
         slot.shard = telemetry::install(prev);
     }
@@ -431,6 +466,11 @@ struct Engine<'f, P> {
     /// the first round the node is both released and s-operational again.
     /// Drives the recovery-latency histogram.
     impaired_since: Vec<Option<u64>>,
+    /// Distinct nodes impaired so far in the current unit (reset at unit
+    /// boundaries; feeds [`SimStats::unit_scores`]).
+    unit_impaired: Vec<bool>,
+    /// Distinct nodes non-operational so far in the current unit.
+    unit_non_op: Vec<bool>,
     tracker: GroundTruth,
     /// Precomputed per-cluster telemetry keys (empty unless clustered and
     /// telemetry is on — avoids per-round formatting).
@@ -496,6 +536,8 @@ impl<'f, P: Process + Send> Engine<'f, P> {
             crashed: vec![false; n],
             impaired_buf: Vec::with_capacity(n),
             impaired_since: vec![None; n],
+            unit_impaired: vec![false; n],
+            unit_non_op: vec![false; n],
             pending: vec![Vec::new(); n],
             outboxes: vec![Vec::new(); n],
             sent_buf: Vec::new(),
@@ -550,17 +592,16 @@ impl<'f, P: Process + Send> Engine<'f, P> {
             for id in NodeId::all(n) {
                 let inbox = std::mem::take(&mut self.pending[id.idx()]);
                 let mut outbox: Vec<OutboxEntry> = Vec::new();
-                let mut rng = round_rng(self.cfg.seed, id.0, sr, "setup");
-                let mut ctx = SetupCtx {
-                    setup_round: sr,
-                    me: id,
+                driver::step_setup(
+                    self.cfg.seed,
+                    sr,
+                    id,
                     n,
-                    inbox: &inbox,
-                    rom: &mut self.roms[id.idx()],
-                    rng: &mut rng,
-                    outbox: &mut outbox,
-                };
-                self.nodes[id.idx()].on_setup_round(&mut ctx);
+                    &mut self.nodes[id.idx()],
+                    &mut self.roms[id.idx()],
+                    &inbox,
+                    &mut outbox,
+                );
                 for entry in &outbox {
                     sent.extend(entry.envelopes());
                 }
@@ -867,6 +908,10 @@ impl<'f, P: Process + Send> Engine<'f, P> {
             }
             if !self.tracker.is_operational(id) {
                 self.stats.non_operational_rounds[id.idx()] += 1;
+                self.unit_non_op[id.idx()] = true;
+            }
+            if self.impaired_buf[id.idx()] {
+                self.unit_impaired[id.idx()] = true;
             }
             self.prev_impaired[id.idx()] = impaired;
             // Recovery latency: rounds from the start of a broken/crashed
@@ -940,6 +985,54 @@ impl<'f, P: Process + Send> Engine<'f, P> {
                 self.cfg.telemetry.unit_mark(time.unit);
             }
         }
+        if time.round_in_unit + 1 == self.cfg.schedule.unit_rounds
+            || round + 1 == self.cfg.total_rounds
+        {
+            self.close_unit_score(time.unit);
+        }
+    }
+
+    /// Closes the Definition-7 scoreboard for a finished (or final partial)
+    /// unit: distinct-node impairment counts, the per-cluster breakdown in
+    /// hierarchy runs, and the matching telemetry counters.
+    fn close_unit_score(&mut self, unit: u64) {
+        let mut score = UnitScore {
+            unit,
+            impaired: self.unit_impaired.iter().filter(|b| **b).count() as u64,
+            non_operational: self.unit_non_op.iter().filter(|b| **b).count() as u64,
+            clusters: Vec::new(),
+        };
+        if let Some(clusters) = &self.cfg.clusters {
+            score.clusters = clusters
+                .iter()
+                .map(|members| ClusterUnitScore {
+                    size: members.len() as u64,
+                    impaired: members
+                        .iter()
+                        .filter(|&&m| self.unit_impaired[(m - 1) as usize])
+                        .count() as u64,
+                    non_operational: members
+                        .iter()
+                        .filter(|&&m| self.unit_non_op[(m - 1) as usize])
+                        .count() as u64,
+                })
+                .collect();
+            if self.cfg.telemetry.is_on() {
+                self.cfg.telemetry.add(
+                    "engine/majority_compromised_cluster_units",
+                    score.majority_compromised_clusters(),
+                );
+                if !score.within_two_level_budget() {
+                    self.cfg.telemetry.add("engine/units_over_two_level_budget", 1);
+                }
+            }
+        }
+        if self.cfg.telemetry.is_on() {
+            self.cfg.telemetry.add("engine/unit_impaired_nodes", score.impaired);
+        }
+        self.stats.unit_scores.push(score);
+        self.unit_impaired.iter_mut().for_each(|b| *b = false);
+        self.unit_non_op.iter_mut().for_each(|b| *b = false);
     }
 
     fn finish(mut self, adversary_output: Vec<String>) -> SimResult {
@@ -1080,6 +1173,7 @@ pub fn run_ul_with_inputs<P: Process + Send, A: UlAdversary>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::process::{RoundCtx, SetupCtx};
     use crate::adversary::{FaithfulUl, PassiveAl};
     use std::any::Any;
 
@@ -1237,6 +1331,91 @@ mod tests {
         assert_eq!(recovered_round, 13, "rejoin at end of unit-1 refresh");
     }
 
+    /// Breaks a majority of cluster 0 (nodes 1,2 of [1,2,3]) for unit 0
+    /// only, then stays quiet.
+    struct ClusterBreaker;
+
+    impl UlAdversary for ClusterBreaker {
+        fn plan(&mut self, view: &NetView<'_>) -> BreakPlan {
+            match view.time.round {
+                2 => BreakPlan::break_into([NodeId(1), NodeId(2)]),
+                5 => BreakPlan::leave([NodeId(1), NodeId(2)]),
+                _ => BreakPlan::none(),
+            }
+        }
+        fn corrupt(&mut self, _node: NodeId, _state: &mut dyn Any, _time: &TimeView) {}
+        fn deliver(&mut self, sent: &[Envelope], _view: &NetView<'_>) -> Vec<Envelope> {
+            sent.to_vec()
+        }
+    }
+
+    #[test]
+    fn unit_scores_track_two_level_definition7_budget() {
+        let mut c = cfg(9);
+        c.total_rounds = 20; // two units of 10 rounds
+        c.clusters = Some(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        let result = run_ul(
+            c,
+            |_| Pinger {
+                received: 0,
+                rom_check: None,
+            },
+            &mut ClusterBreaker,
+        );
+        let scores = &result.stats.unit_scores;
+        assert_eq!(scores.len(), 2, "one score per unit");
+
+        // Unit 0: two distinct break-ins, both inside cluster 0 — that
+        // cluster's ⌊(3−1)/2⌋ = 1 threshold is exceeded, so it counts as
+        // majority-compromised; with k=3 clusters the top-level PDS
+        // tolerates 1, so the two-level budget still holds even though the
+        // flat t=1 budget is blown.
+        let u0 = &scores[0];
+        assert_eq!(u0.unit, 0);
+        assert_eq!(u0.impaired, 2);
+        assert_eq!(u0.clusters.len(), 3);
+        assert_eq!(u0.clusters[0].impaired, 2);
+        assert!(u0.clusters[0].majority_compromised());
+        assert_eq!(u0.clusters[1].impaired, 0);
+        assert_eq!(u0.clusters[2].impaired, 0);
+        assert_eq!(u0.majority_compromised_clusters(), 1);
+        assert!(u0.within_two_level_budget());
+        assert!(!u0.within_flat_budget(1));
+        // The broken pair also lost cluster-local operational status.
+        assert!(u0.clusters[0].non_operational >= 2);
+
+        // Unit 1: the adversary is quiet, so no impairment accrues.
+        let u1 = &scores[1];
+        assert_eq!(u1.unit, 1);
+        assert_eq!(u1.impaired, 0);
+        assert_eq!(u1.majority_compromised_clusters(), 0);
+        assert!(u1.within_two_level_budget());
+        assert!(u1.within_flat_budget(0));
+    }
+
+    #[test]
+    fn flat_unit_scores_stay_clean_on_faithful_runs() {
+        let mut c = cfg(4);
+        c.total_rounds = 25; // two full units plus a partial third
+        let result = run_ul(
+            c,
+            |_| Pinger {
+                received: 0,
+                rom_check: None,
+            },
+            &mut FaithfulUl,
+        );
+        let scores = &result.stats.unit_scores;
+        assert_eq!(scores.len(), 3, "partial final unit gets a score too");
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(s.unit, i as u64);
+            assert_eq!(s.impaired, 0);
+            assert_eq!(s.non_operational, 0);
+            assert!(s.clusters.is_empty(), "flat run has no cluster rows");
+            assert!(s.within_flat_budget(0));
+        }
+    }
+
     #[test]
     fn determinism_same_seed_same_result() {
         let mk = || {
@@ -1373,6 +1552,7 @@ mod tests {
 #[cfg(test)]
 mod parallel_tests {
     use super::*;
+    use crate::process::{RoundCtx, SetupCtx};
     use crate::adversary::FaithfulUl;
     use std::any::Any;
 

@@ -307,6 +307,97 @@ impl Workload {
     }
 }
 
+/// Closed-loop client workload: instead of an open-loop arrival rate, the
+/// client keeps a fixed **window** of sign operations outstanding and issues
+/// a new one only when a previous one completes. Offered load is therefore
+/// throttled by the service itself, which is what makes the latency-vs-load
+/// *knee* visible: sweeping the window from 1 upward, throughput climbs
+/// until the service saturates, after which extra outstanding work only adds
+/// queueing latency.
+///
+/// Completion feedback is pushed in by the caller each round (typically the
+/// live `pds/sign_completed` telemetry counter, which the engine merges at
+/// every round barrier in deterministic `NodeId` order — so the feedback
+/// value, and hence the issued stream, is identical across engines and
+/// worker counts). Sign operations are broadcast like the open-loop
+/// generator's, so every node sees the same batch.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopWorkload {
+    seed: u64,
+    window: usize,
+    msg_len: usize,
+    /// First physical round that may carry operations.
+    pub start_round: u64,
+    /// First round past the active window (`u64::MAX` = never stop).
+    pub stop_round: u64,
+    issued: u64,
+    /// The batch issued for the current round, cached so every node of the
+    /// same round sees identical bytes regardless of sampling order.
+    current: Option<(u64, Vec<u8>)>,
+}
+
+impl ClosedLoopWorkload {
+    /// A closed-loop stream keeping `window` sign ops outstanding.
+    pub fn new(seed: u64, window: usize) -> Self {
+        assert!(window > 0, "closed loop needs a positive window");
+        ClosedLoopWorkload {
+            seed,
+            window,
+            msg_len: 24,
+            start_round: 0,
+            stop_round: u64::MAX,
+            issued: 0,
+            current: None,
+        }
+    }
+
+    /// Total sign operations issued so far — the offered load actually
+    /// achieved, for the load axis of the knee curve.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The encoded input for `(node, round)` given `completed` operations
+    /// finished so far (as reported by the service's own counters). The
+    /// first call of each round computes the batch; later calls (other
+    /// nodes, same round) replay it. Rounds must be sampled in
+    /// non-decreasing order, which every engine guarantees.
+    pub fn input(&mut self, _node: NodeId, round: u64, completed: u64) -> Option<Vec<u8>> {
+        if round < self.start_round || round >= self.stop_round {
+            return None;
+        }
+        match &self.current {
+            Some((r, bytes)) if *r == round => {
+                return (!bytes.is_empty()).then(|| bytes.clone());
+            }
+            _ => {}
+        }
+        let outstanding = self.issued.saturating_sub(completed) as usize;
+        let fresh = self
+            .window
+            .saturating_sub(outstanding)
+            .min(MAX_OPS_PER_ROUND);
+        let mut rng = StdRng::seed_from_u64(mix(self.seed ^ mix(round.wrapping_add(1))));
+        let ops: Vec<ClientOp> = (0..fresh)
+            .map(|idx| {
+                let mut msg = vec![0u8; self.msg_len.max(12)];
+                msg[..8].copy_from_slice(&round.to_be_bytes());
+                msg[8..12].copy_from_slice(&(idx as u32).to_be_bytes());
+                rng.fill_bytes(&mut msg[12..]);
+                ClientOp::Sign { msg }
+            })
+            .collect();
+        self.issued += fresh as u64;
+        let bytes = if ops.is_empty() {
+            Vec::new()
+        } else {
+            ClientBatch { ops }.to_bytes()
+        };
+        self.current = Some((round, bytes.clone()));
+        (!bytes.is_empty()).then_some(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +520,49 @@ mod tests {
             5,
         );
         assert!(rare.offered_signs(40) > 0);
+    }
+
+    #[test]
+    fn closed_loop_respects_window_and_tracks_completions() {
+        let mut w = ClosedLoopWorkload::new(5, 4);
+        // Round 0, nothing completed: the full window is issued, broadcast
+        // identically to every node.
+        let b1 = w.input(NodeId(1), 0, 0);
+        let b2 = w.input(NodeId(2), 0, 0);
+        assert_eq!(b1, b2, "same round, same batch");
+        let ops = ClientBatch::from_bytes(&b1.expect("batch")).expect("decode").ops;
+        assert_eq!(ops.len(), 4);
+        assert_eq!(w.issued(), 4);
+
+        // Round 1, still nothing completed: the window is full, no new ops.
+        assert_eq!(w.input(NodeId(1), 1, 0), None);
+        assert_eq!(w.issued(), 4);
+
+        // Round 2, three completions: exactly three slots reopen.
+        let b = w.input(NodeId(1), 2, 3).expect("batch");
+        assert_eq!(ClientBatch::from_bytes(&b).expect("decode").ops.len(), 3);
+        assert_eq!(w.issued(), 7);
+
+        // Outstanding never exceeds the window under any feedback sequence.
+        let mut completed = 3;
+        for round in 3..40 {
+            if round % 3 == 0 {
+                completed += 2; // service drains slowly
+            }
+            let _ = w.input(NodeId(1), round, completed);
+            assert!(w.issued() - completed.min(w.issued()) <= 4);
+        }
+
+        // Identical feedback ⇒ identical stream (engine invariance).
+        let mut v1 = ClosedLoopWorkload::new(5, 4);
+        let mut v2 = ClosedLoopWorkload::new(5, 4);
+        for round in 0..20 {
+            let completed = round / 2;
+            assert_eq!(
+                v1.input(NodeId(1), round, completed),
+                v2.input(NodeId(1), round, completed)
+            );
+        }
     }
 
     #[test]

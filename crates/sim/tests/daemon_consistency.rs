@@ -1,0 +1,244 @@
+//! Cross-backend consistency: the multi-process daemon engine must reach the
+//! same protocol outcomes as the in-process round engine.
+//!
+//! Nodes here run as threads (one `NodeLoop` each) over real Unix-domain
+//! sockets — the same code path `proauth serve` uses, minus `fork`. The
+//! faithful test demands bit-identical output logs and ROMs against
+//! `run_ul`; the chaos test routes everything through the adversarial proxy
+//! and checks model-level invariants instead (setup faithfulness, zero
+//! forgeries, progress under delay/duplication/reordering).
+
+use proauth_sim::adversary::FaithfulUl;
+use proauth_sim::clock::Schedule;
+use proauth_sim::message::{NodeId, OutputEvent};
+use proauth_sim::net::{
+    collect, run_node, AddrPlan, ChaosNetSpec, CollectorConfig, DaemonOutcome, NodeNetConfig,
+    ProxyConfig, ProxyStats,
+};
+use proauth_sim::process::{Process, RoundCtx, SetupCtx};
+use proauth_sim::runner::{run_ul, SimConfig, SimResult};
+use proauth_sim::ProcessDriver;
+use rand::RngCore;
+use std::any::Any;
+use std::path::PathBuf;
+
+/// A heartbeat-style node: random setup key exchange into the ROM, then an
+/// authenticated-echo round loop that accepts peers' heartbeats.
+struct HbNode {
+    me: NodeId,
+}
+
+impl Process for HbNode {
+    fn on_setup_round(&mut self, ctx: &mut SetupCtx<'_>) {
+        match ctx.setup_round {
+            0 => {
+                let mut key = vec![0u8; 8];
+                ctx.rng.fill_bytes(&mut key);
+                ctx.rom.write("self_key", key.clone());
+                ctx.send_all(key);
+            }
+            1 => {
+                // Freeze the peer table: concatenation in NodeId order, which
+                // is exactly the engine's inbox order — equality of this ROM
+                // entry across backends proves setup delivery order matched.
+                let mut table = Vec::new();
+                for env in ctx.inbox {
+                    table.push(env.from.0 as u8);
+                    table.extend_from_slice(&env.payload);
+                }
+                ctx.rom.write("peer_table", table);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        for env in ctx.inbox {
+            if env.payload.starts_with(b"hb:") {
+                ctx.emit(OutputEvent::Accepted {
+                    from: env.from,
+                    msg: env.payload.to_vec(),
+                });
+            }
+        }
+        let hb = format!("hb:{}:{}", self.me.0, ctx.time.round).into_bytes();
+        ctx.send_all(hb);
+        if ctx.time.round_in_unit == 0 && ctx.time.unit > 0 {
+            ctx.emit(OutputEvent::Custom(format!("unit:{}", ctx.time.unit)));
+        }
+    }
+
+    fn state_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const SEED: u64 = 1234;
+const N: usize = 4;
+const SETUP_ROUNDS: u64 = 3;
+const TOTAL_ROUNDS: u64 = 16;
+
+fn schedule() -> Schedule {
+    Schedule::new(8, 2, 2)
+}
+
+fn engine_run(n: usize) -> SimResult {
+    let mut cfg = SimConfig::new(n, 1, schedule());
+    cfg.seed = SEED;
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = TOTAL_ROUNDS;
+    cfg.parallel = false;
+    run_ul(cfg, |id| HbNode { me: id }, &mut FaithfulUl)
+}
+
+fn temp_plan(tag: &str) -> (AddrPlan, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("proauth-daemon-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    (AddrPlan::Unix { dir: dir.clone() }, dir)
+}
+
+/// Runs `n` NodeLoops in threads (mesh or via a chaos proxy) plus a
+/// collector; returns the assembled outcome and proxy stats (if any).
+fn daemon_run(
+    n: usize,
+    plan: AddrPlan,
+    chaos: Option<ChaosNetSpec>,
+) -> (DaemonOutcome, Option<ProxyStats>) {
+    let via_proxy = chaos.is_some();
+    let collector_cfg = CollectorConfig {
+        n,
+        plan: plan.clone(),
+        run_id: SEED,
+        idle_timeout_ms: 30_000,
+    };
+    // Bind order matters: collector (and proxy) listen before any node dials.
+    let collector = std::thread::spawn({
+        let cfg = collector_cfg;
+        move || collect(cfg)
+    });
+    let proxy = chaos.map(|spec| {
+        let cfg = ProxyConfig {
+            n,
+            plan: plan.clone(),
+            spec,
+            run_id: SEED,
+            idle_timeout_ms: 30_000,
+        };
+        std::thread::spawn(move || proauth_sim::net::run_proxy(cfg))
+    });
+    // Give the listeners a moment to bind (dial retries cover the rest).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let nodes: Vec<_> = (1..=n as u32)
+        .map(|id| {
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let me = NodeId(id);
+                let mut cfg = NodeNetConfig::new(me, n, plan, schedule());
+                cfg.seed = SEED;
+                cfg.run_id = SEED;
+                cfg.via_proxy = via_proxy;
+                cfg.report = true;
+                cfg.setup_rounds = SETUP_ROUNDS;
+                cfg.total_rounds = TOTAL_ROUNDS;
+                cfg.round_ms = 2_000;
+                cfg.connect_timeout_ms = 30_000;
+                let mut driver = ProcessDriver::new(HbNode { me }, me, n, SEED);
+                run_node(cfg, &mut driver, |_, _| None)
+            })
+        })
+        .collect();
+    for t in nodes {
+        t.join().unwrap().expect("node loop failed");
+    }
+    let outcome = collector.join().unwrap().expect("collector failed");
+    let proxy_stats = proxy.map(|t| t.join().unwrap().expect("proxy failed"));
+    (outcome, proxy_stats)
+}
+
+#[test]
+fn faithful_daemon_matches_engine_bit_for_bit() {
+    let engine = engine_run(N);
+    let (plan, dir) = temp_plan("mesh");
+    let (outcome, _) = daemon_run(N, plan, None);
+    let _ = std::fs::remove_dir_all(dir);
+
+    // Identical ROMs: setup delivery (content and order) matched.
+    assert_eq!(outcome.roms, engine.roms, "ROMs must match engine setup");
+    // Identical output logs: every round's inbox matched, in order.
+    for (i, (got, want)) in outcome.outputs.iter().zip(&engine.outputs).enumerate() {
+        assert_eq!(got, want, "node {} output log diverged", i + 1);
+    }
+    // Reports are self-consistent.
+    for rep in &outcome.reports {
+        assert_eq!(rep.rounds, TOTAL_ROUNDS);
+        assert_eq!(rep.mark_timeouts, 0, "faithful run must never hit deadlines");
+        assert_eq!(rep.alerts, 0);
+    }
+    assert!(outcome.accepted_bytes() > 0);
+    assert!(outcome.goodput() > 0.0);
+}
+
+#[test]
+fn chaos_proxy_preserves_model_invariants() {
+    let n = 5;
+    let engine = engine_run(n);
+    let (plan, dir) = temp_plan("chaos");
+    let spec = ChaosNetSpec {
+        seed: 77,
+        delay_pct: 25,
+        delay_max: 2,
+        dup_pct: 10,
+        reorder_pct: 10,
+        partition: None,
+    };
+    let (outcome, proxy_stats) = daemon_run(n, plan, Some(spec));
+    let _ = std::fs::remove_dir_all(dir);
+    let stats = proxy_stats.expect("proxy ran");
+
+    // The proxy actually manipulated traffic.
+    assert!(stats.delayed > 0, "chaos must delay some frames: {stats:?}");
+    assert!(stats.duplicated > 0, "chaos must duplicate some frames: {stats:?}");
+    assert!(stats.forwarded > 0);
+
+    // Setup is adversary-free: ROMs still match the engine exactly.
+    assert_eq!(outcome.roms, engine.roms, "chaos must not touch setup");
+
+    // Zero forgeries: every accepted heartbeat is a message its claimed
+    // sender really sends (delay/dup/reorder can move or repeat heartbeats,
+    // never mint them).
+    for (i, log) in outcome.outputs.iter().enumerate() {
+        for (_, event) in log {
+            if let OutputEvent::Accepted { from, msg } = event {
+                let text = String::from_utf8(msg.clone()).expect("utf8 heartbeat");
+                let mut parts = text.splitn(3, ':');
+                assert_eq!(parts.next(), Some("hb"));
+                assert_eq!(
+                    parts.next(),
+                    Some(from.0.to_string().as_str()),
+                    "node {} accepted a forged heartbeat: {text}",
+                    i + 1
+                );
+                let round: u64 = parts.next().unwrap().parse().unwrap();
+                assert!(round < TOTAL_ROUNDS);
+            }
+        }
+    }
+
+    // Progress: despite the chaos, the run completed both units and accepted
+    // a substantial share of heartbeats (duplicates may push this above the
+    // faithful count; delays near the end may drop it below).
+    let accepted = outcome.count_events(|e| matches!(e, OutputEvent::Accepted { .. }));
+    let faithful_accepted = (n as u64) * (n as u64 - 1) * (TOTAL_ROUNDS - 1);
+    assert!(
+        accepted >= faithful_accepted / 2,
+        "accepted {accepted} of ~{faithful_accepted}"
+    );
+    let units = outcome.count_events(|e| matches!(e, OutputEvent::Custom(s) if s == "unit:1"));
+    assert_eq!(units, n as u64, "every node must reach unit 1");
+    for rep in &outcome.reports {
+        assert_eq!(rep.rounds, TOTAL_ROUNDS);
+    }
+    // Delayed frames were delivered late, and the receivers noticed.
+    let late: u64 = outcome.reports.iter().map(|r| r.late_frames).sum();
+    assert!(late > 0, "delays must surface as late frames");
+}

@@ -1,0 +1,177 @@
+//! Property tests for the daemon-mode frame codec: round-trips under
+//! arbitrary chunking, and robustness against truncated, oversized, and
+//! garbage input — the decoder must reject or wait, never panic, and must
+//! resume correctly after any partial delivery.
+
+use proauth_primitives::wire::{Decode, Encode};
+use proauth_sim::message::NodeId;
+use proauth_sim::net::{encode_frame, FrameDecoder, FrameError, NetMsg, MAX_FRAME};
+use proptest::prelude::*;
+
+/// Drains every complete frame currently buffered.
+fn drain(dec: &mut FrameDecoder) -> Result<Vec<Vec<u8>>, FrameError> {
+    let mut out = Vec::new();
+    while let Some(f) = dec.next_frame()? {
+        out.push(f);
+    }
+    Ok(out)
+}
+
+/// Splits `stream` into chunks at the given cut points (fractions of the
+/// stream length), so chunk boundaries land anywhere relative to frame
+/// boundaries.
+fn chunked(stream: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+    points.push(0);
+    points.push(stream.len());
+    points.sort_unstable();
+    points.dedup();
+    points
+        .windows(2)
+        .map(|w| stream[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+proptest! {
+    /// Any sequence of payloads, fed through any chunking, comes out intact
+    /// and in order.
+    #[test]
+    fn roundtrip_any_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300), 0..12),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            encode_frame(&mut stream, p);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in chunked(&stream, &cuts) {
+            dec.push(&chunk);
+            got.extend(drain(&mut dec).unwrap());
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A truncated stream is never an error: the decoder yields exactly the
+    /// complete frames and waits for the rest.
+    #[test]
+    fn truncation_yields_prefix_and_waits(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..100), 1..8),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new();
+        for p in &payloads {
+            encode_frame(&mut stream, p);
+            boundaries.push(stream.len());
+        }
+        let cut = cut_seed % stream.len(); // strictly truncated
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..cut]);
+        let got = drain(&mut dec).unwrap();
+        prop_assert_eq!(got.len(), complete, "exactly the fully-delivered frames");
+        prop_assert_eq!(&got[..], &payloads[..complete]);
+        // Feeding the remainder completes the run with nothing lost.
+        dec.push(&stream[cut..]);
+        let rest = drain(&mut dec).unwrap();
+        prop_assert_eq!(&rest[..], &payloads[complete..]);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// An oversized length prefix is rejected as an error — after any number
+    /// of valid frames, and regardless of what garbage follows it.
+    #[test]
+    fn oversized_always_rejected(
+        prefix in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50), 0..4),
+        announced in (MAX_FRAME as u64 + 1..=u32::MAX as u64),
+        tail in proptest::collection::vec(any::<u8>(), 0..50),
+    ) {
+        let mut stream = Vec::new();
+        for p in &prefix {
+            encode_frame(&mut stream, p);
+        }
+        stream.extend_from_slice(&(announced as u32).to_be_bytes());
+        stream.extend_from_slice(&tail);
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        // The valid prefix still decodes...
+        for p in &prefix {
+            let frame = dec.next_frame().unwrap();
+            prop_assert_eq!(frame.as_deref(), Some(&p[..]));
+        }
+        // ...then the poisoned header errors, and keeps erroring (the stream
+        // cannot be resynchronized).
+        prop_assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { announced: announced as usize })
+        );
+        prop_assert!(dec.next_frame().is_err());
+    }
+
+    /// Arbitrary garbage never panics the codec stack: framing either
+    /// yields "frames" (which then face the `NetMsg` decoder) or errors.
+    /// `NetMsg::decode` on those frames must reject or decode, never panic.
+    #[test]
+    fn garbage_never_panics(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..600), 0..8),
+    ) {
+        let mut dec = FrameDecoder::new();
+        'outer: for chunk in &chunks {
+            dec.push(chunk);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => {
+                        // Whatever framing produced, message decode must not
+                        // panic; Ok and Err are both acceptable.
+                        let _ = NetMsg::from_bytes(&frame);
+                    }
+                    Ok(None) => break,
+                    Err(_) => break 'outer, // poisoned: connection would close
+                }
+            }
+        }
+    }
+
+    /// Message-layer round-trip through the framing layer: a `NetMsg` framed
+    /// and unframed decodes to itself (spot-checking the variants daemon
+    /// traffic actually uses).
+    #[test]
+    fn netmsg_roundtrip_through_frames(
+        node in 1u32..200,
+        run_id in any::<u64>(),
+        round in any::<u64>(),
+        seq in any::<u32>(),
+        to in 1u32..200,
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let msgs = [
+            NetMsg::Hello { node, run_id },
+            NetMsg::Round {
+                round,
+                seq,
+                from: NodeId(node),
+                to: NodeId(to),
+                payload: payload.clone(),
+            },
+            NetMsg::RoundMark { round, from: NodeId(node) },
+            NetMsg::Bye { node },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_frame(&mut stream, &m.to_bytes());
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        for want in &msgs {
+            let frame = dec.next_frame().unwrap().expect("frame present");
+            prop_assert_eq!(&NetMsg::from_bytes(&frame).unwrap(), want);
+        }
+    }
+}

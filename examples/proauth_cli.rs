@@ -8,6 +8,30 @@
 //! cargo run -p proauth-examples --bin proauth -- [options]
 //! cargo run -p proauth-examples --bin proauth -- chaos [options]
 //! cargo run -p proauth-examples --bin proauth -- service [options]
+//! cargo run -p proauth-examples --bin proauth -- serve [options]
+//! cargo run -p proauth-examples --bin proauth -- proxy [options]
+//! cargo run -p proauth-examples --bin proauth -- client [options]
+//! cargo run -p proauth-examples --bin proauth -- daemon [options]
+//!
+//! Daemon mode runs the protocol over real sockets, one OS process per node:
+//!
+//!   serve   one node process: --node <id> --n <int> --addr <plan> plus the
+//!           scenario flags below; --via-proxy routes through the chaos
+//!           proxy, --report streams events to the collector,
+//!           --round-ms/--min-round-ms tune wall-clock round pacing
+//!   proxy   the adversarial router: --n --addr plus --delay <pct>
+//!           --delay-max <rounds> --dup <pct> --reorder <pct>
+//!           --partition <start:end:split> --chaos-seed <int>
+//!   client  the collector: --n --addr; prints the goodput report once all
+//!           nodes delivered their final reports
+//!   daemon  orchestrator: spawns n `serve` processes (plus a `proxy` when
+//!           any chaos flag is set), runs the collector inline, prints the
+//!           goodput report; --check verifies the outcome against the
+//!           in-process engine (bit-identical without chaos; certified
+//!           keys + zero forgeries + liveness under chaos)
+//!
+//!   --addr <plan>        unix:DIR (default) or tcp:HOST:PORT — node i
+//!                        listens at DIR/node-i.sock / PORT+i
 //!
 //! The `chaos` subcommand runs the degradation sweep instead of a single
 //! scenario: the standard intensity ramp (calm / sub-budget / over-budget)
@@ -106,11 +130,14 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> HashMap<String, String>
             usage()
         };
         match key {
-            "parallel" | "verbose" | "preprocess" | "clusters" => {
+            "parallel" | "verbose" | "preprocess" | "clusters" | "via-proxy" | "report"
+            | "check" | "closed-loop" => {
                 out.insert(key.to_owned(), "true".to_owned());
             }
             "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary"
-            | "trace" | "rate" | "window" | "mix" => {
+            | "trace" | "rate" | "window" | "mix" | "node" | "addr" | "round-ms"
+            | "min-round-ms" | "connect-timeout" | "idle-timeout" | "chaos-seed" | "delay"
+            | "delay-max" | "dup" | "reorder" | "partition" | "windows" => {
                 let Some(value) = args.next() else {
                     eprintln!("--{key} needs a value");
                     usage()
@@ -180,6 +207,164 @@ fn chaos_main(args: &HashMap<String, String>) -> ! {
 
 /// The `service` subcommand: drive the ALS layer with the open-loop client
 /// workload and report signing-as-a-service throughput and latency.
+/// `service --closed-loop`: sweep the outstanding-request window and print
+/// the latency-vs-offered-load curve. Open-loop runs show overload as
+/// unbounded queueing; the closed loop instead throttles the client to the
+/// service's own completion rate, so the sweep traces the classic curve —
+/// throughput climbs with the window until the service saturates (the
+/// *knee*), after which extra outstanding work only buys latency.
+fn service_closed_loop_main(args: &HashMap<String, String>) -> ! {
+    use proauth_pds::als::{AlsConfig, AlsPds};
+    use proauth_pds::als_node::AlsProcess;
+    use proauth_sim::adversary::PassiveAl;
+    use proauth_sim::clock::Schedule;
+    use proauth_sim::runner::run_al_with_inputs;
+    use proauth_sim::workload::ClosedLoopWorkload;
+    use std::collections::BTreeSet;
+
+    let n: usize = get(args, "n", 5);
+    let t: usize = get(args, "t", (n - 1) / 2);
+    let units: u64 = get(args, "units", 2);
+    let seed: u64 = get(args, "seed", 0);
+    let verify_window: usize = get(args, "window", 8);
+    let preprocess = args.contains_key("preprocess");
+    if n < 2 * t + 1 {
+        eprintln!("need n >= 2t+1 (got n={n}, t={t})");
+        exit(2);
+    }
+    let group_id = match args.get("group").map(String::as_str) {
+        None | Some("toy64") => GroupId::Toy64,
+        Some("s256") => GroupId::S256,
+        Some("s512") => GroupId::S512,
+        Some("s1024") => GroupId::S1024,
+        Some(other) => {
+            eprintln!("unknown group {other}");
+            usage()
+        }
+    };
+    let windows: Vec<usize> = match args.get("windows") {
+        None => vec![1, 2, 4, 8, 16, 32],
+        Some(spec) => {
+            let parsed: Result<Vec<usize>, _> =
+                spec.split(',').map(|w| w.trim().parse()).collect();
+            match parsed {
+                Ok(ws) if !ws.is_empty() && ws.iter().all(|&w| w > 0) => ws,
+                _ => {
+                    eprintln!("--windows wants a comma list of positive ints, e.g. 1,2,4,8");
+                    exit(2);
+                }
+            }
+        }
+    };
+    println!(
+        "proauth signing service, closed loop: n={n} t={t} units={units} group={group_id} \
+         preprocess={preprocess} seed={seed} windows={windows:?}\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut curve: Vec<(usize, f64, u64, u64)> = Vec::new(); // (window, sigs/round, p50, p95)
+    for &w in &windows {
+        let schedule = Schedule::new(20, 1, 8);
+        let mut cfg = SimConfig::new(n, t, schedule);
+        cfg.setup_rounds = 2;
+        cfg.total_rounds = schedule.unit_rounds * units;
+        cfg.seed = seed;
+        cfg.parallel = args.contains_key("parallel");
+        let telemetry = proauth_sim::Telemetry::enabled();
+        cfg.telemetry = telemetry.clone();
+        let total_rounds = cfg.total_rounds;
+
+        let mut wl = ClosedLoopWorkload::new(seed ^ 0xC105ED, w);
+        let group = Group::new(group_id);
+        let feedback = telemetry.clone();
+        let result = run_al_with_inputs(
+            cfg,
+            |id| {
+                let mut c = AlsConfig::new(group.clone(), n, t);
+                c.nonce_pool = if preprocess { 64 } else { 0 };
+                c.verify_window = verify_window;
+                AlsProcess::new(AlsPds::new(c, id))
+            },
+            &mut PassiveAl,
+            // Every node increments `pds/sign_completed` once per finished
+            // session, so the per-client completion count is the counter
+            // divided by n. The registry only changes at round barriers,
+            // which keeps the feedback (and so the issued stream)
+            // deterministic for any engine.
+            |id, round| {
+                let completed = feedback.counter("pds/sign_completed") / n as u64;
+                wl.input(id, round, completed)
+            },
+        );
+
+        let mut distinct: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
+        for node_log in &result.outputs {
+            for (_, ev) in node_log {
+                if let OutputEvent::Signed { msg, unit } = ev {
+                    distinct.insert((msg.clone(), *unit));
+                }
+            }
+        }
+        let signed = distinct.len();
+        let snap = telemetry.snapshot().expect("telemetry enabled");
+        let (p50, p95) = snap
+            .value_hists
+            .get("pds/sign_latency_rounds")
+            .map(|h| {
+                let q = h.quantiles_value(&[0.5, 0.95]);
+                (q[0], q[1])
+            })
+            .unwrap_or((0, 0));
+        let per_round = signed as f64 / total_rounds as f64;
+        curve.push((w, per_round, p50, p95));
+        rows.push(vec![
+            w.to_string(),
+            wl.issued().to_string(),
+            signed.to_string(),
+            format!("{per_round:.2}"),
+            p50.to_string(),
+            p95.to_string(),
+        ]);
+    }
+
+    // The knee: the last window that still bought a meaningful (≥10%)
+    // throughput gain — past it, deeper pipelines only add latency.
+    let mut knee = curve.first().map(|c| c.0).unwrap_or(1);
+    for pair in curve.windows(2) {
+        let (_, prev_tp, _, _) = pair[0];
+        let (w, tp, _, _) = pair[1];
+        if tp > prev_tp * 1.10 {
+            knee = w;
+        }
+    }
+    println!("latency vs offered load (closed loop, sign-only):");
+    println!(
+        "  {:>7} {:>7} {:>7} {:>10} {:>11} {:>11}",
+        "window", "issued", "signed", "sigs/round", "p50 rounds", "p95 rounds"
+    );
+    for row in &rows {
+        println!(
+            "  {:>7} {:>7} {:>7} {:>10} {:>11} {:>11}{}",
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            if row[0] == knee.to_string() {
+                "   <- knee"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nknee at window {knee}: larger windows raise latency without a matching \
+         throughput gain"
+    );
+    exit(0)
+}
+
 fn service_main(args: &HashMap<String, String>) -> ! {
     use proauth_pds::als::{AlsConfig, AlsPds};
     use proauth_pds::als_node::AlsProcess;
@@ -189,6 +374,9 @@ fn service_main(args: &HashMap<String, String>) -> ! {
     use proauth_sim::workload::{Workload, WorkloadConfig};
     use std::collections::BTreeSet;
 
+    if args.contains_key("closed-loop") {
+        service_closed_loop_main(args);
+    }
     let n: usize = get(args, "n", 5);
     let t: usize = get(args, "t", (n - 1) / 2);
     let units: u64 = get(args, "units", 2);
@@ -301,6 +489,22 @@ fn main() {
     if raw.first().map(String::as_str) == Some("service") {
         raw.remove(0);
         service_main(&parse_args(raw));
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        raw.remove(0);
+        serve_main(&parse_args(raw));
+    }
+    if raw.first().map(String::as_str) == Some("proxy") {
+        raw.remove(0);
+        proxy_main(&parse_args(raw));
+    }
+    if raw.first().map(String::as_str) == Some("client") {
+        raw.remove(0);
+        client_main(&parse_args(raw));
+    }
+    if raw.first().map(String::as_str) == Some("daemon") {
+        raw.remove(0);
+        daemon_main(&parse_args(raw));
     }
     let args = parse_args(raw);
     let n: usize = get(&args, "n", 5);
@@ -554,6 +758,39 @@ fn hier_main(args: &HashMap<String, String>, group_id: GroupId, auth_mode: AuthM
     }
     println!();
 
+    // The engine's own two-level Definition-7 scoreboard: distinct impaired
+    // nodes per unit, scored against each cluster's PDS threshold and the
+    // top-level PDS over representatives.
+    println!("per-unit two-level (s,t) scoreboard:");
+    for score in &result.stats.unit_scores {
+        let per_cluster: Vec<String> = score
+            .clusters
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}/{}{}",
+                    c.impaired,
+                    c.size,
+                    if c.majority_compromised() { "!" } else { "" }
+                )
+            })
+            .collect();
+        println!(
+            "  unit {}: impaired {} non-op {}  clusters [{}]  majority-compromised {}  {}",
+            score.unit,
+            score.impaired,
+            score.non_operational,
+            per_cluster.join(" "),
+            score.majority_compromised_clusters(),
+            if score.within_two_level_budget() {
+                "within two-level budget"
+            } else {
+                "OVER two-level budget"
+            }
+        );
+    }
+    println!();
+
     print_report(args, n, &schedule, &telemetry, &result, &limit_note);
     exit(0)
 }
@@ -625,4 +862,519 @@ fn print_report(
     for line in &result.adversary_output {
         println!("adversary output: {line}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode: the protocol over real sockets, one OS process per node.
+// ---------------------------------------------------------------------------
+
+/// The scenario parameters every daemon-mode process must agree on.
+#[derive(Clone)]
+struct NetScenario {
+    n: usize,
+    t: usize,
+    units: u64,
+    normal: u64,
+    seed: u64,
+    group_id: GroupId,
+    auth_mode: AuthMode,
+    plan: proauth_sim::net::AddrPlan,
+}
+
+impl NetScenario {
+    fn from_args(args: &HashMap<String, String>) -> Self {
+        let n: usize = get(args, "n", 5);
+        let t: usize = get(args, "t", (n - 1) / 2);
+        let normal: u64 = get(args, "normal", 8);
+        if n < 2 * t + 1 {
+            eprintln!("need n >= 2t+1 (got n={n}, t={t})");
+            exit(2);
+        }
+        if !normal.is_multiple_of(2) {
+            eprintln!("--normal must be even");
+            exit(2);
+        }
+        let group_id = match args.get("group").map(String::as_str) {
+            None | Some("toy64") => GroupId::Toy64,
+            Some("s256") => GroupId::S256,
+            Some("s512") => GroupId::S512,
+            Some("s1024") => GroupId::S1024,
+            Some(other) => {
+                eprintln!("unknown group {other}");
+                usage()
+            }
+        };
+        let auth_mode = match args.get("auth").map(String::as_str) {
+            None | Some("sign") => AuthMode::Sign,
+            Some("mac") => AuthMode::SessionMac,
+            Some(other) => {
+                eprintln!("unknown auth mode {other}");
+                usage()
+            }
+        };
+        let addr = args
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| format!("unix:{}", default_sock_dir().display()));
+        let plan = proauth_sim::net::AddrPlan::parse(&addr).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+        NetScenario {
+            n,
+            t,
+            units: get(args, "units", 2),
+            normal,
+            seed: get(args, "seed", 0),
+            group_id,
+            auth_mode,
+            plan,
+        }
+    }
+
+    fn schedule(&self) -> proauth_sim::clock::Schedule {
+        uls_schedule(self.normal)
+    }
+
+    fn total_rounds(&self) -> u64 {
+        self.schedule().unit_rounds * self.units
+    }
+
+    /// The scenario digest: any parameter mismatch between processes changes
+    /// it, so a stray `serve` from another invocation is rejected at Hello.
+    fn run_id(&self) -> u64 {
+        let d = proauth_primitives::sha256::hash_parts(
+            "proauth/net/run-id",
+            &[
+                &(self.n as u64).to_be_bytes(),
+                &(self.t as u64).to_be_bytes(),
+                &self.units.to_be_bytes(),
+                &self.normal.to_be_bytes(),
+                &self.seed.to_be_bytes(),
+                format!("{}", self.group_id).as_bytes(),
+                format!("{:?}", self.auth_mode).as_bytes(),
+            ],
+        );
+        u64::from_be_bytes(d[..8].try_into().expect("8 of 32 digest bytes"))
+    }
+
+    fn make_node(&self, id: NodeId) -> UlsNode<HeartbeatApp> {
+        let mut c = UlsConfig::new(Group::new(self.group_id), self.n, self.t);
+        c.auth_mode = self.auth_mode;
+        UlsNode::new(c, id, HeartbeatApp::default())
+    }
+
+    /// The equivalent in-process engine run, for `--check`.
+    fn engine_run(&self) -> SimResult {
+        let mut cfg = SimConfig::new(self.n, self.t, self.schedule());
+        cfg.setup_rounds = SETUP_ROUNDS;
+        cfg.total_rounds = self.total_rounds();
+        cfg.seed = self.seed;
+        cfg.parallel = false;
+        run_ul(cfg, |id| self.make_node(id), &mut FaithfulUl)
+    }
+}
+
+fn default_sock_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("proauth-daemon-{}", std::process::id()))
+}
+
+/// Chaos flags shared by `proxy` and `daemon`.
+fn chaos_spec_from_args(args: &HashMap<String, String>) -> proauth_sim::net::ChaosNetSpec {
+    use proauth_sim::net::{ChaosNetSpec, Partition};
+    let partition = args.get("partition").map(|spec| {
+        let parts: Vec<u64> = spec.split(':').filter_map(|s| s.parse().ok()).collect();
+        if parts.len() != 3 {
+            eprintln!("--partition wants start:end:split");
+            exit(2);
+        }
+        Partition {
+            start: parts[0],
+            end: parts[1],
+            split: parts[2] as u32,
+        }
+    });
+    ChaosNetSpec {
+        seed: get(args, "chaos-seed", 0),
+        delay_pct: get(args, "delay", 0),
+        delay_max: get(args, "delay-max", 2),
+        dup_pct: get(args, "dup", 0),
+        reorder_pct: get(args, "reorder", 0),
+        partition,
+    }
+}
+
+/// `serve`: one node of the deployment, as this process.
+fn serve_main(args: &HashMap<String, String>) -> ! {
+    use proauth_sim::net::{run_node, NodeNetConfig};
+    use proauth_sim::ProcessDriver;
+
+    let sc = NetScenario::from_args(args);
+    let node_id: u32 = get(args, "node", 0);
+    if node_id == 0 || node_id as usize > sc.n {
+        eprintln!("serve needs --node <1..={}>", sc.n);
+        exit(2);
+    }
+    let me = NodeId(node_id);
+    let mut cfg = NodeNetConfig::new(me, sc.n, sc.plan.clone(), sc.schedule());
+    cfg.seed = sc.seed;
+    cfg.run_id = sc.run_id();
+    cfg.via_proxy = args.contains_key("via-proxy");
+    cfg.report = args.contains_key("report");
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = sc.total_rounds();
+    cfg.round_ms = get(args, "round-ms", 250);
+    cfg.min_round_ms = get(args, "min-round-ms", 0);
+    cfg.connect_timeout_ms = get(args, "connect-timeout", 30_000);
+
+    let mut driver = ProcessDriver::new(sc.make_node(me), me, sc.n, sc.seed);
+    match run_node(cfg, &mut driver, |_, _| None) {
+        Ok(rep) => {
+            println!(
+                "node {me}: rounds {} sent {} received {} bytes_sent {} alerts {} \
+                 late {} mark_timeouts {}",
+                rep.rounds,
+                rep.sent,
+                rep.received,
+                rep.bytes_sent,
+                rep.alerts,
+                rep.late_frames,
+                rep.mark_timeouts
+            );
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("node {me} failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// `proxy`: the adversarial router, as this process.
+fn proxy_main(args: &HashMap<String, String>) -> ! {
+    use proauth_sim::net::{run_proxy, ProxyConfig};
+
+    let sc = NetScenario::from_args(args);
+    let spec = chaos_spec_from_args(args);
+    let cfg = ProxyConfig {
+        n: sc.n,
+        plan: sc.plan.clone(),
+        spec,
+        run_id: sc.run_id(),
+        idle_timeout_ms: get(args, "idle-timeout", 60_000),
+    };
+    println!(
+        "proxy: n={} chaos: delay {}%/{}r dup {}% reorder {}% partition {:?}",
+        sc.n, spec.delay_pct, spec.delay_max, spec.dup_pct, spec.reorder_pct, spec.partition
+    );
+    match run_proxy(cfg) {
+        Ok(stats) => {
+            println!(
+                "proxy: forwarded {} delayed {} duplicated {} reordered {} \
+                 setup {} marks {}",
+                stats.forwarded,
+                stats.delayed,
+                stats.duplicated,
+                stats.reordered,
+                stats.setup_forwarded,
+                stats.marks
+            );
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("proxy failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// `client`: the collector, as this process.
+fn client_main(args: &HashMap<String, String>) -> ! {
+    use proauth_sim::net::{collect, CollectorConfig};
+
+    let sc = NetScenario::from_args(args);
+    let cfg = CollectorConfig {
+        n: sc.n,
+        plan: sc.plan.clone(),
+        run_id: sc.run_id(),
+        idle_timeout_ms: get(args, "idle-timeout", 60_000),
+    };
+    match collect(cfg) {
+        Ok(outcome) => {
+            print_goodput_report(&sc, &outcome);
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("collector failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// The goodput report shared by `client` and `daemon`.
+fn print_goodput_report(sc: &NetScenario, outcome: &proauth_sim::net::DaemonOutcome) {
+    println!("\ndaemon run complete: n={} units={} rounds={}", sc.n, sc.units, sc.total_rounds());
+    println!("per-node summary:");
+    for id in NodeId::all(sc.n) {
+        let rep = &outcome.reports[id.idx()];
+        let log = &outcome.outputs[id.idx()];
+        let accepted = log
+            .iter()
+            .filter(|(_, e)| matches!(e, OutputEvent::Accepted { .. }))
+            .count();
+        println!(
+            "  {id}: accepted {accepted:4}  sent {:5}  late {:3}  mark-timeouts {:2}  alerts {}",
+            rep.sent, rep.late_frames, rep.mark_timeouts, rep.alerts
+        );
+    }
+    let wall = outcome.wall.as_secs_f64();
+    println!(
+        "\nwall clock: {wall:.2}s  rounds/s: {:.1}  msgs/s: {:.0}",
+        outcome.rounds_per_sec(),
+        outcome.reports.iter().map(|r| r.sent).sum::<u64>() as f64 / wall.max(1e-9),
+    );
+    println!(
+        "authenticated goodput: {:.0} B/s ({} accepted payload bytes)",
+        outcome.goodput(),
+        outcome.accepted_bytes()
+    );
+}
+
+/// Checks a chaos-run outcome against the protocol's promises: certified
+/// keys match the engine's, every node made progress, and nothing was
+/// accepted that its claimed sender never sends. Returns human-readable
+/// failures (empty = pass).
+fn check_chaos_outcome(
+    sc: &NetScenario,
+    outcome: &proauth_sim::net::DaemonOutcome,
+    engine: &SimResult,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Certified keys: setup is adversary-free even under the chaos proxy, so
+    // every ROM (v_cert and friends) must equal the engine's exactly.
+    if outcome.roms != engine.roms {
+        failures.push("ROMs (certified keys) diverged from the engine run".to_owned());
+    }
+    for id in NodeId::all(sc.n) {
+        let log = &outcome.outputs[id.idx()];
+        // Liveness: heartbeats verified at every node.
+        if !log
+            .iter()
+            .any(|(_, e)| matches!(e, OutputEvent::Accepted { .. }))
+        {
+            failures.push(format!("{id} accepted no heartbeats"));
+        }
+        if outcome.reports[id.idx()].rounds != sc.total_rounds() {
+            failures.push(format!("{id} did not complete all rounds"));
+        }
+        // Zero forgeries: an accepted heartbeat must be one its claimed
+        // sender actually emits ("hb:<sender>:<round>").
+        for (_, ev) in log {
+            if let OutputEvent::Accepted { from, msg } = ev {
+                let ok = std::str::from_utf8(msg).is_ok_and(|text| {
+                    let mut parts = text.splitn(3, ':');
+                    parts.next() == Some("hb")
+                        && parts.next() == Some(from.0.to_string().as_str())
+                        && parts.next().is_some_and(|r| r.parse::<u64>().is_ok())
+                });
+                if !ok {
+                    failures.push(format!("{id} accepted a forged message: {msg:?}"));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// `daemon`: orchestrates a full deployment — spawns `serve` children (and a
+/// `proxy` when chaos flags are set), runs the collector inline, reports
+/// goodput, and optionally verifies against the in-process engine.
+fn daemon_main(args: &HashMap<String, String>) -> ! {
+    use proauth_sim::net::{AddrPlan, Collector, CollectorConfig};
+    use std::process::{Child, Command, Stdio};
+
+    let sc = NetScenario::from_args(args);
+    let spec = chaos_spec_from_args(args);
+    let chaos = !spec.is_faithful();
+    let check = args.contains_key("check");
+    let round_ms: u64 = get(args, "round-ms", 1_000);
+    let exe = std::env::current_exe().expect("own executable path");
+
+    if let AddrPlan::Unix { dir } = &sc.plan {
+        std::fs::create_dir_all(dir).expect("socket directory");
+    }
+    println!(
+        "proauth daemon: n={} t={} units={} normal={} group={} auth={:?} seed={} addr={}",
+        sc.n,
+        sc.t,
+        sc.units,
+        sc.normal,
+        sc.group_id,
+        sc.auth_mode,
+        sc.seed,
+        args.get("addr").cloned().unwrap_or_else(|| format!(
+            "unix:{}",
+            default_sock_dir().display()
+        ))
+    );
+    if chaos {
+        println!(
+            "chaos proxy: delay {}%/{}r dup {}% reorder {}% partition {:?} (seed {})",
+            spec.delay_pct, spec.delay_max, spec.dup_pct, spec.reorder_pct, spec.partition,
+            spec.seed
+        );
+    } else {
+        println!("topology: direct full mesh (no proxy)");
+    }
+
+    // Bind the collector before any child starts so report dials never race.
+    let collector = Collector::bind(CollectorConfig {
+        n: sc.n,
+        plan: sc.plan.clone(),
+        run_id: sc.run_id(),
+        idle_timeout_ms: get(args, "idle-timeout", 120_000),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind collector: {e}");
+        exit(1)
+    });
+
+    let addr_arg = args
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| format!("unix:{}", default_sock_dir().display()));
+    let scenario_args = |cmd: &mut Command| {
+        cmd.arg("--n")
+            .arg(sc.n.to_string())
+            .arg("--t")
+            .arg(sc.t.to_string())
+            .arg("--units")
+            .arg(sc.units.to_string())
+            .arg("--normal")
+            .arg(sc.normal.to_string())
+            .arg("--seed")
+            .arg(sc.seed.to_string())
+            .arg("--group")
+            .arg(format!("{}", sc.group_id).to_lowercase())
+            .arg("--addr")
+            .arg(&addr_arg);
+        if sc.auth_mode == AuthMode::SessionMac {
+            cmd.arg("--auth").arg("mac");
+        }
+    };
+
+    let mut children: Vec<(String, Child)> = Vec::new();
+    if chaos {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("proxy");
+        scenario_args(&mut cmd);
+        for key in ["chaos-seed", "delay", "delay-max", "dup", "reorder", "partition"] {
+            if let Some(v) = args.get(key) {
+                cmd.arg(format!("--{key}")).arg(v);
+            }
+        }
+        cmd.stdout(Stdio::inherit()).stderr(Stdio::inherit());
+        children.push(("proxy".into(), cmd.spawn().expect("spawn proxy")));
+    }
+    for id in 1..=sc.n as u32 {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("serve");
+        scenario_args(&mut cmd);
+        cmd.arg("--node")
+            .arg(id.to_string())
+            .arg("--report")
+            .arg("--round-ms")
+            .arg(round_ms.to_string());
+        if chaos {
+            cmd.arg("--via-proxy");
+        }
+        // Node stdout is summary-only; keep the orchestrator's output clean
+        // but surface child errors.
+        cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
+        children.push((format!("node {id}"), cmd.spawn().expect("spawn node")));
+    }
+
+    let outcome = collector.run();
+    // Children self-terminate (round deadlines, idle timeouts); reap them.
+    let mut child_failures = Vec::new();
+    for (name, mut child) in children {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() {
+                        child_failures.push(format!("{name} exited with {status}"));
+                    }
+                    break;
+                }
+                Ok(None) if std::time::Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    child_failures.push(format!("{name} hung; killed"));
+                    break;
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(50)),
+                Err(e) => {
+                    child_failures.push(format!("{name}: wait failed: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("collector failed: {e}");
+            for f in &child_failures {
+                eprintln!("  {f}");
+            }
+            exit(1)
+        }
+    };
+    print_goodput_report(&sc, &outcome);
+    for f in &child_failures {
+        eprintln!("child failure: {f}");
+    }
+
+    if check {
+        println!("\nchecking against the in-process engine...");
+        let engine = sc.engine_run();
+        let failures = if chaos {
+            check_chaos_outcome(&sc, &outcome, &engine)
+        } else {
+            // No chaos: the daemon must be bit-identical to the engine.
+            let mut fails = check_chaos_outcome(&sc, &outcome, &engine);
+            for id in NodeId::all(sc.n) {
+                if outcome.outputs[id.idx()] != engine.outputs[id.idx()] {
+                    fails.push(format!("{id} output log diverged from the engine"));
+                }
+            }
+            fails
+        };
+        if failures.is_empty() {
+            let accepted_engine = engine
+                .outputs
+                .iter()
+                .flatten()
+                .filter(|(_, e)| matches!(e, OutputEvent::Accepted { .. }))
+                .count();
+            let accepted_daemon = outcome
+                .count_events(|e| matches!(e, OutputEvent::Accepted { .. }));
+            println!(
+                "check PASSED: certified keys match, zero forgeries, all nodes live \
+                 (daemon accepted {accepted_daemon}, engine {accepted_engine}{})",
+                if chaos { ", chaos run" } else { ", bit-identical" }
+            );
+        } else {
+            println!("check FAILED:");
+            for f in &failures {
+                println!("  {f}");
+            }
+            exit(1)
+        }
+    }
+    if !child_failures.is_empty() {
+        exit(1)
+    }
+    exit(0)
 }
