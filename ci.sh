@@ -73,3 +73,33 @@ timeout 300 cargo run -q --release -p proauth-examples --bin proauth -- \
 # PROAUTH_E13=full (optionally CRITERION_JSON=BENCH_e13.json to re-emit it).
 PROAUTH_THREADS=1 cargo bench -p proauth-bench --bench e13_signing_service
 PROAUTH_THREADS=4 cargo bench -p proauth-bench --bench e13_signing_service
+
+# Observability smoke, clean leg: an adaptive daemon run must serve the live
+# status endpoint mid-run — beacons from every node (no "beacons":0 in the
+# JSON snapshot), zero alarms — and finish with zero alarms.
+OBS_DIR=$(mktemp -d /tmp/proauth-obs.XXXXXX)
+timeout 300 cargo run -q --release -p proauth-examples --bin proauth -- \
+    daemon --n 5 --units 2 --round-ms 500 --min-round-ms 60 --adaptive \
+    --addr "unix:$OBS_DIR" > "$OBS_DIR/daemon.log" 2>&1 &
+OBS_PID=$!
+sleep 2
+SNAP=$(cargo run -q --release -p proauth-examples --bin proauth -- \
+    top --addr "unix:$OBS_DIR" --once --view json)
+echo "$SNAP" | grep -q '"alarms":\[\]'
+if echo "$SNAP" | grep -q '"beacons":0'; then
+    echo "observability: a node never beaconed: $SNAP" >&2
+    exit 1
+fi
+wait "$OBS_PID"
+grep -q "alarms: none" "$OBS_DIR/daemon.log"
+rm -rf "$OBS_DIR"
+
+# Observability smoke, over-budget leg: a partition isolating 2 nodes under
+# t = 1 must trip the collector's Definition-7 accounting — the run ends
+# with at least the critical budget_exceeded alarm.
+OBS_DIR=$(mktemp -d /tmp/proauth-obs.XXXXXX)
+timeout 300 cargo run -q --release -p proauth-examples --bin proauth -- \
+    daemon --n 5 --t 1 --units 2 --round-ms 500 --partition 4:12:2 \
+    > "$OBS_DIR/daemon.log" 2>&1
+grep -q "budget_exceeded" "$OBS_DIR/daemon.log"
+rm -rf "$OBS_DIR"

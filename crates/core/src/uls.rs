@@ -485,6 +485,7 @@ impl<A: AlProtocol> UlsNode<A> {
                         )
                     };
                     if !ok {
+                        telemetry::count("uls/rejected", 1);
                         continue;
                     }
                     let Ok(inner) = Inner::from_bytes(&cmsg.m) else {
@@ -522,6 +523,7 @@ impl<A: AlProtocol> UlsNode<A> {
                         )
                     };
                     if !ok {
+                        telemetry::count("uls/rejected", 1);
                         continue;
                     }
                     if let Ok(Inner::PaValue {
@@ -567,6 +569,7 @@ impl<A: AlProtocol> UlsNode<A> {
                             )
                         };
                         if !ok {
+                            telemetry::count("uls/rejected", 1);
                             continue;
                         }
                         if let Ok(Inner::PaValue {
@@ -595,6 +598,7 @@ impl<A: AlProtocol> UlsNode<A> {
                         Some(vk) => {
                             // Pinned: the message must use exactly that key.
                             if vk.to_bytes_be() != mmsg.vk {
+                                telemetry::count("uls/rejected", 1);
                                 continue;
                             }
                             vk
@@ -606,9 +610,11 @@ impl<A: AlProtocol> UlsNode<A> {
                                 mmsg,
                                 &v_cert,
                             ) else {
+                                telemetry::count("uls/rejected", 1);
                                 continue;
                             };
                             if mmsg.u != auth_unit {
+                                telemetry::count("uls/rejected", 1);
                                 continue;
                             }
                             self.pin_peer_vk(from, auth_unit, vk.clone());
@@ -627,6 +633,7 @@ impl<A: AlProtocol> UlsNode<A> {
                         mmsg,
                         &key,
                     ) {
+                        telemetry::count("uls/rejected", 1);
                         continue;
                     }
                     let Ok(inner) = Inner::from_bytes(&mmsg.m) else {

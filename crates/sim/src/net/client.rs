@@ -4,11 +4,13 @@
 //! aggregate statistics — plus the daemon-only *goodput* figure (accepted
 //! application payload bytes per wall-clock second).
 
-use super::msg::{NetMsg, NodeReport};
+use super::msg::{Alarm, NetMsg, NodeReport};
 use super::peer::{AddrPlan, Conn, NetListener};
 use super::poll;
+use super::status::{LiveState, StatusConn, TraceAssembler, TraceSpec};
 use crate::message::{NodeId, OutputEvent, OutputLog};
 use crate::process::Rom;
+use proauth_telemetry::MetricsSnapshot;
 use std::io;
 use std::os::fd::RawFd;
 use std::time::{Duration, Instant};
@@ -24,6 +26,18 @@ pub struct CollectorConfig {
     pub run_id: u64,
     /// Exit with an error if nothing arrives for this long.
     pub idle_timeout_ms: u64,
+    /// Definition-7 impairment budget `t` for live accounting: more than `t`
+    /// distinct impaired nodes in one time unit raises a `budget_exceeded`
+    /// alarm.
+    pub t: usize,
+    /// Rounds per time unit (assigns beacons and alarms to units).
+    pub unit_rounds: u64,
+    /// Serve the status socket at `plan.status()` (`metrics` / `json` /
+    /// `top` requests).
+    pub status: bool,
+    /// When set, assemble the cluster flight-recorder trace from the nodes'
+    /// streamed `Trace`/`Metrics`/`Beacon` frames.
+    pub trace_spec: Option<TraceSpec>,
 }
 
 /// Everything a finished daemon deployment produced, assembled from the
@@ -40,6 +54,17 @@ pub struct DaemonOutcome {
     pub reports: Vec<NodeReport>,
     /// Wall-clock duration from first Hello to last Bye.
     pub wall: Duration,
+    /// Every alarm raised during the run (node-originated plus the
+    /// collector's own budget accounting), in arrival order.
+    pub alarms: Vec<Alarm>,
+    /// Cluster-wide merged registry at end of run (sum of every streamed
+    /// delta, including the `net/*` transport counters).
+    pub merged: MetricsSnapshot,
+    /// Per-node registries at end of run, rebuilt from the delta streams.
+    pub node_metrics: Vec<MetricsSnapshot>,
+    /// The assembled cluster trace (JSONL), when a `trace_spec` was given
+    /// and every round completed.
+    pub trace: Option<String>,
 }
 
 impl DaemonOutcome {
@@ -95,14 +120,25 @@ pub struct Collector {
     outputs: Vec<OutputLog>,
     reports: Vec<Option<NodeReport>>,
     done: Vec<bool>,
+    live: LiveState,
+    assembler: Option<TraceAssembler>,
+    status_listener: Option<NetListener>,
+    status_conns: Vec<StatusConn>,
 }
 
 impl Collector {
-    /// Binds the collector endpoint. Bind *before* launching nodes so their
-    /// report dials never race it.
+    /// Binds the collector endpoint (and the status socket when enabled).
+    /// Bind *before* launching nodes so their report dials never race it.
     pub fn bind(cfg: CollectorConfig) -> io::Result<Self> {
         let listener = NetListener::bind(&cfg.plan.collector())?;
+        let status_listener = if cfg.status {
+            Some(NetListener::bind(&cfg.plan.status())?)
+        } else {
+            None
+        };
         let n = cfg.n;
+        let live = LiveState::new(n, cfg.t, cfg.unit_rounds);
+        let assembler = cfg.trace_spec.clone().map(TraceAssembler::new);
         Ok(Collector {
             cfg,
             listener,
@@ -111,6 +147,10 @@ impl Collector {
             outputs: vec![Vec::new(); n],
             reports: vec![None; n],
             done: vec![false; n],
+            live,
+            assembler,
+            status_listener,
+            status_conns: Vec::new(),
         })
     }
 
@@ -152,6 +192,16 @@ impl Collector {
                 None => Rom::new(),
             })
             .collect();
+        let trace = self
+            .assembler
+            .as_ref()
+            .filter(|a| a.complete())
+            .map(TraceAssembler::contents);
+        if let Some(asm) = &self.assembler {
+            if !asm.complete() {
+                eprintln!("collector: trace assembly incomplete (a node died mid-stream?)");
+            }
+        }
         Ok(DaemonOutcome {
             outputs: self.outputs,
             roms,
@@ -161,6 +211,10 @@ impl Collector {
                 .map(Option::unwrap_or_default)
                 .collect(),
             wall,
+            alarms: self.live.alarms,
+            merged: self.live.merged.snapshot(),
+            node_metrics: self.live.per_node.iter().map(|r| r.snapshot()).collect(),
+            trace,
         })
     }
 
@@ -171,6 +225,8 @@ impl Collector {
             Node(usize),
             Limbo,
             Listener,
+            Status(usize),
+            StatusListener,
         }
         let mut slots: Vec<Slot> = Vec::new();
         for (idx, conn) in self.conns.iter().enumerate() {
@@ -190,10 +246,19 @@ impl Collector {
         }
         fds.push((self.listener.raw_fd(), false));
         slots.push(Slot::Listener);
+        for (k, c) in self.status_conns.iter().enumerate() {
+            fds.push((c.raw_fd(), c.wants_write()));
+            slots.push(Slot::Status(k));
+        }
+        if let Some(sl) = &self.status_listener {
+            fds.push((sl.raw_fd(), false));
+            slots.push(Slot::StatusListener);
+        }
 
         let ready = poll::poll(&fds, Some(50))?;
         let mut moved = false;
         let mut inbound: Vec<(usize, NetMsg)> = Vec::new();
+        let mut status_ready: Vec<usize> = Vec::new();
         for (slot, r) in slots.iter().zip(&ready) {
             match slot {
                 Slot::Node(idx) => {
@@ -217,8 +282,30 @@ impl Collector {
                         }
                     }
                 }
+                // Status traffic never counts as node traffic: an operator
+                // polling `top` must not mask a stalled deployment from the
+                // idle timeout.
+                Slot::Status(k) => {
+                    if r.readable || r.writable || r.hangup {
+                        status_ready.push(*k);
+                    }
+                }
+                Slot::StatusListener => {
+                    if r.readable {
+                        let sl = self.status_listener.as_ref().expect("slot maps listener");
+                        while let Some(stream) = sl.accept()? {
+                            self.status_conns.push(StatusConn::new(stream));
+                        }
+                    }
+                }
             }
         }
+        for k in status_ready {
+            if let Some(c) = self.status_conns.get_mut(k) {
+                c.drive(&self.live);
+            }
+        }
+        self.status_conns.retain(|c| !c.done);
         self.adopt_identified();
         for (idx, msg) in inbound {
             moved = true;
@@ -274,6 +361,29 @@ impl Collector {
             }
             NetMsg::Bye { .. } => {
                 self.done[idx] = true;
+            }
+            NetMsg::Metrics { round, delta, .. } => {
+                self.live.on_metrics(idx, &delta);
+                if let Some(asm) = &mut self.assembler {
+                    asm.on_metrics(idx, round, &delta);
+                }
+            }
+            NetMsg::Beacon(beacon) => {
+                // FIFO order means the round's Trace/Metrics/Alarm frames
+                // preceded this beacon, so it doubles as the round-complete
+                // signal for trace assembly.
+                if let Some(asm) = &mut self.assembler {
+                    asm.on_beacon(idx, &beacon);
+                }
+                self.live.on_beacon(idx, beacon);
+            }
+            NetMsg::Alarm(alarm) => {
+                self.live.on_alarm(alarm);
+            }
+            NetMsg::Trace { round, events, .. } => {
+                if let Some(asm) = &mut self.assembler {
+                    asm.on_trace(idx, round, events);
+                }
             }
             // Protocol traffic never reaches the collector.
             _ => {}

@@ -18,16 +18,27 @@
 //! * frames that miss their nominal round (adversary delay, pacing slip)
 //!   deliver in a later round — exactly the UL adversary's prerogative.
 
-use super::msg::{NetMsg, NodeReport};
+use super::msg::{Alarm, HealthBeacon, NetMsg, NodeReport, Severity};
 use super::peer::{AddrPlan, Conn, NetListener, NetStream};
 use super::poll;
 use crate::clock::{Schedule, TimeView};
 use crate::driver::NodeDriver;
 use crate::message::{Envelope, NodeId};
+use proauth_telemetry::{self as telemetry, MetricsSnapshot, Shard, Telemetry};
 use std::collections::BTreeMap;
 use std::io;
 use std::os::fd::RawFd;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Counter deltas promoted into the typed alarm stream when they rise in a
+/// round: `(counter name, alarm kind, severity)`.
+const ALARM_COUNTERS: &[(&str, &str, Severity)] = &[
+    ("uls/rejected", "forgery_reject", Severity::Warning),
+    ("uls/alerts", "uls_alert", Severity::Warning),
+    ("adversary/break_ins", "break_in", Severity::Warning),
+    ("adversary/wipes", "wipe", Severity::Warning),
+];
 
 /// Deployment parameters of one node process.
 #[derive(Debug, Clone)]
@@ -59,6 +70,18 @@ pub struct NodeNetConfig {
     pub connect_timeout_ms: u64,
     /// Scenario digest; every process of a deployment must agree.
     pub run_id: u64,
+    /// Record node-layer telemetry and stream per-round metrics deltas,
+    /// health beacons, and alarms to the collector (needs `report`).
+    pub telemetry: bool,
+    /// Also stream per-round flight-recorder trace events for cluster-trace
+    /// assembly on the collector (needs `telemetry`).
+    pub stream_trace: bool,
+    /// Adaptive pacing: bounded AIMD on the per-round deadline, between
+    /// `adapt_floor_ms` and `round_ms`, driven by observed late frames and
+    /// mark timeouts.
+    pub adaptive: bool,
+    /// Floor for the adaptive controller, ms.
+    pub adapt_floor_ms: u64,
 }
 
 impl NodeNetConfig {
@@ -78,8 +101,23 @@ impl NodeNetConfig {
             min_round_ms: 0,
             connect_timeout_ms: 30_000,
             run_id: 0,
+            telemetry: false,
+            stream_trace: false,
+            adaptive: false,
+            adapt_floor_ms: 20,
         }
     }
+}
+
+/// Arrival-order bookkeeping for one `(round, from)` stream, for duplicate
+/// and reordering observation (delivery itself is unchanged — duplication
+/// and reordering are the UL adversary's prerogative).
+#[derive(Default)]
+struct SeqTrack {
+    /// Last seq observed, in arrival order.
+    last: Option<u32>,
+    /// Every seq observed so far.
+    seen: Vec<u32>,
 }
 
 /// Protocol traffic buffered by the round it was sent in.
@@ -119,6 +157,23 @@ pub struct NodeLoop<'d> {
     /// Last reconnect attempt per peer (rate-limits redials).
     last_redial: Vec<Option<Instant>>,
     report: NodeReport,
+    /// The node's local flight recorder (off unless `cfg.telemetry`).
+    tele: Telemetry,
+    /// Shared buffer of the memory sink behind `tele`, drained once per
+    /// round into [`NetMsg::Trace`] frames (`None` without `stream_trace`).
+    tele_buf: Option<Arc<Mutex<Vec<u8>>>>,
+    /// The recording shard reused across rounds (engine parity: same scope
+    /// discipline as `exec_slot`).
+    shard: Option<Shard>,
+    /// Registry snapshot at the previous metrics ship, for delta folding.
+    last_snap: MetricsSnapshot,
+    /// The pacing deadline currently in force (== `cfg.round_ms` unless
+    /// adaptive).
+    cur_round_ms: u64,
+    /// Wall-clock start of round 0, the zero point for schedule lag.
+    rounds_started: Option<Instant>,
+    /// Per-`(round, sender)` seq tracking for dup/reorder observation.
+    seq_tracks: BTreeMap<(u64, u32), SeqTrack>,
 }
 
 impl<'d> NodeLoop<'d> {
@@ -159,6 +214,17 @@ impl<'d> NodeLoop<'d> {
         };
         let n = cfg.n;
         let me = cfg.me.0;
+        let (tele, tele_buf) = if cfg.telemetry {
+            if cfg.stream_trace {
+                let (t, buf) = Telemetry::with_memory_sink();
+                (t, Some(buf))
+            } else {
+                (Telemetry::enabled(), None)
+            }
+        } else {
+            (Telemetry::off(), None)
+        };
+        let cur_round_ms = cfg.round_ms;
         let mut this = NodeLoop {
             cfg,
             driver,
@@ -173,6 +239,13 @@ impl<'d> NodeLoop<'d> {
                 node: me,
                 ..NodeReport::default()
             },
+            tele,
+            tele_buf,
+            shard: None,
+            last_snap: MetricsSnapshot::default(),
+            cur_round_ms,
+            rounds_started: None,
+            seq_tracks: BTreeMap::new(),
         };
         // Mesh: wait for every higher-numbered peer to dial in and identify.
         if !this.cfg.via_proxy {
@@ -424,6 +497,21 @@ impl<'d> NodeLoop<'d> {
                 payload,
             } => {
                 if to == self.cfg.me && from.idx() < n {
+                    // Observation only: duplicates and reordering are the UL
+                    // adversary's prerogative, so both still deliver — but
+                    // they are counted, reported, and exposed as metrics.
+                    let track = self.seq_tracks.entry((round, from.0)).or_default();
+                    if track.seen.contains(&seq) {
+                        self.report.dup_frames += 1;
+                        self.tele.add("net/dup_frames", 1);
+                    } else {
+                        if track.last.is_some_and(|last| seq < last) {
+                            self.report.reorder_frames += 1;
+                            self.tele.add("net/reorder_frames", 1);
+                        }
+                        track.seen.push(seq);
+                    }
+                    track.last = Some(seq);
                     self.buf
                         .msgs
                         .entry(round)
@@ -443,7 +531,12 @@ impl<'d> NodeLoop<'d> {
                 }
             }
             // Collector-bound traffic never reaches a node.
-            NetMsg::Event { .. } | NetMsg::Report(_) => {}
+            NetMsg::Event { .. }
+            | NetMsg::Report(_)
+            | NetMsg::Metrics { .. }
+            | NetMsg::Beacon(_)
+            | NetMsg::Alarm(_)
+            | NetMsg::Trace { .. } => {}
         }
     }
 
@@ -533,12 +626,34 @@ impl<'d> NodeLoop<'d> {
         let rom = self.driver.rom();
         self.report.rom_keys = rom.entries().map(|(k, _)| k.to_owned()).collect();
         self.report.rom_values = rom.entries().map(|(_, v)| v.to_vec()).collect();
+        // Flush-and-drain: ship the final metrics delta (counters that moved
+        // after the last per-round ship, e.g. the closing barrier's transport
+        // counters), then the report, then Bye — FIFO order guarantees the
+        // collector sees everything before the departure marker, and the
+        // blocking flush drains the queue before the process exits.
         if let Some(c) = self.collector.as_mut() {
+            if let Some(snap) = self.tele.snapshot() {
+                let delta = snap.delta_since(&self.last_snap);
+                self.last_snap = snap;
+                if !delta.is_empty() {
+                    c.send(&NetMsg::Metrics {
+                        node: self.cfg.me.0,
+                        round: total,
+                        delta,
+                    });
+                }
+            }
             c.send(&NetMsg::Report(self.report.clone()));
             c.send(&NetMsg::Bye {
                 node: self.cfg.me.0,
             });
             c.flush_blocking(Duration::from_secs(5));
+            if c.wants_write() && !c.closed {
+                eprintln!(
+                    "node {}: collector stream not fully drained at exit",
+                    self.cfg.me
+                );
+            }
         }
         let bye = NetMsg::Bye {
             node: self.cfg.me.0,
@@ -622,6 +737,10 @@ impl<'d> NodeLoop<'d> {
     ) -> io::Result<()> {
         let me = self.cfg.me;
         let round_start = Instant::now();
+        if self.rounds_started.is_none() {
+            self.rounds_started = Some(round_start);
+        }
+        let late_before = self.report.late_frames;
         // Deliveries: everything sent in an earlier round and not yet
         // delivered. Frames older than the immediately preceding round were
         // delayed past their nominal delivery — count them.
@@ -634,8 +753,9 @@ impl<'d> NodeLoop<'d> {
         let mut entries: Vec<(u64, NodeId, u32, Vec<u8>)> = Vec::new();
         for k in eligible {
             if round > 0 && k < round - 1 {
-                self.report.late_frames +=
-                    self.buf.msgs.get(&k).map(|v| v.len() as u64).unwrap_or(0);
+                let late = self.buf.msgs.get(&k).map(|v| v.len() as u64).unwrap_or(0);
+                self.report.late_frames += late;
+                self.tele.add("net/late_frames", late);
             }
             for (from, seq, payload) in self.buf.msgs.remove(&k).unwrap_or_default() {
                 entries.push((k, from, seq, payload));
@@ -650,7 +770,29 @@ impl<'d> NodeLoop<'d> {
 
         let input = input_fn(me, round);
         let time = TimeView::at(&self.cfg.schedule, round);
+        // Install the recording shard around the step with the same scope
+        // discipline as the engine's `exec_slot`, so node-layer counters and
+        // trace events are identical to an in-process run.
+        let scoped = self.tele.is_on();
+        let prev = if scoped {
+            let mut shard = self
+                .shard
+                .take()
+                .or_else(|| self.tele.new_shard())
+                .expect("telemetry on");
+            shard.set_ctx(me.0, round);
+            telemetry::install(Some(shard))
+        } else {
+            None
+        };
         let (outbox, step) = self.driver.round_step(time, &inbox, input.as_deref());
+        if scoped {
+            let mut shard = telemetry::install(prev);
+            if let Some(sh) = shard.as_mut() {
+                self.tele.merge_shard(sh);
+            }
+            self.shard = shard;
+        }
         if step.panicked {
             return Err(io::Error::other(format!(
                 "node {me}: step panicked at round {round}"
@@ -689,15 +831,27 @@ impl<'d> NodeLoop<'d> {
             }
         }
 
+        // Observability streaming: this round's trace events, metrics delta,
+        // alarms, and the health beacon. The beacon goes last — stream FIFO
+        // order makes it the collector's "round r complete from this node"
+        // signal, guaranteeing the trace and metrics frames precede it.
+        if scoped {
+            self.tele.observe_value("net/round_ms", self.cur_round_ms);
+            self.stream_observability(round, seq as u64, step.alerts);
+        }
+
         // Soft barrier: marks from every live peer, bounded by the deadline,
         // floored by the pacing minimum.
-        let hard_deadline = round_start + Duration::from_millis(self.cfg.round_ms);
+        let hard_deadline = round_start + Duration::from_millis(self.cur_round_ms);
         let floor = round_start + Duration::from_millis(self.cfg.min_round_ms);
+        let mut timed_out = false;
         loop {
             let now = Instant::now();
             if now >= hard_deadline {
                 if !self.marks_complete(&self.buf.marks, round) {
                     self.report.mark_timeouts += 1;
+                    self.tele.add("net/mark_timeouts", 1);
+                    timed_out = true;
                 }
                 break;
             }
@@ -717,7 +871,114 @@ impl<'d> NodeLoop<'d> {
             self.pump(Some(ms))?;
         }
         self.buf.marks.remove(&round);
+        // Drop seq bookkeeping old enough that even chaos-delayed frames are
+        // past; anything later is observation loss, not a correctness issue.
+        self.seq_tracks = self.seq_tracks.split_off(&(round.saturating_sub(8), 0));
+
+        // Bounded AIMD on the pacing deadline: congestion (a mark timeout or
+        // freshly late frames) doubles it back toward the configured ceiling;
+        // a comfortable round — marks complete within half the deadline —
+        // shaves off an additive step toward the floor.
+        if self.cfg.adaptive {
+            let ceiling = self.cfg.round_ms.max(1);
+            let floor_ms = self
+                .cfg
+                .adapt_floor_ms
+                .max(self.cfg.min_round_ms)
+                .min(ceiling);
+            let congested = timed_out || self.report.late_frames > late_before;
+            let used_ms = round_start.elapsed().as_millis() as u64;
+            if congested {
+                self.cur_round_ms = (self.cur_round_ms.saturating_mul(2)).min(ceiling);
+            } else if used_ms.saturating_mul(2) <= self.cur_round_ms {
+                let step_ms = (ceiling / 20).max(1);
+                self.cur_round_ms = self.cur_round_ms.saturating_sub(step_ms).max(floor_ms);
+            }
+        }
         Ok(())
+    }
+
+    /// Ships the round's observability frames to the collector: trace blob,
+    /// metrics delta, promoted alarms, health beacon (in that order).
+    fn stream_observability(&mut self, round: u64, sent_round: u64, alerts_round: u64) {
+        if self.collector.is_none() {
+            return;
+        }
+        let me = self.cfg.me.0;
+        // Trace blob: everything the memory sink accumulated this round.
+        let trace_events = self
+            .tele_buf
+            .as_ref()
+            .map(|buf| {
+                let mut guard = buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                std::mem::take(&mut *guard)
+            })
+            .unwrap_or_default();
+        let snap = self.tele.snapshot().unwrap_or_default();
+        let delta = snap.delta_since(&self.last_snap);
+        let alarms: Vec<Alarm> = ALARM_COUNTERS
+            .iter()
+            .filter_map(|(counter, kind, severity)| {
+                delta.counters.get(*counter).map(|&d| Alarm {
+                    node: me,
+                    round,
+                    severity: *severity,
+                    kind: (*kind).to_owned(),
+                    detail: format!("{counter} +{d}"),
+                })
+            })
+            .collect();
+        self.last_snap = snap;
+        let lag_ms = self.rounds_started.map_or(0, |t0| {
+            let nominal_ms = (round + 1).saturating_mul(self.cfg.round_ms);
+            (t0.elapsed().as_millis() as u64).saturating_sub(nominal_ms)
+        });
+        let beacon = HealthBeacon {
+            node: me,
+            round,
+            round_ms: self.cur_round_ms,
+            lag_ms,
+            inbox_depth: self.buf.msgs.values().map(|v| v.len() as u64).sum(),
+            late_frames: self.report.late_frames,
+            mark_timeouts: self.report.mark_timeouts,
+            peers_live: self.peers_live(),
+            sent_round,
+            alerts_round,
+        };
+        let stream_trace = self.cfg.stream_trace;
+        if let Some(c) = self.collector.as_mut() {
+            if stream_trace {
+                c.send(&NetMsg::Trace {
+                    node: me,
+                    round,
+                    events: trace_events,
+                });
+            }
+            if !delta.is_empty() {
+                c.send(&NetMsg::Metrics {
+                    node: me,
+                    round,
+                    delta,
+                });
+            }
+            for alarm in alarms {
+                c.send(&NetMsg::Alarm(alarm));
+            }
+            c.send(&NetMsg::Beacon(beacon));
+        }
+    }
+
+    /// Open peer connections right now (mesh) or whether the proxy link is
+    /// up (proxy fabric).
+    fn peers_live(&self) -> u32 {
+        match &self.fabric {
+            Fabric::Mesh { conns, .. } => conns
+                .iter()
+                .flatten()
+                .filter(|c| !c.closed)
+                .count() as u32,
+            Fabric::Proxy { conn } => u32::from(!conn.closed),
+        }
     }
 }
 

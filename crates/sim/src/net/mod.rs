@@ -18,7 +18,10 @@
 //! * [`proxy`] — the chaos proxy: deterministic delay/duplicate/reorder/
 //!   partition on real packets;
 //! * [`client`] — the collector that reassembles a `SimResult`-shaped
-//!   outcome (output logs, ROMs, reports, goodput) from the streams.
+//!   outcome (output logs, ROMs, reports, goodput) from the streams;
+//! * [`status`] — the live observability plane: the merged registry, health
+//!   beacons, Def-7 budget alarms, the status socket's Prometheus / JSON /
+//!   `top` renderers, and the cluster-trace assembler.
 //!
 //! Determinism carries over from the simulator: protocol payloads are the
 //! same bytes, randomness is the same per-(node, round) derivation, and
@@ -34,10 +37,12 @@ pub mod msg;
 pub mod peer;
 pub mod poll;
 pub mod proxy;
+pub mod status;
 
 pub use client::{collect, Collector, CollectorConfig, DaemonOutcome};
 pub use daemon::{run_node, NodeLoop, NodeNetConfig};
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
-pub use msg::{NetMsg, NodeReport};
+pub use msg::{Alarm, HealthBeacon, NetMsg, NodeReport, Severity};
+pub use status::{LiveState, StatusConn, TraceAssembler, TraceSpec};
 pub use peer::{AddrPlan, Conn, Endpoint, NetListener, NetStream};
 pub use proxy::{run_proxy, ChaosNetSpec, Partition, Proxy, ProxyConfig, ProxyStats};

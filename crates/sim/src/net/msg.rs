@@ -11,6 +11,7 @@
 
 use crate::message::{NodeId, OutputEvent};
 use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use proauth_telemetry::MetricsDelta;
 
 /// One frame's payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +87,171 @@ pub enum NetMsg {
         /// Departing node.
         node: u32,
     },
+    /// A node's registry increments since its previous `Metrics` frame,
+    /// streamed node → collector once per round. Applying a node's deltas in
+    /// order reconstructs its registry exactly (see `telemetry::delta`).
+    Metrics {
+        /// Reporting node.
+        node: u32,
+        /// Round the delta covers (the node's just-completed round).
+        round: u64,
+        /// The increments.
+        delta: MetricsDelta,
+    },
+    /// A node's per-round health beacon (liveness + pacing view).
+    Beacon(HealthBeacon),
+    /// A security- or liveness-relevant event promoted out of the metrics
+    /// stream, with severity. Node-originated (forgery rejects, break-in
+    /// observations) or collector-originated (Def-7 budget accounting).
+    Alarm(Alarm),
+    /// One round's flight-recorder trace events (JSONL bytes) from a node,
+    /// merged by the collector in `NodeId` order into the cluster trace.
+    Trace {
+        /// Emitting node.
+        node: u32,
+        /// Round the events belong to.
+        round: u64,
+        /// Concatenated JSONL event lines, exactly as a local sink would
+        /// have received them.
+        events: Vec<u8>,
+    },
+}
+
+/// Alarm severity, ordered worst-last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Noteworthy but expected under the configured adversary.
+    Info = 0,
+    /// Degradation that consumes Definition-7 budget.
+    Warning = 1,
+    /// A guarantee is (or is about to be) void: budget exceeded, forgery
+    /// accepted, refresh liveness lost.
+    Critical = 2,
+}
+
+impl Severity {
+    /// Stable lowercase label (exposition + scoreboard).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+impl Encode for Severity {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for Severity {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Severity::Info),
+            1 => Ok(Severity::Warning),
+            2 => Ok(Severity::Critical),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// One entry in the typed alarm stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// Originating node (0 = the collector itself, e.g. budget accounting).
+    pub node: u32,
+    /// Round the condition was observed at.
+    pub round: u64,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable machine-readable kind, e.g. `forgery_reject`, `break_in`,
+    /// `impaired`, `recovered`, `mark_timeout`, `budget_exceeded`.
+    pub kind: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl Encode for Alarm {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.node);
+        w.put_u64(self.round);
+        self.severity.encode(w);
+        self.kind.encode(w);
+        self.detail.encode(w);
+    }
+}
+
+impl Decode for Alarm {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Alarm {
+            node: r.get_u32()?,
+            round: r.get_u64()?,
+            severity: Severity::decode(r)?,
+            kind: String::decode(r)?,
+            detail: String::decode(r)?,
+        })
+    }
+}
+
+/// A node's per-round liveness report: where it is in the schedule, how far
+/// behind wall-clock pacing it is, and the transport pressure it sees.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthBeacon {
+    /// Reporting node.
+    pub node: u32,
+    /// The round the node just completed.
+    pub round: u64,
+    /// The pacing interval the node is currently using (adaptive or fixed).
+    pub round_ms: u64,
+    /// Wall-clock lag behind the nominal `round_ms` schedule, in ms
+    /// (0 when running at or ahead of schedule).
+    pub lag_ms: u64,
+    /// Messages buffered for future rounds at beacon time.
+    pub inbox_depth: u64,
+    /// Cumulative frames that arrived after their delivery round.
+    pub late_frames: u64,
+    /// Cumulative rounds advanced on deadline expiry.
+    pub mark_timeouts: u64,
+    /// Peer connections currently open.
+    pub peers_live: u32,
+    /// Protocol envelopes sent in the completed round.
+    pub sent_round: u64,
+    /// Alerts raised in the completed round.
+    pub alerts_round: u64,
+}
+
+impl Encode for HealthBeacon {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.node);
+        w.put_u64(self.round);
+        w.put_u64(self.round_ms);
+        w.put_u64(self.lag_ms);
+        w.put_u64(self.inbox_depth);
+        w.put_u64(self.late_frames);
+        w.put_u64(self.mark_timeouts);
+        w.put_u32(self.peers_live);
+        w.put_u64(self.sent_round);
+        w.put_u64(self.alerts_round);
+    }
+}
+
+impl Decode for HealthBeacon {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(HealthBeacon {
+            node: r.get_u32()?,
+            round: r.get_u64()?,
+            round_ms: r.get_u64()?,
+            lag_ms: r.get_u64()?,
+            inbox_depth: r.get_u64()?,
+            late_frames: r.get_u64()?,
+            mark_timeouts: r.get_u64()?,
+            peers_live: r.get_u32()?,
+            sent_round: r.get_u64()?,
+            alerts_round: r.get_u64()?,
+        })
+    }
 }
 
 /// A node's final accounting, shipped to the collector in one frame.
@@ -108,6 +274,11 @@ pub struct NodeReport {
     pub late_frames: u64,
     /// Rounds advanced on deadline expiry instead of a complete mark set.
     pub mark_timeouts: u64,
+    /// Frames observed more than once (same `(round, from, seq)` key).
+    pub dup_frames: u64,
+    /// Frames whose `seq` regressed within a `(round, from)` stream —
+    /// evidence of reordering between sender and receiver.
+    pub reorder_frames: u64,
     /// The node's ROM as frozen at the end of setup (key-ordered).
     pub rom_keys: Vec<String>,
     /// ROM values, parallel to `rom_keys`.
@@ -124,6 +295,8 @@ impl Encode for NodeReport {
         w.put_u64(self.alerts);
         w.put_u64(self.late_frames);
         w.put_u64(self.mark_timeouts);
+        w.put_u64(self.dup_frames);
+        w.put_u64(self.reorder_frames);
         self.rom_keys.encode(w);
         self.rom_values.encode(w);
     }
@@ -140,6 +313,8 @@ impl Decode for NodeReport {
             alerts: r.get_u64()?,
             late_frames: r.get_u64()?,
             mark_timeouts: r.get_u64()?,
+            dup_frames: r.get_u64()?,
+            reorder_frames: r.get_u64()?,
             rom_keys: Vec::<String>::decode(r)?,
             rom_values: Vec::<Vec<u8>>::decode(r)?,
         };
@@ -210,6 +385,26 @@ impl Encode for NetMsg {
                 w.put_u8(8);
                 w.put_u32(*node);
             }
+            NetMsg::Metrics { node, round, delta } => {
+                w.put_u8(9);
+                w.put_u32(*node);
+                w.put_u64(*round);
+                delta.encode(w);
+            }
+            NetMsg::Beacon(beacon) => {
+                w.put_u8(10);
+                beacon.encode(w);
+            }
+            NetMsg::Alarm(alarm) => {
+                w.put_u8(11);
+                alarm.encode(w);
+            }
+            NetMsg::Trace { node, round, events } => {
+                w.put_u8(12);
+                w.put_u32(*node);
+                w.put_u64(*round);
+                w.put_bytes(events);
+            }
         }
     }
 }
@@ -250,6 +445,18 @@ impl Decode for NetMsg {
             },
             7 => NetMsg::Report(NodeReport::decode(r)?),
             8 => NetMsg::Bye { node: r.get_u32()? },
+            9 => NetMsg::Metrics {
+                node: r.get_u32()?,
+                round: r.get_u64()?,
+                delta: MetricsDelta::decode(r)?,
+            },
+            10 => NetMsg::Beacon(HealthBeacon::decode(r)?),
+            11 => NetMsg::Alarm(Alarm::decode(r)?),
+            12 => NetMsg::Trace {
+                node: r.get_u32()?,
+                round: r.get_u64()?,
+                events: r.get_bytes()?,
+            },
             t => return Err(WireError::InvalidTag(t)),
         })
     }
@@ -302,10 +509,46 @@ mod tests {
                 alerts: 0,
                 late_frames: 3,
                 mark_timeouts: 1,
+                dup_frames: 2,
+                reorder_frames: 4,
                 rom_keys: vec!["v_cert".into()],
                 rom_values: vec![vec![9; 32]],
             }),
             NetMsg::Bye { node: 2 },
+            NetMsg::Metrics {
+                node: 3,
+                round: 12,
+                delta: {
+                    let mut d = MetricsDelta::default();
+                    d.counters.insert("uls/accepted".into(), 4);
+                    d.maxes.insert("engine/peak".into(), 17);
+                    d
+                },
+            },
+            NetMsg::Beacon(HealthBeacon {
+                node: 3,
+                round: 12,
+                round_ms: 180,
+                lag_ms: 4,
+                inbox_depth: 6,
+                late_frames: 1,
+                mark_timeouts: 0,
+                peers_live: 4,
+                sent_round: 8,
+                alerts_round: 0,
+            }),
+            NetMsg::Alarm(Alarm {
+                node: 3,
+                round: 12,
+                severity: Severity::Critical,
+                kind: "budget_exceeded".into(),
+                detail: "impaired 7 > t 6 in unit 1".into(),
+            }),
+            NetMsg::Trace {
+                node: 3,
+                round: 12,
+                events: b"{\"ev\":\"tick\",\"node\":3,\"round\":12}\n".to_vec(),
+            },
         ];
         for m in msgs {
             let bytes = m.to_bytes();

@@ -98,6 +98,16 @@ impl AddrPlan {
             AddrPlan::Unix { dir } => Endpoint::Unix(dir.join("client.sock")),
         }
     }
+
+    /// The collector's live **status** endpoint (Prometheus exposition /
+    /// JSON snapshot / scoreboard over a one-request-per-connection text
+    /// protocol — not [`super::msg::NetMsg`]-framed).
+    pub fn status(&self) -> Endpoint {
+        match self {
+            AddrPlan::Tcp { host, base } => Endpoint::Tcp(format!("{host}:{}", base - 2)),
+            AddrPlan::Unix { dir } => Endpoint::Unix(dir.join("status.sock")),
+        }
+    }
 }
 
 /// A listening socket of either family.

@@ -443,7 +443,12 @@ impl Proxy {
                 self.fan_out(from, &msg);
             }
             // Collector-bound traffic does not transit the proxy.
-            NetMsg::Event { .. } | NetMsg::Report(_) => {}
+            NetMsg::Event { .. }
+            | NetMsg::Report(_)
+            | NetMsg::Metrics { .. }
+            | NetMsg::Beacon(_)
+            | NetMsg::Alarm(_)
+            | NetMsg::Trace { .. } => {}
         }
     }
 

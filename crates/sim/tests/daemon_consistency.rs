@@ -13,11 +13,12 @@ use proauth_sim::clock::Schedule;
 use proauth_sim::message::{NodeId, OutputEvent};
 use proauth_sim::net::{
     collect, run_node, AddrPlan, ChaosNetSpec, CollectorConfig, DaemonOutcome, NodeNetConfig,
-    ProxyConfig, ProxyStats,
+    ProxyConfig, ProxyStats, TraceSpec,
 };
 use proauth_sim::process::{Process, RoundCtx, SetupCtx};
 use proauth_sim::runner::{run_ul, SimConfig, SimResult};
 use proauth_sim::ProcessDriver;
+use proauth_telemetry::{memory_contents, strip_wall_fields, Telemetry};
 use rand::RngCore;
 use std::any::Any;
 use std::path::PathBuf;
@@ -55,6 +56,7 @@ impl Process for HbNode {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
         for env in ctx.inbox {
             if env.payload.starts_with(b"hb:") {
+                proauth_telemetry::count("hb/accepted", 1);
                 ctx.emit(OutputEvent::Accepted {
                     from: env.from,
                     msg: env.payload.to_vec(),
@@ -91,6 +93,20 @@ fn engine_run(n: usize) -> SimResult {
     run_ul(cfg, |id| HbNode { me: id }, &mut FaithfulUl)
 }
 
+/// Same scenario as [`engine_run`], but with the flight recorder on;
+/// returns the engine's trace JSONL.
+fn engine_trace(n: usize) -> String {
+    let (tele, buf) = Telemetry::with_memory_sink();
+    let mut cfg = SimConfig::new(n, 1, schedule());
+    cfg.seed = SEED;
+    cfg.setup_rounds = SETUP_ROUNDS;
+    cfg.total_rounds = TOTAL_ROUNDS;
+    cfg.parallel = false;
+    cfg.telemetry = tele;
+    run_ul(cfg, |id| HbNode { me: id }, &mut FaithfulUl);
+    memory_contents(&buf)
+}
+
 fn temp_plan(tag: &str) -> (AddrPlan, PathBuf) {
     let dir = std::env::temp_dir().join(format!("proauth-daemon-{}-{tag}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -103,6 +119,7 @@ fn daemon_run(
     n: usize,
     plan: AddrPlan,
     chaos: Option<ChaosNetSpec>,
+    obs: bool,
 ) -> (DaemonOutcome, Option<ProxyStats>) {
     let via_proxy = chaos.is_some();
     let collector_cfg = CollectorConfig {
@@ -110,6 +127,17 @@ fn daemon_run(
         plan: plan.clone(),
         run_id: SEED,
         idle_timeout_ms: 30_000,
+        t: 1,
+        unit_rounds: schedule().unit_rounds,
+        status: false,
+        trace_spec: obs.then(|| TraceSpec {
+            n,
+            s: 1,
+            seed: SEED,
+            schedule: schedule(),
+            setup_rounds: SETUP_ROUNDS,
+            total_rounds: TOTAL_ROUNDS,
+        }),
     };
     // Bind order matters: collector (and proxy) listen before any node dials.
     let collector = std::thread::spawn({
@@ -142,6 +170,8 @@ fn daemon_run(
                 cfg.total_rounds = TOTAL_ROUNDS;
                 cfg.round_ms = 2_000;
                 cfg.connect_timeout_ms = 30_000;
+                cfg.telemetry = obs;
+                cfg.stream_trace = obs;
                 let mut driver = ProcessDriver::new(HbNode { me }, me, n, SEED);
                 run_node(cfg, &mut driver, |_, _| None)
             })
@@ -159,7 +189,7 @@ fn daemon_run(
 fn faithful_daemon_matches_engine_bit_for_bit() {
     let engine = engine_run(N);
     let (plan, dir) = temp_plan("mesh");
-    let (outcome, _) = daemon_run(N, plan, None);
+    let (outcome, _) = daemon_run(N, plan, None, false);
     let _ = std::fs::remove_dir_all(dir);
 
     // Identical ROMs: setup delivery (content and order) matched.
@@ -191,7 +221,7 @@ fn chaos_proxy_preserves_model_invariants() {
         reorder_pct: 10,
         partition: None,
     };
-    let (outcome, proxy_stats) = daemon_run(n, plan, Some(spec));
+    let (outcome, proxy_stats) = daemon_run(n, plan, Some(spec), false);
     let _ = std::fs::remove_dir_all(dir);
     let stats = proxy_stats.expect("proxy ran");
 
@@ -241,4 +271,49 @@ fn chaos_proxy_preserves_model_invariants() {
     // Delayed frames were delivered late, and the receivers noticed.
     let late: u64 = outcome.reports.iter().map(|r| r.late_frames).sum();
     assert!(late > 0, "delays must surface as late frames");
+}
+
+#[test]
+fn observability_plane_merges_metrics_and_reassembles_engine_trace() {
+    let (plan, dir) = temp_plan("obs");
+    let (outcome, _) = daemon_run(N, plan, None, true);
+    let _ = std::fs::remove_dir_all(dir);
+
+    // The cluster registry is exactly the sum of the per-node registries:
+    // no delta was lost, duplicated, or misattributed on the way in.
+    assert_eq!(outcome.node_metrics.len(), N);
+    let mut summed: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for snap in &outcome.node_metrics {
+        for (name, v) in &snap.counters {
+            *summed.entry(name).or_insert(0) += v;
+        }
+    }
+    let merged: std::collections::BTreeMap<&str, u64> = outcome
+        .merged
+        .counters
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    assert_eq!(merged, summed, "merged registry must equal per-node sum");
+    // The protocol counters actually flowed: every accepted heartbeat was
+    // counted once (heartbeats sent in round r arrive in round r+1).
+    let accepted = outcome.merged.counters.get("hb/accepted").copied().unwrap_or(0);
+    assert_eq!(accepted, (N as u64) * (N as u64 - 1) * (TOTAL_ROUNDS - 1));
+    // A faithful run raises no alarms.
+    assert!(
+        outcome.alarms.is_empty(),
+        "faithful run must be alarm-free: {:?}",
+        outcome.alarms
+    );
+
+    // Golden-trace guarantee, daemon edition: the collector-assembled trace,
+    // stripped of wall-clock fields, is byte-identical to the in-process
+    // engine's for the same scenario.
+    let daemon_trace = outcome.trace.expect("trace assembly must complete");
+    let engine = engine_trace(N);
+    assert_eq!(
+        strip_wall_fields(&daemon_trace),
+        strip_wall_fields(&engine),
+        "stripped daemon trace must match engine trace byte-for-byte"
+    );
 }

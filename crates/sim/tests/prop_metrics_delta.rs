@@ -1,0 +1,133 @@
+//! Property tests for the metrics-delta wire codec (the observability
+//! plane's per-round `Metrics` frames): arbitrary deltas round-trip through
+//! encode/decode, truncated encodings are rejected (never panic, never
+//! misdecode), arbitrary garbage never panics, and applying a recomputed
+//! delta chain reconstructs the source registry exactly.
+
+use proauth_primitives::wire::{Decode, Encode, Reader, Writer};
+use proauth_telemetry::{intern_name, Histogram, MetricsDelta, Registry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A short registry-ish name: keeps the interner small across cases.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-d]{1,3}/[a-d]{1,3}",
+        Just("uls/accepted".to_owned()),
+        Just("net/late_frames".to_owned()),
+    ]
+}
+
+fn arb_hist() -> impl Strategy<Value = Histogram> {
+    (
+        proptest::collection::vec(0u64..1000, 14),
+        any::<u32>(),
+    )
+        .prop_map(|(counts, sum)| {
+            let mut h = Histogram::default();
+            for (slot, c) in h.counts.iter_mut().zip(&counts) {
+                *slot = *c;
+            }
+            h.total = counts.iter().sum();
+            h.sum_ns = sum as u64;
+            h
+        })
+}
+
+/// The vendored proptest has no `collection::btree_map`; collect pairs.
+fn arb_map<V: std::fmt::Debug>(
+    values: impl Strategy<Value = V>,
+    max: usize,
+) -> impl Strategy<Value = BTreeMap<String, V>> {
+    proptest::collection::vec((arb_name(), values), 0..max)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+fn arb_delta() -> impl Strategy<Value = MetricsDelta> {
+    (
+        arb_map(1u64..u64::MAX / 2, 6),
+        arb_map(any::<u64>(), 4),
+        arb_map(arb_hist(), 3),
+        arb_map(arb_hist(), 3),
+    )
+        .prop_map(|(counters, maxes, hists, value_hists)| MetricsDelta {
+            counters,
+            maxes,
+            hists,
+            value_hists,
+        })
+}
+
+fn encode(delta: &MetricsDelta) -> Vec<u8> {
+    let mut w = Writer::new();
+    delta.encode(&mut w);
+    w.into_bytes()
+}
+
+proptest! {
+    /// Encode → decode is the identity for any delta.
+    #[test]
+    fn roundtrip(delta in arb_delta()) {
+        let bytes = encode(&delta);
+        let mut r = Reader::new(&bytes);
+        let back = MetricsDelta::decode(&mut r).expect("well-formed encoding");
+        prop_assert_eq!(back, delta);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Every strict prefix of a non-empty encoding fails to decode cleanly:
+    /// either an error, or (for prefixes that happen to parse) leftover
+    /// detection at a higher layer — it must never panic either way.
+    #[test]
+    fn truncation_never_panics(delta in arb_delta(), cut_seed in any::<usize>()) {
+        let bytes = encode(&delta);
+        prop_assume!(!bytes.is_empty());
+        let cut = cut_seed % bytes.len();
+        let mut r = Reader::new(&bytes[..cut]);
+        // A strict prefix can never successfully decode to the original.
+        if let Ok(back) = MetricsDelta::decode(&mut r) {
+            prop_assert_ne!(back, delta);
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut r = Reader::new(&bytes);
+        let _ = MetricsDelta::decode(&mut r);
+    }
+
+    /// Folding a registry's per-step deltas into a second registry
+    /// reconstructs the first: the exact invariant the collector's merge
+    /// relies on.
+    #[test]
+    fn delta_chain_reconstructs_registry(
+        steps in proptest::collection::vec(arb_map(1u64..1000, 5), 1..6),
+    ) {
+        let source = Registry::default();
+        let mirror = Registry::default();
+        let mut last = source.snapshot();
+        for step in &steps {
+            for (name, v) in step {
+                source.add(intern_name(name), *v);
+            }
+            let snap = source.snapshot();
+            let delta = snap.delta_since(&last);
+            delta.apply_to(&mirror);
+            last = snap;
+        }
+        let want: BTreeMap<&str, u64> = source
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let got: BTreeMap<&str, u64> = mirror
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,321 @@
+//! Cross-process metrics shipping: the compact **delta** wire form a node
+//! process folds its registry into and streams to the collector, and the
+//! merge that rebuilds a cluster-wide registry on the other side.
+//!
+//! # Shape
+//!
+//! A [`MetricsDelta`] carries owned `String` names (the `&'static str` keys
+//! of a [`Registry`] mean nothing in another process) and one section per
+//! metric family:
+//!
+//! * **counters** — increments since the previous delta (zero rows omitted);
+//!   merge is addition, so applying a node's deltas in order reconstructs
+//!   its counter totals exactly;
+//! * **maxes** — absolute gauge values (merge is `max`, so resending the
+//!   absolute value is idempotent and loss of an intermediate delta cannot
+//!   understate the gauge);
+//! * **hists** / **value_hists** — per-bucket count increments plus
+//!   `total`/`sum_ns` increments; merge is bucket-wise addition.
+//!
+//! Applying every delta a node ever shipped therefore yields the same
+//! registry contents the node holds locally — the property the daemon e2e
+//! asserts (collector merge == sum of per-node registries).
+//!
+//! # Determinism
+//!
+//! Deltas are computed from [`MetricsSnapshot`]s (BTreeMap-backed), so
+//! section ordering is canonical by name and the encoded bytes are a pure
+//! function of the registry contents. Wall-clock histograms ride along for
+//! display but are kept out of trace synthesis by the collector.
+
+use crate::intern_name;
+use crate::registry::{Histogram, MetricsSnapshot, Registry};
+use proauth_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use std::collections::BTreeMap;
+
+/// Increments (and absolute gauge values) accumulated between two registry
+/// snapshots, in a form that can cross a process boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsDelta {
+    /// Counter increments by name (zero rows omitted).
+    pub counters: BTreeMap<String, u64>,
+    /// Absolute max-gauge values by name (only gauges that rose since the
+    /// previous snapshot are included).
+    pub maxes: BTreeMap<String, u64>,
+    /// Latency-histogram increments by name (empty deltas omitted).
+    pub hists: BTreeMap<String, Histogram>,
+    /// Value-histogram increments by name (empty deltas omitted).
+    pub value_hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsDelta {
+    /// Whether there is anything to ship.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.maxes.is_empty()
+            && self.hists.is_empty()
+            && self.value_hists.is_empty()
+    }
+
+    /// Merges this delta into a registry (the collector's per-node or
+    /// cluster-wide store). Names intern once per process — the metric-name
+    /// family is small and fixed, which is exactly what [`intern_name`] is
+    /// for.
+    pub fn apply_to(&self, registry: &Registry) {
+        for (name, v) in &self.counters {
+            if *v > 0 {
+                registry.add(intern_name(name), *v);
+            }
+        }
+        for (name, v) in &self.maxes {
+            registry.gauge_max(intern_name(name), *v);
+        }
+        for (name, h) in &self.hists {
+            registry.merge_hist(intern_name(name), h);
+        }
+        for (name, h) in &self.value_hists {
+            registry.merge_value_hist(intern_name(name), h);
+        }
+    }
+}
+
+impl Histogram {
+    /// The per-bucket increments between `prev` and `self` (`self` must be a
+    /// later snapshot of the same histogram; saturating so a corrupted pair
+    /// cannot panic).
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        let mut d = Histogram::default();
+        for (slot, (a, b)) in d
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(prev.counts.iter()))
+        {
+            *slot = a.saturating_sub(*b);
+        }
+        d.total = self.total.saturating_sub(prev.total);
+        d.sum_ns = self.sum_ns.saturating_sub(prev.sum_ns);
+        d
+    }
+
+    /// Whether the histogram holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0 && self.sum_ns == 0 && self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Everything that changed since `prev`, as a shippable delta: counter
+    /// and histogram increments, absolute values for gauges that rose.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsDelta {
+        let mut delta = MetricsDelta::default();
+        for (name, v) in &self.counters {
+            let d = v.saturating_sub(prev.counters.get(name).copied().unwrap_or(0));
+            if d > 0 {
+                delta.counters.insert((*name).to_owned(), d);
+            }
+        }
+        for (name, v) in &self.maxes {
+            if *v > prev.maxes.get(name).copied().unwrap_or(0) {
+                delta.maxes.insert((*name).to_owned(), *v);
+            }
+        }
+        for (name, h) in &self.hists {
+            let d = match prev.hists.get(name) {
+                Some(p) => h.delta_since(p),
+                None => h.clone(),
+            };
+            if !d.is_empty() {
+                delta.hists.insert((*name).to_owned(), d);
+            }
+        }
+        for (name, h) in &self.value_hists {
+            let d = match prev.value_hists.get(name) {
+                Some(p) => h.delta_since(p),
+                None => h.clone(),
+            };
+            if !d.is_empty() {
+                delta.value_hists.insert((*name).to_owned(), d);
+            }
+        }
+        delta
+    }
+}
+
+impl Encode for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        for c in &self.counts {
+            w.put_u64(*c);
+        }
+        w.put_u64(self.total);
+        w.put_u64(self.sum_ns);
+    }
+}
+
+impl Decode for Histogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut h = Histogram::default();
+        for c in &mut h.counts {
+            *c = r.get_u64()?;
+        }
+        h.total = r.get_u64()?;
+        h.sum_ns = r.get_u64()?;
+        Ok(h)
+    }
+}
+
+fn encode_u64_section(w: &mut Writer, map: &BTreeMap<String, u64>) {
+    w.put_u32(map.len() as u32);
+    for (name, v) in map {
+        name.encode(w);
+        w.put_u64(*v);
+    }
+}
+
+fn decode_u64_section(r: &mut Reader<'_>) -> Result<BTreeMap<String, u64>, WireError> {
+    let len = r.get_u32()? as usize;
+    if len > r.remaining() {
+        return Err(WireError::BadLength);
+    }
+    let mut map = BTreeMap::new();
+    for _ in 0..len {
+        let name = String::decode(r)?;
+        let v = r.get_u64()?;
+        map.insert(name, v);
+    }
+    Ok(map)
+}
+
+fn encode_hist_section(w: &mut Writer, map: &BTreeMap<String, Histogram>) {
+    w.put_u32(map.len() as u32);
+    for (name, h) in map {
+        name.encode(w);
+        h.encode(w);
+    }
+}
+
+fn decode_hist_section(r: &mut Reader<'_>) -> Result<BTreeMap<String, Histogram>, WireError> {
+    let len = r.get_u32()? as usize;
+    if len > r.remaining() {
+        return Err(WireError::BadLength);
+    }
+    let mut map = BTreeMap::new();
+    for _ in 0..len {
+        let name = String::decode(r)?;
+        let h = Histogram::decode(r)?;
+        map.insert(name, h);
+    }
+    Ok(map)
+}
+
+impl Encode for MetricsDelta {
+    fn encode(&self, w: &mut Writer) {
+        encode_u64_section(w, &self.counters);
+        encode_u64_section(w, &self.maxes);
+        encode_hist_section(w, &self.hists);
+        encode_hist_section(w, &self.value_hists);
+    }
+}
+
+impl Decode for MetricsDelta {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MetricsDelta {
+            counters: decode_u64_section(r)?,
+            maxes: decode_u64_section(r)?,
+            hists: decode_hist_section(r)?,
+            value_hists: decode_hist_section(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::HIST_BOUNDS_VALUE;
+
+    fn snap_of(reg: &Registry) -> MetricsSnapshot {
+        reg.snapshot()
+    }
+
+    #[test]
+    fn delta_roundtrip_and_apply_reconstructs() {
+        let src = Registry::default();
+        src.add("uls/accepted", 12);
+        src.add("pds/signed", 3);
+        src.gauge_max("engine/peak", 40);
+        src.observe_ns("crypto/sign_ns", 1_500);
+        src.observe_value("net/round_ms", 250);
+        let first = snap_of(&src);
+        let d1 = first.delta_since(&MetricsSnapshot::default());
+
+        src.add("uls/accepted", 5);
+        src.gauge_max("engine/peak", 55);
+        src.observe_ns("crypto/sign_ns", 9_000_000);
+        let second = snap_of(&src);
+        let d2 = second.delta_since(&first);
+        assert_eq!(d2.counters.get("uls/accepted"), Some(&5));
+        assert!(!d2.counters.contains_key("pds/signed"));
+        assert_eq!(d2.maxes.get("engine/peak"), Some(&55));
+
+        // Wire round-trip of both deltas, applied in order, reconstructs the
+        // source registry exactly.
+        let dst = Registry::default();
+        for d in [&d1, &d2] {
+            let bytes = d.to_bytes();
+            let decoded = MetricsDelta::from_bytes(&bytes).expect("decode");
+            assert_eq!(decoded, *d);
+            decoded.apply_to(&dst);
+        }
+        assert_eq!(snap_of(&dst), second);
+    }
+
+    #[test]
+    fn empty_and_unchanged_deltas() {
+        let d = MetricsDelta::default();
+        assert!(d.is_empty());
+        let bytes = d.to_bytes();
+        assert_eq!(MetricsDelta::from_bytes(&bytes).expect("decode"), d);
+
+        let reg = Registry::default();
+        reg.add("a", 1);
+        let snap = reg.snapshot();
+        assert!(snap.delta_since(&snap).is_empty());
+    }
+
+    #[test]
+    fn histogram_delta_since() {
+        let mut a = Histogram::default();
+        a.observe_bounded(&HIST_BOUNDS_VALUE, 3);
+        let mut b = a.clone();
+        b.observe_bounded(&HIST_BOUNDS_VALUE, 700);
+        let d = b.delta_since(&a);
+        assert_eq!(d.total, 1);
+        assert!(!d.is_empty());
+        assert!(a.delta_since(&a).is_empty());
+        // Corrupted (reversed) pair saturates instead of panicking.
+        assert!(a.delta_since(&b).is_empty());
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let reg = Registry::default();
+        reg.add("x", 7);
+        reg.observe_value("v", 3);
+        let snap = reg.snapshot();
+        let d = snap.delta_since(&MetricsSnapshot::default());
+        let bytes = d.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(MetricsDelta::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn absurd_section_length_rejected() {
+        let mut w = Writer::default();
+        w.put_u32(u32::MAX); // counters section claims 4 billion entries
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            MetricsDelta::from_bytes(&bytes),
+            Err(WireError::BadLength) | Err(WireError::UnexpectedEof)
+        ));
+    }
+}

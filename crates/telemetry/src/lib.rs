@@ -34,12 +34,14 @@
 //! exists). The e11 benchmark's telemetry ablation row measures exactly
 //! this.
 
+pub mod delta;
 pub mod event;
 pub mod phase;
 pub mod registry;
 pub mod sink;
 mod scope;
 
+pub use delta::MetricsDelta;
 pub use event::{strip_wall_fields, EventBuf, Field};
 pub use phase::{PhaseTimer, PHASE_NORMAL, PHASE_REFRESH1, PHASE_REFRESH2};
 pub use registry::{
@@ -196,6 +198,21 @@ impl Telemetry {
         let events = shard.drain_into(&inner.registry);
         if let Some(sink) = &inner.sink {
             sink.write(events.as_bytes());
+        }
+    }
+
+    /// Appends pre-encoded JSONL event bytes straight to the sink
+    /// (cluster-trace assembly: node-shard blobs cross the process boundary
+    /// already encoded, and must land between the synthesized round events
+    /// byte-for-byte).
+    pub fn append_raw(&self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.write(bytes);
+            }
         }
     }
 

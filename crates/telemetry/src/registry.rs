@@ -273,6 +273,17 @@ impl Registry {
             .observe_bounded(&HIST_BOUNDS_VALUE, v);
     }
 
+    /// Merges a latency-histogram delta into the named histogram (collector
+    /// use: applying a cross-process [`crate::MetricsDelta`]).
+    pub fn merge_hist(&self, name: &'static str, h: &Histogram) {
+        lock(&self.hists).entry(name).or_default().merge(h);
+    }
+
+    /// Merges a value-histogram delta into the named histogram.
+    pub fn merge_value_hist(&self, name: &'static str, h: &Histogram) {
+        lock(&self.value_hists).entry(name).or_default().merge(h);
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         lock(&self.counters).get(name).copied().unwrap_or(0)

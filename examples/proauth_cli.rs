@@ -27,8 +27,19 @@
 //!   daemon  orchestrator: spawns n `serve` processes (plus a `proxy` when
 //!           any chaos flag is set), runs the collector inline, prints the
 //!           goodput report; --check verifies the outcome against the
-//!           in-process engine (bit-identical without chaos; certified
-//!           keys + zero forgeries + liveness under chaos)
+//!           in-process engine (bit-identical outputs AND flight-recorder
+//!           trace without chaos; certified keys + zero forgeries +
+//!           liveness under chaos)
+//!   top     scrape a running daemon's live status socket: --addr plus
+//!           --view metrics|json|top (default top), --once for a single
+//!           snapshot, --interval <ms> to refresh (default 1000)
+//!
+//! Daemon observability (on by default): every node streams per-round
+//! metrics deltas, a health beacon, and typed alarms to the collector,
+//! which serves them at the status endpoint (`status.sock` / base-2 port).
+//! --adaptive enables bounded AIMD round pacing (halve on congestion, creep
+//! back when clean; --adapt-floor-ms sets the floor); --trace <path> saves
+//! the collector-assembled cluster trace.
 //!
 //!   --addr <plan>        unix:DIR (default) or tcp:HOST:PORT — node i
 //!                        listens at DIR/node-i.sock / PORT+i
@@ -131,13 +142,15 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> HashMap<String, String>
         };
         match key {
             "parallel" | "verbose" | "preprocess" | "clusters" | "via-proxy" | "report"
-            | "check" | "closed-loop" => {
+            | "check" | "closed-loop" | "telemetry" | "stream-trace" | "adaptive" | "status"
+            | "once" => {
                 out.insert(key.to_owned(), "true".to_owned());
             }
             "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary"
             | "trace" | "rate" | "window" | "mix" | "node" | "addr" | "round-ms"
             | "min-round-ms" | "connect-timeout" | "idle-timeout" | "chaos-seed" | "delay"
-            | "delay-max" | "dup" | "reorder" | "partition" | "windows" => {
+            | "delay-max" | "dup" | "reorder" | "partition" | "windows" | "adapt-floor-ms"
+            | "interval" | "view" => {
                 let Some(value) = args.next() else {
                     eprintln!("--{key} needs a value");
                     usage()
@@ -505,6 +518,10 @@ fn main() {
     if raw.first().map(String::as_str) == Some("daemon") {
         raw.remove(0);
         daemon_main(&parse_args(raw));
+    }
+    if raw.first().map(String::as_str) == Some("top") {
+        raw.remove(0);
+        top_main(&parse_args(raw));
     }
     let args = parse_args(raw);
     let n: usize = get(&args, "n", 5);
@@ -973,6 +990,32 @@ impl NetScenario {
         cfg.parallel = false;
         run_ul(cfg, |id| self.make_node(id), &mut FaithfulUl)
     }
+
+    /// The engine run's flight-recorder trace (JSONL), for the daemon-trace
+    /// equality check.
+    fn engine_trace(&self) -> String {
+        let (tele, buf) = proauth_sim::telemetry::Telemetry::with_memory_sink();
+        let mut cfg = SimConfig::new(self.n, self.t, self.schedule());
+        cfg.setup_rounds = SETUP_ROUNDS;
+        cfg.total_rounds = self.total_rounds();
+        cfg.seed = self.seed;
+        cfg.parallel = false;
+        cfg.telemetry = tele;
+        run_ul(cfg, |id| self.make_node(id), &mut FaithfulUl);
+        proauth_sim::telemetry::memory_contents(&buf)
+    }
+
+    /// The collector-side trace-assembly spec for this scenario.
+    fn trace_spec(&self) -> proauth_sim::net::TraceSpec {
+        proauth_sim::net::TraceSpec {
+            n: self.n,
+            s: self.t,
+            seed: self.seed,
+            schedule: self.schedule(),
+            setup_rounds: SETUP_ROUNDS,
+            total_rounds: self.total_rounds(),
+        }
+    }
 }
 
 fn default_sock_dir() -> std::path::PathBuf {
@@ -1026,6 +1069,10 @@ fn serve_main(args: &HashMap<String, String>) -> ! {
     cfg.round_ms = get(args, "round-ms", 250);
     cfg.min_round_ms = get(args, "min-round-ms", 0);
     cfg.connect_timeout_ms = get(args, "connect-timeout", 30_000);
+    cfg.telemetry = args.contains_key("telemetry");
+    cfg.stream_trace = args.contains_key("stream-trace");
+    cfg.adaptive = args.contains_key("adaptive");
+    cfg.adapt_floor_ms = get(args, "adapt-floor-ms", 20);
 
     let mut driver = ProcessDriver::new(sc.make_node(me), me, sc.n, sc.seed);
     match run_node(cfg, &mut driver, |_, _| None) {
@@ -1098,6 +1145,10 @@ fn client_main(args: &HashMap<String, String>) -> ! {
         plan: sc.plan.clone(),
         run_id: sc.run_id(),
         idle_timeout_ms: get(args, "idle-timeout", 60_000),
+        t: sc.t,
+        unit_rounds: sc.schedule().unit_rounds,
+        status: args.contains_key("status"),
+        trace_spec: None,
     };
     match collect(cfg) {
         Ok(outcome) => {
@@ -1138,6 +1189,101 @@ fn print_goodput_report(sc: &NetScenario, outcome: &proauth_sim::net::DaemonOutc
         outcome.goodput(),
         outcome.accepted_bytes()
     );
+}
+
+/// The observability-plane summary: merged transport counters and the alarm
+/// stream (empty on a clean run).
+fn print_observability_report(outcome: &proauth_sim::net::DaemonOutcome) {
+    let c = |name: &str| outcome.merged.counters.get(name).copied().unwrap_or(0);
+    if !outcome.merged.counters.is_empty() {
+        println!(
+            "observability: late_frames {} mark_timeouts {} dup {} reorder {} \
+             rejected {} alerts {}",
+            c("net/late_frames"),
+            c("net/mark_timeouts"),
+            c("net/dup_frames"),
+            c("net/reorder_frames"),
+            c("uls/rejected"),
+            c("uls/alerts"),
+        );
+    }
+    if outcome.alarms.is_empty() {
+        println!("alarms: none");
+    } else {
+        println!("alarms: {}", outcome.alarms.len());
+        for a in &outcome.alarms {
+            println!(
+                "  [{}] node {} round {}: {} ({})",
+                a.severity.label(),
+                a.node,
+                a.round,
+                a.kind,
+                a.detail
+            );
+        }
+    }
+}
+
+/// `top`: scrape the collector's live status socket and print the result.
+/// `--view metrics|json|top` picks the rendering (default `top`); `--once`
+/// prints one snapshot, otherwise refreshes every `--interval` ms.
+fn top_main(args: &HashMap<String, String>) -> ! {
+    use proauth_sim::net::{AddrPlan, Endpoint};
+    use std::io::{Read, Write};
+
+    let addr = args
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| format!("unix:{}", default_sock_dir().display()));
+    let plan = AddrPlan::parse(&addr).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    let endpoint = plan.status();
+    let view = args.get("view").cloned().unwrap_or_else(|| "top".to_owned());
+    if !matches!(view.as_str(), "metrics" | "json" | "top") {
+        eprintln!("--view wants metrics|json|top");
+        exit(2);
+    }
+    let once = args.contains_key("once");
+    let interval = std::time::Duration::from_millis(get(args, "interval", 1_000));
+
+    let scrape = |endpoint: &Endpoint| -> std::io::Result<String> {
+        let mut body = String::new();
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let mut s = std::net::TcpStream::connect(addr)?;
+                s.write_all(format!("{view}\n").as_bytes())?;
+                s.read_to_string(&mut body)?;
+            }
+            Endpoint::Unix(path) => {
+                let mut s = std::os::unix::net::UnixStream::connect(path)?;
+                s.write_all(format!("{view}\n").as_bytes())?;
+                s.read_to_string(&mut body)?;
+            }
+        }
+        Ok(body)
+    };
+
+    loop {
+        match scrape(&endpoint) {
+            Ok(body) => {
+                print!("{body}");
+                if !body.ends_with('\n') {
+                    println!();
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot scrape {endpoint}: {e}");
+                exit(1)
+            }
+        }
+        if once {
+            exit(0)
+        }
+        println!("---");
+        std::thread::sleep(interval);
+    }
 }
 
 /// Checks a chaos-run outcome against the protocol's promises: certified
@@ -1198,6 +1344,11 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
     let chaos = !spec.is_faithful();
     let check = args.contains_key("check");
     let round_ms: u64 = get(args, "round-ms", 1_000);
+    // Trace assembly needs the nodes to stream their flight-recorder events;
+    // `--check` compares the assembled trace against the engine (faithful
+    // runs only), `--trace PATH` saves it.
+    let want_trace = check || args.contains_key("trace");
+    let adaptive = args.contains_key("adaptive");
     let exe = std::env::current_exe().expect("own executable path");
 
     if let AddrPlan::Unix { dir } = &sc.plan {
@@ -1228,16 +1379,23 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
     }
 
     // Bind the collector before any child starts so report dials never race.
+    // The live status socket is always on in daemon mode (`proauth top`
+    // scrapes it at `plan.status()`).
     let collector = Collector::bind(CollectorConfig {
         n: sc.n,
         plan: sc.plan.clone(),
         run_id: sc.run_id(),
         idle_timeout_ms: get(args, "idle-timeout", 120_000),
+        t: sc.t,
+        unit_rounds: sc.schedule().unit_rounds,
+        status: true,
+        trace_spec: want_trace.then(|| sc.trace_spec()),
     })
     .unwrap_or_else(|e| {
         eprintln!("cannot bind collector: {e}");
         exit(1)
     });
+    println!("status endpoint: {}", sc.plan.status());
 
     let addr_arg = args
         .get("addr")
@@ -1285,8 +1443,23 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
             .arg("--report")
             .arg("--round-ms")
             .arg(round_ms.to_string());
+        if let Some(v) = args.get("min-round-ms") {
+            cmd.arg("--min-round-ms").arg(v);
+        }
         if chaos {
             cmd.arg("--via-proxy");
+        }
+        // Observability is on by default in daemon mode: each node folds its
+        // registry into per-round metrics deltas and a health beacon.
+        cmd.arg("--telemetry");
+        if want_trace {
+            cmd.arg("--stream-trace");
+        }
+        if adaptive {
+            cmd.arg("--adaptive");
+            if let Some(v) = args.get("adapt-floor-ms") {
+                cmd.arg("--adapt-floor-ms").arg(v);
+            }
         }
         // Node stdout is summary-only; keep the orchestrator's output clean
         // but surface child errors.
@@ -1332,8 +1505,22 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
         }
     };
     print_goodput_report(&sc, &outcome);
+    print_observability_report(&outcome);
     for f in &child_failures {
         eprintln!("child failure: {f}");
+    }
+
+    if let Some(path) = args.get("trace") {
+        match &outcome.trace {
+            Some(trace) => {
+                std::fs::write(path, trace).unwrap_or_else(|e| {
+                    eprintln!("cannot write trace to {path}: {e}");
+                    exit(1)
+                });
+                println!("assembled cluster trace: {path} ({} lines)", trace.lines().count());
+            }
+            None => eprintln!("trace assembly incomplete; {path} not written"),
+        }
     }
 
     if check {
@@ -1348,6 +1535,18 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
                 if outcome.outputs[id.idx()] != engine.outputs[id.idx()] {
                     fails.push(format!("{id} output log diverged from the engine"));
                 }
+            }
+            // Golden-trace guarantee, daemon edition: the collector-assembled
+            // trace, stripped of wall-clock fields, must be byte-identical to
+            // the engine's flight recorder.
+            use proauth_sim::telemetry::strip_wall_fields;
+            match &outcome.trace {
+                Some(trace) => {
+                    if strip_wall_fields(trace) != strip_wall_fields(&sc.engine_trace()) {
+                        fails.push("assembled trace diverged from the engine trace".to_owned());
+                    }
+                }
+                None => fails.push("trace assembly did not complete".to_owned()),
             }
             fails
         };
