@@ -94,6 +94,49 @@ wait "$OBS_PID"
 grep -q "alarms: none" "$OBS_DIR/daemon.log"
 rm -rf "$OBS_DIR"
 
+# Self-healing smoke: n = 13 over the chaos proxy with every node SIGKILLed
+# once (--kill auto schedules the victims across refresh windows so share
+# recovery never exceeds n-(t+1) concurrent losses) and respawned by the
+# supervisor from --state-dir. The live status endpoint is scraped while the
+# run is in flight: restarts must surface as node_restarted alarms in the
+# JSON snapshot and the recovery-latency histogram in the Prometheus view
+# must be non-empty once the first respawn heals. The run itself must still
+# verify against the in-process engine (--check: certified keys equal, zero
+# forgeries, every node completes every round).
+HEAL_DIR=$(mktemp -d /tmp/proauth-heal.XXXXXX)
+timeout 600 cargo run -q --release -p proauth-examples --bin proauth -- \
+    daemon --n 13 --units 4 --normal 8 --round-ms 200 --delay 5 --dup 3 \
+    --kill auto --state-dir "$HEAL_DIR/state" --addr "unix:$HEAL_DIR" \
+    --check > "$HEAL_DIR/daemon.log" 2>&1 &
+HEAL_PID=$!
+RESTART_SEEN=0
+HIST_SEEN=0
+for _ in $(seq 1 300); do
+    kill -0 "$HEAL_PID" 2>/dev/null || break
+    if [ "$RESTART_SEEN" -eq 0 ]; then
+        SNAP=$(cargo run -q --release -p proauth-examples --bin proauth -- \
+            top --addr "unix:$HEAL_DIR" --once --view json 2>/dev/null || true)
+        echo "$SNAP" | grep -q '"kind":"node_restarted"' && RESTART_SEEN=1
+    fi
+    if [ "$RESTART_SEEN" -eq 1 ]; then
+        PROM=$(cargo run -q --release -p proauth-examples --bin proauth -- \
+            top --addr "unix:$HEAL_DIR" --once --view metrics 2>/dev/null || true)
+        if echo "$PROM" | grep -q '^proauth_net_recovery_latency_ms_count [1-9]'; then
+            HIST_SEEN=1
+            break
+        fi
+    fi
+    sleep 1
+done
+if [ "$RESTART_SEEN" -ne 1 ] || [ "$HIST_SEEN" -ne 1 ]; then
+    echo "daemon-heal: status endpoint never showed a healed restart" >&2
+    cat "$HEAL_DIR/daemon.log" >&2
+    exit 1
+fi
+wait "$HEAL_PID"
+grep -q "recovery latency:" "$HEAL_DIR/daemon.log"
+rm -rf "$HEAL_DIR"
+
 # Observability smoke, over-budget leg: a partition isolating 2 nodes under
 # t = 1 must trip the collector's Definition-7 accounting — the run ends
 # with at least the critical budget_exceeded alarm.

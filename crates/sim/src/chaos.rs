@@ -338,6 +338,138 @@ impl<A: AlAdversary> AlAdversary for ChaosNet<A> {
     }
 }
 
+/// A process-level fault plan for daemon mode: real SIGKILLs delivered by
+/// the supervisor at round boundaries, plus optional state-file truncation
+/// before the respawn. Compiled deterministically from the run seed like
+/// every other chaos schedule, and charged to the Definition-7 budget
+/// exactly like engine crash-stops — a killed OS process and a crash-stopped
+/// simulated node are the same fault at different layers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessFaultPlan {
+    /// `(round, node)` kill events, sorted by round then node. The
+    /// supervisor fires each once the collector's observed round reaches it.
+    pub kills: Vec<(u64, u32)>,
+    /// Nodes whose `state.bin` is truncated before their respawn — the
+    /// digest check fails, the watermark is lost, and the node must rejoin
+    /// from round 0 (full catch-up plus share recovery).
+    pub truncate: Vec<u32>,
+}
+
+impl ProcessFaultPlan {
+    /// One kill per node, spread deterministically from `seed` across the
+    /// run's *recovery windows*. A killed process loses its volatile state —
+    /// key shares included — and regains it only through share recovery in
+    /// the next refreshment phase, which itself needs `t+1` intact shares.
+    /// The plan therefore respects three placement rules:
+    ///
+    /// * **at most `n - (t+1)` victims per time unit** — more would drop the
+    ///   surviving share count below the signing threshold and destroy the
+    ///   joint key irrecoverably (the paper's corruption bound, Def. 7);
+    /// * **normal-phase rounds only, with a margin before the next unit
+    ///   boundary** — the victim must respawn, catch up, and announce fresh
+    ///   keys at the next refresh's first round (URfr I.1); a kill too close
+    ///   to the boundary slips its recovery a whole extra unit. The margin
+    ///   also absorbs kill-delivery lag (the supervisor fires on
+    ///   beacon-observed rounds, which trail the cluster by a few);
+    /// * **a complete unit after every kill's unit** — so the refresh that
+    ///   heals the victim actually runs; setup is likewise excluded (the
+    ///   setup barrier is hard and the phase adversary-free by model §2.1).
+    ///
+    /// Errors when `total_rounds` holds too few units to spread `n` kills
+    /// under the threshold cap — the fix is more units, not fewer kills.
+    pub fn kill_all_once(
+        n: usize,
+        t: usize,
+        schedule: &Schedule,
+        total_rounds: u64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        let unit_rounds = schedule.unit_rounds;
+        let normal = unit_rounds - schedule.refresh_rounds();
+        let margin = (normal / 2).clamp(2, 8);
+        let cap = n.saturating_sub(t + 1).max(1);
+        // Units eligible to host kills: a full unit must follow.
+        let units: Vec<u64> = (0..)
+            .take_while(|u| (u + 2) * unit_rounds <= total_rounds)
+            .collect();
+        let needed = n.div_ceil(cap);
+        if units.len() < needed {
+            return Err(format!(
+                "cannot kill all {n} nodes: at most {cap} per unit (t={t} needs t+1 \
+                 surviving shares per refresh) requires {needed} kill-eligible units \
+                 plus a final clean one, but {total_rounds} rounds hold only {} — \
+                 raise --units to at least {}",
+                units.len(),
+                needed + 1
+            ));
+        }
+        // Deterministic victim order, then round-robin across eligible units
+        // so concurrent share loss stays maximally below the cap.
+        let mut victims: Vec<u32> = (1..=n as u32).collect();
+        victims.sort_by_key(|node| {
+            sha256::hash_parts(
+                "proauth/net/killplan",
+                &[&seed.to_be_bytes(), &node.to_be_bytes()],
+            )
+        });
+        let spread = units.len().min(needed.max(1));
+        let mut kills: Vec<(u64, u32)> = Vec::with_capacity(n);
+        for (i, &node) in victims.iter().enumerate() {
+            let unit = units[i % spread];
+            // Normal-phase window of this unit (unit 0 is all normal; later
+            // units open with their refresh), minus the boundary margin.
+            let win_lo = if unit == 0 {
+                2
+            } else {
+                unit * unit_rounds + schedule.refresh_rounds()
+            };
+            let win_hi = ((unit + 1) * unit_rounds - margin).max(win_lo + 1);
+            let h = sha256::hash_parts(
+                "proauth/net/killround",
+                &[&seed.to_be_bytes(), &node.to_be_bytes()],
+            );
+            let r = win_lo
+                + u64::from_be_bytes(h[..8].try_into().expect("8 bytes")) % (win_hi - win_lo);
+            kills.push((r, node));
+        }
+        kills.sort_unstable();
+        Ok(ProcessFaultPlan {
+            kills,
+            truncate: Vec::new(),
+        })
+    }
+
+    /// Parses an explicit `node:round,node:round,...` schedule.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut kills = Vec::new();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (node, round) = part
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| format!("bad kill spec '{part}' (want node:round)"))?;
+            let node: u32 = node
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad node in kill spec '{part}'"))?;
+            let round: u64 = round
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad round in kill spec '{part}'"))?;
+            kills.push((round, node));
+        }
+        kills.sort_unstable();
+        Ok(ProcessFaultPlan {
+            kills,
+            truncate: Vec::new(),
+        })
+    }
+
+    /// Total kill events.
+    pub fn total_kills(&self) -> usize {
+        self.kills.len()
+    }
+}
+
 /// Test hook: a process wrapper that panics on one configured `(node,
 /// round)` step, for exercising the engine's panic→crash conversion. The
 /// inner process is fully transparent otherwise (including `state_mut`, so
@@ -492,6 +624,55 @@ mod tests {
         }
         // Duplication actually fired.
         assert!(result.stats.messages_injected > 0, "duplicates count as injected");
+    }
+
+    #[test]
+    fn process_fault_plan_is_deterministic_and_post_setup() {
+        // 13 nodes, t=6 → at most 6 victims per unit, so 3 kill units plus a
+        // final clean one: uls-style units of 26 rounds (refresh 18).
+        let sched = Schedule::new(26, 10, 8);
+        let a = ProcessFaultPlan::kill_all_once(13, 6, &sched, 26 * 4, 42).expect("fits");
+        let b = ProcessFaultPlan::kill_all_once(13, 6, &sched, 26 * 4, 42).expect("fits");
+        assert_eq!(a, b);
+        assert_eq!(a.total_kills(), 13);
+        // Every node killed exactly once.
+        let mut nodes: Vec<u32> = a.kills.iter().map(|&(_, id)| id).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (1..=13).collect::<Vec<u32>>());
+        // Placement rules: normal-phase rounds only (unit 0 all-normal, later
+        // units after their refresh), margin before each boundary, never the
+        // final unit, and at most n-(t+1)=6 victims per unit.
+        let margin = 4; // (normal=8)/2
+        let mut per_unit = [0usize; 4];
+        for &(round, _) in &a.kills {
+            let unit = (round / 26) as usize;
+            assert!(unit < 3, "kill at round {round} leaves no clean unit");
+            per_unit[unit] += 1;
+            let in_unit = round % 26;
+            if unit > 0 {
+                assert!(in_unit >= 18, "kill at round {round} lands mid-refresh");
+            } else {
+                assert!(round >= 2, "kill at round {round} lands in setup");
+            }
+            assert!(in_unit < 26 - margin, "kill at round {round} ignores margin");
+        }
+        assert!(per_unit.iter().all(|&k| k <= 6), "threshold cap: {per_unit:?}");
+        // Sorted by round for the supervisor's cursor.
+        assert!(a.kills.windows(2).all(|w| w[0] <= w[1]));
+        let c = ProcessFaultPlan::kill_all_once(13, 6, &sched, 26 * 4, 43).expect("fits");
+        assert_ne!(a, c, "different seed, different spread");
+        // Too few units to spread the kills → explicit error, not a bad plan.
+        let err = ProcessFaultPlan::kill_all_once(13, 6, &sched, 26 * 2, 42);
+        assert!(err.is_err(), "2 units cannot host 13 kills under the cap");
+    }
+
+    #[test]
+    fn process_fault_plan_parses_explicit_schedules() {
+        let p = ProcessFaultPlan::parse("3:10, 1:4,2:10").expect("parses");
+        assert_eq!(p.kills, vec![(4, 1), (10, 2), (10, 3)]);
+        assert!(ProcessFaultPlan::parse("3-10").is_err());
+        assert!(ProcessFaultPlan::parse("x:10").is_err());
+        assert!(ProcessFaultPlan::parse("").expect("empty ok").kills.is_empty());
     }
 
     #[test]

@@ -196,6 +196,24 @@ impl<P: Process> ProcessDriver<P> {
         }
     }
 
+    /// Wraps `node` with a pre-existing ROM — the restart path. Matches the
+    /// engine's crash/restart semantics (PR 5): a restarted node is a fresh
+    /// instance plus the ROM frozen at the end of setup; it never re-runs
+    /// setup, and recovers lost in-memory shares via the next refresh. The
+    /// daemon's rejoin path loads the ROM from the durable state dir and
+    /// builds its driver through here.
+    pub fn with_rom(node: P, me: NodeId, n: usize, seed: u64, rom: Rom) -> Self {
+        ProcessDriver {
+            node,
+            me,
+            n,
+            seed,
+            rom,
+            output: OutputLog::new(),
+            drained: 0,
+        }
+    }
+
     /// The wrapped node (e.g. for state inspection in tests).
     pub fn node(&self) -> &P {
         &self.node

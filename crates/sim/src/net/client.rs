@@ -4,15 +4,19 @@
 //! aggregate statistics — plus the daemon-only *goodput* figure (accepted
 //! application payload bytes per wall-clock second).
 
-use super::msg::{Alarm, NetMsg, NodeReport};
+use super::msg::{Alarm, NetMsg, NodeReport, Severity};
 use super::peer::{AddrPlan, Conn, NetListener};
 use super::poll;
 use super::status::{LiveState, StatusConn, TraceAssembler, TraceSpec};
 use crate::message::{NodeId, OutputEvent, OutputLog};
 use crate::process::Rom;
 use proauth_telemetry::MetricsSnapshot;
+use std::collections::BTreeMap;
 use std::io;
 use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Collector deployment parameters.
@@ -65,6 +69,9 @@ pub struct DaemonOutcome {
     /// The assembled cluster trace (JSONL), when a `trace_spec` was given
     /// and every round completed.
     pub trace: Option<String>,
+    /// Distinct impaired nodes per unit, as the collector's live
+    /// Definition-7 accounting saw them.
+    pub unit_impairments: BTreeMap<u64, Vec<u32>>,
 }
 
 impl DaemonOutcome {
@@ -124,6 +131,17 @@ pub struct Collector {
     assembler: Option<TraceAssembler>,
     status_listener: Option<NetListener>,
     status_conns: Vec<StatusConn>,
+    /// Out-of-band alarms injected by the supervisor thread (restart
+    /// events); drained every pump and folded into the live plane.
+    alarm_rx: Option<Receiver<Alarm>>,
+    /// Live round watermark published for the supervisor (highest beacon
+    /// round observed), for kill-at-round-r scheduling.
+    round_watch: Option<Arc<AtomicU64>>,
+    /// When a node's connection died before its report arrived — the start
+    /// of its recovery-latency clock; cleared (and observed) on re-adoption.
+    death_at: Vec<Option<Instant>>,
+    /// Highest round any beacon has reported.
+    observed_round: u64,
 }
 
 impl Collector {
@@ -151,7 +169,24 @@ impl Collector {
             assembler,
             status_listener,
             status_conns: Vec::new(),
+            alarm_rx: None,
+            round_watch: None,
+            death_at: vec![None; n],
+            observed_round: 0,
         })
+    }
+
+    /// Installs the supervisor's alarm channel; alarms received through it
+    /// (restart events) count as traffic and enter the live plane like any
+    /// node-originated alarm.
+    pub fn set_alarm_channel(&mut self, rx: Receiver<Alarm>) {
+        self.alarm_rx = Some(rx);
+    }
+
+    /// Publishes the highest observed beacon round into `watch` (the
+    /// supervisor reads it to trigger kill-at-round-r schedules).
+    pub fn set_round_watch(&mut self, watch: Arc<AtomicU64>) {
+        self.round_watch = Some(watch);
     }
 
     /// Gathers until every node sent its report and Bye (or the idle timeout
@@ -202,6 +237,7 @@ impl Collector {
                 eprintln!("collector: trace assembly incomplete (a node died mid-stream?)");
             }
         }
+        let unit_impairments = self.live.unit_impairments();
         Ok(DaemonOutcome {
             outputs: self.outputs,
             roms,
@@ -215,6 +251,7 @@ impl Collector {
             merged: self.live.merged.snapshot(),
             node_metrics: self.live.per_node.iter().map(|r| r.snapshot()).collect(),
             trace,
+            unit_impairments,
         })
     }
 
@@ -267,9 +304,15 @@ impl Collector {
                         for m in conn.recv() {
                             inbound.push((*idx, m));
                         }
-                        // EOF after the report is a normal departure.
-                        if conn.closed && self.reports[*idx].is_some() {
-                            self.done[*idx] = true;
+                        // EOF after the report is a normal departure; EOF
+                        // before it means the process died — start its
+                        // recovery-latency clock.
+                        if conn.closed {
+                            if self.reports[*idx].is_some() {
+                                self.done[*idx] = true;
+                            } else if self.death_at[*idx].is_none() {
+                                self.death_at[*idx] = Some(Instant::now());
+                            }
                         }
                     }
                 }
@@ -305,7 +348,18 @@ impl Collector {
                 c.drive(&self.live);
             }
         }
-        self.status_conns.retain(|c| !c.done);
+        // Sweep done AND expired connections: a stalled scraper never fires
+        // poll, so the deadline must be enforced here, not in drive().
+        self.status_conns.retain(|c| !c.done && !c.expired());
+        // Supervisor-injected alarms (restart events) count as traffic: a
+        // deployment mid-respawn is alive, not idle.
+        if let Some(rx) = &self.alarm_rx {
+            let drained: Vec<Alarm> = rx.try_iter().collect();
+            for alarm in drained {
+                moved = true;
+                self.live.on_alarm(alarm);
+            }
+        }
         self.adopt_identified();
         for (idx, msg) in inbound {
             moved = true;
@@ -335,6 +389,21 @@ impl Collector {
                 let conn = self.limbo.remove(k);
                 let idx = NodeId(node).idx();
                 self.conns[idx] = Some(conn);
+                // Re-adoption after a death closes the recovery-latency
+                // window: the node is back and streaming again.
+                if let Some(t0) = self.death_at[idx].take() {
+                    let ms = (t0.elapsed().as_millis() as u64).max(1);
+                    self.live
+                        .merged
+                        .observe_value("net/recovery_latency_ms", ms);
+                    self.live.on_alarm(Alarm {
+                        node,
+                        round: self.observed_round,
+                        severity: Severity::Info,
+                        kind: "node_rejoined".to_owned(),
+                        detail: format!("reconnected after {ms}ms"),
+                    });
+                }
                 for m in rest {
                     self.ingest(idx, m);
                 }
@@ -372,6 +441,12 @@ impl Collector {
                 // FIFO order means the round's Trace/Metrics/Alarm frames
                 // preceded this beacon, so it doubles as the round-complete
                 // signal for trace assembly.
+                if beacon.round > self.observed_round {
+                    self.observed_round = beacon.round;
+                    if let Some(w) = &self.round_watch {
+                        w.store(beacon.round, Ordering::Relaxed);
+                    }
+                }
                 if let Some(asm) = &mut self.assembler {
                     asm.on_beacon(idx, &beacon);
                 }
@@ -385,6 +460,21 @@ impl Collector {
                     asm.on_trace(idx, round, events);
                 }
             }
+            NetMsg::Rejoin {
+                node, watermark, ..
+            } => {
+                // A restarted node announcing its return; informational only
+                // (the crash itself was already charged via the supervisor's
+                // restart alarm).
+                self.live.on_alarm(Alarm {
+                    node,
+                    round: self.observed_round,
+                    severity: Severity::Info,
+                    kind: "rejoin".to_owned(),
+                    detail: format!("rejoining from watermark {watermark}"),
+                });
+            }
+            NetMsg::RejoinAck { .. } => {}
             // Protocol traffic never reaches the collector.
             _ => {}
         }

@@ -6,11 +6,15 @@
 //! * **setup** uses hard barriers (every peer's [`NetMsg::SetupMark`] must
 //!   arrive) — the set-up phase is adversary-free and faithful by model, and
 //!   stream FIFO ordering guarantees a mark implies its round's messages;
-//! * **rounds** use soft barriers with wall-clock pacing on the Fig-1
+//! * **rounds** use barriers with wall-clock pacing on the Fig-1
 //!   schedule: a node advances when every live peer's [`NetMsg::RoundMark`]
-//!   has arrived (but not before `min_round_ms`), or when `round_ms`
-//!   expires — so faithful runs go at network speed while chaos and
-//!   partition runs stay bounded;
+//!   has arrived (but not before `min_round_ms`). The pacing deadline
+//!   (`round_ms`) sets tempo only — a live, connected peer that is merely
+//!   slow is waited out, because round alignment is a correctness property
+//!   (AUTH-SEND binds the send round into its authentication). Only the
+//!   failure-detector deadline (`mark_timeout_ms` past the pacing deadline)
+//!   abandons a hung-but-connected peer; crashed peers close their
+//!   connections and leave the barrier immediately;
 //! * **inbox order** reproduces the simulator's merge: deliveries sorted by
 //!   `(round, sender, seq)` equal "senders in `NodeId` order, each sender's
 //!   outbox in send order", which is why a faithful daemon run is
@@ -19,8 +23,9 @@
 //!   deliver in a later round — exactly the UL adversary's prerogative.
 
 use super::msg::{Alarm, HealthBeacon, NetMsg, NodeReport, Severity};
-use super::peer::{AddrPlan, Conn, NetListener, NetStream};
+use super::peer::{AddrPlan, Conn, NetListener, NetStream, PendingQueue};
 use super::poll;
+use super::state::{StateDir, Watermark};
 use crate::clock::{Schedule, TimeView};
 use crate::driver::NodeDriver;
 use crate::message::{Envelope, NodeId};
@@ -28,6 +33,7 @@ use proauth_telemetry::{self as telemetry, MetricsSnapshot, Shard, Telemetry};
 use std::collections::BTreeMap;
 use std::io;
 use std::os::fd::RawFd;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,6 +45,22 @@ const ALARM_COUNTERS: &[(&str, &str, Severity)] = &[
     ("adversary/break_ins", "break_in", Severity::Warning),
     ("adversary/wipes", "wipe", Severity::Warning),
 ];
+
+/// Cap on frames parked for a peer whose connection is down; beyond this the
+/// oldest are discarded — matching engine crash semantics, where pending
+/// traffic to a crashed node is dropped.
+const PENDING_CAP: usize = 4096;
+
+/// How many barrier marks a peer replays to a rejoiner at most (a rejoin
+/// after a short supervisor respawn needs a handful; anything older than
+/// this window the rejoiner waits out at its accelerated catch-up pace).
+const REJOIN_REPLAY_WINDOW: u64 = 256;
+
+/// Accelerated pacing deadline (ms) for catch-up rounds — rounds the cluster
+/// is known (via marks/acks) to have already left behind. Keeps a rejoiner's
+/// resynchronization bounded by `missed_rounds × 50ms` even when marks for a
+/// missed round were lost with the dead connection.
+const CATCHUP_ROUND_MS: u64 = 50;
 
 /// Deployment parameters of one node process.
 #[derive(Debug, Clone)]
@@ -62,10 +84,17 @@ pub struct NodeNetConfig {
     pub setup_rounds: u64,
     /// Post-setup rounds to execute.
     pub total_rounds: u64,
-    /// Hard wall-clock deadline per round, ms. Rounds never take longer.
+    /// Pacing deadline per round, ms: the tempo target. A round whose live
+    /// peers' marks are all in never outlasts it, but slow live peers are
+    /// waited out past it (see `mark_timeout_ms`).
     pub round_ms: u64,
     /// Pacing floor per round, ms (0 = advance as soon as marks allow).
     pub min_round_ms: u64,
+    /// Failure-detector allowance past the pacing deadline, ms: how long a
+    /// live, connected peer may stall the barrier before the round gives up
+    /// on its mark. Crashed peers are excluded as soon as their connection
+    /// dies; this bound only catches hung-but-connected processes.
+    pub mark_timeout_ms: u64,
     /// Budget for connection establishment and setup barriers, ms.
     pub connect_timeout_ms: u64,
     /// Scenario digest; every process of a deployment must agree.
@@ -82,6 +111,14 @@ pub struct NodeNetConfig {
     pub adaptive: bool,
     /// Floor for the adaptive controller, ms.
     pub adapt_floor_ms: u64,
+    /// Root of the durable state tree (`<root>/node-<id>/...`). When set,
+    /// the node persists its ROM image after setup and its round watermark
+    /// after every barrier; `None` leaves the self-healing layer inert.
+    pub state_dir: Option<PathBuf>,
+    /// Rejoin mode: skip setup (the ROM was loaded from durable state) and
+    /// resume executing at this round — the durable watermark of rounds
+    /// already completed. `None` runs setup and starts at round 0.
+    pub resume: Option<u64>,
 }
 
 impl NodeNetConfig {
@@ -99,12 +136,15 @@ impl NodeNetConfig {
             total_rounds: schedule.unit_rounds * 2,
             round_ms: 250,
             min_round_ms: 0,
+            mark_timeout_ms: 5_000,
             connect_timeout_ms: 30_000,
             run_id: 0,
             telemetry: false,
             stream_trace: false,
             adaptive: false,
             adapt_floor_ms: 20,
+            state_dir: None,
+            resume: None,
         }
     }
 }
@@ -138,8 +178,17 @@ enum Fabric {
         listener: NetListener,
         /// Accepted but not yet identified (no Hello read) connections.
         limbo: Vec<Conn>,
+        /// Per-peer store-and-forward backlog: frames addressed to a peer
+        /// whose connection is down, flushed when it re-handshakes. This is
+        /// slot retention — a crashed peer keeps its place in the table.
+        pending: Vec<PendingQueue>,
     },
-    Proxy { conn: Conn },
+    Proxy {
+        conn: Conn,
+        /// Frames parked while the proxy link is down (socket reset chaos),
+        /// flushed after the redial.
+        pending: PendingQueue,
+    },
 }
 
 /// One node process's engine loop. Drives a [`NodeDriver`] from sockets.
@@ -174,6 +223,19 @@ pub struct NodeLoop<'d> {
     rounds_started: Option<Instant>,
     /// Per-`(round, sender)` seq tracking for dup/reorder observation.
     seq_tracks: BTreeMap<(u64, u32), SeqTrack>,
+    /// The round currently executing (== the resume watermark before the
+    /// first round). Marks for rounds already completed are stale and
+    /// ignored — a rejoining peer's replayed marks would otherwise leak
+    /// rows into `buf.marks` forever.
+    cur_round: u64,
+    /// Highest round any peer is known to have reached (marks observed,
+    /// rejoin acks). When this runs ahead of `cur_round + 1` the node is
+    /// behind the cluster and paces catch-up rounds at
+    /// [`CATCHUP_ROUND_MS`]; in a healthy run it never exceeds
+    /// `cur_round + 1`, so clean pacing is untouched.
+    live_round_hint: u64,
+    /// Durable state handle (`None` leaves the self-healing layer inert).
+    state: Option<StateDir>,
 }
 
 impl<'d> NodeLoop<'d> {
@@ -188,7 +250,10 @@ impl<'d> NodeLoop<'d> {
         let fabric = if cfg.via_proxy {
             let mut conn = Conn::new(NetStream::dial(&cfg.plan.proxy(), deadline)?);
             conn.send(&hello);
-            Fabric::Proxy { conn }
+            Fabric::Proxy {
+                conn,
+                pending: PendingQueue::new(PENDING_CAP),
+            }
         } else {
             let listener = NetListener::bind(&cfg.plan.node(cfg.me.0))?;
             let mut conns: Vec<Option<Conn>> = (0..cfg.n).map(|_| None).collect();
@@ -203,6 +268,7 @@ impl<'d> NodeLoop<'d> {
                 conns,
                 listener,
                 limbo: Vec::new(),
+                pending: (0..cfg.n).map(|_| PendingQueue::new(PENDING_CAP)).collect(),
             }
         };
         let collector = if cfg.report {
@@ -225,6 +291,11 @@ impl<'d> NodeLoop<'d> {
             (Telemetry::off(), None)
         };
         let cur_round_ms = cfg.round_ms;
+        let state = match &cfg.state_dir {
+            Some(root) => Some(StateDir::open(root, cfg.me.0)?),
+            None => None,
+        };
+        let start_round = cfg.resume.unwrap_or(0);
         let mut this = NodeLoop {
             cfg,
             driver,
@@ -246,6 +317,9 @@ impl<'d> NodeLoop<'d> {
             cur_round_ms,
             rounds_started: None,
             seq_tracks: BTreeMap::new(),
+            cur_round: start_round,
+            live_round_hint: start_round,
+            state,
         };
         // Mesh: wait for every higher-numbered peer to dial in and identify.
         if !this.cfg.via_proxy {
@@ -273,28 +347,54 @@ impl<'d> NodeLoop<'d> {
         }
     }
 
-    /// Sends `msg` toward node `to` (directly or via the proxy).
+    /// Sends `msg` toward node `to` (directly or via the proxy). A peer
+    /// whose connection is down keeps its slot: traffic parks in its
+    /// pending queue and is flushed when the peer re-handshakes.
     fn send_to(&mut self, to: NodeId, msg: &NetMsg) {
+        let idx = to.idx();
         match &mut self.fabric {
-            Fabric::Mesh { conns, .. } => {
-                if let Some(conn) = conns[to.idx()].as_mut() {
+            Fabric::Mesh { conns, pending, .. } => match conns[idx].as_mut() {
+                Some(conn) if !conn.closed => conn.send(msg),
+                _ => {
+                    if !self.departed[idx] {
+                        pending[idx].push(msg.clone());
+                    }
+                }
+            },
+            Fabric::Proxy { conn, pending } => {
+                if conn.closed {
+                    pending.push(msg.clone());
+                } else {
                     conn.send(msg);
                 }
             }
-            Fabric::Proxy { conn } => conn.send(msg),
         }
     }
 
     /// Sends a barrier mark to every peer. Through the proxy one frame
-    /// suffices (the proxy fans marks out); a mesh sends one per connection.
+    /// suffices (the proxy fans marks out); a mesh sends one per connection,
+    /// parking frames for peers whose connection is currently down.
     fn broadcast(&mut self, msg: &NetMsg) {
+        let me_idx = self.cfg.me.idx();
         match &mut self.fabric {
-            Fabric::Mesh { conns, .. } => {
-                for conn in conns.iter_mut().flatten() {
+            Fabric::Mesh { conns, pending, .. } => {
+                for (idx, slot) in conns.iter_mut().enumerate() {
+                    if idx == me_idx || self.departed[idx] {
+                        continue;
+                    }
+                    match slot.as_mut() {
+                        Some(conn) if !conn.closed => conn.send(msg),
+                        _ => pending[idx].push(msg.clone()),
+                    }
+                }
+            }
+            Fabric::Proxy { conn, pending } => {
+                if conn.closed {
+                    pending.push(msg.clone());
+                } else {
                     conn.send(msg);
                 }
             }
-            Fabric::Proxy { conn } => conn.send(msg),
         }
     }
 
@@ -316,6 +416,7 @@ impl<'d> NodeLoop<'d> {
                 conns,
                 listener,
                 limbo,
+                ..
             } => {
                 for (idx, conn) in conns.iter().enumerate() {
                     if let Some(c) = conn {
@@ -325,17 +426,16 @@ impl<'d> NodeLoop<'d> {
                         }
                     }
                 }
-                for (k, c) in limbo.iter().enumerate() {
+                for c in limbo.iter() {
                     if !c.closed {
                         fds.push((c.raw_fd(), false));
                         slots.push(Slot::Limbo);
-                let _ = k;
                     }
                 }
                 fds.push((listener.raw_fd(), false));
                 slots.push(Slot::Listener);
             }
-            Fabric::Proxy { conn } => {
+            Fabric::Proxy { conn, .. } => {
                 if !conn.closed {
                     fds.push((conn.raw_fd(), conn.wants_write()));
                     slots.push(Slot::ProxyConn);
@@ -357,6 +457,7 @@ impl<'d> NodeLoop<'d> {
                 conns,
                 listener,
                 limbo,
+                ..
             } => {
                 for (slot, r) in slots.iter().zip(&ready) {
                     match slot {
@@ -386,7 +487,7 @@ impl<'d> NodeLoop<'d> {
                 }
                 limbo.extend(accepted);
             }
-            Fabric::Proxy { conn } => {
+            Fabric::Proxy { conn, .. } => {
                 for (slot, r) in slots.iter().zip(&ready) {
                     if matches!(slot, Slot::ProxyConn) {
                         if r.writable {
@@ -417,7 +518,13 @@ impl<'d> NodeLoop<'d> {
     fn adopt_identified(&mut self) {
         let mut to_dispatch: Vec<NetMsg> = Vec::new();
         let mut adopted: Vec<usize> = Vec::new();
-        if let Fabric::Mesh { conns, limbo, .. } = &mut self.fabric {
+        if let Fabric::Mesh {
+            conns,
+            limbo,
+            pending,
+            ..
+        } = &mut self.fabric
+        {
             // A limbo conn is adopted once its decoder yielded a Hello; since
             // dispatch() cannot know which conn a message came from, Hello
             // handling happens here: drain each limbo conn's already-decoded
@@ -439,8 +546,12 @@ impl<'d> NodeLoop<'d> {
                     }
                 }
                 if let Some(node) = hello_from {
-                    let conn = limbo.remove(k);
+                    let mut conn = limbo.remove(k);
                     let idx = NodeId(node).idx();
+                    // Slot retention: flush the backlog parked while the
+                    // peer's connection was down before installing the new
+                    // one, so a rejoiner sees the frames it missed.
+                    pending[idx].drain_into(&mut conn);
                     conns[idx] = Some(conn);
                     adopted.push(idx);
                     to_dispatch.extend(rest);
@@ -521,13 +632,61 @@ impl<'d> NodeLoop<'d> {
             }
             NetMsg::RoundMark { round, from } => {
                 if from.idx() < n {
-                    self.buf.marks.entry(round).or_insert_with(|| vec![false; n])[from.idx()] =
-                        true;
+                    if round >= self.live_round_hint {
+                        self.live_round_hint = round;
+                    }
+                    // Marks for rounds already completed here are stale
+                    // (replayed to a rejoiner, or chaos-delayed); recording
+                    // them would leak rows into `buf.marks` forever.
+                    if round >= self.cur_round {
+                        self.buf.marks.entry(round).or_insert_with(|| vec![false; n])[from.idx()] =
+                            true;
+                    }
                 }
             }
             NetMsg::Bye { node } => {
                 if node >= 1 && node as usize <= n {
                     self.departed[NodeId(node).idx()] = true;
+                }
+            }
+            NetMsg::Rejoin {
+                node,
+                run_id,
+                watermark,
+            } => {
+                // A restarted peer is back: clear its departure, replay the
+                // barrier marks it may have lost with its dead connection
+                // (bounded window), and tell it how far the cluster is so it
+                // can pace its catch-up.
+                if run_id == self.cfg.run_id
+                    && node >= 1
+                    && node as usize <= n
+                    && NodeId(node) != self.cfg.me
+                {
+                    let idx = NodeId(node).idx();
+                    self.departed[idx] = false;
+                    if self.rounds_started.is_some() {
+                        let cur = self.cur_round;
+                        let lo = watermark
+                            .saturating_sub(1)
+                            .max(cur.saturating_sub(REJOIN_REPLAY_WINDOW));
+                        let me = self.cfg.me;
+                        for r in lo..=cur {
+                            self.send_to(NodeId(node), &NetMsg::RoundMark { round: r, from: me });
+                        }
+                        self.send_to(
+                            NodeId(node),
+                            &NetMsg::RejoinAck {
+                                node: me.0,
+                                round: cur,
+                            },
+                        );
+                    }
+                }
+            }
+            NetMsg::RejoinAck { node: _, round } => {
+                if round > self.live_round_hint {
+                    self.live_round_hint = round;
                 }
             }
             // Collector-bound traffic never reaches a node.
@@ -560,7 +719,7 @@ impl<'d> NodeLoop<'d> {
             Fabric::Mesh { conns, .. } => {
                 conns[j.idx()].as_ref().map(|c| c.closed).unwrap_or(true)
             }
-            Fabric::Proxy { conn } => conn.closed,
+            Fabric::Proxy { conn, .. } => conn.closed,
         }
     }
 
@@ -574,7 +733,7 @@ impl<'d> NodeLoop<'d> {
         };
         let redial_after = Duration::from_millis(500);
         match &mut self.fabric {
-            Fabric::Mesh { conns, .. } => {
+            Fabric::Mesh { conns, pending, .. } => {
                 for j in 1..self.cfg.me.0 {
                     let idx = NodeId(j).idx();
                     let dead = conns[idx].as_ref().map(|c| c.closed).unwrap_or(true);
@@ -591,11 +750,12 @@ impl<'d> NodeLoop<'d> {
                     if let Ok(stream) = NetStream::dial(&self.cfg.plan.node(j), now) {
                         let mut conn = Conn::new(stream);
                         conn.send(&hello);
+                        pending[idx].drain_into(&mut conn);
                         conns[idx] = Some(conn);
                     }
                 }
             }
-            Fabric::Proxy { conn } => {
+            Fabric::Proxy { conn, pending } => {
                 if conn.closed {
                     let due = self.last_redial[0]
                         .map(|t| now.duration_since(t) >= redial_after)
@@ -605,6 +765,7 @@ impl<'d> NodeLoop<'d> {
                         if let Ok(stream) = NetStream::dial(&self.cfg.plan.proxy(), now) {
                             let mut c = Conn::new(stream);
                             c.send(&hello);
+                            pending.drain_into(&mut c);
                             *conn = c;
                         }
                     }
@@ -617,12 +778,40 @@ impl<'d> NodeLoop<'d> {
     /// Returns this node's report (also sent to the collector when one is
     /// connected).
     pub fn run(mut self, mut input_fn: impl FnMut(NodeId, u64) -> Option<Vec<u8>>) -> io::Result<NodeReport> {
-        self.run_setup()?;
         let total = self.cfg.total_rounds;
-        for round in 0..total {
+        let start = match self.cfg.resume {
+            None => {
+                self.run_setup()?;
+                // The ROM freezes at the end of setup (write-once by model);
+                // persist its image now so a later restart can rejoin
+                // without re-running setup.
+                if let Some(sd) = &self.state {
+                    sd.save_rom(self.driver.rom())?;
+                }
+                0
+            }
+            Some(watermark) => {
+                // Rejoin: the ROM was restored from durable state, setup is
+                // skipped. Announce the return so peers clear our departure,
+                // replay lost marks, and ack with the live round; then
+                // re-execute from the watermark to resynchronize.
+                let rejoin = NetMsg::Rejoin {
+                    node: self.cfg.me.0,
+                    run_id: self.cfg.run_id,
+                    watermark,
+                };
+                self.broadcast(&rejoin);
+                if let Some(c) = self.collector.as_mut() {
+                    c.send(&rejoin);
+                }
+                watermark.min(total)
+            }
+        };
+        self.cur_round = start;
+        for round in start..total {
             self.run_round(round, &mut input_fn)?;
         }
-        self.report.rounds = total;
+        self.report.rounds = total - start;
         let rom = self.driver.rom();
         self.report.rom_keys = rom.entries().map(|(k, _)| k.to_owned()).collect();
         self.report.rom_values = rom.entries().map(|(_, v)| v.to_vec()).collect();
@@ -665,7 +854,7 @@ impl<'d> NodeLoop<'d> {
                     conn.flush_blocking(Duration::from_millis(500));
                 }
             }
-            Fabric::Proxy { conn } => conn.flush_blocking(Duration::from_millis(500)),
+            Fabric::Proxy { conn, .. } => conn.flush_blocking(Duration::from_millis(500)),
         }
         Ok(self.report)
     }
@@ -736,6 +925,7 @@ impl<'d> NodeLoop<'d> {
         input_fn: &mut impl FnMut(NodeId, u64) -> Option<Vec<u8>>,
     ) -> io::Result<()> {
         let me = self.cfg.me;
+        self.cur_round = round;
         let round_start = Instant::now();
         if self.rounds_started.is_none() {
             self.rounds_started = Some(round_start);
@@ -840,30 +1030,58 @@ impl<'d> NodeLoop<'d> {
             self.stream_observability(round, seq as u64, step.alerts);
         }
 
-        // Soft barrier: marks from every live peer, bounded by the deadline,
-        // floored by the pacing minimum.
-        let hard_deadline = round_start + Duration::from_millis(self.cur_round_ms);
-        let floor = round_start + Duration::from_millis(self.cfg.min_round_ms);
+        // Catch-up detection: peers are known (marks, rejoin acks) to be ≥2
+        // rounds ahead — impossible in a healthy run, where no peer can get
+        // two barriers past us. Pace such rounds at the accelerated deadline
+        // so a rejoiner resynchronizes instead of replaying at full pace.
+        let catchup = self.live_round_hint > round + 1;
+        let pace_ms = if catchup {
+            CATCHUP_ROUND_MS.min(self.cur_round_ms)
+        } else {
+            self.cur_round_ms
+        };
+        // Barrier: marks from every live peer, floored by the pacing
+        // minimum. The pacing deadline is tempo, not correctness — a live,
+        // connected peer that is merely slow (a crypto-heavy refresh round,
+        // scheduler pressure) is waited out well past it, because the
+        // AUTH-SEND layer binds the send round into message authentication:
+        // letting a live peer's frames slip one round gets them rejected as
+        // forgeries and collapses the refresh. Only the failure-detector
+        // deadline abandons a peer that is connected but hung; a crashed
+        // peer's connection dies and `marks_complete` excludes it at once.
+        // Catch-up rounds keep the accelerated hard deadline and skip the
+        // floor: the cluster has already left them behind (their marks were
+        // replayed at rejoin or stream in live), and pacing them at
+        // `min_round_ms` would hold the gap open forever when the cluster
+        // itself advances at the floor — the rejoiner must replay strictly
+        // faster than live rounds tick to resynchronize before the next
+        // refresh phase begins.
+        let hard_deadline = round_start + Duration::from_millis(pace_ms);
+        let barrier_deadline = if catchup {
+            hard_deadline
+        } else {
+            hard_deadline + Duration::from_millis(self.cfg.mark_timeout_ms)
+        };
+        let floor = if catchup {
+            round_start
+        } else {
+            round_start + Duration::from_millis(self.cfg.min_round_ms)
+        };
         let mut timed_out = false;
         loop {
             let now = Instant::now();
-            if now >= hard_deadline {
-                if !self.marks_complete(&self.buf.marks, round) {
-                    self.report.mark_timeouts += 1;
-                    self.tele.add("net/mark_timeouts", 1);
-                    timed_out = true;
-                }
+            let complete = self.marks_complete(&self.buf.marks, round);
+            if complete && now >= floor {
                 break;
             }
-            if self.marks_complete(&self.buf.marks, round) && now >= floor {
+            if !complete && now >= barrier_deadline {
+                self.report.mark_timeouts += 1;
+                self.tele.add("net/mark_timeouts", 1);
+                timed_out = true;
                 break;
             }
             self.maybe_reconnect();
-            let wait_until = if self.marks_complete(&self.buf.marks, round) {
-                floor
-            } else {
-                hard_deadline
-            };
+            let wait_until = if complete { floor } else { barrier_deadline };
             let ms = wait_until
                 .saturating_duration_since(now)
                 .as_millis()
@@ -871,6 +1089,17 @@ impl<'d> NodeLoop<'d> {
             self.pump(Some(ms))?;
         }
         self.buf.marks.remove(&round);
+        // Durable watermark: this round is complete; a restart resumes at
+        // `round + 1`. Persist failure degrades durability (a later restart
+        // replays more rounds), never the run itself.
+        if let Some(sd) = &self.state {
+            if let Err(e) = sd.save_watermark(Watermark {
+                completed_rounds: round + 1,
+                epoch: time.unit,
+            }) {
+                eprintln!("node {me}: watermark persist failed: {e}");
+            }
+        }
         // Drop seq bookkeeping old enough that even chaos-delayed frames are
         // past; anything later is observation loss, not a correctness issue.
         self.seq_tracks = self.seq_tracks.split_off(&(round.saturating_sub(8), 0));
@@ -879,15 +1108,17 @@ impl<'d> NodeLoop<'d> {
         // freshly late frames) doubles it back toward the configured ceiling;
         // a comfortable round — marks complete within half the deadline —
         // shaves off an additive step toward the floor.
-        if self.cfg.adaptive {
+        if self.cfg.adaptive && !catchup {
             let ceiling = self.cfg.round_ms.max(1);
             let floor_ms = self
                 .cfg
                 .adapt_floor_ms
                 .max(self.cfg.min_round_ms)
                 .min(ceiling);
-            let congested = timed_out || self.report.late_frames > late_before;
             let used_ms = round_start.elapsed().as_millis() as u64;
+            let congested = timed_out
+                || self.report.late_frames > late_before
+                || used_ms > self.cur_round_ms;
             if congested {
                 self.cur_round_ms = (self.cur_round_ms.saturating_mul(2)).min(ceiling);
             } else if used_ms.saturating_mul(2) <= self.cur_round_ms {
@@ -977,7 +1208,7 @@ impl<'d> NodeLoop<'d> {
                 .flatten()
                 .filter(|c| !c.closed)
                 .count() as u32,
-            Fabric::Proxy { conn } => u32::from(!conn.closed),
+            Fabric::Proxy { conn, .. } => u32::from(!conn.closed),
         }
     }
 }

@@ -21,7 +21,10 @@
 //!   outcome (output logs, ROMs, reports, goodput) from the streams;
 //! * [`status`] — the live observability plane: the merged registry, health
 //!   beacons, Def-7 budget alarms, the status socket's Prometheus / JSON /
-//!   `top` renderers, and the cluster-trace assembler.
+//!   `top` renderers, and the cluster-trace assembler;
+//! * [`state`] — durable per-node state (write-once ROM image + round
+//!   watermark, crash-consistent, digest-verified) backing the self-healing
+//!   rejoin path after a process-level crash.
 //!
 //! Determinism carries over from the simulator: protocol payloads are the
 //! same bytes, randomness is the same per-(node, round) derivation, and
@@ -37,6 +40,7 @@ pub mod msg;
 pub mod peer;
 pub mod poll;
 pub mod proxy;
+pub mod state;
 pub mod status;
 
 pub use client::{collect, Collector, CollectorConfig, DaemonOutcome};
@@ -46,3 +50,4 @@ pub use msg::{Alarm, HealthBeacon, NetMsg, NodeReport, Severity};
 pub use status::{LiveState, StatusConn, TraceAssembler, TraceSpec};
 pub use peer::{AddrPlan, Conn, Endpoint, NetListener, NetStream};
 pub use proxy::{run_proxy, ChaosNetSpec, Partition, Proxy, ProxyConfig, ProxyStats};
+pub use state::{Load, StateDir, Watermark};

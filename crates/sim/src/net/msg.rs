@@ -115,6 +115,30 @@ pub enum NetMsg {
         /// have received them.
         events: Vec<u8>,
     },
+    /// Re-handshake from a restarted node: sent right after `Hello` on every
+    /// connection of its new incarnation. Carries the durable round
+    /// watermark so peers can replay the barrier marks the rejoiner missed
+    /// while it was down and resynchronize it at the next round barrier.
+    Rejoin {
+        /// The rejoining node.
+        node: u32,
+        /// Scenario digest — a rejoin into a different run is rejected just
+        /// like a mismatched `Hello`.
+        run_id: u64,
+        /// Rounds the node durably completed before the crash (it resumes
+        /// executing at round `watermark`).
+        watermark: u64,
+    },
+    /// Reply to a `Rejoin`: the responder's current round, giving the
+    /// rejoiner a live-cluster position so it can pace its catch-up instead
+    /// of waiting out full round deadlines for rounds the cluster already
+    /// left behind.
+    RejoinAck {
+        /// Responding node (0 = the chaos proxy / collector).
+        node: u32,
+        /// The responder's current round.
+        round: u64,
+    },
 }
 
 /// Alarm severity, ordered worst-last.
@@ -405,6 +429,21 @@ impl Encode for NetMsg {
                 w.put_u64(*round);
                 w.put_bytes(events);
             }
+            NetMsg::Rejoin {
+                node,
+                run_id,
+                watermark,
+            } => {
+                w.put_u8(13);
+                w.put_u32(*node);
+                w.put_u64(*run_id);
+                w.put_u64(*watermark);
+            }
+            NetMsg::RejoinAck { node, round } => {
+                w.put_u8(14);
+                w.put_u32(*node);
+                w.put_u64(*round);
+            }
         }
     }
 }
@@ -456,6 +495,15 @@ impl Decode for NetMsg {
                 node: r.get_u32()?,
                 round: r.get_u64()?,
                 events: r.get_bytes()?,
+            },
+            13 => NetMsg::Rejoin {
+                node: r.get_u32()?,
+                run_id: r.get_u64()?,
+                watermark: r.get_u64()?,
+            },
+            14 => NetMsg::RejoinAck {
+                node: r.get_u32()?,
+                round: r.get_u64()?,
             },
             t => return Err(WireError::InvalidTag(t)),
         })
@@ -549,6 +597,12 @@ mod tests {
                 round: 12,
                 events: b"{\"ev\":\"tick\",\"node\":3,\"round\":12}\n".to_vec(),
             },
+            NetMsg::Rejoin {
+                node: 7,
+                run_id: 99,
+                watermark: 23,
+            },
+            NetMsg::RejoinAck { node: 4, round: 26 },
         ];
         for m in msgs {
             let bytes = m.to_bytes();

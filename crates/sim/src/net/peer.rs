@@ -279,6 +279,21 @@ impl Conn {
         let _ = self.flush();
     }
 
+    /// Chaos tool: queues only the first half of `msg`'s encoded frame and
+    /// flushes, leaving the receiver's decoder waiting on a truncated frame.
+    /// Dropping the connection right after models a socket reset mid-frame
+    /// (the reconnect path must recover with a fresh decoder on both sides).
+    pub fn send_partial(&mut self, msg: &NetMsg) {
+        if self.closed {
+            return;
+        }
+        let mut framed = Vec::new();
+        encode_frame(&mut framed, &msg.to_bytes());
+        framed.truncate(framed.len() / 2);
+        self.outq.extend_from_slice(&framed);
+        let _ = self.flush();
+    }
+
     /// Writes queued bytes until the kernel would block or the queue drains.
     ///
     /// # Errors
@@ -367,6 +382,70 @@ impl Conn {
     }
 }
 
+/// Bounded store-and-forward queue for frames addressed to a peer whose
+/// connection is currently down.
+///
+/// The peer table holds a crashed node's **slot** across the disconnect:
+/// instead of silently dropping traffic at a dead [`Conn`], the sender parks
+/// it here and flushes the backlog into the replacement connection when the
+/// restarted peer re-handshakes. The cap bounds memory during long outages
+/// (drop-oldest — matching the engine's crash semantics, where traffic
+/// pending toward a crashed node is discarded); `dropped` records how much
+/// the outage cost.
+#[derive(Default)]
+pub struct PendingQueue {
+    q: std::collections::VecDeque<NetMsg>,
+    cap: usize,
+    /// Frames dropped at the cap (oldest-first).
+    pub dropped: u64,
+}
+
+impl PendingQueue {
+    /// An empty queue holding at most `cap` frames.
+    pub fn new(cap: usize) -> Self {
+        PendingQueue {
+            q: std::collections::VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Parks one frame, evicting the oldest beyond the cap.
+    pub fn push(&mut self, msg: NetMsg) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.q.len() >= self.cap {
+            self.q.pop_front();
+            self.dropped += 1;
+        }
+        self.q.push_back(msg);
+    }
+
+    /// Flushes the backlog into a (fresh) connection, FIFO.
+    pub fn drain_into(&mut self, conn: &mut Conn) {
+        for msg in self.q.drain(..) {
+            conn.send(&msg);
+        }
+    }
+
+    /// Frames currently parked.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Discards the backlog (peer departed for good).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,5 +486,74 @@ mod tests {
         let got = rx.recv();
         assert_eq!(got, vec![msg]);
         assert!(!rx.closed);
+    }
+
+    #[test]
+    fn pending_queue_is_fifo_and_drop_oldest() {
+        let mut pq = PendingQueue::new(3);
+        for round in 0..5u64 {
+            pq.push(NetMsg::RoundMark {
+                round,
+                from: crate::message::NodeId(1),
+            });
+        }
+        assert_eq!(pq.len(), 3);
+        assert_eq!(pq.dropped, 2);
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut tx = Conn::new(NetStream::Unix(a));
+        let mut rx = Conn::new(NetStream::Unix(b));
+        pq.drain_into(&mut tx);
+        assert!(pq.is_empty());
+        tx.flush_blocking(Duration::from_secs(1));
+        super::super::poll::poll(&[(rx.raw_fd(), false)], Some(1000)).unwrap();
+        let rounds: Vec<u64> = rx
+            .recv()
+            .into_iter()
+            .map(|m| match m {
+                NetMsg::RoundMark { round, .. } => round,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        // Oldest (rounds 0, 1) evicted; survivors in send order.
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn send_partial_leaves_receiver_waiting_then_fresh_conn_resyncs() {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut tx = Conn::new(NetStream::Unix(a));
+        let mut rx = Conn::new(NetStream::Unix(b));
+        tx.send_partial(&NetMsg::Round {
+            round: 9,
+            seq: 0,
+            from: crate::message::NodeId(1),
+            to: crate::message::NodeId(2),
+            payload: vec![0x55; 300],
+        });
+        tx.flush_blocking(Duration::from_secs(1));
+        super::super::poll::poll(&[(rx.raw_fd(), false)], Some(1000)).unwrap();
+        // The truncated frame never decodes; the conn stays open, waiting.
+        assert!(rx.recv().is_empty());
+        assert!(!rx.closed);
+        drop(tx); // the reset: sender goes away mid-frame
+        super::super::poll::poll(&[(rx.raw_fd(), false)], Some(1000)).unwrap();
+        assert!(rx.recv().is_empty());
+        assert!(rx.closed);
+        // A fresh connection pair (new decoders both sides) carries traffic
+        // again — the redial path after a reset.
+        let (a2, b2) = UnixStream::pair().unwrap();
+        a2.set_nonblocking(true).unwrap();
+        b2.set_nonblocking(true).unwrap();
+        let mut tx2 = Conn::new(NetStream::Unix(a2));
+        let mut rx2 = Conn::new(NetStream::Unix(b2));
+        let hello = NetMsg::Hello { node: 1, run_id: 7 };
+        tx2.send(&hello);
+        tx2.flush_blocking(Duration::from_secs(1));
+        super::super::poll::poll(&[(rx2.raw_fd(), false)], Some(1000)).unwrap();
+        assert_eq!(rx2.recv(), vec![hello]);
     }
 }

@@ -29,6 +29,10 @@ use std::io;
 use std::os::fd::RawFd;
 use std::time::{Duration, Instant};
 
+/// Cap on frames parked for a node whose link is down; beyond this new
+/// frames are dropped — matching engine crash semantics.
+const PENDING_CAP: usize = 4096;
+
 /// A partition window: during rounds `[start, end)`, frames between the two
 /// groups (`id <= split` vs `id > split`) are held and released when the
 /// partition heals.
@@ -58,6 +62,10 @@ pub struct ChaosNetSpec {
     /// Percent of round frames whose arrival order is scrambled (swapped with
     /// the next frame to the same destination).
     pub reorder_pct: u8,
+    /// Percent of `(round, node)` pairs whose proxy link is reset mid-frame
+    /// right after the node's barrier mark: the node sees a torn frame and a
+    /// dead socket, and must redial and re-handshake.
+    pub reset_pct: u8,
     /// Optional partition window.
     pub partition: Option<Partition>,
 }
@@ -71,13 +79,35 @@ impl ChaosNetSpec {
             delay_max: 0,
             dup_pct: 0,
             reorder_pct: 0,
+            reset_pct: 0,
             partition: None,
         }
     }
 
     /// Whether any manipulation is enabled.
     pub fn is_faithful(&self) -> bool {
-        self.delay_pct == 0 && self.dup_pct == 0 && self.reorder_pct == 0 && self.partition.is_none()
+        self.delay_pct == 0
+            && self.dup_pct == 0
+            && self.reorder_pct == 0
+            && self.reset_pct == 0
+            && self.partition.is_none()
+    }
+
+    /// Deterministic socket-reset decision for `(round, node)`.
+    pub fn reset_due(&self, round: u64, node: NodeId) -> bool {
+        if self.reset_pct == 0 {
+            return false;
+        }
+        let h = sha256::hash_parts(
+            "proauth/net/chaos",
+            &[
+                b"reset",
+                &self.seed.to_be_bytes(),
+                &round.to_be_bytes(),
+                &node.0.to_be_bytes(),
+            ],
+        );
+        (h[0] % 100) < self.reset_pct
     }
 
     /// The deterministic decision for one frame.
@@ -153,6 +183,8 @@ pub struct ProxyStats {
     pub setup_forwarded: u64,
     /// Marks fanned out.
     pub marks: u64,
+    /// Node links reset mid-frame (socket-reset chaos).
+    pub resets: u64,
 }
 
 /// Chaos proxy deployment parameters.
@@ -354,10 +386,17 @@ impl Proxy {
     }
 
     fn send_to(&mut self, to: NodeId, msg: &NetMsg) {
-        match self.conns[to.idx()].as_mut() {
-            Some(conn) => conn.send(msg),
-            // Not connected yet: hold until the node's Hello arrives.
-            None => self.pending[to.idx()].push(msg.clone()),
+        let idx = to.idx();
+        match self.conns[idx].as_mut() {
+            Some(conn) if !conn.closed => conn.send(msg),
+            // Not connected (yet, or its link died): hold until the node's
+            // Hello (re-)arrives — slot retention across a restart. Departed
+            // nodes get nothing; the backlog is bounded.
+            _ => {
+                if !self.departed[idx] && self.pending[idx].len() < PENDING_CAP {
+                    self.pending[idx].push(msg.clone());
+                }
+            }
         }
     }
 
@@ -435,7 +474,37 @@ impl Proxy {
                 // than necessary; flush before the mark goes out.
                 self.flush_stashes();
                 self.fan_out(from, &msg);
+                // Socket-reset chaos: tear this node's link mid-frame right
+                // after its mark — a half-written frame, then a dead socket.
+                // The node must notice, redial, and re-handshake; its decoder
+                // must survive the torn frame.
+                if self.cfg.spec.reset_due(round, from) {
+                    self.stats.resets += 1;
+                    if let Some(conn) = self.conns[from.idx()].as_mut() {
+                        conn.send_partial(&NetMsg::RoundMark { round, from });
+                    }
+                    self.conns[from.idx()] = None;
+                }
             }
+            NetMsg::Rejoin { node, .. } => {
+                // A restarted node announces its return: clear its departure,
+                // relay the announcement to every peer, and ack directly with
+                // the live round the hub has observed.
+                if node >= 1 && node as usize <= self.cfg.n {
+                    self.departed[NodeId(node).idx()] = false;
+                }
+                self.fan_out(from, &msg);
+                self.send_to(
+                    from,
+                    &NetMsg::RejoinAck {
+                        node: 0,
+                        round: self.observed_round,
+                    },
+                );
+            }
+            // Peer acks carry no destination; fan them out — receivers fold
+            // the round into their live-round hint monotonically.
+            NetMsg::RejoinAck { .. } => self.fan_out(from, &msg),
             NetMsg::Bye { node } => {
                 if node >= 1 && node as usize <= self.cfg.n {
                     self.departed[NodeId(node).idx()] = true;
@@ -491,6 +560,7 @@ mod tests {
             delay_max: 3,
             dup_pct: 10,
             reorder_pct: 10,
+            reset_pct: 0,
             partition: None,
         };
         let mut delayed = 0u32;

@@ -1,0 +1,343 @@
+//! Durable per-node state for the self-healing daemon: what a node process
+//! persists so that a SIGKILLed process can be respawned cold and rejoin the
+//! deployment it left.
+//!
+//! # What is durable, and why exactly this
+//!
+//! The paper's recovery story (§2.1, PR 5's engine semantics) rests on one
+//! incorruptible artifact: the **ROM** written at the end of the
+//! adversary-free setup phase. A restarted node is a *fresh instance plus its
+//! ROM* — it never re-runs setup, and it recovers lost in-memory shares via
+//! the Herzberg refresh at the next unit boundary. The state directory
+//! mirrors that model with two files per node:
+//!
+//! * **`rom.bin`** — the ROM image (cert table, verification keys), written
+//!   **once** right after setup completes and never rewritten. This is the
+//!   paper's ROM: the self-healing layer refuses to overwrite it, and a node
+//!   whose `rom.bin` is unreadable cannot rejoin (there is nothing to
+//!   authenticate against — re-running setup unilaterally would violate the
+//!   model).
+//! * **`state.bin`** — the mutable watermark: how many rounds this node has
+//!   durably completed, and the refresh epoch (time unit) it was in. This is
+//!   rewritten after every round barrier and is the only file process-level
+//!   chaos is allowed to corrupt: a digest mismatch here demotes the node to
+//!   "completed nothing", and it re-enters at round 0 of its catch-up window
+//!   with share recovery doing the rest — detection instead of a crash.
+//!
+//! # Crash consistency
+//!
+//! Both files are written with the classic write-tmp → fsync → rename
+//! sequence, so a power cut or SIGKILL mid-write leaves either the old
+//! version or the new one, never a torn file. Every file carries a header
+//! (magic, format version, SHA-256 digest of the body), so torn or truncated
+//! bytes that *do* appear — e.g. injected by the chaos supervisor's
+//! state-truncation fault — are detected by digest and reported as
+//! [`Load::Corrupt`], never deserialized.
+
+use crate::process::Rom;
+use proauth_primitives::sha256;
+use proauth_primitives::wire::{Reader, Writer};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: "PROAUTHS" (proauth state), followed by a format version byte.
+const MAGIC: &[u8; 8] = b"PROAUTHS";
+const VERSION: u8 = 1;
+/// Header length: magic + version + 32-byte SHA-256 body digest.
+const HEADER_LEN: usize = 8 + 1 + 32;
+/// Domain tag for the body digest.
+const DIGEST_DOMAIN: &str = "proauth/net/state";
+
+/// Outcome of loading a durable file: present and verified, absent (a fresh
+/// node), or present but failing its digest (torn write or injected fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Load<T> {
+    /// File present, digest verified, payload decoded.
+    Ok(T),
+    /// File does not exist — nothing was ever persisted.
+    Absent,
+    /// File exists but the magic, digest, or body failed verification.
+    Corrupt,
+}
+
+impl<T> Load<T> {
+    /// The verified payload, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            Load::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a detected corruption (as opposed to absence).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, Load::Corrupt)
+    }
+}
+
+/// The mutable watermark persisted after every round barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watermark {
+    /// Rounds durably completed: the node may resume at round
+    /// `completed_rounds` (0 = nothing completed, start at round 0).
+    pub completed_rounds: u64,
+    /// The refresh epoch (Fig-1 time unit) of the last completed round.
+    pub epoch: u64,
+}
+
+/// One node's durable state directory: `<root>/node-<id>/{rom.bin,state.bin}`.
+#[derive(Debug, Clone)]
+pub struct StateDir {
+    dir: PathBuf,
+}
+
+impl StateDir {
+    /// Opens (creating if needed) the state directory for `node` under
+    /// `root`.
+    pub fn open(root: &Path, node: u32) -> io::Result<Self> {
+        let dir = root.join(format!("node-{node}"));
+        fs::create_dir_all(&dir)?;
+        Ok(StateDir { dir })
+    }
+
+    /// Path of the write-once ROM image.
+    pub fn rom_path(&self) -> PathBuf {
+        self.dir.join("rom.bin")
+    }
+
+    /// Path of the mutable round watermark.
+    pub fn state_path(&self) -> PathBuf {
+        self.dir.join("state.bin")
+    }
+
+    /// Persists the ROM image. Write-once: if `rom.bin` already exists it is
+    /// left untouched (the ROM is incorruptible by model — a second setup
+    /// must never overwrite the first).
+    pub fn save_rom(&self, rom: &Rom) -> io::Result<()> {
+        let path = self.rom_path();
+        if path.exists() {
+            return Ok(());
+        }
+        let mut w = Writer::new();
+        let entries: Vec<(&str, &[u8])> = rom.entries().collect();
+        w.put_u32(entries.len() as u32);
+        for (k, v) in entries {
+            w.put_bytes(k.as_bytes());
+            w.put_bytes(v);
+        }
+        write_atomic(&path, &w.into_bytes())
+    }
+
+    /// Loads and digest-verifies the ROM image.
+    pub fn load_rom(&self) -> Load<Rom> {
+        let body = match read_verified(&self.rom_path()) {
+            Load::Ok(b) => b,
+            Load::Absent => return Load::Absent,
+            Load::Corrupt => return Load::Corrupt,
+        };
+        let mut r = Reader::new(&body);
+        let Ok(count) = r.get_u32() else {
+            return Load::Corrupt;
+        };
+        let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+        for _ in 0..count {
+            let Ok(kb) = r.get_bytes() else {
+                return Load::Corrupt;
+            };
+            let Ok(k) = String::from_utf8(kb) else {
+                return Load::Corrupt;
+            };
+            let Ok(v) = r.get_bytes() else {
+                return Load::Corrupt;
+            };
+            entries.push((k, v));
+        }
+        if r.remaining() != 0 {
+            return Load::Corrupt;
+        }
+        Load::Ok(Rom::from_entries(entries))
+    }
+
+    /// Persists the round watermark (rewritten after every round barrier).
+    pub fn save_watermark(&self, wm: Watermark) -> io::Result<()> {
+        let mut w = Writer::new();
+        w.put_u64(wm.completed_rounds);
+        w.put_u64(wm.epoch);
+        write_atomic(&self.state_path(), &w.into_bytes())
+    }
+
+    /// Loads and digest-verifies the round watermark.
+    pub fn load_watermark(&self) -> Load<Watermark> {
+        let body = match read_verified(&self.state_path()) {
+            Load::Ok(b) => b,
+            Load::Absent => return Load::Absent,
+            Load::Corrupt => return Load::Corrupt,
+        };
+        let mut r = Reader::new(&body);
+        let (Ok(completed_rounds), Ok(epoch)) = (r.get_u64(), r.get_u64()) else {
+            return Load::Corrupt;
+        };
+        if r.remaining() != 0 {
+            return Load::Corrupt;
+        }
+        Load::Ok(Watermark {
+            completed_rounds,
+            epoch,
+        })
+    }
+
+    /// Chaos hook: truncates `state.bin` to half its length, simulating a
+    /// torn write that survived. Returns whether there was a file to damage.
+    pub fn truncate_state_file(&self) -> io::Result<bool> {
+        let path = self.state_path();
+        let Ok(meta) = fs::metadata(&path) else {
+            return Ok(false);
+        };
+        let f = fs::OpenOptions::new().write(true).open(&path)?;
+        f.set_len(meta.len() / 2)?;
+        f.sync_all()?;
+        Ok(true)
+    }
+}
+
+/// Body digest under the state domain tag.
+fn digest(body: &[u8]) -> [u8; 32] {
+    sha256::hash_parts(DIGEST_DOMAIN, &[body])
+}
+
+/// Writes `header || body` to `path` crash-consistently: tmp file in the same
+/// directory, fsync, atomic rename over the destination.
+fn write_atomic(path: &Path, body: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&[VERSION])?;
+        f.write_all(&digest(body))?;
+        f.write_all(body)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads `path`, verifies magic + version + digest, and returns the body.
+fn read_verified(path: &Path) -> Load<Vec<u8>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Load::Absent,
+        Err(_) => return Load::Corrupt,
+    };
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC || bytes[8] != VERSION {
+        return Load::Corrupt;
+    }
+    let stored: &[u8] = &bytes[9..9 + 32];
+    let body = &bytes[HEADER_LEN..];
+    if digest(body).as_slice() != stored {
+        return Load::Corrupt;
+    }
+    Load::Ok(body.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "proauth-state-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_rom() -> Rom {
+        let mut rom = Rom::new();
+        rom.write("v_cert", vec![1, 2, 3, 4]);
+        rom.write("self_key", vec![9; 32]);
+        rom
+    }
+
+    #[test]
+    fn rom_roundtrip_and_write_once() {
+        let root = temp_root("rom");
+        let sd = StateDir::open(&root, 3).unwrap();
+        assert_eq!(sd.load_rom(), Load::Absent);
+        let rom = sample_rom();
+        sd.save_rom(&rom).unwrap();
+        let loaded = sd.load_rom().ok().unwrap();
+        assert_eq!(
+            loaded.entries().collect::<Vec<_>>(),
+            rom.entries().collect::<Vec<_>>()
+        );
+        // Write-once: saving a different ROM must not overwrite the first.
+        let mut other = Rom::new();
+        other.write("v_cert", vec![0xff]);
+        sd.save_rom(&other).unwrap();
+        let still = sd.load_rom().ok().unwrap();
+        assert_eq!(still.read("self_key"), Some(&[9u8; 32][..]));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn watermark_roundtrip_and_rewrite() {
+        let root = temp_root("wm");
+        let sd = StateDir::open(&root, 1).unwrap();
+        assert_eq!(sd.load_watermark(), Load::Absent);
+        for round in [1u64, 7, 42] {
+            sd.save_watermark(Watermark {
+                completed_rounds: round,
+                epoch: round / 8,
+            })
+            .unwrap();
+            let wm = sd.load_watermark().ok().unwrap();
+            assert_eq!(wm.completed_rounds, round);
+            assert_eq!(wm.epoch, round / 8);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncation_detected_by_digest() {
+        let root = temp_root("trunc");
+        let sd = StateDir::open(&root, 2).unwrap();
+        sd.save_watermark(Watermark {
+            completed_rounds: 12,
+            epoch: 1,
+        })
+        .unwrap();
+        assert!(sd.truncate_state_file().unwrap());
+        assert!(sd.load_watermark().is_corrupt());
+        // The ROM file is untouched by state truncation.
+        sd.save_rom(&sample_rom()).unwrap();
+        assert!(matches!(sd.load_rom(), Load::Ok(_)));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bitflip_detected_by_digest() {
+        let root = temp_root("flip");
+        let sd = StateDir::open(&root, 4).unwrap();
+        sd.save_rom(&sample_rom()).unwrap();
+        let path = sd.rom_path();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        assert_eq!(sd.load_rom(), Load::Corrupt);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn garbage_and_short_files_are_corrupt_not_panics() {
+        let root = temp_root("garbage");
+        let sd = StateDir::open(&root, 5).unwrap();
+        fs::write(sd.state_path(), b"x").unwrap();
+        assert!(sd.load_watermark().is_corrupt());
+        fs::write(sd.rom_path(), vec![0u8; 1024]).unwrap();
+        assert!(sd.load_rom().is_corrupt());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -35,7 +35,14 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a status connection may live before the collector sweeps it. A
+/// scraper that connects and then stalls (never sends its newline, never
+/// drains the response) would otherwise hold its slot forever — and since a
+/// silent socket never wakes the poll loop, the deadline is enforced by the
+/// collector's sweep, not by `drive`.
+const STATUS_CONN_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Counter names excluded from trace synthesis: the daemon-only transport
 /// layer. Everything under this prefix is wall-clock- and deployment-
@@ -374,8 +381,10 @@ impl LiveState {
         }
     }
 
-    /// Records a beacon: health bookkeeping plus impairment detection (a
-    /// node whose transport counters moved was disrupted this unit).
+    /// Records a beacon: health bookkeeping plus impairment detection. A
+    /// node whose barrier gave up on a peer's mark lost round alignment and
+    /// was disrupted this unit; frames it merely *received* late charge the
+    /// slipped sender (whose own telemetry shows it), not this receiver.
     pub fn on_beacon(&mut self, idx: usize, beacon: HealthBeacon) {
         if idx >= self.n {
             return;
@@ -389,8 +398,8 @@ impl LiveState {
         h.last_at = Some(now);
         h.beacons += 1;
         let (late0, to0) = self.last_transport[idx];
-        let disrupted = beacon.late_frames > late0 || beacon.mark_timeouts > to0;
-        self.last_transport[idx] = (beacon.late_frames, beacon.mark_timeouts);
+        let disrupted = beacon.mark_timeouts > to0;
+        self.last_transport[idx] = (late0.max(beacon.late_frames), beacon.mark_timeouts);
         let node = beacon.node;
         h.last = beacon;
         if disrupted {
@@ -399,9 +408,15 @@ impl LiveState {
     }
 
     /// Records a node-originated alarm; warning-or-worse alarms count the
-    /// node as impaired for the unit the alarmed round falls in.
+    /// node as impaired for the unit the alarmed round falls in — except
+    /// `forgery_reject`: rejecting a forged or round-stale frame indicts the
+    /// sender (who is charged through its own alarms), not the rejector,
+    /// whose protocol state is untouched by the drop.
     pub fn on_alarm(&mut self, alarm: Alarm) {
-        if alarm.severity >= Severity::Warning && alarm.node != 0 {
+        if alarm.severity >= Severity::Warning
+            && alarm.node != 0
+            && alarm.kind != "forgery_reject"
+        {
             let unit = alarm.round / self.unit_rounds;
             self.mark_impaired(unit, alarm.node);
         }
@@ -432,6 +447,15 @@ impl LiveState {
             *counts.entry(a.severity.label()).or_insert(0) += 1;
         }
         counts
+    }
+
+    /// Distinct impaired nodes per unit — the collector's live Definition-7
+    /// accounting, for comparison against engine-side ground truth.
+    pub fn unit_impairments(&self) -> BTreeMap<u64, Vec<u32>> {
+        self.unit_impaired
+            .iter()
+            .map(|(u, s)| (*u, s.iter().copied().collect()))
+            .collect()
     }
 
     /// The highest unit with impairment bookkeeping, with its distinct
@@ -662,6 +686,9 @@ pub struct StatusConn {
     inbuf: Vec<u8>,
     out: Vec<u8>,
     pos: usize,
+    /// When the connection was accepted; past the deadline it is swept.
+    born: Instant,
+    deadline: Duration,
     /// Response fully written (or the peer vanished) — drop me.
     pub done: bool,
 }
@@ -669,13 +696,28 @@ pub struct StatusConn {
 impl StatusConn {
     /// Wraps a freshly accepted stream.
     pub fn new(stream: NetStream) -> Self {
+        Self::with_deadline(stream, STATUS_CONN_DEADLINE)
+    }
+
+    /// Wraps a stream with an explicit lifetime deadline (tests).
+    pub fn with_deadline(stream: NetStream, deadline: Duration) -> Self {
         StatusConn {
             stream,
             inbuf: Vec::new(),
             out: Vec::new(),
             pos: 0,
+            born: Instant::now(),
+            deadline,
             done: false,
         }
+    }
+
+    /// Whether the connection has outlived its deadline. The collector's
+    /// sweep drops expired connections — a stalled scraper (silent socket,
+    /// so no poll wake-up ever fires for it) cannot wedge the poll loop or
+    /// hold its slot forever.
+    pub fn expired(&self) -> bool {
+        self.born.elapsed() > self.deadline
     }
 
     /// The raw descriptor for the poll set; poll for writability once a
@@ -792,7 +834,7 @@ mod tests {
         assert_eq!(st.alarms[0].severity, Severity::Critical);
         // Fires once per unit.
         let mut b3 = beacon(3, 5);
-        b3.late_frames = 7;
+        b3.mark_timeouts = 1;
         st.on_beacon(2, b3);
         assert_eq!(st.alarms.len(), 1);
         let (unit, impaired) = st.budget_state();
@@ -806,13 +848,36 @@ mod tests {
             node: 2,
             round: 12,
             severity: Severity::Warning,
-            kind: "forgery_reject".into(),
-            detail: "uls/rejected +3".into(),
+            kind: "uls_alert".into(),
+            detail: "uls/alerts +1".into(),
         });
         assert_eq!(st.alarms.len(), 2); // the alarm itself + budget_exceeded
         assert!(st.alarms.iter().any(|a| a.kind == "budget_exceeded"));
         let (unit, impaired) = st.budget_state();
         assert_eq!((unit, impaired), (1, 1));
+    }
+
+    #[test]
+    fn forgery_rejection_does_not_impair_the_rejector() {
+        // A node dropping forged/round-stale frames is the protocol working;
+        // it must not eat into the unit's Definition-7 budget.
+        let mut st = LiveState::new(2, 0, 10);
+        st.on_alarm(Alarm {
+            node: 2,
+            round: 12,
+            severity: Severity::Warning,
+            kind: "forgery_reject".into(),
+            detail: "uls/rejected +3".into(),
+        });
+        assert_eq!(st.alarms.len(), 1); // the alarm alone, no budget breach
+        let (_, impaired) = st.budget_state();
+        assert_eq!(impaired, 0);
+        // Late frames *received* don't impair the receiver either.
+        let mut b = beacon(1, 12);
+        b.late_frames = 9;
+        st.on_beacon(0, b);
+        let (_, impaired) = st.budget_state();
+        assert_eq!(impaired, 0);
     }
 
     #[test]

@@ -219,6 +219,7 @@ fn chaos_proxy_preserves_model_invariants() {
         delay_max: 2,
         dup_pct: 10,
         reorder_pct: 10,
+        reset_pct: 0,
         partition: None,
     };
     let (outcome, proxy_stats) = daemon_run(n, plan, Some(spec), false);

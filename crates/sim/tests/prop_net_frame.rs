@@ -139,6 +139,91 @@ proptest! {
         }
     }
 
+    /// Reconnect mid-frame: a connection dies while a frame is partially
+    /// delivered (the daemon kill/RST case). The torn decoder never invents
+    /// a frame from its dangling tail, and the fresh decoder on the new
+    /// connection — to which the sender re-transmits from a frame boundary —
+    /// yields exactly the re-sent frames. No state bleeds across the
+    /// re-handshake.
+    #[test]
+    fn reconnect_mid_frame_never_leaks_across_streams(
+        delivered in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..120), 0..6),
+        torn in proptest::collection::vec(any::<u8>(), 1..120),
+        resent in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..120), 1..6),
+        cut_seed in any::<usize>(),
+    ) {
+        // Old connection: `delivered` frames arrive whole, then the stream
+        // dies somewhere strictly inside the `torn` frame's encoding.
+        let mut old_stream = Vec::new();
+        for p in &delivered {
+            encode_frame(&mut old_stream, p);
+        }
+        let boundary = old_stream.len();
+        encode_frame(&mut old_stream, &torn);
+        let cut = boundary + cut_seed % (old_stream.len() - boundary);
+        let mut old_dec = FrameDecoder::new();
+        old_dec.push(&old_stream[..cut]);
+        let got = drain(&mut old_dec).unwrap();
+        prop_assert_eq!(&got[..], &delivered[..], "whole frames only");
+        // The dangling tail never materializes as a frame, no matter how
+        // often the torn decoder is polled.
+        prop_assert_eq!(old_dec.next_frame().unwrap(), None);
+        prop_assert_eq!(old_dec.next_frame().unwrap(), None);
+
+        // New connection, fresh decoder: the sender re-transmits from the
+        // frame boundary (the torn frame first, then new traffic).
+        let mut new_stream = Vec::new();
+        encode_frame(&mut new_stream, &torn);
+        for p in &resent {
+            encode_frame(&mut new_stream, p);
+        }
+        let mut new_dec = FrameDecoder::new();
+        new_dec.push(&new_stream);
+        let mut want: Vec<Vec<u8>> = vec![torn.clone()];
+        want.extend(resent.iter().cloned());
+        prop_assert_eq!(drain(&mut new_dec).unwrap(), want);
+        prop_assert_eq!(new_dec.pending(), 0);
+    }
+
+    /// The re-handshake byte (`Hello` first on every fresh stream) survives
+    /// arriving glued to, or split across, the frames that follow it — the
+    /// exact arrival patterns a rejoining node's burst produces.
+    #[test]
+    fn rejoin_burst_decodes_under_any_chunking(
+        node in 1u32..200,
+        run_id in any::<u64>(),
+        watermark in any::<u64>(),
+        rounds in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..10),
+    ) {
+        let mut msgs = vec![NetMsg::Hello { node, run_id }];
+        msgs.push(NetMsg::Rejoin { node, run_id, watermark });
+        for (round, seq) in &rounds {
+            msgs.push(NetMsg::Round {
+                round: *round,
+                seq: *seq,
+                from: NodeId(node),
+                to: NodeId(node % 7 + 1),
+                payload: vec![0xAB; (*seq % 64) as usize],
+            });
+        }
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_frame(&mut stream, &m.to_bytes());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in chunked(&stream, &cuts) {
+            dec.push(&chunk);
+            for frame in drain(&mut dec).unwrap() {
+                got.push(NetMsg::from_bytes(&frame).unwrap());
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
     /// Message-layer round-trip through the framing layer: a `NetMsg` framed
     /// and unframed decodes to itself (spot-checking the variants daemon
     /// traffic actually uses).

@@ -21,7 +21,7 @@
 //!           --round-ms/--min-round-ms tune wall-clock round pacing
 //!   proxy   the adversarial router: --n --addr plus --delay <pct>
 //!           --delay-max <rounds> --dup <pct> --reorder <pct>
-//!           --partition <start:end:split> --chaos-seed <int>
+//!           --reset <pct> --partition <start:end:split> --chaos-seed <int>
 //!   client  the collector: --n --addr; prints the goodput report once all
 //!           nodes delivered their final reports
 //!   daemon  orchestrator: spawns n `serve` processes (plus a `proxy` when
@@ -40,6 +40,31 @@
 //! --adaptive enables bounded AIMD round pacing (halve on congestion, creep
 //! back when clean; --adapt-floor-ms sets the floor); --trace <path> saves
 //! the collector-assembled cluster trace.
+//!
+//! Self-healing (daemon + serve):
+//!   --state-dir <dir>    durable per-node state root; each node persists its
+//!                        ROM image once after setup and a round watermark
+//!                        every round, and a restarted process rejoins the
+//!                        running cluster from there instead of re-running
+//!                        setup (serve accepts the flag directly too)
+//!   --kill <plan>        process-level chaos: `auto` SIGKILLs every node
+//!                        once at a seed-derived round, or give an explicit
+//!                        `node:round,node:round` schedule; needs --state-dir
+//!   --truncate-state     corrupt each victim's watermark file before its
+//!                        respawn (exercises the full catch-up + share
+//!                        recovery path)
+//!   --max-restarts <k>   restart budget per node per window (default 3)
+//!   --restart-window <s> budget window in seconds (default 60)
+//!   --backoff-ms <ms>    respawn backoff base; doubles per attempt, capped
+//!                        at 10s, plus deterministic jitter (default 100)
+//!   --hosts <manifest>   multi-host deployment: manifest lines are
+//!                        `<label> <lo>-<hi>`; the daemon prints the serve
+//!                        command for every remote range and spawns only the
+//!                        ranges whose label matches --local <label>
+//!
+//! Prefer unix socket plans (the default) for kill/heal runs: a respawned
+//! node rebinds its socket path immediately, while TCP listeners can land in
+//! TIME_WAIT on some systems.
 //!
 //!   --addr <plan>        unix:DIR (default) or tcp:HOST:PORT — node i
 //!                        listens at DIR/node-i.sock / PORT+i
@@ -143,14 +168,15 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> HashMap<String, String>
         match key {
             "parallel" | "verbose" | "preprocess" | "clusters" | "via-proxy" | "report"
             | "check" | "closed-loop" | "telemetry" | "stream-trace" | "adaptive" | "status"
-            | "once" => {
+            | "once" | "truncate-state" => {
                 out.insert(key.to_owned(), "true".to_owned());
             }
             "n" | "t" | "units" | "normal" | "seed" | "group" | "auth" | "adversary"
             | "trace" | "rate" | "window" | "mix" | "node" | "addr" | "round-ms"
             | "min-round-ms" | "connect-timeout" | "idle-timeout" | "chaos-seed" | "delay"
             | "delay-max" | "dup" | "reorder" | "partition" | "windows" | "adapt-floor-ms"
-            | "interval" | "view" => {
+            | "interval" | "view" | "state-dir" | "kill" | "max-restarts" | "restart-window"
+            | "backoff-ms" | "reset" | "hosts" | "local" => {
                 let Some(value) = args.next() else {
                     eprintln!("--{key} needs a value");
                     usage()
@@ -1043,13 +1069,14 @@ fn chaos_spec_from_args(args: &HashMap<String, String>) -> proauth_sim::net::Cha
         delay_max: get(args, "delay-max", 2),
         dup_pct: get(args, "dup", 0),
         reorder_pct: get(args, "reorder", 0),
+        reset_pct: get(args, "reset", 0),
         partition,
     }
 }
 
 /// `serve`: one node of the deployment, as this process.
 fn serve_main(args: &HashMap<String, String>) -> ! {
-    use proauth_sim::net::{run_node, NodeNetConfig};
+    use proauth_sim::net::{run_node, Load, NodeNetConfig, StateDir};
     use proauth_sim::ProcessDriver;
 
     let sc = NetScenario::from_args(args);
@@ -1074,7 +1101,46 @@ fn serve_main(args: &HashMap<String, String>) -> ! {
     cfg.adaptive = args.contains_key("adaptive");
     cfg.adapt_floor_ms = get(args, "adapt-floor-ms", 20);
 
-    let mut driver = ProcessDriver::new(sc.make_node(me), me, sc.n, sc.seed);
+    // Durable state: with --state-dir, a restarted process finds its ROM
+    // image and round watermark on disk and rejoins the running cluster
+    // instead of re-running setup. A corrupt watermark demotes to a full
+    // catch-up from round 0 (share recovery repairs the lost shares); a
+    // corrupt ROM is fatal — the write-once image is the node's identity
+    // and cannot be reconstructed locally.
+    let state_root = args.get("state-dir").map(std::path::PathBuf::from);
+    cfg.state_dir = state_root.clone();
+    let mut driver = match &state_root {
+        None => ProcessDriver::new(sc.make_node(me), me, sc.n, sc.seed),
+        Some(root) => {
+            let sd = StateDir::open(root, me.0).unwrap_or_else(|e| {
+                eprintln!("node {me}: cannot open state dir {}: {e}", root.display());
+                exit(1)
+            });
+            match sd.load_rom() {
+                Load::Absent => ProcessDriver::new(sc.make_node(me), me, sc.n, sc.seed),
+                Load::Corrupt => {
+                    eprintln!("node {me}: durable ROM image is corrupt; refusing to rejoin");
+                    exit(1)
+                }
+                Load::Ok(rom) => {
+                    let resume = match sd.load_watermark() {
+                        Load::Ok(wm) => wm.completed_rounds,
+                        Load::Absent => 0,
+                        Load::Corrupt => {
+                            eprintln!(
+                                "node {me}: watermark corrupt; rejoining from round 0 \
+                                 (full catch-up + share recovery)"
+                            );
+                            0
+                        }
+                    };
+                    eprintln!("node {me}: rejoining from durable state at round {resume}");
+                    cfg.resume = Some(resume);
+                    ProcessDriver::with_rom(sc.make_node(me), me, sc.n, sc.seed, rom)
+                }
+            }
+        }
+    };
     match run_node(cfg, &mut driver, |_, _| None) {
         Ok(rep) => {
             println!(
@@ -1111,18 +1177,20 @@ fn proxy_main(args: &HashMap<String, String>) -> ! {
         idle_timeout_ms: get(args, "idle-timeout", 60_000),
     };
     println!(
-        "proxy: n={} chaos: delay {}%/{}r dup {}% reorder {}% partition {:?}",
-        sc.n, spec.delay_pct, spec.delay_max, spec.dup_pct, spec.reorder_pct, spec.partition
+        "proxy: n={} chaos: delay {}%/{}r dup {}% reorder {}% reset {}% partition {:?}",
+        sc.n, spec.delay_pct, spec.delay_max, spec.dup_pct, spec.reorder_pct, spec.reset_pct,
+        spec.partition
     );
     match run_proxy(cfg) {
         Ok(stats) => {
             println!(
-                "proxy: forwarded {} delayed {} duplicated {} reordered {} \
+                "proxy: forwarded {} delayed {} duplicated {} reordered {} resets {} \
                  setup {} marks {}",
                 stats.forwarded,
                 stats.delayed,
                 stats.duplicated,
                 stats.reordered,
+                stats.resets,
                 stats.setup_forwarded,
                 stats.marks
             );
@@ -1207,6 +1275,18 @@ fn print_observability_report(outcome: &proauth_sim::net::DaemonOutcome) {
             c("uls/alerts"),
         );
     }
+    if let Some(h) = outcome.merged.value_hists.get("net/recovery_latency_ms") {
+        let q = h.quantiles_value(&[0.5, 0.95, 1.0]);
+        println!(
+            "recovery latency: {} restart(s) healed, p50 {}ms p95 {}ms max {}ms",
+            h.total, q[0], q[1], q[2]
+        );
+    }
+    if std::env::var_os("PROAUTH_DEBUG_COUNTERS").is_some() {
+        for (name, v) in &outcome.merged.counters {
+            println!("  counter {name} = {v}");
+        }
+    }
     if outcome.alarms.is_empty() {
         println!("alarms: none");
     } else {
@@ -1290,6 +1370,14 @@ fn top_main(args: &HashMap<String, String>) -> ! {
 /// keys match the engine's, every node made progress, and nothing was
 /// accepted that its claimed sender never sends. Returns human-readable
 /// failures (empty = pass).
+///
+/// Restarted nodes are read off the collector's `node_restarted` alarm
+/// stream (the supervisor emits one per respawn, stamped with the observed
+/// round): a restarted node's report covers only the rounds since its
+/// rejoin (the dead instance never reported), so its round count is checked
+/// for progress rather than completeness, and its liveness must be
+/// demonstrated *at or after* the restart round — proof that the respawned
+/// process caught up and the cluster still authenticates it.
 fn check_chaos_outcome(
     sc: &NetScenario,
     outcome: &proauth_sim::net::DaemonOutcome,
@@ -1303,15 +1391,77 @@ fn check_chaos_outcome(
     }
     for id in NodeId::all(sc.n) {
         let log = &outcome.outputs[id.idx()];
-        // Liveness: heartbeats verified at every node.
-        if !log
+        // The last round this node's process was respawned at, per the
+        // supervisor's alarms (None = never restarted).
+        let restart_round = outcome
+            .alarms
             .iter()
-            .any(|(_, e)| matches!(e, OutputEvent::Accepted { .. }))
-        {
-            failures.push(format!("{id} accepted no heartbeats"));
+            .filter(|a| a.kind == "node_restarted" && a.node == id.0)
+            .map(|a| a.round)
+            .max();
+        // Liveness: heartbeats verified at every node — for a restarted
+        // node, at or after the restart, but only when recovery is
+        // observable. A respawned process rebuilds its volatile protocol
+        // state through share recovery at the next refreshment phase, so it
+        // can only prove liveness if a complete time unit (refresh, then
+        // normal rounds) starts at or after the restart; a kill inside the
+        // final unit heals the process but leaves nothing on the schedule
+        // to accept.
+        let live = match restart_round {
+            None => log
+                .iter()
+                .any(|(_, e)| matches!(e, OutputEvent::Accepted { .. })),
+            Some(rr) => {
+                let sched = sc.schedule();
+                let unit_rounds = sched.unit_rounds;
+                let next_unit_start = rr.div_ceil(unit_rounds) * unit_rounds;
+                let observable = next_unit_start + unit_rounds <= sc.total_rounds();
+                // The victim verifies peers from its durable ROM right away;
+                // the cluster re-authenticates the victim only once the
+                // refresh after its restart hands it fresh certified keys.
+                // Both directions must be visible: the respawned process
+                // accepts, and some peer accepts *from* it post-recovery.
+                let recertified_by = next_unit_start + sched.refresh_rounds();
+                let accepts = log
+                    .iter()
+                    .any(|(r, e)| *r >= rr && matches!(e, OutputEvent::Accepted { .. }));
+                let heard_from = outcome.outputs.iter().flat_map(|l| l.iter()).any(
+                    |(r, e)| {
+                        *r >= recertified_by
+                            && matches!(e, OutputEvent::Accepted { from, .. } if *from == id)
+                    },
+                );
+                !observable || (accepts && heard_from)
+            }
+        };
+        if !live {
+            let last_accept = log
+                .iter()
+                .filter(|(_, e)| matches!(e, OutputEvent::Accepted { .. }))
+                .map(|(r, _)| *r)
+                .max();
+            failures.push(match restart_round {
+                None => format!("{id} accepted no heartbeats"),
+                Some(rr) => {
+                    format!(
+                        "{id} accepted no heartbeats after its restart at round {rr} \
+                         (last accept: {})",
+                        last_accept.map_or("never".into(), |r| format!("round {r}")),
+                    )
+                }
+            });
         }
-        if outcome.reports[id.idx()].rounds != sc.total_rounds() {
-            failures.push(format!("{id} did not complete all rounds"));
+        let rounds = outcome.reports[id.idx()].rounds;
+        match restart_round {
+            None if rounds != sc.total_rounds() => {
+                failures.push(format!("{id} did not complete all rounds"));
+            }
+            Some(_) if rounds == 0 || rounds > sc.total_rounds() => {
+                failures.push(format!(
+                    "{id} rejoined instance reported a nonsensical round count {rounds}"
+                ));
+            }
+            _ => {}
         }
         // Zero forgeries: an accepted heartbeat must be one its claimed
         // sender actually emits ("hb:<sender>:<round>").
@@ -1336,14 +1486,59 @@ fn check_chaos_outcome(
 /// `proxy` when chaos flags are set), runs the collector inline, reports
 /// goodput, and optionally verifies against the in-process engine.
 fn daemon_main(args: &HashMap<String, String>) -> ! {
-    use proauth_sim::net::{AddrPlan, Collector, CollectorConfig};
+    use proauth_sim::net::{AddrPlan, Alarm, Collector, CollectorConfig, Severity, StateDir};
+    use proauth_sim::ProcessFaultPlan;
     use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::{Duration, Instant};
 
     let sc = NetScenario::from_args(args);
     let spec = chaos_spec_from_args(args);
     let chaos = !spec.is_faithful();
     let check = args.contains_key("check");
     let round_ms: u64 = get(args, "round-ms", 1_000);
+
+    // Process-level chaos and the self-healing knobs. Kills only make sense
+    // with durable state: a respawned node without a ROM image on disk would
+    // try to re-run setup against a cluster whose setup barrier has passed.
+    let mut kill_plan = match args.get("kill").map(String::as_str) {
+        None => ProcessFaultPlan::default(),
+        Some("auto") => ProcessFaultPlan::kill_all_once(
+            sc.n,
+            sc.t,
+            &sc.schedule(),
+            sc.total_rounds(),
+            sc.seed,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("bad --kill auto: {e}");
+            exit(2)
+        }),
+        Some(spec) => ProcessFaultPlan::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad --kill: {e}");
+            exit(2)
+        }),
+    };
+    for &(round, victim) in &kill_plan.kills {
+        if victim == 0 || victim as usize > sc.n || round >= sc.total_rounds() {
+            eprintln!("--kill {victim}:{round} is out of range (n={}, rounds={})",
+                sc.n, sc.total_rounds());
+            exit(2);
+        }
+    }
+    let state_root = args.get("state-dir").map(std::path::PathBuf::from);
+    if !kill_plan.kills.is_empty() && state_root.is_none() {
+        eprintln!("--kill needs --state-dir (a killed node can only rejoin from durable state)");
+        exit(2);
+    }
+    if args.contains_key("truncate-state") {
+        kill_plan.truncate = kill_plan.kills.iter().map(|&(_, v)| v).collect();
+        kill_plan.truncate.dedup();
+    }
+    let max_restarts: usize = get(args, "max-restarts", 3);
+    let restart_window = Duration::from_secs(get(args, "restart-window", 60));
+    let backoff_ms: u64 = get(args, "backoff-ms", 100);
     // Trace assembly needs the nodes to stream their flight-recorder events;
     // `--check` compares the assembled trace against the engine (faithful
     // runs only), `--trace PATH` saves it.
@@ -1370,18 +1565,33 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
     );
     if chaos {
         println!(
-            "chaos proxy: delay {}%/{}r dup {}% reorder {}% partition {:?} (seed {})",
-            spec.delay_pct, spec.delay_max, spec.dup_pct, spec.reorder_pct, spec.partition,
-            spec.seed
+            "chaos proxy: delay {}%/{}r dup {}% reorder {}% reset {}% partition {:?} (seed {})",
+            spec.delay_pct, spec.delay_max, spec.dup_pct, spec.reorder_pct, spec.reset_pct,
+            spec.partition, spec.seed
         );
     } else {
         println!("topology: direct full mesh (no proxy)");
+    }
+    if let Some(root) = &state_root {
+        println!("durable state: {}", root.display());
+    }
+    if !kill_plan.kills.is_empty() {
+        let sched: Vec<String> = kill_plan
+            .kills
+            .iter()
+            .map(|(r, v)| format!("{v}@r{r}"))
+            .collect();
+        println!(
+            "kill schedule: {} (truncate-state: {})",
+            sched.join(" "),
+            if kill_plan.truncate.is_empty() { "no" } else { "yes" }
+        );
     }
 
     // Bind the collector before any child starts so report dials never race.
     // The live status socket is always on in daemon mode (`proauth top`
     // scrapes it at `plan.status()`).
-    let collector = Collector::bind(CollectorConfig {
+    let mut collector = Collector::bind(CollectorConfig {
         n: sc.n,
         plan: sc.plan.clone(),
         run_id: sc.run_id(),
@@ -1397,103 +1607,398 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
     });
     println!("status endpoint: {}", sc.plan.status());
 
+    // The supervisor's two taps into the observability plane: restart alarms
+    // flow into the collector's alarm stream (Warning severity, so a kill
+    // charges the victim's Definition-7 budget), and the collector publishes
+    // the highest beacon round so the kill schedule can fire on protocol
+    // time instead of wall clock.
+    let (alarm_tx, alarm_rx) = mpsc::channel::<Alarm>();
+    let round_watch = Arc::new(AtomicU64::new(0));
+    collector.set_alarm_channel(alarm_rx);
+    collector.set_round_watch(round_watch.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+
     let addr_arg = args
         .get("addr")
         .cloned()
         .unwrap_or_else(|| format!("unix:{}", default_sock_dir().display()));
-    let scenario_args = |cmd: &mut Command| {
-        cmd.arg("--n")
-            .arg(sc.n.to_string())
-            .arg("--t")
-            .arg(sc.t.to_string())
-            .arg("--units")
-            .arg(sc.units.to_string())
-            .arg("--normal")
-            .arg(sc.normal.to_string())
-            .arg("--seed")
-            .arg(sc.seed.to_string())
-            .arg("--group")
-            .arg(format!("{}", sc.group_id).to_lowercase())
-            .arg("--addr")
-            .arg(&addr_arg);
+    // Children are described by argv vectors, not pre-built Commands, so the
+    // supervisor can respawn a dead node with exactly the arguments it was
+    // born with.
+    let scenario_argv = || -> Vec<String> {
+        let mut v = vec![
+            "--n".to_owned(),
+            sc.n.to_string(),
+            "--t".to_owned(),
+            sc.t.to_string(),
+            "--units".to_owned(),
+            sc.units.to_string(),
+            "--normal".to_owned(),
+            sc.normal.to_string(),
+            "--seed".to_owned(),
+            sc.seed.to_string(),
+            "--group".to_owned(),
+            format!("{}", sc.group_id).to_lowercase(),
+            "--addr".to_owned(),
+            addr_arg.clone(),
+        ];
         if sc.auth_mode == AuthMode::SessionMac {
-            cmd.arg("--auth").arg("mac");
+            v.push("--auth".to_owned());
+            v.push("mac".to_owned());
         }
+        v
     };
-
-    let mut children: Vec<(String, Child)> = Vec::new();
-    if chaos {
-        let mut cmd = Command::new(&exe);
-        cmd.arg("proxy");
-        scenario_args(&mut cmd);
-        for key in ["chaos-seed", "delay", "delay-max", "dup", "reorder", "partition"] {
-            if let Some(v) = args.get(key) {
-                cmd.arg(format!("--{key}")).arg(v);
-            }
-        }
-        cmd.stdout(Stdio::inherit()).stderr(Stdio::inherit());
-        children.push(("proxy".into(), cmd.spawn().expect("spawn proxy")));
-    }
-    for id in 1..=sc.n as u32 {
-        let mut cmd = Command::new(&exe);
-        cmd.arg("serve");
-        scenario_args(&mut cmd);
-        cmd.arg("--node")
-            .arg(id.to_string())
-            .arg("--report")
-            .arg("--round-ms")
-            .arg(round_ms.to_string());
-        if let Some(v) = args.get("min-round-ms") {
-            cmd.arg("--min-round-ms").arg(v);
+    let serve_argv = |id: u32| -> Vec<String> {
+        let mut v = vec!["serve".to_owned()];
+        v.extend(scenario_argv());
+        v.push("--node".to_owned());
+        v.push(id.to_string());
+        v.push("--report".to_owned());
+        v.push("--round-ms".to_owned());
+        v.push(round_ms.to_string());
+        if let Some(x) = args.get("min-round-ms") {
+            v.push("--min-round-ms".to_owned());
+            v.push(x.clone());
+        } else if !kill_plan.kills.is_empty() {
+            // A kill schedule fires on beacon-observed rounds, so rounds must
+            // take long enough for the supervisor to interleave; unpaced
+            // rounds finish in microseconds and every kill would land after
+            // the run. Pace at a quarter of the round deadline by default.
+            v.push("--min-round-ms".to_owned());
+            v.push((round_ms / 4).max(20).to_string());
         }
         if chaos {
-            cmd.arg("--via-proxy");
+            v.push("--via-proxy".to_owned());
         }
         // Observability is on by default in daemon mode: each node folds its
         // registry into per-round metrics deltas and a health beacon.
-        cmd.arg("--telemetry");
+        v.push("--telemetry".to_owned());
         if want_trace {
-            cmd.arg("--stream-trace");
+            v.push("--stream-trace".to_owned());
         }
         if adaptive {
-            cmd.arg("--adaptive");
-            if let Some(v) = args.get("adapt-floor-ms") {
-                cmd.arg("--adapt-floor-ms").arg(v);
+            v.push("--adaptive".to_owned());
+            if let Some(x) = args.get("adapt-floor-ms") {
+                v.push("--adapt-floor-ms".to_owned());
+                v.push(x.clone());
             }
         }
-        // Node stdout is summary-only; keep the orchestrator's output clean
-        // but surface child errors.
-        cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
-        children.push((format!("node {id}"), cmd.spawn().expect("spawn node")));
+        if let Some(root) = &state_root {
+            v.push("--state-dir".to_owned());
+            v.push(root.display().to_string());
+        }
+        v
+    };
+    // Node stdout is summary-only; keep the orchestrator's output clean but
+    // surface child errors.
+    let spawn_child = |argv: &[String], quiet: bool| -> Child {
+        let mut cmd = Command::new(&exe);
+        cmd.args(argv);
+        cmd.stdout(if quiet { Stdio::null() } else { Stdio::inherit() });
+        cmd.stderr(Stdio::inherit());
+        cmd.spawn().expect("spawn child")
+    };
+
+    // --hosts: which node ids this invocation spawns locally. Remote ranges
+    // get their exact serve command printed for the operator to run; the
+    // collector then waits for them to dial in.
+    let local_only: Option<Vec<u32>> = args.get("hosts").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read hosts manifest {path}: {e}");
+            exit(2)
+        });
+        if matches!(sc.plan, AddrPlan::Unix { .. }) {
+            eprintln!(
+                "warning: --hosts over unix sockets only reaches this machine; \
+                 use --addr tcp:HOST:PORT for a real multi-host run"
+            );
+        }
+        let local_label = args.get("local").cloned().unwrap_or_default();
+        let mut local = Vec::new();
+        let mut matched = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parsed = line.split_once(char::is_whitespace).and_then(|(label, range)| {
+                let (lo, hi) = range.trim().split_once('-')?;
+                Some((label, lo.trim().parse::<u32>().ok()?, hi.trim().parse::<u32>().ok()?))
+            });
+            let Some((label, lo, hi)) = parsed else {
+                eprintln!("{path}:{}: want `<label> <lo>-<hi>`, got: {line}", lineno + 1);
+                exit(2)
+            };
+            if lo == 0 || hi as usize > sc.n || lo > hi {
+                eprintln!("{path}:{}: node range {lo}-{hi} out of 1..={}", lineno + 1, sc.n);
+                exit(2)
+            }
+            if label == local_label {
+                matched = true;
+                local.extend(lo..=hi);
+            } else {
+                println!("host {label}: run nodes {lo}-{hi} with:");
+                for id in lo..=hi {
+                    println!("  proauth {}", serve_argv(id).join(" "));
+                }
+            }
+        }
+        if !local_label.is_empty() && !matched {
+            eprintln!("--local {local_label} matches no line in {path}");
+            exit(2);
+        }
+        local
+    });
+
+    /// One supervised child: its respawn recipe and restart accounting.
+    struct Slot {
+        name: String,
+        /// 0 = the proxy (never respawned: it holds no protocol state worth
+        /// healing, so its death fails the run).
+        node: u32,
+        argv: Vec<String>,
+        child: Option<Child>,
+        done: bool,
+        why: String,
+        attempt: u32,
+        restarts: Vec<Instant>,
+        respawn_at: Option<Instant>,
+    }
+    let new_slot = |name: String, node: u32, argv: Vec<String>, child: Child| Slot {
+        name,
+        node,
+        argv,
+        child: Some(child),
+        done: false,
+        why: String::new(),
+        attempt: 0,
+        restarts: Vec::new(),
+        respawn_at: None,
+    };
+
+    let mut slots: Vec<Slot> = Vec::new();
+    if chaos {
+        let mut argv = vec!["proxy".to_owned()];
+        argv.extend(scenario_argv());
+        for key in ["chaos-seed", "delay", "delay-max", "dup", "reorder", "reset", "partition"] {
+            if let Some(v) = args.get(key) {
+                argv.push(format!("--{key}"));
+                argv.push(v.clone());
+            }
+        }
+        let child = spawn_child(&argv, false);
+        slots.push(new_slot("proxy".into(), 0, argv, child));
+    }
+    for id in 1..=sc.n as u32 {
+        if let Some(local) = &local_only {
+            if !local.contains(&id) {
+                continue;
+            }
+        }
+        let argv = serve_argv(id);
+        let child = spawn_child(&argv, true);
+        slots.push(new_slot(format!("node {id}"), id, argv, child));
     }
 
-    let outcome = collector.run();
-    // Children self-terminate (round deadlines, idle timeouts); reap them.
-    let mut child_failures = Vec::new();
-    for (name, mut child) in children {
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-        loop {
-            match child.try_wait() {
-                Ok(Some(status)) => {
-                    if !status.success() {
-                        child_failures.push(format!("{name} exited with {status}"));
+    // The supervisor: fires scheduled kills on protocol time, reaps children,
+    // classifies their exits, and respawns crashed nodes under the restart
+    // policy while the collector runs on this thread.
+    let seed = sc.seed;
+    let supervisor = {
+        let stop = Arc::clone(&stop);
+        let round_watch = Arc::clone(&round_watch);
+        let exe = exe.clone();
+        let state_root = state_root.clone();
+        let mut pending_kills = kill_plan.kills.clone();
+        let truncate = kill_plan.truncate.clone();
+        std::thread::spawn(move || {
+            let mut slots = slots;
+            let mut failures: Vec<String> = Vec::new();
+            let mut restarts_total = 0u64;
+            let mut shutdown_deadline: Option<Instant> = None;
+            let respawn = |argv: &[String]| -> std::io::Result<Child> {
+                let mut cmd = Command::new(&exe);
+                cmd.args(argv);
+                cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
+                cmd.spawn()
+            };
+            loop {
+                let stopping = stop.load(Ordering::Relaxed);
+                if stopping && shutdown_deadline.is_none() {
+                    // Children self-terminate (round deadlines, idle
+                    // timeouts); give the stragglers a grace period.
+                    shutdown_deadline = Some(Instant::now() + Duration::from_secs(30));
+                    pending_kills.clear();
+                }
+
+                // Fire due kills: SIGKILL mid-protocol, no warning — the
+                // process-level analogue of the paper's break-in.
+                let cur = round_watch.load(Ordering::Relaxed);
+                while let Some(&(round, victim)) = pending_kills.first() {
+                    if round > cur {
+                        break;
                     }
+                    pending_kills.remove(0);
+                    if let Some(slot) = slots.iter_mut().find(|s| s.node == victim) {
+                        if let Some(child) = slot.child.as_mut() {
+                            println!(
+                                "supervisor: SIGKILL node {victim} \
+                                 (scheduled round {round}, cluster at {cur})"
+                            );
+                            let _ = child.kill();
+                        }
+                    }
+                }
+
+                for slot in slots.iter_mut() {
+                    if slot.done {
+                        continue;
+                    }
+                    if let Some(child) = slot.child.as_mut() {
+                        match child.try_wait() {
+                            Ok(Some(status)) => {
+                                slot.child = None;
+                                if status.success() {
+                                    slot.done = true;
+                                    continue;
+                                }
+                                use std::os::unix::process::ExitStatusExt;
+                                slot.why = match status.signal() {
+                                    Some(sig) => format!("killed by signal {sig}"),
+                                    None => format!("exited with {status}"),
+                                };
+                                if stopping || slot.node == 0 {
+                                    slot.done = true;
+                                    failures.push(format!("{} {}", slot.name, slot.why));
+                                    continue;
+                                }
+                                let now = Instant::now();
+                                slot.restarts
+                                    .retain(|t| now.duration_since(*t) < restart_window);
+                                if slot.restarts.len() >= max_restarts {
+                                    slot.done = true;
+                                    failures.push(format!(
+                                        "{} {}; restart budget exhausted \
+                                         ({max_restarts} per {}s)",
+                                        slot.name,
+                                        slot.why,
+                                        restart_window.as_secs()
+                                    ));
+                                    continue;
+                                }
+                                // Bounded exponential backoff with
+                                // deterministic jitter so simultaneous deaths
+                                // do not respawn in lockstep.
+                                let base = backoff_ms
+                                    .saturating_mul(1 << slot.attempt.min(5))
+                                    .min(10_000);
+                                let d = proauth_primitives::sha256::hash_parts(
+                                    "proauth/net/backoff",
+                                    &[
+                                        &seed.to_be_bytes(),
+                                        &slot.node.to_be_bytes(),
+                                        &slot.attempt.to_be_bytes(),
+                                    ],
+                                );
+                                let jitter = u64::from_be_bytes(
+                                    d[..8].try_into().expect("8 of 32 digest bytes"),
+                                ) % backoff_ms.max(1);
+                                slot.respawn_at =
+                                    Some(now + Duration::from_millis(base + jitter));
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                slot.child = None;
+                                slot.done = true;
+                                failures.push(format!("{}: wait failed: {e}", slot.name));
+                            }
+                        }
+                        continue;
+                    }
+                    // Down, waiting out its backoff.
+                    let Some(at) = slot.respawn_at else {
+                        slot.done = true;
+                        continue;
+                    };
+                    if stopping {
+                        slot.done = true;
+                        failures.push(format!("{} down at shutdown ({})", slot.name, slot.why));
+                        continue;
+                    }
+                    if Instant::now() < at {
+                        continue;
+                    }
+                    slot.respawn_at = None;
+                    slot.restarts.push(Instant::now());
+                    slot.attempt += 1;
+                    restarts_total += 1;
+                    if truncate.contains(&slot.node) {
+                        if let Some(root) = &state_root {
+                            match StateDir::open(root, slot.node)
+                                .and_then(|sd| sd.truncate_state_file())
+                            {
+                                Ok(true) => println!(
+                                    "supervisor: truncated node {}'s watermark before respawn",
+                                    slot.node
+                                ),
+                                Ok(false) => {}
+                                Err(e) => eprintln!(
+                                    "supervisor: cannot truncate node {}'s state: {e}",
+                                    slot.node
+                                ),
+                            }
+                        }
+                    }
+                    match respawn(&slot.argv) {
+                        Ok(child) => {
+                            println!(
+                                "supervisor: respawned {} (attempt {}, was {})",
+                                slot.name, slot.attempt, slot.why
+                            );
+                            slot.child = Some(child);
+                            // Warning severity: the restart impairs the victim
+                            // for Definition-7 accounting, exactly like an
+                            // in-engine break-in would.
+                            let _ = alarm_tx.send(Alarm {
+                                node: slot.node,
+                                round: round_watch.load(Ordering::Relaxed),
+                                severity: Severity::Warning,
+                                kind: "node_restarted".to_owned(),
+                                detail: format!("{}; respawn attempt {}", slot.why, slot.attempt),
+                            });
+                        }
+                        Err(e) => {
+                            slot.done = true;
+                            failures.push(format!("{}: respawn failed: {e}", slot.name));
+                        }
+                    }
+                }
+
+                if let Some(deadline) = shutdown_deadline {
+                    if Instant::now() >= deadline {
+                        for slot in slots.iter_mut().filter(|s| !s.done) {
+                            if let Some(child) = slot.child.as_mut() {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                failures.push(format!("{} hung; killed", slot.name));
+                            }
+                            slot.child = None;
+                            slot.done = true;
+                        }
+                    }
+                }
+                if slots.iter().all(|s| s.done) {
                     break;
                 }
-                Ok(None) if std::time::Instant::now() >= deadline => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    child_failures.push(format!("{name} hung; killed"));
-                    break;
-                }
-                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(50)),
-                Err(e) => {
-                    child_failures.push(format!("{name}: wait failed: {e}"));
-                    break;
-                }
+                std::thread::sleep(Duration::from_millis(20));
             }
-        }
-    }
+            (failures, restarts_total)
+        })
+    };
+
+    let outcome = collector.run();
+    stop.store(true, Ordering::Relaxed);
+    let (child_failures, restarts_total) = supervisor.join().expect("supervisor thread");
     let outcome = match outcome {
         Ok(o) => o,
         Err(e) => {
@@ -1506,6 +2011,9 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
     };
     print_goodput_report(&sc, &outcome);
     print_observability_report(&outcome);
+    if restarts_total > 0 {
+        println!("supervisor: {restarts_total} restart(s) performed");
+    }
     for f in &child_failures {
         eprintln!("child failure: {f}");
     }
@@ -1526,7 +2034,12 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
     if check {
         println!("\nchecking against the in-process engine...");
         let engine = sc.engine_run();
-        let failures = if chaos {
+        // Kill schedules disturb the run the same way link chaos does: the
+        // certified keys and safety properties must hold exactly, but
+        // per-round output logs are no longer bit-comparable (a rejoined
+        // node's log starts at its resume watermark).
+        let disturbed = chaos || !kill_plan.kills.is_empty();
+        let failures = if disturbed {
             check_chaos_outcome(&sc, &outcome, &engine)
         } else {
             // No chaos: the daemon must be bit-identical to the engine.
@@ -1562,7 +2075,7 @@ fn daemon_main(args: &HashMap<String, String>) -> ! {
             println!(
                 "check PASSED: certified keys match, zero forgeries, all nodes live \
                  (daemon accepted {accepted_daemon}, engine {accepted_engine}{})",
-                if chaos { ", chaos run" } else { ", bit-identical" }
+                if disturbed { ", chaos run" } else { ", bit-identical" }
             );
         } else {
             println!("check FAILED:");
